@@ -1,0 +1,105 @@
+"""Fig. 2 reproduction: spatial and temporal access distributions.
+
+Paper Fig. 2 shows, for dlrm, parsec and sysbench, (left) access
+counts against physical address groups -- multi-modal, "can be fitted
+with different Gaussian functions" -- and (right) accessed addresses
+against time -- non-random, phased.  The same panels are regenerated
+here from the synthetic traces, with the two visual claims quantified:
+
+* spatial multi-modality (separated density peaks, and a mixture
+  fitting the profile far better than a single Gaussian), and
+* temporal non-uniformity (the access profile varies across time
+  bins).
+"""
+
+import numpy as np
+
+from repro.analysis import histogram_figure, render_table
+from repro.analysis.distributions import (
+    gmm_spatial_fit,
+    workload_distributions,
+)
+from repro.traces import get_workload
+
+#: The three benchmarks Fig. 2 plots.
+FIG2_WORKLOADS = ("dlrm", "parsec", "sysbench")
+
+
+def _trace(name):
+    rng = np.random.default_rng(42)
+    return get_workload(name, scale=1 / 32).generate(120_000, rng)
+
+
+def test_fig2_reproduction(report, benchmark):
+    """Regenerate both Fig. 2 panels for the three benchmarks."""
+
+    def compute():
+        return {
+            name: workload_distributions(name, _trace(name))
+            for name in FIG2_WORKLOADS
+        }
+
+    distributions = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    figures = []
+    for name, dist in distributions.items():
+        rows.append(
+            [
+                name,
+                dist.spatial_modality,
+                dist.temporal_nonuniformity,
+            ]
+        )
+        figures.append(
+            histogram_figure(
+                dist.spatial.counts,
+                height=7,
+                title=f"{name}: spatial access density",
+            )
+        )
+    table = render_table(
+        ["workload", "spatial peaks", "temporal nonuniformity"],
+        rows,
+        float_format="{:.3f}",
+    )
+    report("fig2_distributions", table + "\n\n" + "\n\n".join(figures))
+
+    for name, dist in distributions.items():
+        # Fig. 2 left: multi-modal spatial density.  parsec's secondary
+        # lobe (the swept buffer) sits an order of magnitude below its
+        # cluster peaks -- like the low, wide lobes of Fig. 2(b) -- so
+        # it is detected at a lower relative threshold.
+        threshold = 0.005 if name == "parsec" else 0.01
+        assert dist.spatial.modality(threshold) >= 2, name
+        # Fig. 2 right: temporally non-uniform access profile.
+        # (sysbench's structure is the weakest of the three -- its
+        # scans revisit the same leaf region -- matching the subtler
+        # temporal texture of Fig. 2(c).)
+        assert dist.temporal_nonuniformity > 0.03, name
+
+
+def test_fig2_mixture_fits_spatial_profile(report, benchmark):
+    """Quantify "can be fitted with different Gaussian functions"."""
+    trace = _trace("dlrm")
+
+    def fit():
+        return gmm_spatial_fit(
+            trace, component_counts=(1, 2, 4, 8), max_samples=10_000
+        )
+
+    fits = benchmark.pedantic(fit, rounds=1, iterations=1)
+    rows = [[k, v] for k, v in sorted(fits.items())]
+    report(
+        "fig2_spatial_fit",
+        render_table(
+            ["K (Gaussians)", "mean log-likelihood"],
+            rows,
+            float_format="{:.3f}",
+        ),
+    )
+    # The mixture explains the spatial profile far better than one
+    # Gaussian, and improves monotonically over the sweep.
+    values = [fits[k] for k in sorted(fits)]
+    assert values[-1] > values[0] + 0.2
+    assert all(b >= a - 0.05 for a, b in zip(values, values[1:]))

@@ -1,0 +1,111 @@
+"""Table 2 reproduction: resource and latency, LSTM vs GMM engines.
+
+Paper Table 2:
+
+    =====  ====  ===  ======  ======  ========
+    model  BRAM  DSP  LUT     FF      latency
+    LSTM   339   145  85029   103561  46.3 ms
+    GMM    8     113  58353   152583  3 us
+    =====  ====  ===  ======  ======  ========
+
+plus Sec. 5.1's whole-system utilisation (190 BRAM = 14%, 117 DSP =
+2% on the Alveo U50) and the ">10,000x" latency gap (15,433x).
+
+The rows come from the calibrated analytic models; the bench also
+measures the *executable* engines (numpy LSTM forward pass vs
+vectorised GMM scoring) to show the same asymmetry in software.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.gmm import fit_gmm
+from repro.hardware import (
+    FpgaSpec,
+    GmmEngineTiming,
+    LstmEngineTiming,
+    engine_speedup,
+    estimate_gmm_engine,
+    estimate_icgmm_system,
+    estimate_lstm_engine,
+)
+from repro.lstm import LstmNetwork
+
+
+def test_table2_reproduction(report, benchmark):
+    """Regenerate Table 2 exactly and assert every reported value."""
+    fpga = FpgaSpec()
+
+    def build():
+        gmm = estimate_gmm_engine()
+        lstm = estimate_lstm_engine()
+        gmm_us = GmmEngineTiming().latency_us(fpga)
+        lstm_us = LstmEngineTiming().latency_us(fpga)
+        return gmm, lstm, gmm_us, lstm_us
+
+    gmm, lstm, gmm_us, lstm_us = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    table = render_table(
+        ["engine", "BRAM", "DSP", "LUT", "FF", "latency"],
+        [
+            ["LSTM", lstm.bram, lstm.dsp, lstm.lut, lstm.ff,
+             f"{lstm_us / 1000:.1f} ms"],
+            ["GMM", gmm.bram, gmm.dsp, gmm.lut, gmm.ff,
+             f"{gmm_us:.1f} us"],
+        ],
+    )
+    system = estimate_icgmm_system()
+    utilization = system.utilization(fpga)
+    footer = (
+        f"system: {system.bram} BRAM ({utilization['bram']:.0%}),"
+        f" {system.dsp} DSP ({utilization['dsp']:.0%});"
+        f" speedup {lstm_us / gmm_us:,.0f}x"
+    )
+    report("table2_resources", table + "\n" + footer)
+
+    # Exact Table 2 values.
+    assert (gmm.bram, gmm.dsp, gmm.lut, gmm.ff) == (
+        8, 113, 58_353, 152_583,
+    )
+    assert (lstm.bram, lstm.dsp, lstm.lut, lstm.ff) == (
+        339, 145, 85_029, 103_561,
+    )
+    assert gmm_us == pytest.approx(3.0, abs=0.01)
+    assert lstm_us / 1000 == pytest.approx(46.3, abs=0.1)
+    # ">10,000x" (15,433x) latency gap and the Sec. 5.1 system totals.
+    assert engine_speedup(
+        LstmEngineTiming(), GmmEngineTiming(), fpga
+    ) == pytest.approx(15_433, rel=0.01)
+    assert (system.bram, system.dsp) == (190, 117)
+
+
+def test_software_engines_show_same_asymmetry(report, benchmark):
+    """The executable engines echo Table 2's cost gap in software."""
+    rng = np.random.default_rng(0)
+    points = rng.standard_normal((20_000, 2))
+    gmm = fit_gmm(points[:2_000], 16, rng, max_iter=10)
+    lstm = LstmNetwork(
+        input_size=2, hidden_size=64, n_layers=3, rng=rng
+    )
+    sequences = rng.standard_normal((64, 32, 2))
+
+    import time
+
+    t0 = time.perf_counter()
+    gmm.score_samples(points)
+    gmm_per_decision = (time.perf_counter() - t0) / points.shape[0]
+    t0 = time.perf_counter()
+    lstm.predict(sequences)
+    lstm_per_decision = (time.perf_counter() - t0) / sequences.shape[0]
+    ratio = lstm_per_decision / gmm_per_decision
+    report(
+        "table2_software_engines",
+        f"software per-decision cost: GMM {gmm_per_decision * 1e6:.2f} us,"
+        f" LSTM {lstm_per_decision * 1e6:.2f} us (ratio {ratio:.0f}x)",
+    )
+    assert ratio > 10  # orders of magnitude apart even in numpy
+
+    # Benchmark the GMM scoring path (the one on the miss path).
+    benchmark(gmm.score_samples, points)

@@ -1,0 +1,96 @@
+"""Scenario: validating the dataflow overlap on the cycle simulator.
+
+Sec. 4.3 claims the free-running dataflow architecture hides the 3 us
+GMM inference inside the 75 us SSD read.  This example runs the same
+request stream through the discrete-event model of Fig. 5 twice --
+with concurrent (dataflow) and sequential (naive) miss handling -- and
+then routes a trace through the full CXL system model (host DRAM +
+link + device).
+
+Run with::
+
+    python examples/dataflow_overlap.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.cache import LruPolicy, SetAssociativeCache
+from repro.cache.setassoc import CacheGeometry
+from repro.cxl import CxlMemoryDevice, CxlSystem, UnifiedAddressSpace
+from repro.desim import DataflowTiming, IcgmmDataflow
+from repro.traces import get_workload
+
+
+def _small_cache():
+    return SetAssociativeCache(
+        CacheGeometry(
+            capacity_bytes=256 * 4096, block_bytes=4096, associativity=8
+        )
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    trace = get_workload("sysbench", scale=1 / 128).generate(4_000, rng)
+    pages = trace.page_indices()
+    writes = trace.is_write
+
+    print("Cycle-level dataflow simulation (4,000 requests)...")
+    rows = []
+    results = {}
+    for label, overlap in (("dataflow (overlapped)", True),
+                           ("naive (sequential)", False)):
+        dataflow = IcgmmDataflow(
+            cache=_small_cache(),
+            policy=LruPolicy(),
+            timing=DataflowTiming(overlap=overlap),
+        )
+        result = dataflow.run(pages, writes)
+        results[label] = result
+        rows.append(
+            [
+                label,
+                result.average_latency_us,
+                result.percentile_us(99),
+                result.total_time_ns / 1e6,
+            ]
+        )
+    print(
+        render_table(
+            ["control scheme", "avg (us)", "p99 (us)", "total (ms)"],
+            rows,
+        )
+    )
+    fast = results["dataflow (overlapped)"]
+    slow = results["naive (sequential)"]
+    per_miss = (
+        (slow.total_time_ns - fast.total_time_ns)
+        / max(1, slow.stats.misses)
+        / 1000.0
+    )
+    print(
+        f"\nThe dataflow hides {per_miss:.2f} us per miss -- the GMM"
+        " inference latency, exactly as Sec. 5.3 reports."
+    )
+
+    print("\nRouting the trace through the CXL system model...")
+    space = UnifiedAddressSpace(
+        host_bytes=16 << 20, device_bytes=1 << 32
+    )
+    device = CxlMemoryDevice(_small_cache(), LruPolicy())
+    system = CxlSystem(space, device)
+    # Rebase the trace into the device range of the unified space.
+    rebased = trace.addresses + space.device_range.base
+    from repro.traces.record import MemoryTrace
+
+    routed = system.run_trace(MemoryTrace(rebased, writes))
+    print(
+        f"  {routed.device_accesses} device accesses,"
+        f" avg end-to-end {routed.average_device_latency_us:.1f} us"
+        f" (incl. {system.link.request_latency_ns(64)} ns CXL link)"
+    )
+
+
+if __name__ == "__main__":
+    main()

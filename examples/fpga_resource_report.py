@@ -1,0 +1,91 @@
+"""Scenario: FPGA deployment report for the two policy engines.
+
+Reproduces Table 2 and the Sec. 5.1 utilisation figures from the
+analytic hardware models, then validates the fixed-point score
+pipeline against the float reference -- everything a hardware engineer
+checks before committing to the HLS build.
+
+Run with::
+
+    python examples/fpga_resource_report.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.gmm import EMTrainer, QuantizedGmm
+from repro.hardware import (
+    FpgaSpec,
+    GmmEngineTiming,
+    LstmEngineTiming,
+    engine_speedup,
+    estimate_gmm_engine,
+    estimate_icgmm_system,
+    estimate_lstm_engine,
+)
+
+
+def main() -> None:
+    fpga = FpgaSpec()
+    gmm_resources = estimate_gmm_engine()
+    lstm_resources = estimate_lstm_engine()
+    gmm_timing = GmmEngineTiming()
+    lstm_timing = LstmEngineTiming()
+
+    print(f"Target platform: {fpga.name} @ {fpga.clock_mhz:.0f} MHz")
+    print()
+    print("Table 2 -- policy engine comparison:")
+    print(
+        render_table(
+            ["engine", "BRAM", "DSP", "LUT", "FF", "latency"],
+            [
+                [
+                    "LSTM",
+                    lstm_resources.bram,
+                    lstm_resources.dsp,
+                    lstm_resources.lut,
+                    lstm_resources.ff,
+                    f"{lstm_timing.latency_us(fpga) / 1000:.1f} ms",
+                ],
+                [
+                    "GMM",
+                    gmm_resources.bram,
+                    gmm_resources.dsp,
+                    gmm_resources.lut,
+                    gmm_resources.ff,
+                    f"{gmm_timing.latency_us(fpga):.1f} us",
+                ],
+            ],
+        )
+    )
+    speedup = engine_speedup(lstm_timing, gmm_timing, fpga)
+    print(f"\nGMM latency advantage: {speedup:,.0f}x")
+
+    system = estimate_icgmm_system()
+    utilization = system.utilization(fpga)
+    print(
+        f"\nFull ICGMM system: {system.bram} BRAM"
+        f" ({utilization['bram']:.0%}), {system.dsp} DSP"
+        f" ({utilization['dsp']:.0%}) -- fits: {system.fits(fpga)}"
+    )
+
+    # Fixed-point validation: the quantized pipeline must preserve the
+    # score ordering the policy relies on.
+    print("\nValidating the fixed-point score pipeline...")
+    rng = np.random.default_rng(0)
+    hot = rng.normal(0.0, 1.0, size=(3000, 2))
+    cold = rng.normal(6.0, 2.0, size=(1000, 2))
+    model = EMTrainer(n_components=8).fit(
+        np.concatenate([hot, cold]), rng
+    ).model
+    quantized = QuantizedGmm(model)
+    probe = rng.uniform(-4, 10, size=(2000, 2))
+    error = quantized.max_abs_error(model, probe)
+    print(
+        f"  max |quantized - float| score error over 2000 probes:"
+        f" {error:.2e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Scenario: adapting the policy engine to workload drift online.
+
+The paper trains the GMM offline and freezes it in the FPGA weight
+buffer.  Long-running services drift: after a failover or a cache
+rebuild, a *different* slab region of a key-value store becomes hot,
+and a frozen density model now scores the new hot pages as cold.
+This example uses the repository's stepwise-EM extension
+(:class:`repro.gmm.OnlineGmm`) to refresh the mixture from the live
+request stream, comparing three engines on the post-drift traffic:
+
+* the frozen offline model (what the paper ships),
+* the online model (periodic weight-buffer refresh), and
+* an oracle retrained on the drifted distribution (upper bound).
+
+Run with::
+
+    python examples/online_adaptation.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.engine import FeatureScaler
+from repro.gmm import EMTrainer, OnlineGmm
+from repro.traces.preprocess import transform_timestamps
+from repro.traces.synthetic import ZipfSampler
+
+
+def _features(sampler, n, rng):
+    """(page, transformed timestamp) features for a sampled stream."""
+    pages, _ = sampler.sample(n, rng)
+    timestamps = transform_timestamps(n, mode="prose")
+    return np.column_stack(
+        [pages.astype(float), timestamps.astype(float)]
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    # Phase A: the hot slab region sits at pages [0, 1500).
+    # Phase B (after failover): a rebuilt store is hot at [3000, 4500).
+    phase_a = ZipfSampler(base_page=0, n_pages=1_500, alpha=1.3)
+    phase_b = ZipfSampler(base_page=3_000, n_pages=1_500, alpha=1.3)
+
+    features_a = _features(phase_a, 40_000, rng)
+    features_b = _features(phase_b, 40_000, rng)
+    scaler = FeatureScaler.fit(
+        np.concatenate([features_a, features_b])
+    )
+    scaled_a = scaler.transform(features_a)
+    scaled_b = scaler.transform(features_b)
+
+    print("Training the offline engine on phase A...")
+    offline = EMTrainer(n_components=16, max_iter=40).fit(
+        scaled_a[:20_000], rng
+    ).model
+
+    print("Streaming phase B through the online engine...")
+    online = OnlineGmm.from_model(offline, step_exponent=0.6)
+    for start in range(0, 30_000, 2_000):
+        online.update(scaled_b[start : start + 2_000])
+
+    print("Retraining the oracle on phase B...")
+    oracle = EMTrainer(n_components=16, max_iter=40).fit(
+        scaled_b[:20_000], rng
+    ).model
+
+    holdout = scaled_b[30_000:]
+    rows = [
+        [
+            "frozen offline",
+            float(np.mean(offline.log_score_samples(holdout))),
+        ],
+        [
+            "online (stepwise EM)",
+            float(np.mean(online.model.log_score_samples(holdout))),
+        ],
+        [
+            "retrained oracle",
+            float(np.mean(oracle.log_score_samples(holdout))),
+        ],
+    ]
+    print()
+    print(
+        render_table(
+            ["engine", "post-drift log-likelihood"],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+    frozen_ll, online_ll, oracle_ll = (row[1] for row in rows)
+    recovered = (online_ll - frozen_ll) / (oracle_ll - frozen_ll)
+    print(
+        f"\nThe online engine recovers {100 * recovered:.0f}% of the"
+        " likelihood the frozen model loses to drift, with no offline"
+        " retraining -- on hardware this is just a periodic weight-"
+        "buffer refresh."
+    )
+
+
+if __name__ == "__main__":
+    main()

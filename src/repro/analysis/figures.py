@@ -1,0 +1,102 @@
+"""ASCII figure rendering.
+
+matplotlib is not available in the offline environment, so the
+benchmark harness renders its "figures" as text: horizontal bar charts
+for Fig. 6-style comparisons and block histograms for Fig. 2-style
+distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Glyph used for bar bodies.
+_BAR = "#"
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 50,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("nothing to plot")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        if peak > 0:
+            bar = _BAR * max(0, int(round(width * value / peak)))
+        else:
+            bar = ""
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    group_labels: list[str],
+    series: dict[str, list[float]],
+    width: int = 40,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Grouped horizontal bars (Fig. 6 layout: workload x strategy)."""
+    if not series:
+        raise ValueError("series must not be empty")
+    for name, values in series.items():
+        if len(values) != len(group_labels):
+            raise ValueError(
+                f"series {name!r} length mismatch with group labels"
+            )
+    peak = max(max(values) for values in series.values())
+    series_width = max(len(name) for name in series)
+    label_width = max(len(label) for label in group_labels)
+    lines = []
+    for index, group in enumerate(group_labels):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[index]
+            if peak > 0:
+                bar = _BAR * max(0, int(round(width * value / peak)))
+            else:
+                bar = ""
+            lines.append(
+                f"  {name.ljust(series_width)} "
+                f"|{bar.ljust(width)}| " + value_format.format(value)
+            )
+        if index != len(group_labels) - 1:
+            lines.append("")
+    return "\n".join(lines)
+
+
+def histogram_figure(
+    counts: np.ndarray,
+    height: int = 8,
+    title: str = "",
+) -> str:
+    """Vertical block histogram of pre-binned counts (Fig. 2 style)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.size == 0:
+        raise ValueError("counts must not be empty")
+    if height < 1:
+        raise ValueError("height must be >= 1")
+    peak = counts.max()
+    lines = [title] if title else []
+    if peak == 0:
+        levels = np.zeros(counts.size, dtype=int)
+    else:
+        levels = np.round(height * counts / peak).astype(int)
+    for row in range(height, 0, -1):
+        lines.append(
+            "".join("#" if level >= row else " " for level in levels)
+        )
+    lines.append("-" * counts.size)
+    return "\n".join(lines)

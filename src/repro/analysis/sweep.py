@@ -1,0 +1,138 @@
+"""Parameter sweeps for the ablation benches.
+
+Each sweep varies one design choice of DESIGN.md's ablation list and
+reruns the end-to-end pipeline, reusing a single prepared workload
+where the swept parameter allows it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.setassoc import CacheGeometry
+from repro.core.config import GmmEngineConfig, IcgmmConfig
+from repro.core.system import IcgmmSystem
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the varied value and its outcomes."""
+
+    value: object
+    lru_miss_percent: float
+    gmm_miss_percent: float
+
+    @property
+    def reduction_points(self) -> float:
+        """Absolute miss-rate reduction at this point."""
+        return self.lru_miss_percent - self.gmm_miss_percent
+
+
+def _run_point(config: IcgmmConfig, workload: str, value) -> SweepPoint:
+    system = IcgmmSystem(config)
+    result = system.run_benchmark(workload)
+    return SweepPoint(
+        value=value,
+        lru_miss_percent=result.lru.miss_rate_percent,
+        gmm_miss_percent=result.best_gmm.miss_rate_percent,
+    )
+
+
+def sweep_n_components(
+    workload: str,
+    component_counts: tuple[int, ...] = (4, 16, 64, 256),
+    config: IcgmmConfig | None = None,
+) -> list[SweepPoint]:
+    """Miss rate vs number of Gaussians K.
+
+    The paper fixes K = 256 for the FPGA engine; this sweep shows the
+    miss-rate curve saturating well below that on the synthetic
+    traces (why the simulator default is smaller).
+    """
+    base = config if config is not None else IcgmmConfig()
+    points = []
+    for k in component_counts:
+        gmm = dataclasses.replace(base.gmm, n_components=k)
+        points.append(
+            _run_point(
+                dataclasses.replace(base, gmm=gmm), workload, k
+            )
+        )
+    return points
+
+
+def sweep_threshold_quantile(
+    workload: str,
+    quantiles: tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.10),
+    config: IcgmmConfig | None = None,
+) -> list[SweepPoint]:
+    """Miss rate vs admission threshold quantile.
+
+    Low quantiles bypass only one-touch traffic; high quantiles start
+    refusing pages with real reuse -- the sweep exposes the optimum.
+    """
+    base = config if config is not None else IcgmmConfig()
+    points = []
+    for q in quantiles:
+        gmm = dataclasses.replace(base.gmm, threshold_quantile=q)
+        points.append(
+            _run_point(
+                dataclasses.replace(base, gmm=gmm), workload, q
+            )
+        )
+    return points
+
+
+def sweep_cache_capacity(
+    workload: str,
+    capacities_bytes: tuple[int, ...] = (
+        1 * 1024 * 1024,
+        2 * 1024 * 1024,
+        4 * 1024 * 1024,
+        8 * 1024 * 1024,
+    ),
+    config: IcgmmConfig | None = None,
+) -> list[SweepPoint]:
+    """Miss rate vs cache capacity (block size and ways fixed)."""
+    base = config if config is not None else IcgmmConfig()
+    points = []
+    for capacity in capacities_bytes:
+        geometry = CacheGeometry(
+            capacity_bytes=capacity,
+            block_bytes=base.geometry.block_bytes,
+            associativity=base.geometry.associativity,
+        )
+        points.append(
+            _run_point(
+                dataclasses.replace(base, geometry=geometry),
+                workload,
+                capacity,
+            )
+        )
+    return points
+
+
+def sweep_windowing(
+    workload: str,
+    len_windows: tuple[int, ...] = (8, 32, 128),
+    config: IcgmmConfig | None = None,
+) -> list[SweepPoint]:
+    """Miss rate vs Algorithm 1 window length.
+
+    The paper picks ``len_window = 32`` empirically; the sweep probes
+    the sensitivity of that choice.
+    """
+    base = config if config is not None else IcgmmConfig()
+    points = []
+    for len_window in len_windows:
+        points.append(
+            _run_point(
+                dataclasses.replace(base, len_window=len_window),
+                workload,
+                len_window,
+            )
+        )
+    return points

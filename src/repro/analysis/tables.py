@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers format them without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+
+def format_cell(value, float_format: str = "{:.2f}") -> str:
+    """Format one cell: floats via ``float_format``, rest via str."""
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned, markdown-compatible text table."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    text_rows = [
+        [format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells):
+        return (
+            "| "
+            + " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+            + " |"
+        )
+
+    separator = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    out = [line(headers), separator]
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def render_dict_table(
+    rows: list[dict],
+    columns: list[str] | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a list of dicts; columns default to first-row key order."""
+    if not rows:
+        raise ValueError("rows must not be empty")
+    if columns is None:
+        columns = list(rows[0])
+    table_rows = [[row.get(col, "") for col in columns] for row in rows]
+    return render_table(columns, table_rows, float_format)

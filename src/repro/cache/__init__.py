@@ -1,0 +1,41 @@
+"""DRAM cache substrate: set-associative model, simulator, policies."""
+
+from repro.cache.policies import (
+    BeladyPolicy,
+    ClockPolicy,
+    FifoPolicy,
+    GmmCachePolicy,
+    LfuPolicy,
+    LruPolicy,
+    LstmCachePolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    ScoreBasedPolicy,
+    make_policy,
+)
+from repro.cache.setassoc import (
+    INVALID,
+    CacheGeometry,
+    SetAssociativeCache,
+    simulate,
+)
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "BeladyPolicy",
+    "CacheGeometry",
+    "CacheStats",
+    "ClockPolicy",
+    "FifoPolicy",
+    "GmmCachePolicy",
+    "INVALID",
+    "LfuPolicy",
+    "LruPolicy",
+    "LstmCachePolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "ScoreBasedPolicy",
+    "SetAssociativeCache",
+    "simulate",
+    "make_policy",
+]

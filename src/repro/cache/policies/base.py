@@ -1,0 +1,75 @@
+"""Replacement/admission policy interface.
+
+The simulator (:func:`repro.cache.setassoc.simulate`) consults the
+policy at three points, mirroring the hardware engine's hooks:
+
+* ``on_hit`` -- a request hit; the policy may refresh its metadata.
+* ``admit`` -- a request missed; should the page be cached at all?
+  (The paper's *smart caching* decision, Sec. 3.2.)
+* ``select_victim`` -- the target set is full; which way is replaced?
+  (The paper's *smart eviction* decision.)
+
+Policies store per-block state in the cache's two float planes:
+``cache.meta`` (policy-defined meaning) and ``cache.stamp`` (written
+with the fill time by the simulator, updatable on hits).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.setassoc import SetAssociativeCache
+
+
+def argmin_way(values: list[float]) -> int:
+    """Index of the smallest value (first one on ties)."""
+    return min(range(len(values)), key=values.__getitem__)
+
+
+def argmax_way(values: list[float]) -> int:
+    """Index of the largest value (first one on ties)."""
+    return max(range(len(values)), key=values.__getitem__)
+
+
+class ReplacementPolicy(ABC):
+    """Base class for cache policies."""
+
+    #: Human-readable policy name used in result tables.
+    name: str = "base"
+
+    def on_hit(
+        self,
+        cache: "SetAssociativeCache",
+        set_index: int,
+        way: int,
+        access_index: int,
+        score: float,
+    ) -> None:
+        """Hook invoked on a cache hit; default refreshes recency."""
+        cache.stamp[set_index][way] = float(access_index)
+
+    def admit(
+        self, page: int, score: float, is_write: bool, access_index: int
+    ) -> bool:
+        """Admission decision on a miss; default admits everything."""
+        return True
+
+    def fill_meta(
+        self, page: int, score: float, access_index: int
+    ) -> float:
+        """Metadata value stored with a newly filled block."""
+        return 0.0
+
+    @abstractmethod
+    def select_victim(
+        self,
+        cache: "SetAssociativeCache",
+        set_index: int,
+        access_index: int,
+    ) -> int:
+        """Way to replace in a full set."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

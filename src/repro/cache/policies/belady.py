@@ -1,0 +1,61 @@
+"""Belady's optimal replacement (offline oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.policies.base import ReplacementPolicy, argmax_way
+
+#: Next-use value for pages never accessed again.
+NEVER = float(np.iinfo(np.int64).max)
+
+
+def compute_next_use(pages: np.ndarray) -> np.ndarray:
+    """For each position, the index of the next access to that page.
+
+    Positions whose page never recurs get :data:`NEVER`.  Computed in
+    one backward pass.
+    """
+    pages = np.asarray(pages)
+    next_use = np.full(pages.shape[0], NEVER, dtype=np.float64)
+    last_seen: dict[int, int] = {}
+    for index in range(pages.shape[0] - 1, -1, -1):
+        page = int(pages[index])
+        if page in last_seen:
+            next_use[index] = float(last_seen[page])
+        last_seen[page] = index
+    return next_use
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """MIN/OPT: evict the block reused farthest in the future.
+
+    An offline oracle -- it reads the entire future of the request
+    stream -- so it cannot be built in hardware; the repository uses
+    it to upper-bound how much *any* eviction policy (GMM included)
+    could possibly gain over LRU on a given trace.
+
+    Parameters
+    ----------
+    pages:
+        The complete page stream the simulation will run; next-use
+        distances are precomputed from it.
+    """
+
+    name = "belady"
+
+    def __init__(self, pages: np.ndarray) -> None:
+        self._next_use = compute_next_use(pages)
+
+    def on_hit(self, cache, set_index, way, access_index, score):
+        """Refresh the block's next-use distance from the oracle."""
+        cache.stamp[set_index][way] = float(access_index)
+        cache.meta[set_index][way] = self._next_use[access_index]
+
+    def fill_meta(self, page, score, access_index):
+        """Store the filling access's next-use distance."""
+        return self._next_use[access_index]
+
+    def select_victim(self, cache, set_index, access_index):
+        """Evict the way whose next use lies farthest ahead."""
+        return argmax_way(cache.meta[set_index])

@@ -1,0 +1,22 @@
+"""First-In First-Out replacement."""
+
+from __future__ import annotations
+
+from repro.cache.policies.base import ReplacementPolicy, argmin_way
+
+
+class FifoPolicy(ReplacementPolicy):
+    """FIFO: evict the oldest *fill*, ignoring hits.
+
+    Not evaluated in the paper; part of the baseline zoo used by the
+    policy ablation bench.
+    """
+
+    name = "fifo"
+
+    def on_hit(self, cache, set_index, way, access_index, score):
+        """Hits do not refresh FIFO order."""
+
+    def select_victim(self, cache, set_index, access_index):
+        """Evict the earliest-filled way."""
+        return argmin_way(cache.stamp[set_index])

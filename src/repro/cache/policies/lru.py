@@ -1,0 +1,22 @@
+"""Least Recently Used -- the paper's baseline policy."""
+
+from __future__ import annotations
+
+from repro.cache.policies.base import ReplacementPolicy, argmin_way
+
+
+class LruPolicy(ReplacementPolicy):
+    """Classic LRU.
+
+    Recency is the fill/last-hit stamp maintained by the simulator;
+    the victim is the way with the oldest stamp.  This is the baseline
+    against which Fig. 6 and Table 1 measure the GMM policies, and the
+    fallback the hardware runs when the policy engine is disabled
+    (Sec. 4.1).
+    """
+
+    name = "lru"
+
+    def select_victim(self, cache, set_index, access_index):
+        """Evict the least recently used way."""
+        return argmin_way(cache.stamp[set_index])

@@ -1,0 +1,61 @@
+"""Segmented LRU (SLRU) replacement."""
+
+from __future__ import annotations
+
+from repro.cache.policies.base import ReplacementPolicy, argmin_way
+
+
+class SlruPolicy(ReplacementPolicy):
+    """Segmented LRU: probation + protected segments per set.
+
+    Blocks enter on *probation*; only a hit promotes them to the
+    *protected* segment (capped at ``protected_ways`` per set, LRU
+    within each segment, demotion on overflow).  One-touch traffic
+    therefore churns through probation without displacing proven
+    blocks -- the classical scan-resistant improvement over LRU, and
+    the strongest non-learned baseline against the maintenance-burst
+    traffic in this repository's traces.
+
+    Segment membership is tracked in ``cache.meta`` (0 = probation,
+    1 = protected); recency lives in ``cache.stamp`` as usual.
+    """
+
+    name = "slru"
+
+    def __init__(self, protected_fraction: float = 0.5) -> None:
+        if not 0.0 <= protected_fraction < 1.0:
+            raise ValueError("protected_fraction must be in [0, 1)")
+        self.protected_fraction = protected_fraction
+
+    def _protected_cap(self, ways: int) -> int:
+        return int(ways * self.protected_fraction)
+
+    def on_hit(self, cache, set_index, way, access_index, score):
+        """Promote the block to protected, demoting on overflow."""
+        cache.stamp[set_index][way] = float(access_index)
+        meta = cache.meta[set_index]
+        if meta[way] == 1.0:
+            return
+        cap = self._protected_cap(len(meta))
+        if cap == 0:
+            return
+        protected = [i for i, m in enumerate(meta) if m == 1.0]
+        if len(protected) >= cap:
+            # Demote the LRU protected block to probation.
+            stamps = cache.stamp[set_index]
+            victim = min(protected, key=lambda i: stamps[i])
+            meta[victim] = 0.0
+        meta[way] = 1.0
+
+    def fill_meta(self, page, score, access_index):
+        """New blocks start on probation."""
+        return 0.0
+
+    def select_victim(self, cache, set_index, access_index):
+        """Evict the LRU probationary block (protected only if none)."""
+        meta = cache.meta[set_index]
+        stamps = cache.stamp[set_index]
+        probation = [i for i, m in enumerate(meta) if m == 0.0]
+        if probation:
+            return min(probation, key=lambda i: stamps[i])
+        return argmin_way(stamps)

@@ -1,0 +1,48 @@
+"""2Q-style replacement (simplified, set-associative)."""
+
+from __future__ import annotations
+
+from repro.cache.policies.base import ReplacementPolicy, argmin_way
+
+
+class TwoQPolicy(ReplacementPolicy):
+    """A set-associative adaptation of the 2Q algorithm.
+
+    Classic 2Q (Johnson & Shasha, VLDB'94) keeps first-time blocks in
+    a small FIFO (A1in); only blocks referenced *again* enter the main
+    LRU (Am).  Within a set this becomes: new fills are FIFO-ordered
+    and capped at ``a1_fraction`` of the ways; a hit moves a block to
+    the main segment.  Victims come from the FIFO segment first.
+
+    Differs from SLRU in the probationary segment's order (FIFO, not
+    LRU) and its explicit size cap on *fills* rather than promotions,
+    which makes it even more aggressive against streaming traffic.
+    Segment membership lives in ``cache.meta`` (0 = A1in, 1 = Am).
+    """
+
+    name = "2q"
+
+    def __init__(self, a1_fraction: float = 0.25) -> None:
+        if not 0.0 < a1_fraction <= 1.0:
+            raise ValueError("a1_fraction must be in (0, 1]")
+        self.a1_fraction = a1_fraction
+
+    def on_hit(self, cache, set_index, way, access_index, score):
+        """Second reference: promote A1in -> Am."""
+        cache.stamp[set_index][way] = float(access_index)
+        cache.meta[set_index][way] = 1.0
+
+    def fill_meta(self, page, score, access_index):
+        """First reference: block enters A1in."""
+        return 0.0
+
+    def select_victim(self, cache, set_index, access_index):
+        """Evict from A1in (FIFO) while it exceeds its share."""
+        meta = cache.meta[set_index]
+        stamps = cache.stamp[set_index]
+        a1 = [i for i, m in enumerate(meta) if m == 0.0]
+        if a1:
+            # FIFO within A1in: the stamp is untouched since fill for
+            # never-hit blocks, so min-stamp is the oldest fill.
+            return min(a1, key=lambda i: stamps[i])
+        return argmin_way(stamps)

@@ -1,0 +1,276 @@
+"""Set-associative DRAM cache model and its trace-driven simulator.
+
+This is the software twin of the paper's cache control engine
+(Sec. 4.2): a set-associative cache of 4 KB blocks over the device
+DRAM, with cache tags and per-block policy metadata held in an
+on-board table.  The paper's case-study geometry -- 64 MB capacity,
+4 KB blocks, associativity 8 (Sec. 5.1) -- is the default
+:class:`CacheGeometry`.
+
+The implementation uses plain Python lists rather than numpy because
+the simulator's inner loop touches 8-entry ways one access at a time;
+list indexing is several times faster than numpy scalar extraction at
+this shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.stats import CacheStats
+
+#: Tag value marking an empty way.
+INVALID = -1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Cache shape parameters (Sec. 5.1 case study defaults).
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total DRAM cache capacity (default 64 MB).
+    block_bytes:
+        Cache block size; fixed to the 4 KB SSD page in the paper
+        (Challenge 2: granularity mismatch).
+    associativity:
+        Ways per set (default 8).
+    """
+
+    capacity_bytes: int = 64 * 1024 * 1024
+    block_bytes: int = 4096
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.capacity_bytes % self.block_bytes != 0:
+            raise ValueError(
+                "capacity_bytes must be a multiple of block_bytes"
+            )
+        if self.n_blocks % self.associativity != 0:
+            raise ValueError(
+                "block count must be a multiple of associativity"
+            )
+
+    @property
+    def n_blocks(self) -> int:
+        """Total number of cache blocks."""
+        return self.capacity_bytes // self.block_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.n_blocks // self.associativity
+
+
+class SetAssociativeCache:
+    """Tag/metadata state of a set-associative cache.
+
+    Data blocks themselves are never modelled -- exactly like the
+    hardware, which moves only tags and GMM scores into the on-board
+    buffer (Sec. 4.2).  Two float metadata planes (``meta`` and
+    ``stamp``) are maintained per way; each policy assigns them its own
+    meaning (GMM score, LRU counter, reference bit, ...).
+    """
+
+    def __init__(self, geometry: CacheGeometry | None = None) -> None:
+        self.geometry = geometry if geometry is not None else CacheGeometry()
+        n_sets = self.geometry.n_sets
+        ways = self.geometry.associativity
+        self.tags = [[INVALID] * ways for _ in range(n_sets)]
+        self.dirty = [[False] * ways for _ in range(n_sets)]
+        self.meta = [[0.0] * ways for _ in range(n_sets)]
+        self.stamp = [[0.0] * ways for _ in range(n_sets)]
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+    def set_index(self, page: int) -> int:
+        """Set holding ``page`` (page modulo set count)."""
+        return page % self.geometry.n_sets
+
+    # ------------------------------------------------------------------
+    # Lookup and fill
+    # ------------------------------------------------------------------
+    def lookup(self, page: int) -> tuple[int, int | None]:
+        """Locate ``page``; returns ``(set_index, way | None)``."""
+        index = page % self.geometry.n_sets
+        try:
+            way = self.tags[index].index(page)
+        except ValueError:
+            return index, None
+        return index, way
+
+    def find_invalid_way(self, set_index: int) -> int | None:
+        """First empty way in a set, or None when the set is full."""
+        try:
+            return self.tags[set_index].index(INVALID)
+        except ValueError:
+            return None
+
+    def fill(
+        self,
+        set_index: int,
+        way: int,
+        page: int,
+        dirty: bool,
+        meta: float,
+        stamp: float,
+    ) -> None:
+        """Install ``page`` into ``(set_index, way)``."""
+        self.tags[set_index][way] = page
+        self.dirty[set_index][way] = dirty
+        self.meta[set_index][way] = meta
+        self.stamp[set_index][way] = stamp
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of valid blocks currently cached."""
+        return sum(
+            way != INVALID for ways in self.tags for way in ways
+        )
+
+    def resident_pages(self) -> set[int]:
+        """Set of pages currently cached (for tests/analysis)."""
+        return {
+            tag
+            for ways in self.tags
+            for tag in ways
+            if tag != INVALID
+        }
+
+    def __repr__(self) -> str:
+        g = self.geometry
+        return (
+            f"SetAssociativeCache(capacity={g.capacity_bytes >> 20} MiB,"
+            f" block={g.block_bytes} B, ways={g.associativity},"
+            f" occupancy={self.occupancy()}/{g.n_blocks})"
+        )
+
+
+def simulate(
+    cache: SetAssociativeCache,
+    policy: ReplacementPolicy,
+    pages: np.ndarray,
+    is_write: np.ndarray,
+    scores: np.ndarray | None = None,
+    warmup_fraction: float = 0.0,
+) -> CacheStats:
+    """Drive a cache/policy pair over a page-level request stream.
+
+    Implements the Sec. 3.2 flow: a hit is served from DRAM (the GMM is
+    bypassed); on a miss the policy decides admission using the
+    precomputed GMM score, and -- when the set is full -- selects the
+    victim; a dirty victim costs an SSD write-back.
+
+    Parameters
+    ----------
+    cache:
+        Cache state (mutated in place; pass a fresh instance per run).
+    policy:
+        Replacement/admission policy.
+    pages:
+        Page index per request.
+    is_write:
+        Write flag per request.
+    scores:
+        Policy score per request (GMM density); zeros when omitted.
+        Scores are precomputed for the whole stream because the GMM is
+        a pure function of ``(page, timestamp)`` -- mirroring the
+        pipelined engine, which computes them independently per request.
+    warmup_fraction:
+        Leading fraction of requests that update cache state but are
+        excluded from the returned counters.
+
+    Returns
+    -------
+    CacheStats
+        Counters over the measured (post-warm-up) region.
+    """
+    pages = np.asarray(pages)
+    is_write = np.asarray(is_write)
+    if pages.shape != is_write.shape:
+        raise ValueError("pages and is_write must have the same shape")
+    if scores is None:
+        scores = np.zeros(pages.shape[0], dtype=np.float64)
+    else:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.shape != pages.shape:
+            raise ValueError("scores and pages must have the same shape")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    measure_from = int(pages.shape[0] * warmup_fraction)
+
+    stats = CacheStats()
+    tags = cache.tags
+    dirty = cache.dirty
+    n_sets = cache.geometry.n_sets
+    page_list = [int(p) for p in pages]
+    write_list = [bool(w) for w in is_write]
+    score_list = [float(s) for s in scores]
+
+    for access_index in range(len(page_list)):
+        page = page_list[access_index]
+        write = write_list[access_index]
+        score = score_list[access_index]
+        measured = access_index >= measure_from
+        set_index = page % n_sets
+        set_tags = tags[set_index]
+        try:
+            way: int | None = set_tags.index(page)
+        except ValueError:
+            way = None
+
+        if way is not None:
+            # DRAM cache hit: data goes straight to the host.
+            policy.on_hit(cache, set_index, way, access_index, score)
+            if write:
+                dirty[set_index][way] = True
+            if measured:
+                stats.hits += 1
+                if write:
+                    stats.write_hits += 1
+            continue
+
+        # Miss: SSD must be accessed either way; the policy decides
+        # whether the page also gets cached.
+        if measured:
+            stats.misses += 1
+            if write:
+                stats.write_misses += 1
+        if not policy.admit(page, score, write, access_index):
+            if measured:
+                stats.bypasses += 1
+                if write:
+                    stats.bypassed_writes += 1
+            continue
+
+        victim = cache.find_invalid_way(set_index)
+        if victim is None:
+            victim = policy.select_victim(cache, set_index, access_index)
+            if measured:
+                stats.evictions += 1
+                if dirty[set_index][victim]:
+                    stats.dirty_evictions += 1
+        if measured:
+            stats.fills += 1
+        cache.fill(
+            set_index,
+            victim,
+            page,
+            write,
+            policy.fill_meta(page, score, access_index),
+            float(access_index),
+        )
+    return stats

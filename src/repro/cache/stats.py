@@ -1,0 +1,113 @@
+"""Cache simulation counters and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters collected by :func:`repro.cache.setassoc.simulate`.
+
+    All counters refer to the *measured* portion of a run (accesses
+    after the warm-up cutoff); the cache itself is warmed by the
+    preceding accesses.
+
+    Attributes
+    ----------
+    hits:
+        Requests served from the DRAM cache.
+    misses:
+        Requests that had to reach the SSD (includes bypasses).
+    bypasses:
+        Misses the admission policy chose *not* to cache (served
+        SSD -> host directly, Sec. 3.2).
+    bypassed_writes:
+        The subset of bypasses that were writes; these pay the SSD
+        *write* latency because the data goes straight to flash.
+    fills:
+        Misses that allocated a cache block.
+    evictions:
+        Fills that displaced a valid block.
+    dirty_evictions:
+        Evictions whose victim was dirty and required an SSD write-back
+        (the 975 us path of Sec. 5.3).
+    write_hits / write_misses:
+        The read/write split of hits and misses, needed by the latency
+        model (SSD writes are ~12x slower than reads).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    bypassed_writes: int = 0
+    fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total measured requests."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses over accesses (0.0 for an empty run)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over accesses (0.0 for an empty run)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def bypass_rate(self) -> float:
+        """Bypasses over misses (0.0 when there are no misses)."""
+        if self.misses == 0:
+            return 0.0
+        return self.bypasses / self.misses
+
+    @property
+    def dirty_eviction_rate(self) -> float:
+        """Dirty evictions per miss (drives the write-back penalty)."""
+        if self.misses == 0:
+            return 0.0
+        return self.dirty_evictions / self.misses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Sum two counter sets (e.g. across trace shards)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            bypasses=self.bypasses + other.bypasses,
+            bypassed_writes=self.bypassed_writes + other.bypassed_writes,
+            fills=self.fills + other.fills,
+            evictions=self.evictions + other.evictions,
+            dirty_evictions=self.dirty_evictions + other.dirty_evictions,
+            write_hits=self.write_hits + other.write_hits,
+            write_misses=self.write_misses + other.write_misses,
+        )
+
+    def as_dict(self) -> dict:
+        """Flat dict of all counters plus derived rates."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "bypassed_writes": self.bypassed_writes,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+            "write_hits": self.write_hits,
+            "write_misses": self.write_misses,
+            "miss_rate": self.miss_rate,
+            "hit_rate": self.hit_rate,
+            "bypass_rate": self.bypass_rate,
+            "dirty_eviction_rate": self.dirty_eviction_rate,
+        }

@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Four subcommands cover the common entry points without writing any
+Python::
+
+    python -m repro.cli generate-trace dlrm -n 100000 -o dlrm.npz
+    python -m repro.cli run memtier --trace-length 120000
+    python -m repro.cli suite --workloads memtier stream
+    python -m repro.cli hardware-report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import render_dict_table, render_table
+from repro.core.config import GmmEngineConfig, IcgmmConfig
+from repro.core.experiment import run_suite
+from repro.core.system import IcgmmSystem
+from repro.hardware import (
+    FpgaSpec,
+    GmmEngineTiming,
+    LstmEngineTiming,
+    engine_speedup,
+    estimate_gmm_engine,
+    estimate_icgmm_system,
+    estimate_lstm_engine,
+)
+from repro.traces.io import save_trace_csv, save_trace_npz
+from repro.traces.workloads import WORKLOAD_NAMES, get_workload
+
+
+def _add_generate_trace(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate-trace",
+        help="generate a synthetic workload trace to a file",
+    )
+    parser.add_argument("workload", choices=WORKLOAD_NAMES)
+    parser.add_argument(
+        "-n", "--length", type=int, default=100_000,
+        help="number of requests",
+    )
+    parser.add_argument(
+        "-o", "--output", required=True,
+        help="output path (.csv or .npz)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_run(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "run", help="run the ICGMM pipeline on one workload"
+    )
+    parser.add_argument("workload", choices=WORKLOAD_NAMES)
+    parser.add_argument("--trace-length", type=int, default=None)
+    parser.add_argument("--components", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_suite(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "suite", help="run the Fig. 6 / Table 1 evaluation suite"
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=WORKLOAD_NAMES,
+        default=list(WORKLOAD_NAMES),
+    )
+    parser.add_argument("--trace-length", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_hardware_report(subparsers) -> None:
+    subparsers.add_parser(
+        "hardware-report",
+        help="print the Table 2 / Sec. 5.1 hardware estimates",
+    )
+
+
+def _cmd_generate_trace(args) -> int:
+    generator = get_workload(args.workload, scale=args.scale)
+    rng = np.random.default_rng(args.seed)
+    trace = generator.generate(args.length, rng)
+    if args.output.endswith(".csv"):
+        save_trace_csv(trace, args.output)
+    elif args.output.endswith(".npz"):
+        save_trace_npz(trace, args.output)
+    else:
+        print("error: output must end in .csv or .npz", file=sys.stderr)
+        return 2
+    print(
+        f"wrote {len(trace)} requests"
+        f" ({trace.unique_page_count()} pages,"
+        f" {trace.write_fraction():.1%} writes) to {args.output}"
+    )
+    return 0
+
+
+def _config_from_args(args) -> IcgmmConfig:
+    kwargs = {"seed": args.seed}
+    if args.trace_length is not None:
+        kwargs["trace_length"] = args.trace_length
+    if getattr(args, "components", None) is not None:
+        kwargs["gmm"] = GmmEngineConfig(n_components=args.components)
+    return IcgmmConfig(**kwargs)
+
+
+def _cmd_run(args) -> int:
+    system = IcgmmSystem(_config_from_args(args))
+    result = system.run_benchmark(args.workload)
+    rows = [
+        [
+            outcome.strategy,
+            outcome.miss_rate_percent,
+            outcome.average_time_us,
+        ]
+        for outcome in result.outcomes.values()
+    ]
+    print(
+        render_table(
+            ["strategy", "miss rate %", "avg access us"], rows
+        )
+    )
+    print(
+        f"best: {result.best_gmm.strategy}"
+        f" (-{result.miss_reduction_points:.2f} pts,"
+        f" -{result.time_reduction_percent:.1f}% time)"
+    )
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    suite = run_suite(
+        workloads=tuple(args.workloads),
+        config=_config_from_args(args),
+    )
+    print(render_dict_table(suite.fig6_rows()))
+    print()
+    print(render_dict_table(suite.table1_rows()))
+    return 0
+
+
+def _cmd_hardware_report(_args) -> int:
+    fpga = FpgaSpec()
+    gmm = estimate_gmm_engine()
+    lstm = estimate_lstm_engine()
+    gmm_timing = GmmEngineTiming()
+    lstm_timing = LstmEngineTiming()
+    print(
+        render_table(
+            ["engine", "BRAM", "DSP", "LUT", "FF", "latency"],
+            [
+                ["LSTM", lstm.bram, lstm.dsp, lstm.lut, lstm.ff,
+                 f"{lstm_timing.latency_us(fpga) / 1000:.1f} ms"],
+                ["GMM", gmm.bram, gmm.dsp, gmm.lut, gmm.ff,
+                 f"{gmm_timing.latency_us(fpga):.1f} us"],
+            ],
+        )
+    )
+    system = estimate_icgmm_system()
+    utilization = system.utilization(fpga)
+    print(
+        f"system: {system.bram} BRAM ({utilization['bram']:.0%}),"
+        f" {system.dsp} DSP ({utilization['dsp']:.0%});"
+        f" speedup"
+        f" {engine_speedup(lstm_timing, gmm_timing, fpga):,.0f}x"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate-trace": _cmd_generate_trace,
+    "run": _cmd_run,
+    "suite": _cmd_suite,
+    "hardware-report": _cmd_hardware_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ICGMM reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate_trace(subparsers)
+    _add_run(subparsers)
+    _add_suite(subparsers)
+    _add_hardware_report(subparsers)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

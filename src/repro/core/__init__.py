@@ -1,0 +1,34 @@
+"""ICGMM core: the paper's contribution assembled end to end."""
+
+from repro.core.config import (
+    STRATEGIES,
+    GmmEngineConfig,
+    IcgmmConfig,
+)
+from repro.core.engine import FeatureScaler, GmmPolicyEngine
+from repro.core.experiment import run_suite
+from repro.core.policy import build_policy, strategy_uses_scores
+from repro.core.results import (
+    GMM_STRATEGIES,
+    BenchmarkResult,
+    StrategyOutcome,
+    SuiteResult,
+)
+from repro.core.system import IcgmmSystem, PreparedWorkload
+
+__all__ = [
+    "BenchmarkResult",
+    "FeatureScaler",
+    "GMM_STRATEGIES",
+    "GmmEngineConfig",
+    "GmmPolicyEngine",
+    "IcgmmConfig",
+    "IcgmmSystem",
+    "PreparedWorkload",
+    "STRATEGIES",
+    "StrategyOutcome",
+    "SuiteResult",
+    "build_policy",
+    "run_suite",
+    "strategy_uses_scores",
+]

@@ -1,0 +1,174 @@
+"""The LSTM policy engine: the paper's learned baseline, executable.
+
+Sec. 5.3 compares the GMM engine against an LSTM trained "on the same
+traces ... using the same inputs".  This module makes that comparison
+runnable end to end: the LSTM consumes sliding windows of the
+standardised (P, T) features and regresses the *future access
+frequency* of the window's final page -- the same quantity the GMM
+approximates with its density -- and the resulting scores drive the
+identical score-based cache policy.
+
+The paper reports the lightweight LSTM "is hard to converge ...
+because it is unable to encode extensive temporal information in long
+traces"; the bench built on this module
+(``benchmarks/bench_ablation_lstm_policy.py``) reproduces that finding
+quantitatively: far higher training cost for equal-or-worse policy
+quality at this size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import FeatureScaler
+from repro.lstm.network import LstmNetwork
+from repro.lstm.training import LstmTrainer, make_sequences
+
+
+@dataclass(frozen=True)
+class LstmEngineConfig:
+    """Training/inference parameters of the LSTM baseline engine.
+
+    The paper's FPGA baseline is 3 x 128 hidden with sequence length
+    32; the executable default is smaller because numpy BPTT at the
+    full size is impractically slow -- which is itself the Sec. 5.3
+    story told in software.
+    """
+
+    hidden_size: int = 32
+    n_layers: int = 2
+    sequence_length: int = 16
+    epochs: int = 3
+    batch_size: int = 128
+    learning_rate: float = 3e-3
+    max_train_sequences: int = 8_000
+    inference_batch: int = 4_096
+
+    def __post_init__(self) -> None:
+        if min(
+            self.hidden_size,
+            self.n_layers,
+            self.sequence_length,
+            self.epochs,
+            self.batch_size,
+            self.max_train_sequences,
+            self.inference_batch,
+        ) < 1:
+            raise ValueError("all LSTM engine parameters must be >= 1")
+
+
+def frequency_targets(page_indices: np.ndarray) -> np.ndarray:
+    """Per-request regression target: log1p of the page's total count.
+
+    The policy needs *relative* future access frequency; the log
+    compresses the Zipf head so the MSE loss is not dominated by the
+    few hottest pages.
+    """
+    page_indices = np.asarray(page_indices)
+    _, inverse, counts = np.unique(
+        page_indices, return_inverse=True, return_counts=True
+    )
+    return np.log1p(counts[inverse].astype(np.float64))
+
+
+class LstmPolicyEngine:
+    """Trained LSTM scorer with the same interface role as the GMM.
+
+    Build with :meth:`train`; :meth:`score` then maps a feature stream
+    to per-request scores (windows shorter than ``sequence_length`` at
+    the stream head reuse the first full window's score).
+    """
+
+    def __init__(
+        self,
+        network: LstmNetwork,
+        scaler: FeatureScaler,
+        config: LstmEngineConfig,
+        final_training_loss: float,
+    ) -> None:
+        self.network = network
+        self.scaler = scaler
+        self.config = config
+        self.final_training_loss = final_training_loss
+
+    @classmethod
+    def train(
+        cls,
+        features: np.ndarray,
+        page_indices: np.ndarray,
+        config: LstmEngineConfig,
+        rng: np.random.Generator,
+    ) -> "LstmPolicyEngine":
+        """Fit the engine on a training slice of the processed trace."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != 2:
+            raise ValueError("features must have shape (N, 2)")
+        if features.shape[0] <= config.sequence_length:
+            raise ValueError(
+                "need more features than sequence_length"
+            )
+        scaler = FeatureScaler.fit(features)
+        scaled = scaler.transform(features)
+        targets = frequency_targets(page_indices)
+        sequences, sequence_targets = make_sequences(
+            scaled, targets, config.sequence_length
+        )
+        if sequences.shape[0] > config.max_train_sequences:
+            index = rng.choice(
+                sequences.shape[0],
+                size=config.max_train_sequences,
+                replace=False,
+            )
+            sequences = sequences[index]
+            sequence_targets = sequence_targets[index]
+        network = LstmNetwork(
+            input_size=2,
+            hidden_size=config.hidden_size,
+            n_layers=config.n_layers,
+            rng=rng,
+        )
+        trainer = LstmTrainer(
+            network, learning_rate=config.learning_rate
+        )
+        history = trainer.fit(
+            sequences,
+            sequence_targets,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            rng=rng,
+        )
+        return cls(
+            network=network,
+            scaler=scaler,
+            config=config,
+            final_training_loss=history.final_loss,
+        )
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        """Per-request scores over the full stream, shape ``(N,)``.
+
+        Every request is scored from the window of the
+        ``sequence_length`` features ending at it, in batched forward
+        passes.  This is the cost Table 2 prices: one full LSTM
+        inference per decision.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        scaled = self.scaler.transform(features)
+        length = self.config.sequence_length
+        n = scaled.shape[0]
+        if n < length:
+            raise ValueError("stream shorter than sequence_length")
+        windows = (
+            np.arange(n - length + 1)[:, None] + np.arange(length)
+        )
+        scores = np.empty(n - length + 1, dtype=np.float64)
+        step = self.config.inference_batch
+        for start in range(0, windows.shape[0], step):
+            batch = scaled[windows[start : start + step]]
+            scores[start : start + step] = self.network.predict(batch)
+        # The first (length - 1) requests have no full window; reuse
+        # the first full window's score for them.
+        head = np.full(length - 1, scores[0])
+        return np.concatenate([head, scores])

@@ -1,0 +1,126 @@
+"""Result containers for the evaluation experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.stats import CacheStats
+from repro.hardware.latency import reduction_percent
+
+#: GMM strategy names in Fig. 6 presentation order.
+GMM_STRATEGIES = (
+    "gmm-caching",
+    "gmm-eviction",
+    "gmm-caching-eviction",
+)
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """One (workload, strategy) simulation outcome.
+
+    Attributes
+    ----------
+    strategy:
+        Strategy name (``lru`` or one of :data:`GMM_STRATEGIES`).
+    stats:
+        Cache counters over the measured region.
+    average_time_us:
+        Average SSD access time under the Table 1 latency model.
+    """
+
+    strategy: str
+    stats: CacheStats
+    average_time_us: float
+
+    @property
+    def miss_rate_percent(self) -> float:
+        """Miss rate in percent (the Fig. 6 axis)."""
+        return 100.0 * self.stats.miss_rate
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """All strategy outcomes for one workload.
+
+    The paper's headline comparisons derive from here: Fig. 6 picks
+    the GMM strategy with the lowest miss rate per workload; Table 1
+    compares its access time against LRU's.
+    """
+
+    workload: str
+    outcomes: dict[str, StrategyOutcome] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if "lru" not in self.outcomes:
+            raise ValueError("outcomes must include the LRU baseline")
+
+    @property
+    def lru(self) -> StrategyOutcome:
+        """The LRU baseline outcome."""
+        return self.outcomes["lru"]
+
+    @property
+    def best_gmm(self) -> StrategyOutcome:
+        """The GMM strategy with the lowest miss rate (Fig. 6's pick)."""
+        candidates = [
+            self.outcomes[name]
+            for name in GMM_STRATEGIES
+            if name in self.outcomes
+        ]
+        if not candidates:
+            raise ValueError("no GMM strategy outcomes present")
+        return min(candidates, key=lambda o: o.stats.miss_rate)
+
+    @property
+    def miss_reduction_points(self) -> float:
+        """Absolute miss-rate reduction in percentage points (Fig. 6)."""
+        return (
+            self.lru.miss_rate_percent - self.best_gmm.miss_rate_percent
+        )
+
+    @property
+    def time_reduction_percent(self) -> float:
+        """Relative access-time reduction in percent (Table 1)."""
+        return reduction_percent(
+            self.lru.average_time_us, self.best_gmm.average_time_us
+        )
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Benchmark results across workloads (the full evaluation)."""
+
+    results: dict[str, BenchmarkResult]
+
+    def __getitem__(self, workload: str) -> BenchmarkResult:
+        return self.results[workload]
+
+    def __iter__(self):
+        return iter(self.results.values())
+
+    def fig6_rows(self) -> list[dict]:
+        """Fig. 6 data: per-workload miss rates of all strategies."""
+        rows = []
+        for result in self.results.values():
+            row = {"workload": result.workload}
+            for name, outcome in result.outcomes.items():
+                row[name] = outcome.miss_rate_percent
+            row["best_gmm"] = result.best_gmm.strategy
+            row["reduction_points"] = result.miss_reduction_points
+            rows.append(row)
+        return rows
+
+    def table1_rows(self) -> list[dict]:
+        """Table 1 data: average access time, LRU vs best GMM."""
+        rows = []
+        for result in self.results.values():
+            rows.append(
+                {
+                    "workload": result.workload,
+                    "lru_us": result.lru.average_time_us,
+                    "gmm_us": result.best_gmm.average_time_us,
+                    "reduction_percent": result.time_reduction_percent,
+                }
+            )
+        return rows

@@ -1,0 +1,29 @@
+"""CXL memory-expansion substrate (Fig. 1's system context)."""
+
+from repro.cxl.address_space import (
+    AddressRange,
+    UnifiedAddressSpace,
+)
+from repro.cxl.device import (
+    DEVICE_DRAM_HIT_NS,
+    CxlMemoryDevice,
+    DeviceAccessResult,
+)
+from repro.cxl.link import CxlLinkSpec
+from repro.cxl.router import (
+    HOST_DRAM_LATENCY_NS,
+    CxlSystem,
+    RoutedRunResult,
+)
+
+__all__ = [
+    "AddressRange",
+    "CxlLinkSpec",
+    "CxlMemoryDevice",
+    "CxlSystem",
+    "DEVICE_DRAM_HIT_NS",
+    "DeviceAccessResult",
+    "HOST_DRAM_LATENCY_NS",
+    "RoutedRunResult",
+    "UnifiedAddressSpace",
+]

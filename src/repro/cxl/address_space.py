@@ -1,0 +1,107 @@
+"""Unified host + device address space (Fig. 1).
+
+CXL.mem exposes the device's storage as a contiguous extension of the
+host physical address space: loads and stores below the expansion base
+go to host DRAM, everything above is backed by the CXL device (DRAM
+cache over SSD).  These classes model that split and the host-physical
+to device-local translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default host DRAM size in the modelled system (16 GiB).
+DEFAULT_HOST_BYTES = 16 << 30
+
+#: Default device (SSD-backed) expansion size (1 TiB).
+DEFAULT_DEVICE_BYTES = 1 << 40
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open physical address range ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("base must be >= 0")
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the range."""
+        return self.base + self.size
+
+    def __contains__(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def offset_of(self, address: int) -> int:
+        """Range-local offset of ``address``.
+
+        Raises
+        ------
+        ValueError
+            If the address is outside this range.
+        """
+        if address not in self:
+            raise ValueError(
+                f"address {address:#x} outside"
+                f" [{self.base:#x}, {self.end:#x})"
+            )
+        return address - self.base
+
+
+class UnifiedAddressSpace:
+    """Host DRAM plus CXL-expanded device memory in one space.
+
+    Parameters
+    ----------
+    host_bytes:
+        Size of native host DRAM; it occupies ``[0, host_bytes)``.
+    device_bytes:
+        Size of the CXL device's exposed memory; it occupies
+        ``[host_bytes, host_bytes + device_bytes)``.
+    """
+
+    def __init__(
+        self,
+        host_bytes: int = DEFAULT_HOST_BYTES,
+        device_bytes: int = DEFAULT_DEVICE_BYTES,
+    ) -> None:
+        self.host_range = AddressRange(0, host_bytes)
+        self.device_range = AddressRange(host_bytes, device_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total unified capacity."""
+        return self.host_range.size + self.device_range.size
+
+    def is_device_address(self, address: int) -> bool:
+        """Whether ``address`` is backed by the CXL device."""
+        return address in self.device_range
+
+    def is_host_address(self, address: int) -> bool:
+        """Whether ``address`` is native host DRAM."""
+        return address in self.host_range
+
+    def to_device_offset(self, address: int) -> int:
+        """Translate a host-physical address to a device-local offset."""
+        return self.device_range.offset_of(address)
+
+    def to_host_physical(self, device_offset: int) -> int:
+        """Translate a device-local offset back to host-physical."""
+        if not 0 <= device_offset < self.device_range.size:
+            raise ValueError(
+                f"device offset {device_offset:#x} out of range"
+            )
+        return self.device_range.base + device_offset
+
+    def __repr__(self) -> str:
+        return (
+            f"UnifiedAddressSpace(host={self.host_range.size >> 30} GiB,"
+            f" device={self.device_range.size >> 30} GiB)"
+        )

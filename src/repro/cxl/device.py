@@ -1,0 +1,131 @@
+"""The CXL memory-expansion device: DRAM cache over SSD.
+
+This is the device half of Fig. 1: an SSD (~TB) exposed through
+CXL.mem, fronted by the device-DRAM cache that ICGMM manages.  The
+class wraps the cache substrate into a stateful per-request interface
+returning service latencies, which the router composes with the link
+model into end-to-end access times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.hardware.ssd import SsdLatencyEmulator
+
+#: Device DRAM service time for a cache hit (Sec. 5.3: 1 us).
+DEVICE_DRAM_HIT_NS = 1_000
+
+
+@dataclass(frozen=True)
+class DeviceAccessResult:
+    """Outcome of one device access.
+
+    Attributes
+    ----------
+    latency_ns:
+        Device-internal service time (excluding the CXL link).
+    hit:
+        Whether the DRAM cache served the request.
+    bypassed:
+        Whether an admission policy refused to cache the missing page.
+    """
+
+    latency_ns: int
+    hit: bool
+    bypassed: bool
+
+
+class CxlMemoryDevice:
+    """SSD-backed memory expansion device with a managed DRAM cache.
+
+    Parameters
+    ----------
+    cache:
+        The device DRAM cache tag store.
+    policy:
+        The ICGMM (or baseline) cache policy.
+    ssd:
+        SSD latency emulator backing the cache.
+    hit_latency_ns:
+        DRAM cache service time on a hit.
+    """
+
+    def __init__(
+        self,
+        cache: SetAssociativeCache,
+        policy: ReplacementPolicy,
+        ssd: SsdLatencyEmulator | None = None,
+        hit_latency_ns: int = DEVICE_DRAM_HIT_NS,
+    ) -> None:
+        if hit_latency_ns <= 0:
+            raise ValueError("hit_latency_ns must be positive")
+        self.cache = cache
+        self.policy = policy
+        self.ssd = ssd if ssd is not None else SsdLatencyEmulator()
+        self.hit_latency_ns = hit_latency_ns
+        self.stats = CacheStats()
+        self._access_index = 0
+
+    def access(
+        self, page: int, is_write: bool, score: float = 0.0
+    ) -> DeviceAccessResult:
+        """Serve one 4 KB page request; returns internal latency.
+
+        Follows the Sec. 3.2 flow exactly: hit -> DRAM; miss -> SSD
+        read plus (admission permitting) a fill with possible dirty
+        write-back; bypassed writes program flash directly.
+        """
+        index = self._access_index
+        self._access_index += 1
+        set_index, way = self.cache.lookup(page)
+
+        if way is not None:
+            self.policy.on_hit(self.cache, set_index, way, index, score)
+            if is_write:
+                self.cache.dirty[set_index][way] = True
+            self.stats.hits += 1
+            if is_write:
+                self.stats.write_hits += 1
+            return DeviceAccessResult(
+                latency_ns=self.hit_latency_ns, hit=True, bypassed=False
+            )
+
+        self.stats.misses += 1
+        if is_write:
+            self.stats.write_misses += 1
+        latency = self.ssd.read_latency_ns()
+
+        if not self.policy.admit(page, score, is_write, index):
+            self.stats.bypasses += 1
+            if is_write:
+                self.stats.bypassed_writes += 1
+                latency += self.ssd.write_latency_ns()
+            return DeviceAccessResult(
+                latency_ns=latency, hit=False, bypassed=True
+            )
+
+        victim = self.cache.find_invalid_way(set_index)
+        if victim is None:
+            victim = self.policy.select_victim(
+                self.cache, set_index, index
+            )
+            self.stats.evictions += 1
+            if self.cache.dirty[set_index][victim]:
+                self.stats.dirty_evictions += 1
+                latency += self.ssd.write_latency_ns()
+        self.stats.fills += 1
+        self.cache.fill(
+            set_index,
+            victim,
+            page,
+            is_write,
+            self.policy.fill_meta(page, score, index),
+            float(index),
+        )
+        return DeviceAccessResult(
+            latency_ns=latency, hit=False, bypassed=False
+        )

@@ -1,0 +1,48 @@
+"""CXL link latency/bandwidth model.
+
+CXL runs over PCIe physical lanes; a CXL.mem round trip adds a
+protocol overhead on the order of 100-200 ns on top of the device's
+internal service time, and the link's bandwidth bounds bulk transfers
+(a 4 KB page fill moves over the same lanes).  Constants default to a
+x8 Gen5 link, consistent with published CXL latency measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CxlLinkSpec:
+    """Latency and bandwidth of one CXL.mem link.
+
+    Attributes
+    ----------
+    round_trip_overhead_ns:
+        Protocol + flit packing overhead per request (both directions
+        combined).
+    bandwidth_gb_s:
+        Usable link bandwidth in GB/s.
+    """
+
+    name: str = "cxl-gen5-x8"
+    round_trip_overhead_ns: int = 150
+    bandwidth_gb_s: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.round_trip_overhead_ns < 0:
+            raise ValueError("round_trip_overhead_ns must be >= 0")
+        if self.bandwidth_gb_s <= 0:
+            raise ValueError("bandwidth_gb_s must be positive")
+
+    def transfer_ns(self, n_bytes: int) -> int:
+        """Serialisation time of ``n_bytes`` over the link."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        return int(round(n_bytes / self.bandwidth_gb_s))
+
+    def request_latency_ns(self, payload_bytes: int) -> int:
+        """Round-trip latency for a request moving ``payload_bytes``."""
+        return self.round_trip_overhead_ns + self.transfer_ns(
+            payload_bytes
+        )

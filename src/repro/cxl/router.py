@@ -1,0 +1,142 @@
+"""Host-side request routing over the unified address space.
+
+The host issues loads/stores against one flat physical space; the
+router sends each to native DRAM or across the CXL link to the
+expansion device, and accumulates the end-to-end latency statistics a
+system architect would look at when sizing the expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cxl.address_space import UnifiedAddressSpace
+from repro.cxl.device import CxlMemoryDevice
+from repro.cxl.link import CxlLinkSpec
+from repro.traces.record import CACHE_LINE_SIZE, PAGE_SHIFT, MemoryTrace
+
+#: Native host DRAM access time (typical DDR round trip).
+HOST_DRAM_LATENCY_NS = 80
+
+
+@dataclass(frozen=True)
+class RoutedRunResult:
+    """Aggregate outcome of routing a trace.
+
+    Attributes
+    ----------
+    host_accesses / device_accesses:
+        Requests served by native DRAM vs the CXL device.
+    host_time_ns / device_time_ns:
+        Total service time on each side (device time includes the
+        link).
+    """
+
+    host_accesses: int
+    device_accesses: int
+    host_time_ns: int
+    device_time_ns: int
+
+    @property
+    def total_accesses(self) -> int:
+        """All routed requests."""
+        return self.host_accesses + self.device_accesses
+
+    @property
+    def average_latency_ns(self) -> float:
+        """Mean end-to-end latency over all requests."""
+        if self.total_accesses == 0:
+            return 0.0
+        return (
+            self.host_time_ns + self.device_time_ns
+        ) / self.total_accesses
+
+    @property
+    def average_device_latency_us(self) -> float:
+        """Mean latency of device-routed requests, in microseconds."""
+        if self.device_accesses == 0:
+            return 0.0
+        return self.device_time_ns / self.device_accesses / 1_000.0
+
+
+class CxlSystem:
+    """A host with one CXL memory-expansion device.
+
+    Parameters
+    ----------
+    address_space:
+        The unified host + device layout.
+    device:
+        The expansion device (DRAM cache over SSD).
+    link:
+        CXL link model between host and device.
+    host_latency_ns:
+        Native DRAM access time.
+    """
+
+    def __init__(
+        self,
+        address_space: UnifiedAddressSpace,
+        device: CxlMemoryDevice,
+        link: CxlLinkSpec | None = None,
+        host_latency_ns: int = HOST_DRAM_LATENCY_NS,
+    ) -> None:
+        if host_latency_ns <= 0:
+            raise ValueError("host_latency_ns must be positive")
+        self.address_space = address_space
+        self.device = device
+        self.link = link if link is not None else CxlLinkSpec()
+        self.host_latency_ns = host_latency_ns
+
+    def access(
+        self, address: int, is_write: bool, score: float = 0.0
+    ) -> int:
+        """Serve one host request; returns end-to-end latency in ns."""
+        if self.address_space.is_host_address(address):
+            return self.host_latency_ns
+        offset = self.address_space.to_device_offset(address)
+        page = offset >> PAGE_SHIFT
+        result = self.device.access(page, is_write, score)
+        # The host moves one cache line over the link per request.
+        link_ns = self.link.request_latency_ns(CACHE_LINE_SIZE)
+        return link_ns + result.latency_ns
+
+    def run_trace(
+        self,
+        trace: MemoryTrace,
+        scores: np.ndarray | None = None,
+    ) -> RoutedRunResult:
+        """Route every request of a trace; returns aggregate stats.
+
+        ``trace`` addresses are interpreted in the unified space;
+        ``scores`` (optional) feed the device's cache policy.
+        """
+        if scores is None:
+            scores = np.zeros(len(trace))
+        else:
+            scores = np.asarray(scores, dtype=np.float64)
+            if scores.shape[0] != len(trace):
+                raise ValueError("scores must align with the trace")
+        host_accesses = 0
+        device_accesses = 0
+        host_time = 0
+        device_time = 0
+        addresses = trace.addresses
+        writes = trace.is_write
+        for i in range(len(trace)):
+            address = int(addresses[i])
+            latency = self.access(address, bool(writes[i]), float(scores[i]))
+            if self.address_space.is_host_address(address):
+                host_accesses += 1
+                host_time += latency
+            else:
+                device_accesses += 1
+                device_time += latency
+        return RoutedRunResult(
+            host_accesses=host_accesses,
+            device_accesses=device_accesses,
+            host_time_ns=host_time,
+            device_time_ns=device_time,
+        )

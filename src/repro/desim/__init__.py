@@ -1,0 +1,27 @@
+"""Discrete-event simulation of the Fig. 5 dataflow architecture."""
+
+from repro.desim.dataflow import DataflowResult, IcgmmDataflow
+from repro.desim.kernels import (
+    SHUTDOWN,
+    DataflowTiming,
+    cache_control_kernel,
+    gmm_policy_kernel,
+    host_request_source,
+)
+from repro.desim.sim import Delay, Fifo, Get, Process, Put, Simulator
+
+__all__ = [
+    "DataflowResult",
+    "DataflowTiming",
+    "Delay",
+    "Fifo",
+    "Get",
+    "IcgmmDataflow",
+    "Process",
+    "Put",
+    "SHUTDOWN",
+    "Simulator",
+    "cache_control_kernel",
+    "gmm_policy_kernel",
+    "host_request_source",
+]

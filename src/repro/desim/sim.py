@@ -1,0 +1,205 @@
+"""A small discrete-event simulation kernel.
+
+The ICGMM hardware is a *dataflow* design: independent free-running
+kernels connected by FIFOs, with data-driven control (Sec. 4.3).  This
+module provides the event loop and process model used to simulate that
+architecture at nanosecond resolution.
+
+Processes are Python generators that yield *commands*:
+
+* ``Delay(ns)`` -- suspend for a fixed simulated time.
+* ``Get(fifo)`` -- pop the next item (blocking while empty); the item
+  is delivered as the value of the ``yield`` expression.
+* ``Put(fifo, item)`` -- push an item (blocking while full).
+
+The scheduler is deterministic: events at equal times fire in the
+order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Suspend the yielding process for ``ns`` nanoseconds."""
+
+    ns: int
+
+    def __post_init__(self) -> None:
+        if self.ns < 0:
+            raise ValueError("delay must be >= 0")
+
+
+@dataclass(frozen=True)
+class Get:
+    """Pop the next item from ``fifo`` (blocks while empty)."""
+
+    fifo: "Fifo"
+
+
+@dataclass(frozen=True)
+class Put:
+    """Push ``item`` into ``fifo`` (blocks while full)."""
+
+    fifo: "Fifo"
+    item: Any
+
+
+class Process:
+    """A running coroutine inside the simulator."""
+
+    def __init__(self, generator: Generator, name: str = "") -> None:
+        self.generator = generator
+        self.name = name or repr(generator)
+        self.finished = False
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished else "running"
+        return f"Process({self.name}, {state})"
+
+
+class Simulator:
+    """Deterministic event-driven scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._sequence = 0
+        self._events: list[tuple[int, int, Callable[[], None]]] = []
+        self._processes: list[Process] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ns: int, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay_ns`` simulated nanoseconds."""
+        if delay_ns < 0:
+            raise ValueError("delay_ns must be >= 0")
+        self._sequence += 1
+        heapq.heappush(
+            self._events, (self.now + delay_ns, self._sequence, action)
+        )
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a coroutine and start it immediately."""
+        proc = Process(generator, name)
+        self._processes.append(proc)
+        self.schedule(0, lambda: self._step(proc, None))
+        return proc
+
+    # ------------------------------------------------------------------
+    # Process driving
+    # ------------------------------------------------------------------
+    def _step(self, proc: Process, value: Any) -> None:
+        """Advance ``proc`` by one yielded command."""
+        if proc.finished:
+            return
+        try:
+            command = proc.generator.send(value)
+        except StopIteration:
+            proc.finished = True
+            return
+        if isinstance(command, Delay):
+            self.schedule(command.ns, lambda: self._step(proc, None))
+        elif isinstance(command, Get):
+            command.fifo._enqueue_get(proc)
+        elif isinstance(command, Put):
+            command.fifo._enqueue_put(proc, command.item)
+        else:
+            raise TypeError(
+                f"process {proc.name} yielded unknown command"
+                f" {command!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(self, until_ns: int | None = None) -> int:
+        """Drain events (optionally stopping at ``until_ns``).
+
+        Returns the simulated time reached.  A dataflow with
+        free-running kernels parked on empty FIFOs drains cleanly:
+        parked processes hold no events, so the loop terminates once
+        all *actionable* work is done.
+        """
+        while self._events:
+            time, _, action = self._events[0]
+            if until_ns is not None and time > until_ns:
+                self.now = until_ns
+                return self.now
+            heapq.heappop(self._events)
+            self.now = time
+            action()
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled events (parked processes excluded)."""
+        return len(self._events)
+
+
+class Fifo:
+    """Bounded FIFO channel between processes (Fig. 5 interfaces)."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: list[Any] = []
+        self._waiting_getters: list[Process] = []
+        self._waiting_putters: list[tuple[Process, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether a put would block right now."""
+        return len(self._items) >= self.capacity
+
+    def get(self) -> Get:
+        """Yieldable get command."""
+        return Get(self)
+
+    def put(self, item: Any) -> Put:
+        """Yieldable put command."""
+        return Put(self, item)
+
+    # ------------------------------------------------------------------
+    # Scheduler-side plumbing
+    # ------------------------------------------------------------------
+    def _enqueue_get(self, proc: Process) -> None:
+        if self._items:
+            item = self._items.pop(0)
+            self._admit_waiting_putter()
+            self.sim.schedule(0, lambda: self.sim._step(proc, item))
+        else:
+            self._waiting_getters.append(proc)
+
+    def _enqueue_put(self, proc: Process, item: Any) -> None:
+        if self._waiting_getters:
+            getter = self._waiting_getters.pop(0)
+            self.sim.schedule(0, lambda: self.sim._step(getter, item))
+            self.sim.schedule(0, lambda: self.sim._step(proc, None))
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            self.sim.schedule(0, lambda: self.sim._step(proc, None))
+        else:
+            self._waiting_putters.append((proc, item))
+
+    def _admit_waiting_putter(self) -> None:
+        if self._waiting_putters and len(self._items) < self.capacity:
+            putter, item = self._waiting_putters.pop(0)
+            self._items.append(item)
+            self.sim.schedule(0, lambda: self.sim._step(putter, None))
+
+
+def drain(iterator: Iterator) -> Generator:
+    """Adapt a plain iterator into a no-delay producer process body."""
+    for _ in iterator:
+        yield Delay(0)

@@ -1,0 +1,133 @@
+"""k-means clustering used to initialise EM.
+
+EM for mixtures is sensitive to initialisation; the standard recipe
+(k-means++ seeding followed by a few Lloyd iterations, then moments per
+cluster) is what we use to start the trainer in :mod:`repro.gmm.em`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes
+    ----------
+    centers:
+        Cluster centers, shape ``(K, D)``.
+    labels:
+        Index of the closest center per point, shape ``(N,)``.
+    inertia:
+        Sum of squared distances of points to their assigned center.
+    n_iter:
+        Number of Lloyd iterations executed.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+
+def _squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, shape ``(N, K)``."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, computed without the NxKxD
+    # intermediate that a broadcast subtraction would allocate.
+    x_sq = np.sum(points * points, axis=1)[:, None]
+    c_sq = np.sum(centers * centers, axis=1)[None, :]
+    cross = points @ centers.T
+    distances = x_sq - 2.0 * cross + c_sq
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def kmeans_plus_plus_init(
+    points: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Choose ``n_clusters`` seeds with the k-means++ D^2 weighting.
+
+    Parameters
+    ----------
+    points:
+        Data of shape ``(N, D)`` with ``N >= n_clusters``.
+    n_clusters:
+        Number of seeds to draw.
+    rng:
+        Source of randomness; passing the generator explicitly keeps
+        every experiment in the repository reproducible.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    if n < n_clusters:
+        raise ValueError(
+            f"need at least n_clusters={n_clusters} points, got {n}"
+        )
+    centers = np.empty((n_clusters, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centers[0] = points[first]
+    closest_sq = _squared_distances(points, centers[:1])[:, 0]
+    for i in range(1, n_clusters):
+        total = float(np.sum(closest_sq))
+        if total <= 0.0:
+            # All points coincide with chosen centers; fall back to
+            # uniform sampling so we still return K seeds.
+            idx = int(rng.integers(n))
+        else:
+            probabilities = closest_sq / total
+            idx = int(rng.choice(n, p=probabilities))
+        centers[i] = points[idx]
+        new_sq = _squared_distances(points, centers[i : i + 1])[:, 0]
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+    max_iter: int = 30,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Run k-means++ seeding followed by Lloyd iterations.
+
+    Empty clusters are re-seeded to the point currently farthest from
+    its assigned center, which keeps all ``K`` clusters alive -- EM
+    initialisation needs a moment estimate for every component.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centers = kmeans_plus_plus_init(points, n_clusters, rng)
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    inertia = np.inf
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        distances = _squared_distances(points, centers)
+        labels = np.argmin(distances, axis=1)
+        new_inertia = float(np.sum(distances[np.arange(len(labels)), labels]))
+        new_centers = np.empty_like(centers)
+        farthest = np.argsort(
+            -distances[np.arange(len(labels)), labels]
+        )
+        spare = 0
+        for j in range(n_clusters):
+            members = points[labels == j]
+            if len(members) == 0:
+                new_centers[j] = points[farthest[spare]]
+                spare += 1
+            else:
+                new_centers[j] = members.mean(axis=0)
+        shift = float(np.max(np.abs(new_centers - centers)))
+        centers = new_centers
+        converged = shift <= tol or abs(inertia - new_inertia) <= tol
+        inertia = new_inertia
+        if converged:
+            break
+    return KMeansResult(
+        centers=centers, labels=labels, inertia=inertia, n_iter=n_iter
+    )

@@ -1,0 +1,71 @@
+"""Persistence for trained mixtures.
+
+The FPGA flow trains the GMM offline and loads the parameters into an
+on-board weight buffer once before the kernel starts (Fig. 5).  These
+helpers are the software analogue: dump the (weights, means,
+covariances) triple to a dict or an ``.npz`` file and restore it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.gmm.model import GaussianMixture
+
+#: Schema version written into every blob, so stale files fail loudly.
+_FORMAT_VERSION = 1
+
+
+def gmm_to_dict(model: GaussianMixture) -> dict:
+    """Serialise a mixture to a plain dict of numpy arrays."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "weights": model.weights,
+        "means": model.means,
+        "covariances": model.covariances,
+    }
+
+
+def gmm_from_dict(blob: dict) -> GaussianMixture:
+    """Reconstruct a mixture from :func:`gmm_to_dict` output.
+
+    Raises
+    ------
+    ValueError
+        If the blob is missing keys or carries an unknown version.
+    """
+    version = int(blob.get("format_version", -1))
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported GMM blob version {version},"
+            f" expected {_FORMAT_VERSION}"
+        )
+    missing = {"weights", "means", "covariances"} - set(blob)
+    if missing:
+        raise ValueError(f"GMM blob missing keys: {sorted(missing)}")
+    return GaussianMixture(
+        weights=np.asarray(blob["weights"]),
+        means=np.asarray(blob["means"]),
+        covariances=np.asarray(blob["covariances"]),
+    )
+
+
+def save_gmm(model: GaussianMixture, path: str | Path) -> None:
+    """Write a mixture to an ``.npz`` file at ``path``."""
+    blob = gmm_to_dict(model)
+    np.savez(
+        Path(path),
+        format_version=np.asarray(blob["format_version"]),
+        weights=blob["weights"],
+        means=blob["means"],
+        covariances=blob["covariances"],
+    )
+
+
+def load_gmm(path: str | Path) -> GaussianMixture:
+    """Load a mixture previously written by :func:`save_gmm`."""
+    with np.load(Path(path)) as data:
+        blob = {key: data[key] for key in data.files}
+    return gmm_from_dict(blob)

@@ -1,0 +1,51 @@
+"""Hardware cost and latency substrate.
+
+Software models of everything the paper measures on the FPGA:
+SSD latency emulation (:mod:`repro.hardware.ssd`), the average
+access-time model behind Table 1 (:mod:`repro.hardware.latency`),
+engine timing at 233 MHz (:mod:`repro.hardware.fpga`) and the
+resource estimators behind Table 2 (:mod:`repro.hardware.resources`).
+"""
+
+from repro.hardware.fpga import (
+    FpgaSpec,
+    GmmEngineTiming,
+    LstmEngineTiming,
+    engine_speedup,
+)
+from repro.hardware.latency import LatencyModel, reduction_percent
+from repro.hardware.resources import (
+    ResourceEstimate,
+    estimate_cache_controller,
+    estimate_gmm_engine,
+    estimate_icgmm_system,
+    estimate_lstm_engine,
+    estimate_signal_controller,
+    lstm_parameter_count,
+)
+from repro.hardware.ssd import (
+    SSD_CATALOG,
+    SsdLatencyEmulator,
+    SsdSpec,
+    get_ssd_spec,
+)
+
+__all__ = [
+    "FpgaSpec",
+    "GmmEngineTiming",
+    "LatencyModel",
+    "LstmEngineTiming",
+    "ResourceEstimate",
+    "SSD_CATALOG",
+    "SsdLatencyEmulator",
+    "SsdSpec",
+    "engine_speedup",
+    "estimate_cache_controller",
+    "estimate_gmm_engine",
+    "estimate_icgmm_system",
+    "estimate_lstm_engine",
+    "estimate_signal_controller",
+    "get_ssd_spec",
+    "lstm_parameter_count",
+    "reduction_percent",
+]

@@ -1,0 +1,135 @@
+"""FPGA platform and engine timing models.
+
+The prototype runs on a Xilinx Alveo U50 at 233 MHz (Sec. 5.1).  The
+timing models here convert engine architecture parameters into
+per-inference latency; their calibration constants are chosen so the
+paper's two measured engines land on the reported numbers (GMM: 3 us;
+LSTM: 46.3 ms -- Table 2), and they extrapolate for the ablation
+sweeps (K, hidden size, clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaSpec:
+    """Capacity of an FPGA card.
+
+    Defaults describe the Alveo U50: 872 K LUTs, 1,743 K flip-flops,
+    1,344 BRAM36 blocks, 5,952 DSP slices.  The paper's utilisation
+    percentages (190 BRAM = 14%, 117 DSP = 2%) are consistent with
+    these totals.
+    """
+
+    name: str = "Alveo U50"
+    clock_mhz: float = 233.0
+    lut: int = 872_000
+    ff: int = 1_743_000
+    bram: int = 1_344
+    dsp: int = 5_952
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+
+    @property
+    def cycle_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1_000.0 / self.clock_mhz
+
+
+@dataclass(frozen=True)
+class GmmEngineTiming:
+    """Latency model of the pipelined GMM score engine (Sec. 4.1).
+
+    The engine streams one Gaussian evaluation group per ``ii`` cycles
+    through a deep arithmetic pipeline (subtract, quadratic form, exp
+    lookup, weighted accumulate via the shift register).
+
+    ``pipeline_depth`` and ``ii`` are calibrated so the paper's K=256
+    engine measures 3 us at 233 MHz: 187 + 256 x 2 = 699 cycles =
+    3.0 us.
+    """
+
+    n_components: int = 256
+    pipeline_depth: int = 187
+    ii: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        if self.pipeline_depth < 1 or self.ii < 1:
+            raise ValueError("pipeline_depth and ii must be >= 1")
+
+    @property
+    def cycles(self) -> int:
+        """Cycles per inference."""
+        return self.pipeline_depth + self.n_components * self.ii
+
+    def latency_us(self, fpga: FpgaSpec) -> float:
+        """Per-inference latency on ``fpga``, in microseconds."""
+        return self.cycles * fpga.cycle_ns / 1_000.0
+
+
+@dataclass(frozen=True)
+class LstmEngineTiming:
+    """Latency model of the LSTM baseline engine (Sec. 5.3).
+
+    The recurrent dependency chain (each timestep needs the previous
+    hidden state) plus single-port weight BRAMs serialise the
+    matrix-vector work to about one effective multiply-accumulate per
+    cycle, regardless of the DSP budget -- which is exactly why the
+    paper measures 46.3 ms despite 145 DSPs being available.
+    ``effective_macs_per_cycle`` is calibrated to that measurement
+    (10.52 M MACs / 46.3 ms at 233 MHz = 0.975).
+    """
+
+    input_size: int = 2
+    hidden_size: int = 128
+    n_layers: int = 3
+    sequence_length: int = 32
+    effective_macs_per_cycle: float = 0.975
+
+    def __post_init__(self) -> None:
+        if min(
+            self.input_size,
+            self.hidden_size,
+            self.n_layers,
+            self.sequence_length,
+        ) < 1:
+            raise ValueError("all dimensions must be >= 1")
+        if self.effective_macs_per_cycle <= 0:
+            raise ValueError("effective_macs_per_cycle must be positive")
+
+    @property
+    def macs_per_inference(self) -> int:
+        """Multiply-accumulates per scoring decision."""
+        first = 4 * self.hidden_size * (self.input_size + self.hidden_size)
+        rest = (self.n_layers - 1) * (
+            4 * self.hidden_size * (2 * self.hidden_size)
+        )
+        return self.sequence_length * (first + rest) + self.hidden_size
+
+    @property
+    def cycles(self) -> int:
+        """Cycles per inference."""
+        return int(
+            round(self.macs_per_inference / self.effective_macs_per_cycle)
+        )
+
+    def latency_us(self, fpga: FpgaSpec) -> float:
+        """Per-inference latency on ``fpga``, in microseconds."""
+        return self.cycles * fpga.cycle_ns / 1_000.0
+
+
+def engine_speedup(
+    lstm: LstmEngineTiming,
+    gmm: GmmEngineTiming,
+    fpga: FpgaSpec | None = None,
+) -> float:
+    """LSTM-to-GMM latency ratio (Table 2 reports >10,000x)."""
+    if fpga is None:
+        fpga = FpgaSpec()
+    return lstm.latency_us(fpga) / gmm.latency_us(fpga)

@@ -1,0 +1,109 @@
+"""Average memory access time model (Table 1).
+
+Sec. 5.3's measured constants:
+
+* DRAM cache hit: 1 us.
+* GMM inference: 3 us, fully overlapped with the SSD access by the
+  dataflow architecture, so it adds nothing to the miss path.
+* Cache miss: the SSD read (75 us for the TLC target); when the victim
+  block is dirty the write-back raises the total penalty to 975 us.
+
+Additional cases implied by the smart-caching flow of Sec. 3.2:
+
+* A bypassed read miss still pays the SSD read (the data is sent
+  SSD -> host directly).
+* A bypassed write miss pays the SSD *write* latency (the store goes
+  straight to flash instead of landing in the DRAM cache).
+* An admitted write miss performs a write-allocate: the 4 KB page is
+  read from the SSD (host stores are 64 B, the block is 4 KB), dirtied
+  in DRAM, and written back only on eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.stats import CacheStats
+from repro.hardware.ssd import SSD_CATALOG, SsdSpec
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """End-to-end average SSD access-time model.
+
+    Parameters
+    ----------
+    ssd:
+        Device latency profile (default: the paper's TLC target).
+    hit_latency_us:
+        DRAM cache hit service time (measured 1 us on the prototype).
+    policy_latency_us:
+        Cache policy engine inference latency (3 us for the GMM).
+    overlapped:
+        Whether the dataflow architecture hides the policy latency
+        under the SSD access (Sec. 4.3).  With ``False`` every miss
+        additionally pays ``policy_latency_us`` -- the configuration
+        the overlap ablation measures.
+    """
+
+    ssd: SsdSpec = SSD_CATALOG["tlc"]
+    hit_latency_us: float = 1.0
+    policy_latency_us: float = 3.0
+    overlapped: bool = True
+
+    def total_time_us(self, stats: CacheStats) -> float:
+        """Total service time of the measured requests, in us."""
+        read_us = self.ssd.read_latency_us
+        write_us = self.ssd.write_latency_us
+        # Misses that allocated (or would have been served by) a read.
+        bypassed_reads = stats.bypasses - stats.bypassed_writes
+        admitted_misses = stats.misses - stats.bypasses
+        total = stats.hits * self.hit_latency_us
+        # Every admitted miss reads the page from the SSD.
+        total += admitted_misses * read_us
+        # Dirty victims are written back to the SSD.
+        total += stats.dirty_evictions * write_us
+        # Bypassed traffic goes to the SSD directly.
+        total += bypassed_reads * read_us
+        total += stats.bypassed_writes * write_us
+        if not self.overlapped:
+            total += stats.misses * self.policy_latency_us
+        return total
+
+    def average_access_time_us(self, stats: CacheStats) -> float:
+        """Average access time over the measured requests (Table 1)."""
+        if stats.accesses == 0:
+            return 0.0
+        return self.total_time_us(stats) / stats.accesses
+
+    def breakdown_us(self, stats: CacheStats) -> dict[str, float]:
+        """Per-component average-time contributions (sums to AMAT)."""
+        if stats.accesses == 0:
+            return {}
+        n = stats.accesses
+        bypassed_reads = stats.bypasses - stats.bypassed_writes
+        admitted_misses = stats.misses - stats.bypasses
+        parts = {
+            "hit": stats.hits * self.hit_latency_us / n,
+            "miss_read": (
+                (admitted_misses + bypassed_reads)
+                * self.ssd.read_latency_us
+                / n
+            ),
+            "writeback": (
+                stats.dirty_evictions * self.ssd.write_latency_us / n
+            ),
+            "bypassed_write": (
+                stats.bypassed_writes * self.ssd.write_latency_us / n
+            ),
+        }
+        if not self.overlapped:
+            parts["policy"] = stats.misses * self.policy_latency_us / n
+        return parts
+
+
+def reduction_percent(baseline_us: float, improved_us: float) -> float:
+    """Relative reduction in percent, as Table 1 reports it."""
+    if baseline_us <= 0:
+        raise ValueError("baseline_us must be positive")
+    return 100.0 * (baseline_us - improved_us) / baseline_us

@@ -1,0 +1,127 @@
+"""SSD access-latency emulation.
+
+The paper's cache control engine embeds an "SSD access latency
+emulator" (Sec. 4.2) that pauses the dataflow for the device's response
+time on a miss; the evaluation targets a TLC device with 75 us average
+read and 900 us write latency (Sec. 5.1, citing OSTEP).  This module is
+the software version: a catalogue of device profiles and an emulator
+with optional latency jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Nanoseconds per microsecond; all internal times are integer ns.
+US = 1_000
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """Average access latencies of a storage device.
+
+    Attributes
+    ----------
+    name:
+        Device family label.
+    read_latency_us / write_latency_us:
+        Average page read/program latency in microseconds.
+    """
+
+    name: str
+    read_latency_us: float
+    write_latency_us: float
+
+    def __post_init__(self) -> None:
+        if self.read_latency_us <= 0 or self.write_latency_us <= 0:
+            raise ValueError("latencies must be positive")
+
+    @property
+    def read_latency_ns(self) -> int:
+        """Read latency in nanoseconds."""
+        return int(round(self.read_latency_us * US))
+
+    @property
+    def write_latency_ns(self) -> int:
+        """Write (program) latency in nanoseconds."""
+        return int(round(self.write_latency_us * US))
+
+
+#: Device profiles; ``tlc`` is the paper's evaluation target, the others
+#: bracket it for the device-sensitivity ablation (per-device averages
+#: in the ranges tabulated by OSTEP and vendor datasheets).
+SSD_CATALOG = {
+    "tlc": SsdSpec("tlc", read_latency_us=75.0, write_latency_us=900.0),
+    "slc": SsdSpec("slc", read_latency_us=25.0, write_latency_us=300.0),
+    "mlc": SsdSpec("mlc", read_latency_us=50.0, write_latency_us=600.0),
+    "qlc": SsdSpec("qlc", read_latency_us=140.0, write_latency_us=2200.0),
+    "optane": SsdSpec("optane", read_latency_us=10.0, write_latency_us=10.0),
+}
+
+
+def get_ssd_spec(name: str) -> SsdSpec:
+    """Look up a device profile by name."""
+    try:
+        return SSD_CATALOG[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SSD profile {name!r}; choose from"
+            f" {sorted(SSD_CATALOG)}"
+        ) from None
+
+
+class SsdLatencyEmulator:
+    """Per-request SSD latency source.
+
+    Parameters
+    ----------
+    spec:
+        Device profile (defaults to the paper's TLC target).
+    jitter:
+        Coefficient of variation of a lognormal multiplier applied per
+        request; 0 (default) reproduces the paper's fixed-duration
+        pause.
+    rng:
+        Required when ``jitter > 0``.
+    """
+
+    def __init__(
+        self,
+        spec: SsdSpec | None = None,
+        jitter: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self.spec = spec if spec is not None else SSD_CATALOG["tlc"]
+        self.jitter = float(jitter)
+        self._rng = rng
+        if jitter > 0:
+            # Lognormal with unit mean and the requested CV.
+            self._sigma = np.sqrt(np.log(1.0 + jitter**2))
+            self._mu = -0.5 * self._sigma**2
+
+    def _scale(self) -> float:
+        if self.jitter == 0:
+            return 1.0
+        return float(
+            np.exp(self._mu + self._sigma * self._rng.standard_normal())
+        )
+
+    def read_latency_ns(self) -> int:
+        """Latency of one 4 KB page read."""
+        return max(1, int(self.spec.read_latency_ns * self._scale()))
+
+    def write_latency_ns(self) -> int:
+        """Latency of one 4 KB page program."""
+        return max(1, int(self.spec.write_latency_ns * self._scale()))
+
+    def access_latency_ns(self, is_write: bool) -> int:
+        """Latency of a read or write, by flag."""
+        if is_write:
+            return self.write_latency_ns()
+        return self.read_latency_ns()

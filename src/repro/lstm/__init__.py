@@ -1,0 +1,34 @@
+"""From-scratch LSTM substrate: the paper's baseline policy engine.
+
+Sec. 5.3 compares the GMM engine against "a three-layer LSTM model
+... with hidden dimension = 128, input sequence length = 32" deployed
+on the same FPGA.  This subpackage implements that model in numpy:
+
+* :mod:`repro.lstm.cells` -- a single LSTM cell with exact forward and
+  backward passes.
+* :mod:`repro.lstm.network` -- stacked cells plus a linear regression
+  head producing an access-frequency score per sequence.
+* :mod:`repro.lstm.training` -- truncated BPTT with Adam and gradient
+  clipping, plus sequence-windowing helpers.
+
+The paper reports the LSTM is "hard to converge" at this lightweight
+size on long traces; the test suite reproduces the qualitative point by
+showing the LSTM needs orders of magnitude more compute per decision
+(Table 2) while the GMM reaches a usable policy far faster.
+"""
+
+from repro.lstm.cells import LstmCell
+from repro.lstm.network import LstmNetwork
+from repro.lstm.training import (
+    AdamOptimizer,
+    LstmTrainer,
+    make_sequences,
+)
+
+__all__ = [
+    "AdamOptimizer",
+    "LstmCell",
+    "LstmNetwork",
+    "LstmTrainer",
+    "make_sequences",
+]

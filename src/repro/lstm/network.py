@@ -1,0 +1,178 @@
+"""Stacked LSTM with a linear regression head.
+
+The Sec. 5.3 baseline: three stacked LSTM layers (hidden 128) consume a
+window of 32 ``(page, timestamp)`` inputs; the final hidden state feeds
+a linear head that regresses the page's future access frequency -- the
+same quantity the GMM scores with its density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lstm.cells import LstmCell
+
+
+class LstmNetwork:
+    """Stacked LSTM + linear head for sequence regression.
+
+    Parameters
+    ----------
+    input_size:
+        Feature dimension per timestep (2 in the paper: P and T).
+    hidden_size:
+        Hidden width of every layer (paper baseline: 128).
+    n_layers:
+        Number of stacked LSTM layers (paper baseline: 3).
+    rng:
+        Generator for initialisation.
+    """
+
+    def __init__(
+        self,
+        input_size: int = 2,
+        hidden_size: int = 128,
+        n_layers: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_layers < 1:
+            raise ValueError("n_layers must be >= 1")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.n_layers = n_layers
+        self.cells = []
+        for layer in range(n_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            self.cells.append(LstmCell(in_size, hidden_size, rng))
+        bound = 1.0 / np.sqrt(hidden_size)
+        self.w_head = rng.uniform(-bound, bound, size=(hidden_size,))
+        self.b_head = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection (feeds the FPGA resource model)
+    # ------------------------------------------------------------------
+    @property
+    def parameter_count(self) -> int:
+        """Total scalar parameters (cells + head)."""
+        cells = sum(cell.parameter_count for cell in self.cells)
+        return cells + self.w_head.size + 1
+
+    def multiply_accumulate_ops_per_inference(
+        self, sequence_length: int
+    ) -> int:
+        """MAC count for one scoring decision.
+
+        Each cell timestep costs ``4H(D + H)`` multiplies; the head adds
+        ``H``.  This is the number the Table 2 latency model divides by
+        the DSP budget -- and the reason the LSTM is four orders of
+        magnitude slower per decision than the GMM's ``7K`` multiplies.
+        """
+        per_step = sum(
+            4 * cell.hidden_size * (cell.input_size + cell.hidden_size)
+            for cell in self.cells
+        )
+        return sequence_length * per_step + self.hidden_size
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(
+        self, sequences: np.ndarray
+    ) -> tuple[np.ndarray, list]:
+        """Run a batch of sequences; returns ``(predictions, caches)``.
+
+        Parameters
+        ----------
+        sequences:
+            Array of shape ``(B, T, D)``.
+
+        Returns
+        -------
+        predictions:
+            Shape ``(B,)`` regression outputs.
+        caches:
+            Per-(timestep, layer) forward caches for :meth:`backward`.
+        """
+        sequences = np.asarray(sequences, dtype=np.float64)
+        if sequences.ndim != 3 or sequences.shape[2] != self.input_size:
+            raise ValueError(
+                f"sequences must have shape (B, T, {self.input_size}),"
+                f" got {sequences.shape}"
+            )
+        batch, steps, _ = sequences.shape
+        h = [
+            np.zeros((batch, self.hidden_size)) for _ in self.cells
+        ]
+        c = [
+            np.zeros((batch, self.hidden_size)) for _ in self.cells
+        ]
+        caches: list[list[dict]] = []
+        for t in range(steps):
+            layer_input = sequences[:, t, :]
+            step_caches = []
+            for layer, cell in enumerate(self.cells):
+                h[layer], c[layer], cache = cell.forward(
+                    layer_input, h[layer], c[layer]
+                )
+                step_caches.append(cache)
+                layer_input = h[layer]
+            caches.append(step_caches)
+        predictions = h[-1] @ self.w_head + self.b_head
+        caches.append({"h_last": h[-1]})  # head cache
+        return predictions, caches
+
+    def predict(self, sequences: np.ndarray) -> np.ndarray:
+        """Forward pass without caches (inference only)."""
+        predictions, _ = self.forward(sequences)
+        return predictions
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def backward(
+        self,
+        d_predictions: np.ndarray,
+        caches: list,
+    ) -> dict:
+        """Full BPTT given head-output gradients.
+
+        Returns a gradient dict: ``{"head_w", "head_b",
+        "cells": [per-layer grad dicts]}``.
+        """
+        head_cache = caches[-1]
+        step_caches = caches[:-1]
+        steps = len(step_caches)
+        h_last = head_cache["h_last"]
+        grad_head_w = d_predictions @ h_last
+        grad_head_b = float(np.sum(d_predictions))
+        cell_grads = [cell.zero_grads() for cell in self.cells]
+        batch = h_last.shape[0]
+        d_h = [
+            np.zeros((batch, self.hidden_size)) for _ in self.cells
+        ]
+        d_c = [
+            np.zeros((batch, self.hidden_size)) for _ in self.cells
+        ]
+        d_h[-1] = d_predictions[:, None] * self.w_head[None, :]
+        for t in range(steps - 1, -1, -1):
+            d_from_above = None
+            for layer in range(self.n_layers - 1, -1, -1):
+                incoming_h = d_h[layer]
+                if d_from_above is not None:
+                    incoming_h = incoming_h + d_from_above
+                d_x, d_h_prev, d_c_prev = self.cells[layer].backward(
+                    incoming_h,
+                    d_c[layer],
+                    step_caches[t][layer],
+                    cell_grads[layer],
+                )
+                d_h[layer] = d_h_prev
+                d_c[layer] = d_c_prev
+                d_from_above = d_x if layer > 0 else None
+        return {
+            "head_w": grad_head_w,
+            "head_b": grad_head_b,
+            "cells": cell_grads,
+        }

@@ -1,0 +1,195 @@
+"""BPTT training for the LSTM baseline.
+
+MSE regression onto future access frequency, optimised with Adam and
+global-norm gradient clipping.  Matches the training setup the paper
+describes for its LSTM baseline ("trained on the same traces used for
+GMM using the same inputs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lstm.network import LstmNetwork
+
+
+def make_sequences(
+    features: np.ndarray,
+    targets: np.ndarray,
+    sequence_length: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Window a feature stream into training sequences.
+
+    Sequence ``i`` holds features ``[i, i + L)``; its target is the
+    target of the window's *last* element (the request the engine must
+    score when it arrives).
+
+    Returns ``(sequences, sequence_targets)`` of shapes
+    ``(N - L + 1, L, D)`` and ``(N - L + 1,)``.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must have shape (N, D)")
+    if targets.shape[0] != features.shape[0]:
+        raise ValueError("targets must align with features")
+    n = features.shape[0]
+    if sequence_length < 1 or sequence_length > n:
+        raise ValueError(
+            "sequence_length must be in [1, len(features)]"
+        )
+    n_sequences = n - sequence_length + 1
+    # Stride trick-free windowing: explicit gather keeps things simple
+    # and the arrays writable.
+    index = (
+        np.arange(n_sequences)[:, None] + np.arange(sequence_length)
+    )
+    return features[index], targets[sequence_length - 1 :]
+
+
+class AdamOptimizer:
+    """Adam with per-array state, operating on parameter dicts."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._step = 0
+
+    def update(
+        self, params: list[np.ndarray], grads: list[np.ndarray]
+    ) -> None:
+        """Apply one Adam step to each (param, grad) pair in place."""
+        self._step += 1
+        correction1 = 1.0 - self.beta1**self._step
+        correction2 = 1.0 - self.beta2**self._step
+        for key, (param, grad) in enumerate(zip(params, grads)):
+            if key not in self._m:
+                self._m[key] = np.zeros_like(param)
+                self._v[key] = np.zeros_like(param)
+            m = self._m[key]
+            v = self._v[key]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            param -= (
+                self.learning_rate
+                * (m / correction1)
+                / (np.sqrt(v / correction2) + self.epsilon)
+            )
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch mean training loss."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last epoch (inf before any training)."""
+        return self.losses[-1] if self.losses else float("inf")
+
+
+class LstmTrainer:
+    """Mini-batch BPTT trainer with MSE loss.
+
+    Parameters
+    ----------
+    network:
+        The :class:`LstmNetwork` to train (updated in place).
+    learning_rate:
+        Adam step size.
+    clip_norm:
+        Global gradient-norm ceiling (None disables clipping).
+    """
+
+    def __init__(
+        self,
+        network: LstmNetwork,
+        learning_rate: float = 1e-3,
+        clip_norm: float | None = 5.0,
+    ) -> None:
+        self.network = network
+        self.optimizer = AdamOptimizer(learning_rate)
+        if clip_norm is not None and clip_norm <= 0:
+            raise ValueError("clip_norm must be positive or None")
+        self.clip_norm = clip_norm
+
+    def _flatten(self, grads: dict) -> tuple[list, list]:
+        """Pair up parameter and gradient arrays in a fixed order."""
+        params: list[np.ndarray] = [self.network.w_head]
+        grad_list: list[np.ndarray] = [grads["head_w"]]
+        for cell, cell_grads in zip(self.network.cells, grads["cells"]):
+            for name in ("w_x", "w_h", "bias"):
+                params.append(cell.parameters()[name])
+                grad_list.append(cell_grads[name])
+        return params, grad_list
+
+    def _clip(self, grad_list: list[np.ndarray], head_b_grad: float):
+        if self.clip_norm is None:
+            return grad_list, head_b_grad
+        total = head_b_grad**2
+        total += sum(float(np.sum(g**2)) for g in grad_list)
+        norm = np.sqrt(total)
+        if norm <= self.clip_norm:
+            return grad_list, head_b_grad
+        scale = self.clip_norm / norm
+        return [g * scale for g in grad_list], head_b_grad * scale
+
+    def train_batch(
+        self, sequences: np.ndarray, targets: np.ndarray
+    ) -> float:
+        """One gradient step on a batch; returns the batch MSE."""
+        predictions, caches = self.network.forward(sequences)
+        errors = predictions - targets
+        loss = float(np.mean(errors**2))
+        d_predictions = 2.0 * errors / errors.shape[0]
+        grads = self.network.backward(d_predictions, caches)
+        params, grad_list = self._flatten(grads)
+        grad_list, head_b_grad = self._clip(grad_list, grads["head_b"])
+        self.optimizer.update(params, grad_list)
+        self.network.b_head -= (
+            self.optimizer.learning_rate * head_b_grad
+        )
+        return loss
+
+    def fit(
+        self,
+        sequences: np.ndarray,
+        targets: np.ndarray,
+        epochs: int,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> TrainingHistory:
+        """Shuffled mini-batch training; returns the loss history."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        n = sequences.shape[0]
+        history = TrainingHistory()
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            losses = []
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                losses.append(
+                    self.train_batch(sequences[batch], targets[batch])
+                )
+            history.losses.append(float(np.mean(losses)))
+        return history

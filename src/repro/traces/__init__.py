@@ -1,0 +1,74 @@
+"""Workload and trace substrate.
+
+Everything the cache study consumes: trace containers
+(:mod:`repro.traces.record`), the seven synthetic benchmark generators
+(:mod:`repro.traces.workloads`), the Sec. 3.1 preprocessing pipeline
+(:mod:`repro.traces.preprocess`), file formats (:mod:`repro.traces.io`)
+and the Fig. 2 statistics (:mod:`repro.traces.stats`).
+"""
+
+from repro.traces.io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+from repro.traces.mixing import (
+    interleave,
+    multi_tenant_trace,
+    relocate,
+)
+from repro.traces.preprocess import (
+    ProcessedTrace,
+    TracePreprocessor,
+    transform_timestamps,
+    trim_warmup,
+)
+from repro.traces.record import (
+    CACHE_LINE_SIZE,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    MemoryTrace,
+    TraceRecord,
+)
+from repro.traces.stats import (
+    SpatialHistogram,
+    TemporalHistogram,
+    hot_page_concentration,
+    page_access_counts,
+    reuse_gaps,
+    spatial_histogram,
+    temporal_histogram,
+)
+from repro.traces.synthetic import TraceGenerator
+from repro.traces.workloads import WORKLOAD_NAMES, WORKLOADS, get_workload
+
+__all__ = [
+    "CACHE_LINE_SIZE",
+    "MemoryTrace",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "ProcessedTrace",
+    "SpatialHistogram",
+    "TemporalHistogram",
+    "TraceGenerator",
+    "TracePreprocessor",
+    "TraceRecord",
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "hot_page_concentration",
+    "interleave",
+    "load_trace_csv",
+    "load_trace_npz",
+    "multi_tenant_trace",
+    "page_access_counts",
+    "relocate",
+    "reuse_gaps",
+    "save_trace_csv",
+    "save_trace_npz",
+    "spatial_histogram",
+    "temporal_histogram",
+    "transform_timestamps",
+    "trim_warmup",
+]

@@ -1,0 +1,93 @@
+"""Trace file formats.
+
+Two interchange formats are supported:
+
+* **CSV** -- the human-readable format of the collection tool the paper
+  uses (one ``op,address,time`` row per request, ``op`` in ``{R, W}``).
+* **NPZ** -- compact binary for large generated traces.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.record import MemoryTrace
+
+_CSV_HEADER = ["op", "address", "time"]
+
+
+def save_trace_csv(trace: MemoryTrace, path: str | Path) -> None:
+    """Write a trace as ``op,address,time`` CSV rows."""
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_HEADER)
+        for address, is_write, time in zip(
+            trace.addresses, trace.is_write, trace.times
+        ):
+            writer.writerow(
+                ["W" if is_write else "R", int(address), int(time)]
+            )
+
+
+def load_trace_csv(path: str | Path) -> MemoryTrace:
+    """Read a trace written by :func:`save_trace_csv`.
+
+    Raises
+    ------
+    ValueError
+        On a malformed header or an unknown op code.
+    """
+    addresses: list[int] = []
+    writes: list[bool] = []
+    times: list[int] = []
+    with open(Path(path), newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _CSV_HEADER:
+            raise ValueError(
+                f"bad trace CSV header {header!r}, expected {_CSV_HEADER}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise ValueError(
+                    f"line {row_number}: expected 3 fields, got {len(row)}"
+                )
+            op, address, time = row
+            if op not in ("R", "W"):
+                raise ValueError(
+                    f"line {row_number}: unknown op {op!r}"
+                )
+            addresses.append(int(address))
+            writes.append(op == "W")
+            times.append(int(time))
+    return MemoryTrace(
+        np.asarray(addresses, dtype=np.int64),
+        np.asarray(writes, dtype=bool),
+        np.asarray(times, dtype=np.int64),
+    )
+
+
+def save_trace_npz(trace: MemoryTrace, path: str | Path) -> None:
+    """Write a trace as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        addresses=trace.addresses,
+        is_write=trace.is_write,
+        times=trace.times,
+    )
+
+
+def load_trace_npz(path: str | Path) -> MemoryTrace:
+    """Read a trace written by :func:`save_trace_npz`."""
+    with np.load(Path(path)) as data:
+        missing = {"addresses", "is_write", "times"} - set(data.files)
+        if missing:
+            raise ValueError(
+                f"trace archive missing arrays: {sorted(missing)}"
+            )
+        return MemoryTrace(
+            data["addresses"], data["is_write"], data["times"]
+        )

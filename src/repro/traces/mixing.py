@@ -1,0 +1,114 @@
+"""Trace combination utilities: multi-tenant request streams.
+
+A CXL memory-expansion device is naturally shared: several VMs or
+containers hit the same DRAM cache with disjoint address ranges.
+These helpers build such mixed traces from the single-workload
+generators -- interleaving by weight while relocating each tenant into
+its own address partition -- so the cache study extends to
+consolidation scenarios the paper's single-tenant evaluation leaves
+open.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.record import PAGE_SHIFT, MemoryTrace
+
+
+def relocate(trace: MemoryTrace, base_page: int) -> MemoryTrace:
+    """Shift a trace's pages so its footprint starts at ``base_page``.
+
+    The trace's internal layout (relative distances between regions)
+    is preserved; only the origin moves.
+    """
+    if base_page < 0:
+        raise ValueError("base_page must be >= 0")
+    if len(trace) == 0:
+        return trace
+    pages = trace.page_indices()
+    offset = int(base_page - pages.min())
+    addresses = trace.addresses + (offset << PAGE_SHIFT)
+    return MemoryTrace(addresses, trace.is_write.copy(), trace.times)
+
+
+def interleave(
+    traces: list[MemoryTrace],
+    weights: list[float],
+    n_accesses: int,
+    rng: np.random.Generator,
+) -> MemoryTrace:
+    """Weighted per-request interleave of tenant traces.
+
+    Each output request draws its source trace with the given weight
+    and consumes that trace's *next* request, preserving every
+    tenant's internal order (like cores sharing one memory
+    controller).  Tenants that run out of requests wrap around.
+    """
+    if not traces:
+        raise ValueError("traces must not be empty")
+    if len(weights) != len(traces):
+        raise ValueError("weights must align with traces")
+    weights_arr = np.asarray(weights, dtype=np.float64)
+    if np.any(weights_arr < 0) or weights_arr.sum() <= 0:
+        raise ValueError("weights must be non-negative, not all zero")
+    if any(len(t) == 0 for t in traces):
+        raise ValueError("every trace must be non-empty")
+    weights_arr = weights_arr / weights_arr.sum()
+    choices = rng.choice(len(traces), size=n_accesses, p=weights_arr)
+    addresses = np.empty(n_accesses, dtype=np.int64)
+    writes = np.empty(n_accesses, dtype=bool)
+    for index, trace in enumerate(traces):
+        mask = choices == index
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        positions = np.arange(count) % len(trace)
+        addresses[mask] = trace.addresses[positions]
+        writes[mask] = trace.is_write[positions]
+    return MemoryTrace(addresses, writes)
+
+
+def multi_tenant_trace(
+    generators: list,
+    weights: list[float],
+    n_accesses: int,
+    rng: np.random.Generator,
+    partition_pages: int = 1 << 20,
+) -> MemoryTrace:
+    """Build a consolidated trace from workload generators.
+
+    Each generator produces its own stream (sized by its weight),
+    which is relocated into a private ``partition_pages``-sized
+    address partition and interleaved per request.
+
+    Parameters
+    ----------
+    generators:
+        Workload generator instances (``TraceGenerator`` API).
+    weights:
+        Relative request rates per tenant.
+    n_accesses:
+        Length of the combined trace.
+    partition_pages:
+        Page stride between tenant partitions; must exceed every
+        tenant footprint.
+    """
+    if len(generators) != len(weights):
+        raise ValueError("weights must align with generators")
+    if partition_pages < 1:
+        raise ValueError("partition_pages must be >= 1")
+    weights_arr = np.asarray(weights, dtype=np.float64)
+    weights_arr = weights_arr / weights_arr.sum()
+    tenant_traces = []
+    for index, (generator, weight) in enumerate(
+        zip(generators, weights_arr)
+    ):
+        length = max(1, int(round(n_accesses * weight)))
+        raw = generator.generate(length, rng)
+        tenant_traces.append(
+            relocate(raw, base_page=index * partition_pages)
+        )
+    return interleave(
+        tenant_traces, list(weights_arr), n_accesses, rng
+    )

@@ -1,0 +1,219 @@
+"""Memory-trace containers.
+
+A trace is what the open-source collection tool of Yang et al. (ATC'23)
+produces and what every stage of ICGMM consumes: a sequence of
+``(read/write, physical address, access time)`` records (Sec. 3).  The
+container here is column-oriented (one numpy array per field) because
+traces run to millions of records and the simulators stream over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+#: Byte offset shift converting a physical address to a 4 KB page index.
+PAGE_SHIFT = 12
+
+#: SSD access granularity in bytes (one flash page).
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+#: Host access granularity in bytes (one DRAM cache line).
+CACHE_LINE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single memory request.
+
+    Attributes
+    ----------
+    address:
+        Physical byte address of the request.
+    is_write:
+        ``True`` for a store, ``False`` for a load.
+    time:
+        Collection timestamp in arbitrary monotonic ticks (the trace
+        tools record one tick per request; absolute wall time is never
+        used by the policy, only ordering).
+    """
+
+    address: int
+    is_write: bool
+    time: int
+
+    @property
+    def page_index(self) -> int:
+        """4 KB page index of the request (``address >> 12``).
+
+        The paper's Sec. 3.1 prints this as ``PA << 12``; consolidating
+        byte addresses *into* pages requires the right shift implemented
+        here.
+        """
+        return self.address >> PAGE_SHIFT
+
+
+class MemoryTrace:
+    """Column-oriented sequence of memory requests.
+
+    Parameters
+    ----------
+    addresses:
+        Physical byte addresses, shape ``(N,)``, non-negative integers.
+    is_write:
+        Boolean write flags, shape ``(N,)``.
+    times:
+        Monotonically non-decreasing access ticks, shape ``(N,)``.
+        Defaults to ``arange(N)`` -- one tick per request.
+    """
+
+    def __init__(
+        self,
+        addresses: np.ndarray,
+        is_write: np.ndarray,
+        times: np.ndarray | None = None,
+    ) -> None:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        if addresses.ndim != 1:
+            raise ValueError(
+                f"addresses must be 1-D, got shape {addresses.shape}"
+            )
+        if is_write.shape != addresses.shape:
+            raise ValueError(
+                "is_write and addresses must have the same shape:"
+                f" {is_write.shape} vs {addresses.shape}"
+            )
+        if np.any(addresses < 0):
+            raise ValueError("addresses must be non-negative")
+        if times is None:
+            times = np.arange(addresses.shape[0], dtype=np.int64)
+        else:
+            times = np.asarray(times, dtype=np.int64)
+            if times.shape != addresses.shape:
+                raise ValueError(
+                    "times and addresses must have the same shape:"
+                    f" {times.shape} vs {addresses.shape}"
+                )
+            if times.size > 1 and np.any(np.diff(times) < 0):
+                raise ValueError("times must be non-decreasing")
+        self._addresses = addresses
+        self._is_write = is_write
+        self._times = times
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._addresses.shape[0]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for i in range(len(self)):
+            yield TraceRecord(
+                address=int(self._addresses[i]),
+                is_write=bool(self._is_write[i]),
+                time=int(self._times[i]),
+            )
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return MemoryTrace(
+                self._addresses[key],
+                self._is_write[key],
+                self._times[key],
+            )
+        index = int(key)
+        return TraceRecord(
+            address=int(self._addresses[index]),
+            is_write=bool(self._is_write[index]),
+            time=int(self._times[index]),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryTrace(n={len(self)},"
+            f" pages={self.unique_page_count()},"
+            f" write_fraction={self.write_fraction():.3f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    @property
+    def addresses(self) -> np.ndarray:
+        """Physical byte addresses (read-only view)."""
+        view = self._addresses.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def is_write(self) -> np.ndarray:
+        """Write flags (read-only view)."""
+        view = self._is_write.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def times(self) -> np.ndarray:
+        """Access ticks (read-only view)."""
+        view = self._times.view()
+        view.flags.writeable = False
+        return view
+
+    def page_indices(self) -> np.ndarray:
+        """4 KB page index per request (``address >> PAGE_SHIFT``)."""
+        return self._addresses >> PAGE_SHIFT
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    def write_fraction(self) -> float:
+        """Fraction of requests that are writes (0 for an empty trace)."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.mean(self._is_write))
+
+    def unique_page_count(self) -> int:
+        """Number of distinct 4 KB pages touched (the footprint)."""
+        if len(self) == 0:
+            return 0
+        return int(np.unique(self.page_indices()).shape[0])
+
+    def footprint_bytes(self) -> int:
+        """Footprint in bytes at page granularity."""
+        return self.unique_page_count() * PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concatenate(traces: list["MemoryTrace"]) -> "MemoryTrace":
+        """Concatenate traces, re-basing times to stay non-decreasing.
+
+        Each segment's ticks are shifted so it starts right after the
+        previous segment ends; used by the phased workload generators.
+        """
+        if not traces:
+            return MemoryTrace(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+            )
+        addresses = []
+        writes = []
+        times = []
+        offset = 0
+        for trace in traces:
+            addresses.append(trace._addresses)
+            writes.append(trace._is_write)
+            if len(trace) > 0:
+                base = trace._times - trace._times[0]
+                times.append(base + offset)
+                offset += int(base[-1]) + 1
+            else:
+                times.append(trace._times)
+        return MemoryTrace(
+            np.concatenate(addresses),
+            np.concatenate(writes),
+            np.concatenate(times),
+        )

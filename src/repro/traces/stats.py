@@ -1,0 +1,174 @@
+"""Trace statistics: the raw material of Fig. 2.
+
+Fig. 2 of the paper plots, per benchmark, (left) the *spatial
+distribution* -- access counts against physical address groups -- and
+(right) the *temporal distribution* -- accessed addresses against
+time.  These helpers compute both, plus supporting statistics
+(per-page counts, hot-set concentration, reuse gaps) used by the
+analysis layer and the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.record import MemoryTrace
+
+
+@dataclass(frozen=True)
+class SpatialHistogram:
+    """Access counts over address-space bins (Fig. 2 left panes).
+
+    Attributes
+    ----------
+    bin_edges:
+        Page-index bin edges, shape ``(n_bins + 1,)``.
+    counts:
+        Accesses per bin, shape ``(n_bins,)``.
+    """
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        """Midpoint of each address bin."""
+        return 0.5 * (self.bin_edges[:-1] + self.bin_edges[1:])
+
+    def modality(self, threshold_fraction: float = 0.05) -> int:
+        """Count separated peaks above ``threshold_fraction * max``.
+
+        A crude multi-modality detector: the number of maximal runs of
+        above-threshold bins.  Fig. 2 workloads are multi-modal, which
+        is the paper's motivation for a *mixture* model; tests assert
+        the generators reproduce that.
+        """
+        if self.counts.size == 0:
+            return 0
+        mask = self.counts > threshold_fraction * np.max(self.counts)
+        # Count rising edges of the boolean mask.
+        padded = np.concatenate([[False], mask])
+        return int(np.sum(~padded[:-1] & padded[1:]))
+
+
+@dataclass(frozen=True)
+class TemporalHistogram:
+    """2-D access counts over (time, address) cells (Fig. 2 right).
+
+    Attributes
+    ----------
+    time_edges:
+        Tick bin edges, shape ``(n_time_bins + 1,)``.
+    page_edges:
+        Page bin edges, shape ``(n_page_bins + 1,)``.
+    counts:
+        Access counts, shape ``(n_time_bins, n_page_bins)``.
+    """
+
+    time_edges: np.ndarray
+    page_edges: np.ndarray
+    counts: np.ndarray
+
+    def column_nonuniformity(self) -> float:
+        """Coefficient of variation of per-time-bin activity profiles.
+
+        Near zero when every time slice accesses addresses identically
+        (temporally uninformative); grows when the hot region moves
+        over time -- the property that makes the GMM's second input
+        dimension worthwhile (Sec. 2.3).
+        """
+        totals = self.counts.sum(axis=1, keepdims=True)
+        active = totals[:, 0] > 0
+        if not np.any(active):
+            return 0.0
+        profiles = self.counts[active] / totals[active]
+        mean_profile = profiles.mean(axis=0)
+        deviation = np.linalg.norm(profiles - mean_profile, axis=1)
+        scale = np.linalg.norm(mean_profile)
+        if scale == 0:
+            return 0.0
+        return float(np.mean(deviation) / scale)
+
+
+def spatial_histogram(
+    trace: MemoryTrace, n_bins: int = 100
+) -> SpatialHistogram:
+    """Histogram accesses over equal-width page-index bins."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    pages = trace.page_indices()
+    if pages.size == 0:
+        edges = np.linspace(0.0, 1.0, n_bins + 1)
+        return SpatialHistogram(edges, np.zeros(n_bins, dtype=np.int64))
+    counts, edges = np.histogram(pages, bins=n_bins)
+    return SpatialHistogram(edges, counts)
+
+
+def temporal_histogram(
+    trace: MemoryTrace, n_time_bins: int = 50, n_page_bins: int = 50
+) -> TemporalHistogram:
+    """2-D histogram of accesses over (time, page) cells."""
+    if n_time_bins < 1 or n_page_bins < 1:
+        raise ValueError("bin counts must be >= 1")
+    pages = trace.page_indices()
+    times = trace.times
+    if pages.size == 0:
+        return TemporalHistogram(
+            np.linspace(0.0, 1.0, n_time_bins + 1),
+            np.linspace(0.0, 1.0, n_page_bins + 1),
+            np.zeros((n_time_bins, n_page_bins), dtype=np.int64),
+        )
+    counts, time_edges, page_edges = np.histogram2d(
+        times.astype(np.float64),
+        pages.astype(np.float64),
+        bins=(n_time_bins, n_page_bins),
+    )
+    return TemporalHistogram(
+        time_edges, page_edges, counts.astype(np.int64)
+    )
+
+
+def page_access_counts(
+    trace: MemoryTrace,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct pages and their access counts, hottest first."""
+    pages = trace.page_indices()
+    unique, counts = np.unique(pages, return_counts=True)
+    order = np.argsort(-counts)
+    return unique[order], counts[order]
+
+
+def hot_page_concentration(
+    trace: MemoryTrace, top_fraction: float = 0.1
+) -> float:
+    """Fraction of accesses landing on the hottest ``top_fraction`` pages.
+
+    A skew summary: 0.1 -> ~0.1 means uniform traffic, 0.1 -> ~0.9
+    means a strongly cacheable hot set.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    _, counts = page_access_counts(trace)
+    if counts.size == 0:
+        return 0.0
+    n_top = max(1, int(np.ceil(counts.size * top_fraction)))
+    return float(counts[:n_top].sum() / counts.sum())
+
+
+def reuse_gaps(trace: MemoryTrace) -> np.ndarray:
+    """Gap (in requests) since the previous access to the same page.
+
+    First touches are excluded.  Small gaps mean recency works; gaps
+    beyond the cache capacity are where frequency-based policies win.
+    """
+    pages = trace.page_indices()
+    last_seen: dict[int, int] = {}
+    gaps: list[int] = []
+    for position, page in enumerate(pages):
+        key = int(page)
+        if key in last_seen:
+            gaps.append(position - last_seen[key])
+        last_seen[key] = position
+    return np.asarray(gaps, dtype=np.int64)

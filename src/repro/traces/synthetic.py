@@ -1,0 +1,438 @@
+"""Building blocks for synthetic workload generators.
+
+The paper evaluates on traces collected from real programs; those traces
+are not published.  What Fig. 2 *does* publish is their structure:
+spatial access histograms that fit mixtures of Gaussians, plus phased,
+non-random temporal behaviour.  The samplers here are the vocabulary the
+seven workload modules (:mod:`repro.traces.workloads`) are written in:
+
+* :class:`ZipfSampler` -- skewed popularity over a page range (key-value
+  stores, embedding tables, B-tree leaves).
+* :class:`GaussianClusterSampler` -- spatial hot clusters, directly
+  mirroring the mixture structure of Fig. 2.
+* :class:`UniformSampler` -- background noise over a range.
+* :class:`SequentialLoopSampler` -- cyclic sweeps (HPC kernels, heapify
+  passes); the classic LRU-pathological pattern.
+* :class:`ScanOnceSampler` -- one-touch streaming (inputs, range scans);
+  pure cache pollution that smart admission should bypass.
+* :class:`MixtureSampler` -- interleaves component samplers access by
+  access, preserving each component's internal order.
+* :class:`PhasedTraceBuilder` -- chains phases into one trace, giving
+  the temporal structure the 2-D GMM exploits.
+
+Every sampler returns ``(pages, is_write)`` so read/write semantics stay
+attached to the component that produced the access (a STREAM store
+stream is all writes; a B-tree root probe is all reads).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.traces.record import CACHE_LINE_SIZE, PAGE_SHIFT, MemoryTrace
+
+#: Number of cache lines per 4 KB page.
+_LINES_PER_PAGE = (1 << PAGE_SHIFT) // CACHE_LINE_SIZE
+
+
+def zipf_probabilities(n_items: int, alpha: float) -> np.ndarray:
+    """Normalised Zipf(alpha) probabilities over ``n_items`` ranks.
+
+    ``alpha = 0`` degenerates to uniform; larger values concentrate mass
+    on the first ranks.
+    """
+    if n_items < 1:
+        raise ValueError(f"n_items must be >= 1, got {n_items}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+class PageSampler(ABC):
+    """Source of page-granular accesses with attached write flags."""
+
+    #: Probability that an access from this sampler is a write; used by
+    #: samplers without a structural read/write split.
+    write_fraction: float = 0.0
+
+    @abstractmethod
+    def sample(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Produce ``n`` accesses.
+
+        Returns ``(pages, is_write)`` arrays of shape ``(n,)``.
+        Stateful samplers advance their cursor; callers wanting a fresh
+        pass construct a new instance.
+        """
+
+    def _bernoulli_writes(
+        self, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.write_fraction <= 0.0:
+            return np.zeros(n, dtype=bool)
+        return rng.random(n) < self.write_fraction
+
+
+class ZipfSampler(PageSampler):
+    """Zipf-popular pages over ``[base_page, base_page + n_pages)``.
+
+    Parameters
+    ----------
+    base_page:
+        First page of the region.
+    n_pages:
+        Region size in pages.
+    alpha:
+        Zipf exponent; ~0.7 models weakly-skewed embedding rows, ~1.1
+        models hot key-value working sets.
+    write_fraction:
+        Bernoulli write probability per access.
+    scramble:
+        When ``True`` (default), popularity ranks are scattered across
+        the region by a fixed permutation drawn from ``perm_seed``, so
+        "hot" does not mean "low address".  When ``False``, rank ``r``
+        maps to page ``base_page + r``, producing the smooth Gaussian-
+        like spatial clusters seen in Fig. 2.
+    """
+
+    def __init__(
+        self,
+        base_page: int,
+        n_pages: int,
+        alpha: float,
+        write_fraction: float = 0.0,
+        scramble: bool = False,
+        perm_seed: int = 0,
+    ) -> None:
+        self.base_page = int(base_page)
+        self.n_pages = int(n_pages)
+        self.alpha = float(alpha)
+        self.write_fraction = float(write_fraction)
+        self._probabilities = zipf_probabilities(self.n_pages, self.alpha)
+        if scramble:
+            perm_rng = np.random.default_rng(perm_seed)
+            self._rank_to_page = perm_rng.permutation(self.n_pages)
+        else:
+            self._rank_to_page = None
+
+    def sample(self, n, rng):
+        ranks = rng.choice(self.n_pages, size=n, p=self._probabilities)
+        if self._rank_to_page is not None:
+            pages = self._rank_to_page[ranks]
+        else:
+            pages = ranks
+        return self.base_page + pages, self._bernoulli_writes(n, rng)
+
+
+class GaussianClusterSampler(PageSampler):
+    """Mixture of Gaussian hot spots in page space (Fig. 2 structure).
+
+    Parameters
+    ----------
+    clusters:
+        List of ``(center_page, std_pages, weight)`` triples; weights
+        are normalised internally.
+    lo_page, hi_page:
+        Samples are clipped into ``[lo_page, hi_page)``.
+    """
+
+    def __init__(
+        self,
+        clusters: list[tuple[float, float, float]],
+        lo_page: int,
+        hi_page: int,
+        write_fraction: float = 0.0,
+    ) -> None:
+        if not clusters:
+            raise ValueError("need at least one cluster")
+        if hi_page <= lo_page:
+            raise ValueError("hi_page must exceed lo_page")
+        self.centers = np.array([c[0] for c in clusters], dtype=np.float64)
+        self.stds = np.array([c[1] for c in clusters], dtype=np.float64)
+        if np.any(self.stds <= 0):
+            raise ValueError("cluster std must be positive")
+        weights = np.array([c[2] for c in clusters], dtype=np.float64)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("cluster weights must be non-negative")
+        self.weights = weights / weights.sum()
+        self.lo_page = int(lo_page)
+        self.hi_page = int(hi_page)
+        self.write_fraction = float(write_fraction)
+
+    def sample(self, n, rng):
+        which = rng.choice(len(self.weights), size=n, p=self.weights)
+        raw = rng.normal(self.centers[which], self.stds[which])
+        pages = np.clip(
+            np.round(raw), self.lo_page, self.hi_page - 1
+        ).astype(np.int64)
+        return pages, self._bernoulli_writes(n, rng)
+
+
+class UniformSampler(PageSampler):
+    """Uniform accesses over ``[base_page, base_page + n_pages)``."""
+
+    def __init__(
+        self, base_page: int, n_pages: int, write_fraction: float = 0.0
+    ) -> None:
+        if n_pages < 1:
+            raise ValueError(f"n_pages must be >= 1, got {n_pages}")
+        self.base_page = int(base_page)
+        self.n_pages = int(n_pages)
+        self.write_fraction = float(write_fraction)
+
+    def sample(self, n, rng):
+        pages = self.base_page + rng.integers(self.n_pages, size=n)
+        return pages.astype(np.int64), self._bernoulli_writes(n, rng)
+
+
+class SequentialLoopSampler(PageSampler):
+    """Cyclic sweep over a page range with per-page bursts.
+
+    Models repeated passes over arrays (STREAM kernels, heapify).  When
+    the region exceeds the cache, LRU's recency order is exactly wrong
+    for this pattern -- every page returns just after eviction.
+
+    Parameters
+    ----------
+    base_page, n_pages:
+        The swept region.
+    burst:
+        Consecutive accesses per page before advancing (a host touching
+        several 64 B lines of the page back to back).
+    stride_pages:
+        Pages skipped between visits (>= 1).
+    """
+
+    def __init__(
+        self,
+        base_page: int,
+        n_pages: int,
+        burst: int = 1,
+        stride_pages: int = 1,
+        write_fraction: float = 0.0,
+    ) -> None:
+        if n_pages < 1:
+            raise ValueError(f"n_pages must be >= 1, got {n_pages}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if stride_pages < 1:
+            raise ValueError(f"stride_pages must be >= 1, got {stride_pages}")
+        self.base_page = int(base_page)
+        self.n_pages = int(n_pages)
+        self.burst = int(burst)
+        self.stride_pages = int(stride_pages)
+        self.write_fraction = float(write_fraction)
+        self._cursor = 0  # position in the virtual burst-expanded loop
+
+    def sample(self, n, rng):
+        positions = self._cursor + np.arange(n, dtype=np.int64)
+        self._cursor += n
+        visit = positions // self.burst
+        offsets = (visit * self.stride_pages) % self.n_pages
+        pages = self.base_page + offsets
+        return pages, self._bernoulli_writes(n, rng)
+
+
+class ScanOnceSampler(PageSampler):
+    """One-touch streaming scan: every access hits a brand-new page.
+
+    Models sequential input reading and table range scans.  Caching
+    these pages is pure pollution, which is exactly what the GMM
+    admission filter learns to refuse (their density is ~zero).  The
+    region is ``region_pages`` long; if the scan exhausts it, it wraps
+    to the start (a second pass -- still effectively one-touch at cache
+    time scales).
+    """
+
+    def __init__(
+        self,
+        base_page: int,
+        region_pages: int,
+        write_fraction: float = 0.0,
+    ) -> None:
+        if region_pages < 1:
+            raise ValueError(
+                f"region_pages must be >= 1, got {region_pages}"
+            )
+        self.base_page = int(base_page)
+        self.region_pages = int(region_pages)
+        self.write_fraction = float(write_fraction)
+        self._cursor = 0
+
+    def sample(self, n, rng):
+        positions = (self._cursor + np.arange(n)) % self.region_pages
+        self._cursor += n
+        pages = self.base_page + positions.astype(np.int64)
+        return pages, self._bernoulli_writes(n, rng)
+
+
+class MixtureSampler(PageSampler):
+    """Interleave component samplers access-by-access.
+
+    Each access independently picks a component with the configured
+    weight, then consumes the *next* access from that component -- so
+    stateful components (loops, scans) keep their internal order while
+    being interleaved with the others, like threads sharing a memory
+    bus.
+    """
+
+    def __init__(
+        self, components: list[tuple[PageSampler, float]]
+    ) -> None:
+        if not components:
+            raise ValueError("need at least one component")
+        weights = np.array([w for _, w in components], dtype=np.float64)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("component weights must be non-negative")
+        self.samplers = [s for s, _ in components]
+        self.weights = weights / weights.sum()
+
+    def sample(self, n, rng):
+        choice = rng.choice(len(self.samplers), size=n, p=self.weights)
+        pages = np.empty(n, dtype=np.int64)
+        writes = np.empty(n, dtype=bool)
+        for index, sampler in enumerate(self.samplers):
+            mask = choice == index
+            count = int(np.sum(mask))
+            if count == 0:
+                continue
+            component_pages, component_writes = sampler.sample(count, rng)
+            pages[mask] = component_pages
+            writes[mask] = component_writes
+        return pages, writes
+
+
+def pages_to_addresses(
+    pages: np.ndarray, rng: np.random.Generator, sub_page: bool = True
+) -> np.ndarray:
+    """Convert page indices to byte addresses.
+
+    With ``sub_page=True`` each access lands on a random 64 B-aligned
+    line within its page, reflecting host (cache-line) granularity
+    against SSD (page) granularity -- the mismatch at the heart of the
+    paper's Challenge 2.
+    """
+    pages = np.asarray(pages, dtype=np.int64)
+    addresses = pages << PAGE_SHIFT
+    if sub_page:
+        lines = rng.integers(_LINES_PER_PAGE, size=pages.shape[0])
+        addresses = addresses + lines * CACHE_LINE_SIZE
+    return addresses
+
+
+class PhasedTraceBuilder:
+    """Assemble a multi-phase trace.
+
+    Phases model program stages (DLRM batch boundaries, PARSEC parallel
+    regions); each phase owns a sampler.  The temporal axis this
+    produces is what makes the second GMM dimension informative.
+    """
+
+    def __init__(self) -> None:
+        self._phases: list[tuple[int, PageSampler]] = []
+
+    def add_phase(self, n_accesses: int, sampler: PageSampler) -> None:
+        """Append a phase of ``n_accesses`` drawn from ``sampler``."""
+        if n_accesses < 0:
+            raise ValueError(f"n_accesses must be >= 0, got {n_accesses}")
+        self._phases.append((int(n_accesses), sampler))
+
+    @property
+    def total_accesses(self) -> int:
+        """Sum of accesses over all registered phases."""
+        return sum(n for n, _ in self._phases)
+
+    def build(self, rng: np.random.Generator) -> MemoryTrace:
+        """Generate the trace (one tick per access, phases in order)."""
+        if not self._phases:
+            raise ValueError("no phases registered")
+        all_pages = []
+        all_writes = []
+        for n_accesses, sampler in self._phases:
+            if n_accesses == 0:
+                continue
+            pages, writes = sampler.sample(n_accesses, rng)
+            all_pages.append(pages)
+            all_writes.append(writes)
+        pages = np.concatenate(all_pages)
+        writes = np.concatenate(all_writes)
+        addresses = pages_to_addresses(pages, rng)
+        return MemoryTrace(addresses, writes)
+
+
+def scaled_pages(n_pages: int, scale: float, minimum: int = 4) -> int:
+    """Scale a region size, keeping at least ``minimum`` pages.
+
+    The workload generators size their regions against the paper's
+    64 MB device cache; experiments run a proportionally scaled-down
+    system (cache and footprints divided by the same factor) so that
+    cache turnover -- and therefore eviction-policy differences --
+    develops within simulatable trace lengths.  This is the standard
+    scaled-cache methodology for trace-driven studies.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if minimum < 1:
+        raise ValueError("minimum must be >= 1")
+    return max(minimum, int(round(n_pages * scale)))
+
+
+def add_bursty_phases(
+    builder: PhasedTraceBuilder,
+    n_accesses: int,
+    normal_sampler: PageSampler,
+    burst_sampler: PageSampler,
+    period: int,
+    burst_len: int,
+) -> None:
+    """Append alternating quiet/burst phases covering ``n_accesses``.
+
+    Real systems run maintenance in concentrated bursts -- cache
+    expiry cycles, B-tree range scans, rehashes, heap rebuilds -- that
+    arrive with a characteristic cadence.  Each ``period`` requests end
+    with ``burst_len`` requests drawn from ``burst_sampler``; the rest
+    come from ``normal_sampler``.
+
+    Aligning ``period`` with the preprocessing access-shot length
+    (Algorithm 1's 10,000 requests) puts every burst at the same
+    transformed-timestamp band, which is precisely what makes the
+    GMM's *temporal* input dimension informative (Sec. 2.3: "the
+    access frequency distribution is uneven in temporal").
+    """
+    if period < 1:
+        raise ValueError("period must be >= 1")
+    if not 0 <= burst_len < period:
+        raise ValueError("burst_len must be in [0, period)")
+    done = 0
+    while done < n_accesses:
+        quiet = min(period - burst_len, n_accesses - done)
+        builder.add_phase(quiet, normal_sampler)
+        done += quiet
+        if done < n_accesses and burst_len > 0:
+            chunk = min(burst_len, n_accesses - done)
+            builder.add_phase(chunk, burst_sampler)
+            done += chunk
+
+
+class TraceGenerator(ABC):
+    """Base class for the seven benchmark workload generators."""
+
+    #: Workload name as used in the paper's figures and tables.
+    name: str = "base"
+
+    #: Default trace length used by the experiment harness.
+    default_length: int = 300_000
+
+    @abstractmethod
+    def generate(
+        self, n_accesses: int, rng: np.random.Generator
+    ) -> MemoryTrace:
+        """Produce a trace of ``n_accesses`` requests."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,157 @@
+"""DLRM-style trace: deep-learning recommendation inference.
+
+Facebook's DLRM (Gupta et al., the paper's [17]) is dominated by
+sparse embedding-table lookups: a handful of large tables, each
+accessed with a skewed row popularity, plus dense MLP activations
+streamed through once per batch.  Fig. 2(a) of the ICGMM paper shows
+the resulting spatial profile -- several distinct address clusters of
+very different heights -- and a temporal profile whose hot columns
+drift over time (request mix shifts).
+
+Structure generated here:
+
+* ``n_tables`` embedding tables laid out back to back; lookups within
+  a table follow a Zipf law over rows, so spatial density decays from
+  the table base -- a one-sided cluster per table, matching the spikes
+  in Fig. 2(a).  The combined footprint dwarfs the device cache,
+  which is why dlrm shows the second-highest miss rate in Fig. 6.
+* Table popularity rotates across three macro-phases (request-mix
+  drift) -- the temporal structure of Fig. 2(a).
+* Dense-activation streaming at every batch boundary: each batch
+  period ends with a one-touch burst over the activation region
+  (classic pollution that smart admission refuses).
+* A small, very hot parameter/stack region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.synthetic import (
+    MixtureSampler,
+    PhasedTraceBuilder,
+    ScanOnceSampler,
+    TraceGenerator,
+    UniformSampler,
+    ZipfSampler,
+    add_bursty_phases,
+    scaled_pages,
+)
+
+
+class DlrmWorkload(TraceGenerator):
+    """Synthetic DLRM inference trace.
+
+    Parameters
+    ----------
+    scale:
+        Footprint scale factor (regions sized at paper scale).
+    n_tables:
+        Number of embedding tables.
+    table_pages:
+        4 KB pages per table (paper scale).
+    table_alpha:
+        Zipf exponent of row popularity inside a table.
+    dense_pages:
+        Size of the streamed dense-activation region (paper scale).
+    hot_weight:
+        Access fraction of the hot parameter region.
+    burst_period / burst_len:
+        Batch cadence: every ``burst_period`` requests end with
+        ``burst_len`` dense-activation streaming requests.
+    n_phases:
+        Number of request-mix macro-phases.
+    """
+
+    name = "dlrm"
+    default_length = 400_000
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        n_tables: int = 8,
+        table_pages: int = 14_000,
+        table_alpha: float = 1.45,
+        dense_pages: int = 48_000,
+        hot_weight: float = 0.08,
+        burst_period: int = 10_000,
+        burst_len: int = 350,
+        n_phases: int = 3,
+    ) -> None:
+        if n_tables < 1:
+            raise ValueError("n_tables must be >= 1")
+        if n_phases < 1:
+            raise ValueError("n_phases must be >= 1")
+        self.scale = scale
+        self.n_tables = n_tables
+        self.table_pages = table_pages
+        self.table_alpha = table_alpha
+        self.dense_pages = dense_pages
+        self.hot_weight = hot_weight
+        self.burst_period = burst_period
+        self.burst_len = burst_len
+        self.n_phases = n_phases
+
+    def _table_weights(self, phase: int) -> np.ndarray:
+        """Per-table popularity for a phase (rotates hot tables)."""
+        base = np.array(
+            [2.0 ** (-(i % 4)) for i in range(self.n_tables)],
+            dtype=np.float64,
+        )
+        rotated = np.roll(base, phase * 2)
+        return rotated / rotated.sum()
+
+    def generate(self, n_accesses, rng):
+        """Build the phased DLRM trace.
+
+        Regions are laid out compactly (parameters, then activations,
+        then tables), as a real allocator would place them.
+        """
+        s = self.scale
+        table_pages = scaled_pages(self.table_pages, s)
+        dense_pages = scaled_pages(self.dense_pages, s)
+        hot_pages = scaled_pages(256, s, minimum=8)
+        hot_base = 0
+        dense_base = hot_pages
+        tables_base = dense_base + dense_pages
+        builder = PhasedTraceBuilder()
+        per_phase = n_accesses // self.n_phases
+        remainder = n_accesses - per_phase * self.n_phases
+        # Stateful scan shared across phases: the MLP keeps streaming.
+        dense = ScanOnceSampler(dense_base, dense_pages)
+        embedding_weight = 1.0 - self.hot_weight
+        for phase in range(self.n_phases):
+            weights = self._table_weights(phase)
+            tables = [
+                (
+                    ZipfSampler(
+                        base_page=tables_base + i * table_pages,
+                        n_pages=table_pages,
+                        alpha=self.table_alpha,
+                        write_fraction=0.02,
+                    ),
+                    embedding_weight * weights[i],
+                )
+                for i in range(self.n_tables)
+            ]
+            normal = MixtureSampler(
+                tables
+                + [
+                    (
+                        UniformSampler(
+                            hot_base, hot_pages, write_fraction=0.10
+                        ),
+                        self.hot_weight,
+                    ),
+                ]
+            )
+            length = per_phase + (remainder if phase == 0 else 0)
+            add_bursty_phases(
+                builder,
+                length,
+                normal_sampler=normal,
+                burst_sampler=dense,
+                period=self.burst_period,
+                burst_len=self.burst_len,
+            )
+        return builder.build(rng)

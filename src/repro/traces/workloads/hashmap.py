@@ -1,0 +1,119 @@
+"""hashmap synthetic trace: pointer-heavy hash-table benchmark.
+
+``hashmap`` is one of the two synthetic benchmarks of Yang et al.
+(USENIX ATC'23, the paper's [10]): a large chained hash table driven
+by lookups, inserts and deletes.  Properties that matter for caching:
+
+* Key popularity is skewed, and because hot keys are inserted early
+  and the arena allocator packs nodes in insertion order, popularity
+  correlates with address -- density decays along the arena.
+* The bucket array is probed on *every* operation (compact and hot),
+  spatially separate from the arena.
+* Inserts append fresh nodes at the arena frontier (one-touch writes).
+* Periodic *chain-maintenance sweeps* (rehash/compaction) walk a chunk
+  of the arena sequentially each maintenance period -- an
+  over-capacity cyclic pattern that recency-based eviction handles
+  worst.
+"""
+
+from __future__ import annotations
+
+from repro.traces.synthetic import (
+    MixtureSampler,
+    PhasedTraceBuilder,
+    ScanOnceSampler,
+    SequentialLoopSampler,
+    TraceGenerator,
+    UniformSampler,
+    ZipfSampler,
+    add_bursty_phases,
+    scaled_pages,
+)
+
+
+class HashmapWorkload(TraceGenerator):
+    """Synthetic chained-hash-table trace.
+
+    Parameters
+    ----------
+    scale:
+        Footprint scale factor (regions sized at paper scale).
+    bucket_pages / arena_pages:
+        Bucket-array and node-arena footprints (paper scale).
+    alpha:
+        Zipf exponent over allocation order.
+    bucket_weight:
+        Fraction of accesses probing the bucket array.
+    frontier_weight:
+        Fraction of accesses that are fresh-node allocations.
+    burst_period / burst_len:
+        Maintenance-sweep cadence over the arena.
+    """
+
+    name = "hashmap"
+    default_length = 400_000
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        bucket_pages: int = 3_000,
+        arena_pages: int = 26_000,
+        alpha: float = 1.50,
+        bucket_weight: float = 0.30,
+        frontier_weight: float = 0.005,
+        burst_period: int = 10_000,
+        burst_len: int = 90,
+        write_fraction: float = 0.25,
+    ) -> None:
+        self.scale = scale
+        self.bucket_pages = bucket_pages
+        self.arena_pages = arena_pages
+        self.alpha = alpha
+        self.bucket_weight = bucket_weight
+        self.frontier_weight = frontier_weight
+        self.burst_period = burst_period
+        self.burst_len = burst_len
+        self.write_fraction = write_fraction
+
+    def generate(self, n_accesses, rng):
+        """Build the hashmap trace."""
+        s = self.scale
+        arena_pages = scaled_pages(self.arena_pages, s)
+        bucket_pages = scaled_pages(self.bucket_pages, s)
+        arena_base = 0
+        frontier_base = arena_base + arena_pages
+        frontier_region = scaled_pages(64_000, s)
+        bucket_base = frontier_base + frontier_region
+        buckets = UniformSampler(
+            bucket_base, bucket_pages, write_fraction=0.10
+        )
+        lookups = ZipfSampler(
+            base_page=arena_base,
+            n_pages=arena_pages,
+            alpha=self.alpha,
+            write_fraction=self.write_fraction,
+        )
+        frontier = ScanOnceSampler(
+            frontier_base, frontier_region, write_fraction=1.0
+        )
+        sweep = SequentialLoopSampler(
+            arena_base, arena_pages, burst=1, write_fraction=0.5
+        )
+        lookup_weight = 1.0 - (self.bucket_weight + self.frontier_weight)
+        normal = MixtureSampler(
+            [
+                (buckets, self.bucket_weight),
+                (lookups, lookup_weight),
+                (frontier, self.frontier_weight),
+            ]
+        )
+        builder = PhasedTraceBuilder()
+        add_bursty_phases(
+            builder,
+            n_accesses,
+            normal_sampler=normal,
+            burst_sampler=sweep,
+            period=self.burst_period,
+            burst_len=self.burst_len,
+        )
+        return builder.build(rng)

@@ -1,0 +1,126 @@
+"""heap synthetic trace: priority-queue (binary heap) benchmark.
+
+``heap`` is the second synthetic benchmark of Yang et al. (ATC'23,
+the paper's [10]): continuous push/pop traffic on a large array-backed
+binary heap.  The access structure is strongly depth-dependent: a
+push/pop touches every level on its root-to-leaf path, so per page,
+frequency decays geometrically with depth; rank-ordered Zipf over the
+array is the page-level consequence.
+
+Structure generated here:
+
+* Sift-path traffic: Zipf over the heap array (rank == array position
+  == depth order), with the ~45% write mix of sift swaps.
+* A separate hot metadata region (size counters, benchmark
+  bookkeeping) touched on every operation.
+* Periodic *rebuild sweeps* (heapify) walking a chunk of the array
+  each maintenance period -- over-capacity cyclic traffic.
+* Heap growth at the frontier: one-touch appends.
+
+Like parsec, this is a workload where the paper finds eviction-only
+to be the best GMM strategy: nearly all pages are revisited (so
+admission refusals cost hits, and in particular un-pin the rebuild
+sweep), while score eviction keeps the shallow levels pinned through
+the sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.traces.synthetic import (
+    MixtureSampler,
+    PhasedTraceBuilder,
+    ScanOnceSampler,
+    SequentialLoopSampler,
+    TraceGenerator,
+    UniformSampler,
+    ZipfSampler,
+    add_bursty_phases,
+    scaled_pages,
+)
+
+
+class HeapWorkload(TraceGenerator):
+    """Synthetic binary-heap trace.
+
+    Parameters
+    ----------
+    scale:
+        Footprint scale factor (regions sized at paper scale).
+    heap_pages:
+        Array footprint (paper scale).
+    alpha:
+        Zipf exponent modelling per-page depth decay.
+    metadata_weight:
+        Fraction of accesses to the hot bookkeeping region.
+    growth_weight:
+        Fraction of accesses appending fresh pages.
+    burst_period / burst_len:
+        Rebuild-sweep cadence over the array.
+    """
+
+    name = "heap"
+    default_length = 400_000
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        heap_pages: int = 26_000,
+        alpha: float = 1.45,
+        metadata_weight: float = 0.10,
+        growth_weight: float = 0.005,
+        burst_period: int = 10_000,
+        burst_len: int = 60,
+        write_fraction: float = 0.45,
+    ) -> None:
+        self.scale = scale
+        self.heap_pages = heap_pages
+        self.alpha = alpha
+        self.metadata_weight = metadata_weight
+        self.growth_weight = growth_weight
+        self.burst_period = burst_period
+        self.burst_len = burst_len
+        self.write_fraction = write_fraction
+
+    def generate(self, n_accesses, rng):
+        """Build the heap trace."""
+        s = self.scale
+        heap_pages = scaled_pages(self.heap_pages, s)
+        heap_base = 0
+        frontier_base = heap_pages
+        frontier_region = scaled_pages(32_000, s)
+        metadata_base = frontier_base + frontier_region
+        sift = ZipfSampler(
+            base_page=heap_base,
+            n_pages=heap_pages,
+            alpha=self.alpha,
+            write_fraction=self.write_fraction,
+        )
+        metadata = UniformSampler(
+            metadata_base,
+            scaled_pages(96, s, minimum=8),
+            write_fraction=0.50,
+        )
+        rebuild = SequentialLoopSampler(
+            heap_base, heap_pages, burst=1, write_fraction=0.5
+        )
+        growth = ScanOnceSampler(
+            frontier_base, frontier_region, write_fraction=1.0
+        )
+        sift_weight = 1.0 - (self.metadata_weight + self.growth_weight)
+        normal = MixtureSampler(
+            [
+                (sift, sift_weight),
+                (metadata, self.metadata_weight),
+                (growth, self.growth_weight),
+            ]
+        )
+        builder = PhasedTraceBuilder()
+        add_bursty_phases(
+            builder,
+            n_accesses,
+            normal_sampler=normal,
+            burst_sampler=rebuild,
+            period=self.burst_period,
+            burst_len=self.burst_len,
+        )
+        return builder.build(rng)

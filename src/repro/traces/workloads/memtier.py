@@ -1,0 +1,113 @@
+"""memtier-style trace: key-value store (Redis/memcached) benchmark.
+
+memtier_benchmark (the paper's [24]) drives a key-value server with a
+configurable GET/SET mix and a skewed key popularity.  Server-side,
+the value heap is slab-allocated, which gives popular keys real
+spatial locality: keys inserted in the same warm-up burst sit in
+neighbouring slabs, so popularity decays along the allocation order --
+exactly the kind of address-correlated density a GMM can learn.
+
+Structure generated here:
+
+* A value heap accessed with Zipf popularity over the slab order
+  (rank == allocation position), GET:SET of 9:1.
+* A small hot metadata region (hash index head, stats).
+* A periodic *expiry cycle*: every maintenance period the server walks
+  a chunk of the keyspace sequentially (active-expire / eviction
+  sampling).  The burst floods cache sets with one-touch fills --
+  pollution that displaces warm keys under LRU, and that a density
+  policy both refuses to admit and refuses to keep.
+
+The expiry cadence matches the access-shot length, so the bursts live
+in a fixed band of the transformed-timestamp axis -- the temporal
+structure the 2-D GMM exploits (Sec. 2.3).
+"""
+
+from __future__ import annotations
+
+from repro.traces.synthetic import (
+    MixtureSampler,
+    PhasedTraceBuilder,
+    ScanOnceSampler,
+    TraceGenerator,
+    UniformSampler,
+    ZipfSampler,
+    add_bursty_phases,
+    scaled_pages,
+)
+
+
+class MemtierWorkload(TraceGenerator):
+    """Synthetic memtier key-value trace.
+
+    Parameters
+    ----------
+    scale:
+        Footprint scale factor (regions are sized at paper scale).
+    keyspace_pages:
+        Pages holding values (slab area), paper scale.
+    alpha:
+        Zipf exponent of key popularity.
+    set_fraction:
+        Fraction of key operations that are SETs (writes).
+    burst_period / burst_len:
+        Expiry-cycle cadence: every ``burst_period`` requests end with
+        ``burst_len`` sequential expiry-scan requests.
+    """
+
+    name = "memtier"
+    default_length = 400_000
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        keyspace_pages: int = 48_000,
+        alpha: float = 1.50,
+        set_fraction: float = 0.10,
+        burst_period: int = 10_000,
+        burst_len: int = 50,
+        metadata_weight: float = 0.04,
+    ) -> None:
+        if not 0.0 <= set_fraction <= 1.0:
+            raise ValueError("set_fraction must be in [0, 1]")
+        self.scale = scale
+        self.keyspace_pages = keyspace_pages
+        self.alpha = alpha
+        self.set_fraction = set_fraction
+        self.burst_period = burst_period
+        self.burst_len = burst_len
+        self.metadata_weight = metadata_weight
+
+    def generate(self, n_accesses, rng):
+        """Build the memtier trace."""
+        keyspace = scaled_pages(self.keyspace_pages, self.scale)
+        heap_base = 0
+        metadata_base = heap_base + keyspace
+        keys = ZipfSampler(
+            base_page=heap_base,
+            n_pages=keyspace,
+            alpha=self.alpha,
+            write_fraction=self.set_fraction,
+        )
+        metadata = UniformSampler(
+            metadata_base,
+            scaled_pages(128, self.scale, minimum=8),
+            write_fraction=0.30,
+        )
+        expiry = ScanOnceSampler(heap_base, keyspace)
+        normal = MixtureSampler(
+            [
+                (keys, 1.0 - self.metadata_weight),
+                (metadata, self.metadata_weight),
+            ]
+        )
+        builder = PhasedTraceBuilder()
+        add_bursty_phases(
+            builder,
+            n_accesses,
+            normal_sampler=normal,
+            burst_sampler=expiry,
+            period=self.burst_period,
+            burst_len=self.burst_len,
+        )
+        return builder.build(rng)

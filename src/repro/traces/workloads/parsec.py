@@ -1,0 +1,148 @@
+"""PARSEC-style trace: multi-phase shared-memory HPC application.
+
+PARSEC programs (the paper's [18]) run through distinct parallel
+regions, each hammering its own working set: Fig. 2(b) of the ICGMM
+paper shows a few wide spatial clusters and a temporal profile whose
+dominant cluster changes between program phases.
+
+Structure generated here:
+
+* Three Gaussian spatial clusters (the per-region working sets); their
+  relative weight shifts across three macro-phases while the union
+  stays resident.
+* A periodic reduction pass: every maintenance period the program
+  sweeps a chunk of an over-capacity buffer (burst-phased, so the
+  sweep has a fixed place in the access-shot timeline).  The sweep's
+  reuse distance equals the buffer size -- the classic
+  LRU-pathological pattern; a frequency/density policy instead pins a
+  resident subset that hits once per cycle.
+* A thin one-touch input scan.
+
+This is a workload where the paper finds *eviction-only* to be the
+best GMM strategy (Fig. 6): nearly everything gets reused, so refusing
+admission costs hits (in particular it un-pins the swept buffer),
+while score-based eviction protects cluster pages and pinned sweep
+pages alike.
+"""
+
+from __future__ import annotations
+
+from repro.traces.synthetic import (
+    GaussianClusterSampler,
+    MixtureSampler,
+    PhasedTraceBuilder,
+    ScanOnceSampler,
+    SequentialLoopSampler,
+    TraceGenerator,
+    add_bursty_phases,
+    scaled_pages,
+)
+
+
+class ParsecWorkload(TraceGenerator):
+    """Synthetic PARSEC trace (streamcluster/canneal-like).
+
+    Region sizes are expressed at paper scale (against the 64 MB
+    cache) and multiplied by ``scale``; experiments use the
+    proportionally scaled-down profile (see
+    :func:`repro.traces.synthetic.scaled_pages`).
+
+    Parameters
+    ----------
+    scale:
+        Footprint scale factor.
+    footprint_pages:
+        Combined working-set extent of the clusters (paper scale).
+    loop_pages:
+        Size of the periodically swept buffer (paper scale); above
+        cache capacity so recency-based eviction thrashes on it.
+    burst_period / burst_len:
+        Sweep cadence: every ``burst_period`` requests end with
+        ``burst_len`` sweep requests.
+    scan_weight:
+        One-touch input-scan fraction within quiet phases.
+    """
+
+    name = "parsec"
+    default_length = 400_000
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        cluster_centers: tuple[int, ...] = (1_200, 5_000, 8_800),
+        cluster_stds: tuple[int, ...] = (350, 500, 300),
+        footprint_pages: int = 10_000,
+        loop_pages: int = 20_000,
+        burst_period: int = 10_000,
+        burst_len: int = 130,
+        scan_weight: float = 0.003,
+        write_fraction: float = 0.30,
+        n_phases: int = 3,
+    ) -> None:
+        if len(cluster_centers) != len(cluster_stds):
+            raise ValueError(
+                "cluster_centers and cluster_stds must have equal length"
+            )
+        if n_phases < 1:
+            raise ValueError("n_phases must be >= 1")
+        self.scale = scale
+        self.cluster_centers = cluster_centers
+        self.cluster_stds = cluster_stds
+        self.footprint_pages = footprint_pages
+        self.loop_pages = loop_pages
+        self.burst_period = burst_period
+        self.burst_len = burst_len
+        self.scan_weight = scan_weight
+        self.write_fraction = write_fraction
+        self.n_phases = n_phases
+
+    def _phase_cluster_weights(self, phase: int) -> list[float]:
+        """Rotate emphasis among clusters across macro-phases."""
+        n = len(self.cluster_centers)
+        weights = [1.0] * n
+        weights[phase % n] = 3.0
+        return weights
+
+    def generate(self, n_accesses, rng):
+        """Build the phased PARSEC trace."""
+        s = self.scale
+        footprint = scaled_pages(self.footprint_pages, s)
+        loop_pages = scaled_pages(self.loop_pages, s)
+        loop_base = footprint
+        scan_base = loop_base + loop_pages
+        builder = PhasedTraceBuilder()
+        per_phase = n_accesses // self.n_phases
+        remainder = n_accesses - per_phase * self.n_phases
+        loop = SequentialLoopSampler(
+            loop_base, loop_pages, burst=1, write_fraction=0.25
+        )
+        scan = ScanOnceSampler(scan_base, scaled_pages(64_000, s))
+        for phase in range(self.n_phases):
+            weights = self._phase_cluster_weights(phase)
+            clusters = GaussianClusterSampler(
+                [
+                    (center * s, max(1.0, std * s), weight)
+                    for center, std, weight in zip(
+                        self.cluster_centers, self.cluster_stds, weights
+                    )
+                ],
+                lo_page=0,
+                hi_page=footprint,
+                write_fraction=self.write_fraction,
+            )
+            normal = MixtureSampler(
+                [
+                    (clusters, 1.0 - self.scan_weight),
+                    (scan, self.scan_weight),
+                ]
+            )
+            length = per_phase + (remainder if phase == 0 else 0)
+            add_bursty_phases(
+                builder,
+                length,
+                normal_sampler=normal,
+                burst_sampler=loop,
+                period=self.burst_period,
+                burst_len=self.burst_len,
+            )
+        return builder.build(rng)

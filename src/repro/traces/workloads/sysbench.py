@@ -1,0 +1,119 @@
+"""sysbench-style trace: OLTP database benchmark.
+
+sysbench OLTP (the paper's [19]) mixes point SELECTs, small UPDATEs
+and range scans against an InnoDB-like B-tree.  The resulting memory
+profile -- visible in Fig. 2(c) of the ICGMM paper -- has an extremely
+hot, tiny region (root and inner nodes touched by *every* query), a
+broad weakly-skewed leaf area, and sequential bursts from range scans
+and the redo log.
+
+Structure generated here:
+
+* Inner-node region: a few hundred pages, steep Zipf, all reads.
+* Leaf region: tens of thousands of pages with moderate skew and a
+  20% write mix from UPDATE row changes.
+* Redo log: an append loop over a small window, all writes.
+* Range scans: each maintenance period ends with a sequential burst
+  over the leaf area -- one-touch pollution under LRU, near-zero
+  density to the GMM.
+"""
+
+from __future__ import annotations
+
+from repro.traces.synthetic import (
+    MixtureSampler,
+    PhasedTraceBuilder,
+    ScanOnceSampler,
+    SequentialLoopSampler,
+    TraceGenerator,
+    ZipfSampler,
+    add_bursty_phases,
+    scaled_pages,
+)
+
+
+class SysbenchWorkload(TraceGenerator):
+    """Synthetic sysbench OLTP trace.
+
+    Parameters
+    ----------
+    scale:
+        Footprint scale factor (regions sized at paper scale).
+    inner_pages / leaf_pages:
+        B-tree inner-node and leaf footprints (paper scale).
+    leaf_alpha:
+        Zipf exponent over leaves.
+    inner_weight / log_weight:
+        Access mix within quiet phases.
+    burst_period / burst_len:
+        Range-scan cadence over the leaf region.
+    """
+
+    name = "sysbench"
+    default_length = 400_000
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        inner_pages: int = 512,
+        leaf_pages: int = 56_000,
+        leaf_alpha: float = 1.45,
+        inner_weight: float = 0.30,
+        log_weight: float = 0.045,
+        burst_period: int = 10_000,
+        burst_len: int = 120,
+    ) -> None:
+        self.scale = scale
+        self.inner_pages = inner_pages
+        self.leaf_pages = leaf_pages
+        self.leaf_alpha = leaf_alpha
+        self.inner_weight = inner_weight
+        self.log_weight = log_weight
+        self.burst_period = burst_period
+        self.burst_len = burst_len
+
+    def generate(self, n_accesses, rng):
+        """Build the sysbench trace."""
+        s = self.scale
+        inner_pages = scaled_pages(self.inner_pages, s, minimum=16)
+        leaf_pages = scaled_pages(self.leaf_pages, s)
+        inner_base = 0
+        leaf_base = inner_pages
+        log_base = leaf_base + leaf_pages
+        inner = ZipfSampler(
+            base_page=inner_base,
+            n_pages=inner_pages,
+            alpha=1.3,
+            write_fraction=0.0,
+        )
+        leaves = ZipfSampler(
+            base_page=leaf_base,
+            n_pages=leaf_pages,
+            alpha=self.leaf_alpha,
+            write_fraction=0.20,
+        )
+        log = SequentialLoopSampler(
+            log_base,
+            scaled_pages(1_024, s, minimum=8),
+            burst=8,
+            write_fraction=1.0,
+        )
+        scans = ScanOnceSampler(leaf_base, leaf_pages)
+        leaf_weight = 1.0 - (self.inner_weight + self.log_weight)
+        normal = MixtureSampler(
+            [
+                (inner, self.inner_weight),
+                (leaves, leaf_weight),
+                (log, self.log_weight),
+            ]
+        )
+        builder = PhasedTraceBuilder()
+        add_bursty_phases(
+            builder,
+            n_accesses,
+            normal_sampler=normal,
+            burst_sampler=scans,
+            period=self.burst_period,
+            burst_len=self.burst_len,
+        )
+        return builder.build(rng)

@@ -1,0 +1,104 @@
+"""Tests for stack-distance analysis and miss-rate curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mrc import (
+    COLD,
+    lru_stack_distances,
+    miss_rate_curve,
+    working_set_curve,
+)
+from repro.cache.policies import LruPolicy
+from repro.cache.setassoc import (
+    CacheGeometry,
+    SetAssociativeCache,
+    simulate,
+)
+
+
+class TestStackDistances:
+    def test_cold_misses_are_inf(self):
+        distances = lru_stack_distances(np.array([1, 2, 3]))
+        assert np.all(np.isinf(distances))
+
+    def test_immediate_reuse_distance_zero(self):
+        distances = lru_stack_distances(np.array([5, 5]))
+        assert distances[1] == 0.0
+
+    def test_classic_example(self):
+        # a b c b a: dist(b@3)=1 (c), dist(a@4)=2 (b, c).
+        distances = lru_stack_distances(np.array([0, 1, 2, 1, 0]))
+        assert distances[3] == 1.0
+        assert distances[4] == 2.0
+
+    def test_repeated_interleave(self):
+        distances = lru_stack_distances(np.array([7, 8, 7, 8]))
+        np.testing.assert_array_equal(
+            distances[2:], [1.0, 1.0]
+        )
+
+
+class TestMissRateCurve:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacities"):
+            miss_rate_curve(np.array([1]), [])
+        with pytest.raises(ValueError, match=">= 1"):
+            miss_rate_curve(np.array([1]), [0])
+
+    def test_empty_trace(self):
+        assert miss_rate_curve(np.array([], dtype=int), [4]) == {4: 0.0}
+
+    def test_monotone_in_capacity(self, rng):
+        pages = rng.integers(0, 50, size=3000)
+        curve = miss_rate_curve(pages, [1, 2, 4, 8, 16, 32, 64])
+        values = [curve[c] for c in sorted(curve)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_large_capacity_leaves_only_cold_misses(self, rng):
+        pages = rng.integers(0, 30, size=2000)
+        curve = miss_rate_curve(pages, [10_000])
+        assert curve[10_000] == pytest.approx(
+            len(np.unique(pages)) / 2000
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_property_matches_fully_associative_simulation(self, seed):
+        # The analytic curve must agree exactly with the trace-driven
+        # simulator configured as a fully-associative LRU cache.
+        rng = np.random.default_rng(seed)
+        pages = rng.integers(0, 25, size=600)
+        capacity = int(rng.integers(1, 16))
+        curve = miss_rate_curve(pages, [capacity])
+        cache = SetAssociativeCache(
+            CacheGeometry(
+                capacity_bytes=capacity * 4096,
+                block_bytes=4096,
+                associativity=capacity,  # one set = fully associative
+            )
+        )
+        stats = simulate(
+            cache,
+            LruPolicy(),
+            pages,
+            np.zeros(len(pages), dtype=bool),
+        )
+        assert curve[capacity] == pytest.approx(stats.miss_rate)
+
+
+class TestWorkingSetCurve:
+    def test_simple_windows(self):
+        pages = np.array([1, 1, 2, 3, 3, 3])
+        sizes = working_set_curve(pages, window=3)
+        np.testing.assert_array_equal(sizes, [2, 1])
+
+    def test_partial_last_window(self):
+        sizes = working_set_curve(np.array([1, 2, 3]), window=2)
+        np.testing.assert_array_equal(sizes, [2, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            working_set_curve(np.array([1]), 0)

@@ -1,0 +1,112 @@
+"""Tests for text rendering of tables and figures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    bar_chart,
+    grouped_bar_chart,
+    histogram_figure,
+)
+from repro.analysis.tables import render_dict_table, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["workload", "miss"], [["memtier", 2.67], ["stream", 36.78]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "memtier" in lines[2]
+        assert "2.67" in lines[2]
+
+    def test_markdown_compatible(self):
+        text = render_table(["a"], [["x"]])
+        assert text.splitlines()[1].startswith("|-")
+
+    def test_float_format(self):
+        text = render_table(["v"], [[1.23456]], float_format="{:.4f}")
+        assert "1.2346" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError, match="headers"):
+            render_table([], [])
+
+    def test_dict_table_column_order(self):
+        text = render_dict_table(
+            [{"b": 2, "a": 1}], columns=["a", "b"]
+        )
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+    def test_dict_table_defaults_to_first_row_keys(self):
+        text = render_dict_table([{"x": 1, "y": 2}])
+        assert "x" in text.splitlines()[0]
+
+    def test_dict_table_rejects_empty(self):
+        with pytest.raises(ValueError, match="rows"):
+            render_dict_table([])
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        text = bar_chart(["a"], [0.0])
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError, match="nothing"):
+            bar_chart([], [])
+        with pytest.raises(ValueError, match="width"):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestGroupedBarChart:
+    def test_layout(self):
+        text = grouped_bar_chart(
+            ["memtier", "stream"],
+            {"lru": [2.67, 36.78], "gmm": [1.48, 30.64]},
+        )
+        assert "memtier:" in text
+        assert "stream:" in text
+        assert text.count("lru") == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+        with pytest.raises(ValueError, match="series"):
+            grouped_bar_chart(["a"], {})
+
+
+class TestHistogramFigure:
+    def test_peak_reaches_height(self):
+        text = histogram_figure(np.array([1, 4, 2]), height=4)
+        lines = text.splitlines()
+        assert lines[0][1] == "#"  # the peak column at the top row
+        assert lines[-1] == "---"
+
+    def test_title(self):
+        text = histogram_figure(np.array([1]), title="dlrm")
+        assert text.splitlines()[0] == "dlrm"
+
+    def test_all_zero(self):
+        text = histogram_figure(np.zeros(5), height=3)
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            histogram_figure(np.array([]))
+        with pytest.raises(ValueError, match="height"):
+            histogram_figure(np.array([1]), height=0)

@@ -1,0 +1,136 @@
+"""Tests for the scan-resistant policies (SLRU, 2Q)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.policies import (
+    LruPolicy,
+    SlruPolicy,
+    TwoQPolicy,
+    make_policy,
+)
+from repro.cache.setassoc import (
+    CacheGeometry,
+    SetAssociativeCache,
+    simulate,
+)
+
+
+def _simulate(pages, policy, ways=4, sets=1):
+    pages = np.asarray(pages)
+    cache = SetAssociativeCache(
+        CacheGeometry(
+            capacity_bytes=ways * sets * 4096,
+            block_bytes=4096,
+            associativity=ways,
+        )
+    )
+    stats = simulate(
+        cache, policy, pages, np.zeros(len(pages), dtype=bool)
+    )
+    return cache, stats
+
+
+class TestSlru:
+    def test_registered(self):
+        assert isinstance(make_policy("slru"), SlruPolicy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="protected_fraction"):
+            SlruPolicy(protected_fraction=1.0)
+        with pytest.raises(ValueError, match="protected_fraction"):
+            SlruPolicy(protected_fraction=-0.1)
+
+    def test_scan_does_not_evict_protected_block(self):
+        # Page 0 is hit (promoted to protected); a scan of new pages
+        # churns probation but 0 survives.
+        pages = [0, 0] + list(range(1, 10)) + [0]
+        _, slru_stats = _simulate(pages, SlruPolicy(), ways=4)
+        _, lru_stats = _simulate(pages, LruPolicy(), ways=4)
+        # SLRU keeps page 0 through the scan: final access hits.
+        assert slru_stats.hits == 2
+        # LRU loses it.
+        assert lru_stats.hits == 1
+
+    def test_protected_demotion(self):
+        # 4 ways, protected cap 2: promoting a third block demotes the
+        # LRU protected block rather than growing the segment.
+        policy = SlruPolicy(protected_fraction=0.5)
+        cache, _ = _simulate(
+            [0, 1, 2, 3, 0, 1, 2], policy, ways=4
+        )
+        protected = [
+            way
+            for way, m in enumerate(cache.meta[0])
+            if m == 1.0
+        ]
+        assert len(protected) == 2
+
+    def test_zero_protected_cap_degrades_gracefully(self):
+        # protected_fraction small enough that the cap is 0: behaves
+        # like LRU (no promotions), no crash.
+        policy = SlruPolicy(protected_fraction=0.1)
+        _, stats = _simulate([0, 0, 1, 2, 3, 4, 0], policy, ways=2)
+        assert stats.accesses == 7
+
+
+class TestTwoQ:
+    def test_registered(self):
+        assert isinstance(make_policy("2q"), TwoQPolicy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="a1_fraction"):
+            TwoQPolicy(a1_fraction=0.0)
+
+    def test_one_touch_blocks_evicted_first(self):
+        # Pages 0 promoted (hit); 1, 2, 3 are one-touch; inserting 4
+        # must evict from the FIFO (page 1), not the promoted page 0.
+        cache, _ = _simulate([0, 0, 1, 2, 3, 4], TwoQPolicy(), ways=4)
+        assert 0 in cache.resident_pages()
+        assert 1 not in cache.resident_pages()
+
+    def test_fifo_order_in_a1(self):
+        # Never-hit blocks evict in fill order.
+        cache, _ = _simulate([0, 1, 2, 3, 4, 5], TwoQPolicy(), ways=4)
+        assert cache.resident_pages() == {2, 3, 4, 5}
+
+    def test_am_fallback_when_a1_empty(self):
+        # All blocks promoted: victim falls back to LRU over Am.
+        pages = [0, 1, 2, 3] * 2 + [4]
+        cache, _ = _simulate(pages, TwoQPolicy(), ways=4)
+        assert 4 in cache.resident_pages()
+        assert 0 not in cache.resident_pages()  # LRU of Am
+
+
+class TestScanResistanceOnBurstyTrace:
+    def test_slru_and_2q_beat_lru_under_scan_pollution(self, rng):
+        # Hot working set + periodic one-touch scan bursts: the
+        # scan-resistant policies must beat plain LRU.
+        hot = rng.integers(0, 48, size=6000)
+        trace = []
+        scan_page = 1000
+        for i in range(0, 6000, 600):
+            trace.extend(hot[i : i + 600])
+            trace.extend(range(scan_page, scan_page + 64))
+            scan_page += 64
+        for policy_name in ("slru", "2q"):
+            _, smart = _simulate(
+                list(trace), make_policy(policy_name), ways=8, sets=8
+            )
+            _, lru = _simulate(list(trace), LruPolicy(), ways=8, sets=8)
+            assert smart.misses < lru.misses, policy_name
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=300))
+    def test_property_valid_behaviour(self, seed):
+        rng = np.random.default_rng(seed)
+        pages = list(rng.integers(0, 40, size=400))
+        for policy in (SlruPolicy(), TwoQPolicy()):
+            cache, stats = _simulate(pages, policy, ways=4, sets=2)
+            assert stats.accesses == 400
+            assert cache.occupancy() <= 8
+            # Segment markers stay in {0, 1}.
+            for ways in cache.meta:
+                assert all(m in (0.0, 1.0) for m in ways)

@@ -1,0 +1,99 @@
+"""Tests for cache geometry and tag-store mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.cache.setassoc import (
+    INVALID,
+    CacheGeometry,
+    SetAssociativeCache,
+)
+
+
+class TestCacheGeometry:
+    def test_paper_defaults(self):
+        geometry = CacheGeometry()
+        assert geometry.capacity_bytes == 64 * 1024 * 1024
+        assert geometry.block_bytes == 4096
+        assert geometry.associativity == 8
+        assert geometry.n_blocks == 16_384
+        assert geometry.n_sets == 2_048
+
+    def test_rejects_non_multiple_capacity(self):
+        with pytest.raises(ValueError, match="multiple of block_bytes"):
+            CacheGeometry(capacity_bytes=1000, block_bytes=4096)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError, match="associativity"):
+            CacheGeometry(associativity=0)
+
+    def test_rejects_blocks_not_divisible_by_ways(self):
+        with pytest.raises(ValueError, match="multiple of associativity"):
+            CacheGeometry(
+                capacity_bytes=3 * 4096, block_bytes=4096, associativity=2
+            )
+
+    def test_small_geometry(self):
+        geometry = CacheGeometry(
+            capacity_bytes=16 * 4096, block_bytes=4096, associativity=4
+        )
+        assert geometry.n_sets == 4
+
+
+def _small_cache(ways=2, sets=4):
+    return SetAssociativeCache(
+        CacheGeometry(
+            capacity_bytes=ways * sets * 4096,
+            block_bytes=4096,
+            associativity=ways,
+        )
+    )
+
+
+class TestSetAssociativeCache:
+    def test_starts_empty(self):
+        cache = _small_cache()
+        assert cache.occupancy() == 0
+        assert cache.resident_pages() == set()
+
+    def test_set_index_is_page_modulo_sets(self):
+        cache = _small_cache(sets=4)
+        assert cache.set_index(0) == 0
+        assert cache.set_index(5) == 1
+        assert cache.set_index(7) == 3
+
+    def test_lookup_miss(self):
+        cache = _small_cache()
+        set_index, way = cache.lookup(10)
+        assert way is None
+        assert set_index == 10 % 4
+
+    def test_fill_then_hit(self):
+        cache = _small_cache()
+        cache.fill(2, 0, page=6, dirty=False, meta=0.5, stamp=1.0)
+        set_index, way = cache.lookup(6)
+        assert (set_index, way) == (2, 0)
+        assert cache.meta[2][0] == 0.5
+        assert cache.stamp[2][0] == 1.0
+
+    def test_find_invalid_way(self):
+        cache = _small_cache(ways=2)
+        assert cache.find_invalid_way(0) == 0
+        cache.fill(0, 0, page=0, dirty=False, meta=0.0, stamp=0.0)
+        assert cache.find_invalid_way(0) == 1
+        cache.fill(0, 1, page=4, dirty=False, meta=0.0, stamp=0.0)
+        assert cache.find_invalid_way(0) is None
+
+    def test_occupancy_counts_valid_blocks(self):
+        cache = _small_cache()
+        cache.fill(0, 0, page=0, dirty=False, meta=0.0, stamp=0.0)
+        cache.fill(1, 1, page=5, dirty=True, meta=0.0, stamp=0.0)
+        assert cache.occupancy() == 2
+        assert cache.resident_pages() == {0, 5}
+
+    def test_invalid_constant(self):
+        assert INVALID == -1
+
+    def test_repr_mentions_occupancy(self):
+        cache = _small_cache()
+        assert "occupancy=0" in repr(cache)

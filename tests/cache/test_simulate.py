@@ -1,0 +1,241 @@
+"""Tests for the trace-driven cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.policies import GmmCachePolicy, LruPolicy
+from repro.cache.setassoc import (
+    CacheGeometry,
+    SetAssociativeCache,
+    simulate,
+)
+
+
+def _cache(ways=2, sets=2):
+    return SetAssociativeCache(
+        CacheGeometry(
+            capacity_bytes=ways * sets * 4096,
+            block_bytes=4096,
+            associativity=ways,
+        )
+    )
+
+
+def _run(pages, writes=None, cache=None, policy=None, **kwargs):
+    pages = np.asarray(pages)
+    if writes is None:
+        writes = np.zeros(len(pages), dtype=bool)
+    if cache is None:
+        cache = _cache()
+    if policy is None:
+        policy = LruPolicy()
+    return simulate(cache, policy, pages, np.asarray(writes), **kwargs)
+
+
+class TestBasicCounting:
+    def test_all_misses_on_distinct_pages(self):
+        stats = _run([0, 1, 2, 3])
+        assert stats.misses == 4
+        assert stats.hits == 0
+        assert stats.fills == 4
+
+    def test_repeat_hits(self):
+        stats = _run([0, 0, 0])
+        assert stats.misses == 1
+        assert stats.hits == 2
+
+    def test_hits_plus_misses_equals_accesses(self):
+        stats = _run([0, 1, 0, 2, 1, 5, 0])
+        assert stats.accesses == 7
+
+    def test_write_counters(self):
+        stats = _run([0, 0, 1], writes=[True, True, False])
+        assert stats.write_misses == 1  # first access to page 0
+        assert stats.write_hits == 1  # second access to page 0
+
+    def test_empty_trace(self):
+        stats = _run([])
+        assert stats.accesses == 0
+        assert stats.miss_rate == 0.0
+
+
+class TestEvictionAccounting:
+    def test_eviction_when_set_overflows(self):
+        # Cache: 2 sets x 2 ways. Pages 0,2,4 all map to set 0.
+        stats = _run([0, 2, 4])
+        assert stats.evictions == 1
+
+    def test_dirty_eviction_requires_writeback(self):
+        stats = _run([0, 2, 4], writes=[True, False, False])
+        assert stats.dirty_evictions == 1
+
+    def test_clean_eviction_no_writeback(self):
+        stats = _run([0, 2, 4], writes=[False, False, False])
+        assert stats.evictions == 1
+        assert stats.dirty_evictions == 0
+
+    def test_write_hit_marks_dirty(self):
+        # Page 0 written on its *hit*, then evicted -> dirty eviction.
+        stats = _run([0, 0, 2, 4], writes=[False, True, False, False])
+        assert stats.dirty_evictions == 1
+
+    def test_lru_victim_order(self):
+        # Set 0, 2 ways: fill 0, 2; touch 0; insert 4 -> evicts 2.
+        cache = _cache()
+        _run([0, 2, 0, 4], cache=cache)
+        assert 0 in cache.resident_pages()
+        assert 4 in cache.resident_pages()
+        assert 2 not in cache.resident_pages()
+
+
+class TestAdmission:
+    def test_bypass_below_threshold(self):
+        policy = GmmCachePolicy(threshold=0.5)
+        stats = _run(
+            [0, 0],
+            policy=policy,
+            scores=np.array([0.1, 0.1]),
+        )
+        # Low score: never cached, both accesses miss, both bypassed.
+        assert stats.misses == 2
+        assert stats.bypasses == 2
+        assert stats.fills == 0
+
+    def test_admit_at_threshold(self):
+        policy = GmmCachePolicy(threshold=0.5)
+        stats = _run(
+            [0, 0],
+            policy=policy,
+            scores=np.array([0.5, 0.5]),
+        )
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.bypasses == 0
+
+    def test_eviction_only_admits_everything(self):
+        policy = GmmCachePolicy(threshold=0.9, admission=False)
+        stats = _run(
+            [0, 0],
+            policy=policy,
+            scores=np.array([0.0, 0.0]),
+        )
+        assert stats.fills == 1
+        assert stats.bypasses == 0
+
+
+class TestScoreEviction:
+    def test_lowest_score_evicted(self):
+        # Set 0 ways=2: pages 0 (score .9), 2 (score .1); page 4
+        # (score .5) arrives -> victim is page 2.
+        cache = _cache()
+        policy = GmmCachePolicy(threshold=0.0)
+        _run(
+            [0, 2, 4],
+            cache=cache,
+            policy=policy,
+            scores=np.array([0.9, 0.1, 0.5]),
+        )
+        assert cache.resident_pages() == {0, 4, }
+
+    def test_caching_only_falls_back_to_lru(self):
+        # Same pattern but eviction=False: LRU evicts page 0 (oldest).
+        cache = _cache()
+        policy = GmmCachePolicy(threshold=0.0, eviction=False)
+        _run(
+            [0, 2, 4],
+            cache=cache,
+            policy=policy,
+            scores=np.array([0.9, 0.1, 0.5]),
+        )
+        assert cache.resident_pages() == {2, 4}
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_counters(self):
+        stats = _run([0, 1, 0, 1], warmup_fraction=0.5)
+        # First two accesses warm the cache silently; last two hit.
+        assert stats.accesses == 2
+        assert stats.hits == 2
+
+    def test_warmup_still_updates_state(self):
+        cache = _cache()
+        _run([0, 1], cache=cache, warmup_fraction=0.99)
+        assert cache.occupancy() == 2
+
+    def test_invalid_warmup_fraction(self):
+        with pytest.raises(ValueError, match="warmup_fraction"):
+            _run([0], warmup_fraction=1.0)
+
+
+class TestValidation:
+    def test_shape_mismatch_pages_writes(self):
+        cache = _cache()
+        with pytest.raises(ValueError, match="same shape"):
+            simulate(
+                cache,
+                LruPolicy(),
+                np.array([1, 2]),
+                np.array([False]),
+            )
+
+    def test_shape_mismatch_scores(self):
+        cache = _cache()
+        with pytest.raises(ValueError, match="scores"):
+            simulate(
+                cache,
+                LruPolicy(),
+                np.array([1, 2]),
+                np.array([False, False]),
+                scores=np.array([0.5]),
+            )
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pages=st.lists(
+            st.integers(min_value=0, max_value=63),
+            min_size=1,
+            max_size=300,
+        ),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_occupancy_bounded_and_counts_consistent(
+        self, pages, seed
+    ):
+        rng = np.random.default_rng(seed)
+        writes = rng.random(len(pages)) < 0.3
+        cache = _cache(ways=2, sets=4)
+        stats = simulate(
+            cache, LruPolicy(), np.array(pages), writes
+        )
+        assert cache.occupancy() <= cache.geometry.n_blocks
+        assert stats.accesses == len(pages)
+        assert stats.fills <= stats.misses
+        assert stats.dirty_evictions <= stats.evictions
+        assert stats.evictions <= stats.fills
+        # Every resident page must actually appear in the trace.
+        assert cache.resident_pages() <= set(pages)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        pages=st.lists(
+            st.integers(min_value=0, max_value=31),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_property_resident_set_maps_to_correct_sets(self, pages):
+        cache = _cache(ways=2, sets=4)
+        simulate(
+            cache,
+            LruPolicy(),
+            np.array(pages),
+            np.zeros(len(pages), dtype=bool),
+        )
+        for set_index, ways in enumerate(cache.tags):
+            for tag in ways:
+                if tag != -1:
+                    assert tag % cache.geometry.n_sets == set_index

@@ -1,0 +1,68 @@
+"""Tests for cache statistics."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+class TestDerivedRates:
+    def test_miss_rate(self):
+        stats = CacheStats(hits=75, misses=25)
+        assert stats.miss_rate == 0.25
+        assert stats.hit_rate == 0.75
+        assert stats.accesses == 100
+
+    def test_empty_run_rates_are_zero(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+        assert stats.bypass_rate == 0.0
+        assert stats.dirty_eviction_rate == 0.0
+
+    def test_bypass_rate(self):
+        stats = CacheStats(hits=0, misses=10, bypasses=4)
+        assert stats.bypass_rate == 0.4
+
+    def test_dirty_eviction_rate(self):
+        stats = CacheStats(misses=20, evictions=10, dirty_evictions=5)
+        assert stats.dirty_eviction_rate == 0.25
+
+
+class TestMerge:
+    def test_merge_sums_counters(self):
+        a = CacheStats(hits=1, misses=2, bypasses=1, fills=1,
+                       evictions=1, dirty_evictions=1, write_hits=1,
+                       write_misses=1)
+        b = CacheStats(hits=10, misses=20, bypasses=10, fills=10,
+                       evictions=10, dirty_evictions=10, write_hits=10,
+                       write_misses=10)
+        merged = a.merge(b)
+        assert merged.hits == 11
+        assert merged.misses == 22
+        assert merged.accesses == 33
+        assert merged.dirty_evictions == 11
+
+    def test_merge_does_not_mutate(self):
+        a = CacheStats(hits=1)
+        b = CacheStats(hits=2)
+        a.merge(b)
+        assert a.hits == 1
+        assert b.hits == 2
+
+
+class TestAsDict:
+    def test_contains_counters_and_rates(self):
+        stats = CacheStats(hits=3, misses=1)
+        payload = stats.as_dict()
+        assert payload["hits"] == 3
+        assert payload["miss_rate"] == pytest.approx(0.25)
+        assert set(payload) >= {
+            "hits",
+            "misses",
+            "bypasses",
+            "fills",
+            "evictions",
+            "dirty_evictions",
+            "miss_rate",
+            "hit_rate",
+        }

@@ -1,0 +1,100 @@
+"""Tests for the executable LSTM policy engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.lstm_engine import (
+    LstmEngineConfig,
+    LstmPolicyEngine,
+    frequency_targets,
+)
+
+
+def _tiny_config(**overrides):
+    overrides.setdefault("hidden_size", 8)
+    overrides.setdefault("n_layers", 1)
+    overrides.setdefault("sequence_length", 4)
+    overrides.setdefault("epochs", 2)
+    overrides.setdefault("max_train_sequences", 500)
+    return LstmEngineConfig(**overrides)
+
+
+def _stream(rng, n=1200):
+    # Hot pages 0-9, cold pages 100-999.
+    hot = rng.integers(0, 10, size=n)
+    cold = rng.integers(100, 1000, size=n)
+    take_hot = rng.random(n) < 0.8
+    pages = np.where(take_hot, hot, cold)
+    features = np.column_stack(
+        [pages.astype(float), np.arange(n) % 64]
+    )
+    return features, pages
+
+
+class TestFrequencyTargets:
+    def test_hot_pages_get_higher_targets(self):
+        pages = np.array([1, 1, 1, 2])
+        targets = frequency_targets(pages)
+        assert targets[0] > targets[3]
+        assert targets[0] == pytest.approx(np.log1p(3))
+
+    def test_aligned_per_request(self):
+        pages = np.array([5, 7, 5])
+        targets = frequency_targets(pages)
+        assert targets[0] == targets[2]
+
+
+class TestConfig:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LstmEngineConfig(hidden_size=0)
+        with pytest.raises(ValueError):
+            LstmEngineConfig(epochs=0)
+
+
+class TestTrainAndScore:
+    def test_train_produces_engine(self, rng):
+        features, pages = _stream(rng)
+        engine = LstmPolicyEngine.train(
+            features, pages, _tiny_config(), rng
+        )
+        assert np.isfinite(engine.final_training_loss)
+
+    def test_score_shape_and_head_padding(self, rng):
+        features, pages = _stream(rng)
+        engine = LstmPolicyEngine.train(
+            features, pages, _tiny_config(), rng
+        )
+        scores = engine.score(features)
+        assert scores.shape == (features.shape[0],)
+        # Head (no full window) reuses the first full window's score.
+        assert np.all(scores[:3] == scores[3])
+
+    def test_hot_pages_score_above_cold_on_average(self, rng):
+        features, pages = _stream(rng, n=2000)
+        engine = LstmPolicyEngine.train(
+            features, pages, _tiny_config(epochs=4), rng
+        )
+        scores = engine.score(features)
+        hot_mean = scores[pages < 10].mean()
+        cold_mean = scores[pages >= 100].mean()
+        assert hot_mean > cold_mean
+
+    def test_validation(self, rng):
+        config = _tiny_config()
+        with pytest.raises(ValueError, match=r"\(N, 2\)"):
+            LstmPolicyEngine.train(
+                np.zeros((10, 3)), np.zeros(10, dtype=int), config, rng
+            )
+        with pytest.raises(ValueError, match="sequence_length"):
+            LstmPolicyEngine.train(
+                np.zeros((3, 2)), np.zeros(3, dtype=int), config, rng
+            )
+
+    def test_score_rejects_short_stream(self, rng):
+        features, pages = _stream(rng)
+        engine = LstmPolicyEngine.train(
+            features, pages, _tiny_config(), rng
+        )
+        with pytest.raises(ValueError, match="shorter"):
+            engine.score(features[:2])

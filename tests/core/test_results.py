@@ -1,0 +1,90 @@
+"""Tests for result containers."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.core.results import (
+    BenchmarkResult,
+    StrategyOutcome,
+    SuiteResult,
+)
+
+
+def _outcome(strategy, misses, hits=1000, time_us=10.0):
+    return StrategyOutcome(
+        strategy=strategy,
+        stats=CacheStats(hits=hits, misses=misses),
+        average_time_us=time_us,
+    )
+
+
+def _benchmark():
+    return BenchmarkResult(
+        workload="memtier",
+        outcomes={
+            "lru": _outcome("lru", 100, time_us=10.0),
+            "gmm-caching": _outcome("gmm-caching", 90, time_us=9.0),
+            "gmm-eviction": _outcome("gmm-eviction", 70, time_us=7.5),
+            "gmm-caching-eviction": _outcome(
+                "gmm-caching-eviction", 80, time_us=8.0
+            ),
+        },
+    )
+
+
+class TestStrategyOutcome:
+    def test_miss_rate_percent(self):
+        outcome = _outcome("lru", misses=100, hits=900)
+        assert outcome.miss_rate_percent == pytest.approx(10.0)
+
+
+class TestBenchmarkResult:
+    def test_requires_lru(self):
+        with pytest.raises(ValueError, match="LRU baseline"):
+            BenchmarkResult(
+                workload="x",
+                outcomes={"gmm-eviction": _outcome("gmm-eviction", 1)},
+            )
+
+    def test_best_gmm_lowest_miss(self):
+        assert _benchmark().best_gmm.strategy == "gmm-eviction"
+
+    def test_best_gmm_requires_candidates(self):
+        result = BenchmarkResult(
+            workload="x", outcomes={"lru": _outcome("lru", 10)}
+        )
+        with pytest.raises(ValueError, match="no GMM strategy"):
+            result.best_gmm
+
+    def test_miss_reduction_points(self):
+        result = _benchmark()
+        lru = 100 / 1100 * 100
+        best = 70 / 1070 * 100
+        assert result.miss_reduction_points == pytest.approx(lru - best)
+
+    def test_time_reduction_percent(self):
+        assert _benchmark().time_reduction_percent == pytest.approx(
+            100 * (10.0 - 7.5) / 10.0
+        )
+
+
+class TestSuiteResult:
+    def test_access_and_iteration(self):
+        suite = SuiteResult(results={"memtier": _benchmark()})
+        assert suite["memtier"].workload == "memtier"
+        assert [r.workload for r in suite] == ["memtier"]
+
+    def test_fig6_rows(self):
+        suite = SuiteResult(results={"memtier": _benchmark()})
+        (row,) = suite.fig6_rows()
+        assert row["workload"] == "memtier"
+        assert row["best_gmm"] == "gmm-eviction"
+        assert row["lru"] == pytest.approx(100 / 1100 * 100)
+        assert row["reduction_points"] > 0
+
+    def test_table1_rows(self):
+        suite = SuiteResult(results={"memtier": _benchmark()})
+        (row,) = suite.table1_rows()
+        assert row["lru_us"] == 10.0
+        assert row["gmm_us"] == 7.5
+        assert row["reduction_percent"] == pytest.approx(25.0)

@@ -1,0 +1,62 @@
+"""Tests for the unified address space."""
+
+import pytest
+
+from repro.cxl.address_space import AddressRange, UnifiedAddressSpace
+
+
+class TestAddressRange:
+    def test_contains(self):
+        r = AddressRange(100, 50)
+        assert 100 in r
+        assert 149 in r
+        assert 150 not in r
+        assert 99 not in r
+
+    def test_offset(self):
+        r = AddressRange(100, 50)
+        assert r.offset_of(120) == 20
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            AddressRange(100, 50).offset_of(10)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            AddressRange(-1, 10)
+        with pytest.raises(ValueError):
+            AddressRange(0, 0)
+
+
+class TestUnifiedAddressSpace:
+    def test_layout(self):
+        space = UnifiedAddressSpace(host_bytes=1024, device_bytes=4096)
+        assert space.host_range.base == 0
+        assert space.device_range.base == 1024
+        assert space.total_bytes == 5120
+
+    def test_routing_predicates(self):
+        space = UnifiedAddressSpace(host_bytes=1024, device_bytes=4096)
+        assert space.is_host_address(0)
+        assert space.is_host_address(1023)
+        assert space.is_device_address(1024)
+        assert space.is_device_address(5119)
+        assert not space.is_device_address(1023)
+        assert not space.is_host_address(1024)
+
+    def test_translation_round_trip(self):
+        space = UnifiedAddressSpace(host_bytes=1024, device_bytes=4096)
+        offset = space.to_device_offset(3000)
+        assert offset == 3000 - 1024
+        assert space.to_host_physical(offset) == 3000
+
+    def test_translation_bounds(self):
+        space = UnifiedAddressSpace(host_bytes=1024, device_bytes=4096)
+        with pytest.raises(ValueError):
+            space.to_device_offset(100)
+        with pytest.raises(ValueError):
+            space.to_host_physical(4096)
+
+    def test_defaults_are_tb_scale(self):
+        space = UnifiedAddressSpace()
+        assert space.device_range.size == 1 << 40

@@ -1,0 +1,67 @@
+"""Property test: the CXL device agrees with the cache simulator.
+
+Third independent implementation of the request loop
+(:class:`repro.cxl.device.CxlMemoryDevice` serves requests one at a
+time with latencies); its counters must match
+:func:`repro.cache.setassoc.simulate` exactly on any stream.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.policies import GmmCachePolicy, LruPolicy
+from repro.cache.setassoc import (
+    CacheGeometry,
+    SetAssociativeCache,
+    simulate,
+)
+from repro.cxl.device import CxlMemoryDevice
+
+
+def _cache():
+    return SetAssociativeCache(
+        CacheGeometry(
+            capacity_bytes=4 * 4 * 4096, block_bytes=4096, associativity=4
+        )
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    use_gmm=st.booleans(),
+)
+def test_device_counters_match_simulator(seed, use_gmm):
+    rng = np.random.default_rng(seed)
+    n = 400
+    pages = rng.integers(0, 50, size=n)
+    writes = rng.random(n) < 0.3
+    scores = rng.random(n)
+
+    def make_policy():
+        if use_gmm:
+            return GmmCachePolicy(threshold=0.4)
+        return LruPolicy()
+
+    fast = simulate(
+        _cache(), make_policy(), pages, writes, scores=scores
+    )
+    device = CxlMemoryDevice(_cache(), make_policy())
+    for page, write, score in zip(pages, writes, scores):
+        device.access(int(page), bool(write), float(score))
+
+    for field in (
+        "hits",
+        "misses",
+        "bypasses",
+        "bypassed_writes",
+        "fills",
+        "evictions",
+        "dirty_evictions",
+        "write_hits",
+        "write_misses",
+    ):
+        assert getattr(fast, field) == getattr(
+            device.stats, field
+        ), field

@@ -1,0 +1,147 @@
+"""Tests for the CXL device, link and router."""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import GmmCachePolicy, LruPolicy
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.cxl.address_space import UnifiedAddressSpace
+from repro.cxl.device import CxlMemoryDevice
+from repro.cxl.link import CxlLinkSpec
+from repro.cxl.router import CxlSystem
+from repro.traces.record import MemoryTrace
+
+
+def _device(policy=None, ways=2, sets=2):
+    cache = SetAssociativeCache(
+        CacheGeometry(
+            capacity_bytes=ways * sets * 4096,
+            block_bytes=4096,
+            associativity=ways,
+        )
+    )
+    return CxlMemoryDevice(
+        cache, policy if policy is not None else LruPolicy()
+    )
+
+
+class TestLink:
+    def test_transfer_time(self):
+        link = CxlLinkSpec(bandwidth_gb_s=25.0)
+        # 25 GB/s ~ 25 bytes/ns -> 4 KiB ~ 164 ns.
+        assert link.transfer_ns(4096) == pytest.approx(164, abs=1)
+
+    def test_request_latency_includes_overhead(self):
+        link = CxlLinkSpec(round_trip_overhead_ns=150)
+        assert link.request_latency_ns(0) == 150
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CxlLinkSpec(round_trip_overhead_ns=-1)
+        with pytest.raises(ValueError):
+            CxlLinkSpec(bandwidth_gb_s=0)
+        with pytest.raises(ValueError):
+            CxlLinkSpec().transfer_ns(-1)
+
+
+class TestDevice:
+    def test_hit_latency(self):
+        device = _device()
+        device.access(0, False)  # miss + fill
+        result = device.access(0, False)
+        assert result.hit
+        assert result.latency_ns == 1_000
+
+    def test_miss_pays_ssd_read(self):
+        device = _device()
+        result = device.access(0, False)
+        assert not result.hit
+        assert result.latency_ns == 75_000
+
+    def test_dirty_eviction_adds_write(self):
+        device = _device()
+        device.access(0, True)  # dirty fill, set 0
+        device.access(2, False)  # set 0 second way
+        result = device.access(4, False)  # evicts dirty page 0
+        assert result.latency_ns == 75_000 + 900_000
+        assert device.stats.dirty_evictions == 1
+
+    def test_bypass(self):
+        device = _device(policy=GmmCachePolicy(threshold=0.5))
+        result = device.access(0, False, score=0.1)
+        assert result.bypassed
+        assert device.stats.bypasses == 1
+        # Bypassed page is not resident.
+        assert device.cache.occupancy() == 0
+
+    def test_stats_accumulate(self):
+        device = _device()
+        for page in (0, 0, 1, 1):
+            device.access(page, False)
+        assert device.stats.hits == 2
+        assert device.stats.misses == 2
+
+    def test_rejects_bad_hit_latency(self):
+        with pytest.raises(ValueError):
+            CxlMemoryDevice(
+                SetAssociativeCache(), LruPolicy(), hit_latency_ns=0
+            )
+
+
+class TestRouter:
+    def _system(self):
+        space = UnifiedAddressSpace(
+            host_bytes=1 << 20, device_bytes=1 << 30
+        )
+        return CxlSystem(space, _device()), space
+
+    def test_host_access_is_fast(self):
+        system, _ = self._system()
+        assert system.access(0, False) == 80
+
+    def test_device_access_includes_link(self):
+        system, space = self._system()
+        address = space.device_range.base  # device page 0, miss
+        latency = system.access(address, False)
+        link_ns = system.link.request_latency_ns(64)
+        assert latency == link_ns + 75_000
+
+    def test_device_page_translation(self):
+        # Two unified addresses in the same device page must hit.
+        system, space = self._system()
+        base = space.device_range.base
+        system.access(base, False)
+        latency = system.access(base + 64, False)
+        assert latency == system.link.request_latency_ns(64) + 1_000
+
+    def test_run_trace_partitions_accesses(self):
+        system, space = self._system()
+        addresses = np.array(
+            [0, 64, space.device_range.base, space.device_range.base + 64]
+        )
+        trace = MemoryTrace(addresses, np.zeros(4, dtype=bool))
+        result = system.run_trace(trace)
+        assert result.host_accesses == 2
+        assert result.device_accesses == 2
+        assert result.total_accesses == 4
+        assert result.average_latency_ns > 0
+
+    def test_run_trace_score_validation(self):
+        system, _ = self._system()
+        trace = MemoryTrace(np.array([0]), np.array([False]))
+        with pytest.raises(ValueError, match="align"):
+            system.run_trace(trace, scores=np.array([0.1, 0.2]))
+
+    def test_empty_trace(self):
+        system, _ = self._system()
+        trace = MemoryTrace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        result = system.run_trace(trace)
+        assert result.average_latency_ns == 0.0
+        assert result.average_device_latency_us == 0.0
+
+    def test_rejects_bad_host_latency(self):
+        space = UnifiedAddressSpace(1 << 20, 1 << 30)
+        with pytest.raises(ValueError):
+            CxlSystem(space, _device(), host_latency_ns=0)

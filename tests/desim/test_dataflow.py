@@ -1,0 +1,149 @@
+"""Tests for the ICGMM dataflow simulation (overlap claim etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import GmmCachePolicy, LruPolicy
+from repro.cache.setassoc import (
+    CacheGeometry,
+    SetAssociativeCache,
+    simulate,
+)
+from repro.desim.dataflow import IcgmmDataflow
+from repro.desim.kernels import DataflowTiming
+from repro.hardware.ssd import SsdLatencyEmulator, get_ssd_spec
+
+
+def _cache(ways=2, sets=2):
+    return SetAssociativeCache(
+        CacheGeometry(
+            capacity_bytes=ways * sets * 4096,
+            block_bytes=4096,
+            associativity=ways,
+        )
+    )
+
+
+def _run(pages, writes=None, scores=None, policy=None, timing=None,
+         ways=2, sets=2):
+    pages = np.asarray(pages)
+    if writes is None:
+        writes = np.zeros(len(pages), dtype=bool)
+    dataflow = IcgmmDataflow(
+        cache=_cache(ways, sets),
+        policy=policy if policy is not None else LruPolicy(),
+        ssd=SsdLatencyEmulator(get_ssd_spec("tlc")),
+        timing=timing,
+    )
+    return dataflow.run(pages, np.asarray(writes), scores)
+
+
+class TestLatencies:
+    def test_hit_takes_one_microsecond(self):
+        result = _run([0, 0])
+        # Second access hits: 1 us.
+        assert result.latencies_ns[1] == 1_000
+
+    def test_clean_miss_takes_ssd_read(self):
+        result = _run([0])
+        # 10 ns tag compare + 75 us SSD read.
+        assert result.latencies_ns[0] == 10 + 75_000
+
+    def test_dirty_eviction_adds_write_back(self):
+        # Set 0 (2 ways): write 0, fill 2, fill 4 evicting dirty 0.
+        result = _run([0, 2, 4], writes=[True, False, False])
+        assert result.latencies_ns[2] == 10 + 75_000 + 900_000
+
+    def test_bypassed_write_pays_flash_program(self):
+        policy = GmmCachePolicy(threshold=0.5)
+        result = _run(
+            [0],
+            writes=[True],
+            scores=np.array([0.0]),
+            policy=policy,
+        )
+        assert result.latencies_ns[0] == 10 + 75_000 + 900_000
+
+    def test_average_latency_us(self):
+        result = _run([0, 0])
+        expected = ((10 + 75_000) + 1_000) / 2 / 1_000
+        assert result.average_latency_us == pytest.approx(expected)
+
+    def test_percentile(self):
+        result = _run([0, 0, 0, 0])
+        assert result.percentile_us(50) == pytest.approx(1.0)
+
+
+class TestOverlapClaim:
+    def test_gmm_latency_hidden_by_dataflow(self):
+        # Sec. 5.3: the 3 us GMM inference overlaps the 75 us read, so
+        # the dataflow miss path equals the SSD latency...
+        overlapped = _run([0], timing=DataflowTiming(overlap=True))
+        assert overlapped.latencies_ns[0] == 10 + 75_000
+
+    def test_sequential_control_pays_gmm_latency(self):
+        # ...whereas naive sequential control pays 3 us extra per miss.
+        sequential = _run([0], timing=DataflowTiming(overlap=False))
+        assert sequential.latencies_ns[0] == 10 + 3_000 + 75_000
+
+    def test_overlap_saving_scales_with_misses(self):
+        pages = list(range(20))  # all misses
+        fast = _run(pages, timing=DataflowTiming(overlap=True))
+        slow = _run(pages, timing=DataflowTiming(overlap=False))
+        saving = slow.total_time_ns - fast.total_time_ns
+        assert saving == 20 * 3_000
+
+
+class TestAgreementWithFastSimulator:
+    def test_same_hit_miss_counts_as_simulate(self, rng):
+        # The dataflow and the fast simulator share policy logic; their
+        # hit/miss/eviction counters must agree exactly.
+        pages = rng.integers(0, 30, size=500)
+        writes = rng.random(500) < 0.3
+        scores = rng.random(500)
+
+        fast_cache = _cache(ways=4, sets=4)
+        fast_policy = GmmCachePolicy(threshold=0.4)
+        fast_stats = simulate(
+            fast_cache, fast_policy, pages, writes, scores=scores
+        )
+
+        slow_policy = GmmCachePolicy(threshold=0.4)
+        dataflow = IcgmmDataflow(
+            cache=_cache(ways=4, sets=4), policy=slow_policy
+        )
+        result = dataflow.run(pages, writes, scores)
+
+        assert result.stats.hits == fast_stats.hits
+        assert result.stats.misses == fast_stats.misses
+        assert result.stats.bypasses == fast_stats.bypasses
+        assert result.stats.evictions == fast_stats.evictions
+        assert result.stats.dirty_evictions == fast_stats.dirty_evictions
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        dataflow = IcgmmDataflow(cache=_cache(), policy=LruPolicy())
+        with pytest.raises(ValueError, match="same shape"):
+            dataflow.run(np.array([1, 2]), np.array([False]))
+
+    def test_score_shape_mismatch(self):
+        dataflow = IcgmmDataflow(cache=_cache(), policy=LruPolicy())
+        with pytest.raises(ValueError, match="scores"):
+            dataflow.run(
+                np.array([1]), np.array([False]), np.array([0.1, 0.2])
+            )
+
+    def test_empty_run(self):
+        dataflow = IcgmmDataflow(cache=_cache(), policy=LruPolicy())
+        result = dataflow.run(
+            np.array([], dtype=int), np.array([], dtype=bool)
+        )
+        assert result.average_latency_us == 0.0
+        assert result.percentile_us(99) == 0.0
+
+    def test_timing_validation(self):
+        with pytest.raises(ValueError, match="hit_latency"):
+            DataflowTiming(tag_compare_ns=2_000, hit_latency_ns=1_000)
+        with pytest.raises(ValueError, match="gmm_latency"):
+            DataflowTiming(gmm_latency_ns=-1)

@@ -1,0 +1,84 @@
+"""Tests for the open-loop (queueing) dataflow mode."""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import LruPolicy
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.desim.dataflow import IcgmmDataflow
+from repro.desim.kernels import open_loop_source
+
+
+def _dataflow(ways=2, sets=2):
+    cache = SetAssociativeCache(
+        CacheGeometry(
+            capacity_bytes=ways * sets * 4096,
+            block_bytes=4096,
+            associativity=ways,
+        )
+    )
+    return IcgmmDataflow(cache=cache, policy=LruPolicy())
+
+
+class TestOpenLoop:
+    def test_slow_arrivals_match_closed_loop_service(self):
+        # Interval far above the worst service time: no queueing, so
+        # latencies equal the closed-loop service times.
+        pages = np.array([0, 0, 1, 1])
+        writes = np.zeros(4, dtype=bool)
+        closed = _dataflow().run(pages, writes)
+        open_slow = _dataflow().run(
+            pages, writes, open_loop_interval_ns=10_000_000
+        )
+        np.testing.assert_array_equal(
+            closed.latencies_ns, open_slow.latencies_ns
+        )
+
+    def test_fast_arrivals_accumulate_queueing_delay(self):
+        # All misses at 75 us service, arrivals every 1 us: the queue
+        # grows and later requests see far more than service time.
+        pages = np.arange(12)
+        writes = np.zeros(12, dtype=bool)
+        result = _dataflow(ways=4, sets=4).run(
+            pages, writes, open_loop_interval_ns=1_000
+        )
+        assert result.latencies_ns[0] == pytest.approx(75_010, abs=20)
+        # The last request waited behind many 75 us services.
+        assert result.latencies_ns[-1] > 5 * 75_000
+
+    def test_open_loop_throughput_bounded_by_service(self):
+        # Total completion time ~ n_misses x SSD read regardless of
+        # the arrival rate.
+        pages = np.arange(10)
+        writes = np.zeros(10, dtype=bool)
+        result = _dataflow(ways=4, sets=4).run(
+            pages, writes, open_loop_interval_ns=100
+        )
+        assert result.total_time_ns >= 10 * 75_000
+
+    def test_same_cache_behaviour_as_closed_loop(self, rng):
+        pages = rng.integers(0, 10, size=200)
+        writes = rng.random(200) < 0.3
+        closed = _dataflow().run(pages, writes)
+        opened = _dataflow().run(
+            pages, writes, open_loop_interval_ns=500
+        )
+        assert closed.stats.hits == opened.stats.hits
+        assert closed.stats.misses == opened.stats.misses
+        assert (
+            closed.stats.dirty_evictions
+            == opened.stats.dirty_evictions
+        )
+
+    def test_rejects_negative_interval(self):
+        source = open_loop_source(None, [], None, -1, [])
+        with pytest.raises(ValueError, match="interval_ns"):
+            next(source)
+
+    def test_zero_interval_back_to_back(self):
+        pages = np.array([0, 0, 0])
+        writes = np.zeros(3, dtype=bool)
+        result = _dataflow().run(
+            pages, writes, open_loop_interval_ns=0
+        )
+        assert result.stats.hits == 2

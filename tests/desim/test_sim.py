@@ -1,0 +1,176 @@
+"""Tests for the discrete-event kernel and FIFOs."""
+
+import pytest
+
+from repro.desim.sim import Delay, Fifo, Simulator
+
+
+class TestScheduler:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 30
+
+    def test_equal_times_fifo_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, lambda: order.append(1))
+        sim.schedule(5, lambda: order.append(2))
+        sim.schedule(5, lambda: order.append(3))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append("early"))
+        sim.schedule(100, lambda: fired.append("late"))
+        sim.run(until_ns=50)
+        assert fired == ["early"]
+        assert sim.now == 50
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+        with pytest.raises(ValueError):
+            Delay(-5)
+
+
+class TestProcesses:
+    def test_delay_advances_time(self):
+        sim = Simulator()
+        times = []
+
+        def body():
+            yield Delay(100)
+            times.append(sim.now)
+            yield Delay(50)
+            times.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert times == [100, 150]
+
+    def test_unknown_command_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield "banana"
+
+        sim.process(body())
+        with pytest.raises(TypeError, match="unknown command"):
+            sim.run()
+
+    def test_process_finishes(self):
+        sim = Simulator()
+
+        def body():
+            yield Delay(1)
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.finished
+
+
+class TestFifo:
+    def test_put_then_get(self):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=2)
+        received = []
+
+        def producer():
+            yield fifo.put("x")
+            yield fifo.put("y")
+
+        def consumer():
+            a = yield fifo.get()
+            b = yield fifo.get()
+            received.extend([a, b])
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == ["x", "y"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=1)
+        arrival = []
+
+        def consumer():
+            item = yield fifo.get()
+            arrival.append((item, sim.now))
+
+        def producer():
+            yield Delay(500)
+            yield fifo.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert arrival == [("late", 500)]
+
+    def test_put_blocks_when_full(self):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=1)
+        done_times = []
+
+        def producer():
+            yield fifo.put(1)  # fills capacity
+            yield fifo.put(2)  # must wait for the consumer
+            done_times.append(sim.now)
+
+        def consumer():
+            yield Delay(1000)
+            yield fifo.get()
+            yield fifo.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert done_times[0] >= 1000
+
+    def test_fifo_ordering_preserved(self):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=8)
+        received = []
+
+        def producer():
+            for i in range(5):
+                yield fifo.put(i)
+
+        def consumer():
+            for _ in range(5):
+                item = yield fifo.get()
+                received.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_rejects_zero_capacity(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Fifo(sim, capacity=0)
+
+    def test_len_reflects_buffered_items(self):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=4)
+
+        def producer():
+            yield fifo.put("a")
+            yield fifo.put("b")
+
+        sim.process(producer())
+        sim.run()
+        assert len(fifo) == 2
+        assert not fifo.is_full

@@ -1,0 +1,119 @@
+"""Property tests: affine equivariance and robustness of EM.
+
+A Gaussian mixture is closed under affine maps, and the EM estimator
+inherits that: fitting translated/scaled data must produce the
+translated/scaled model (same responsibilities, shifted moments).
+These invariances catch a large class of normalisation bugs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gmm.em import EMTrainer
+
+
+def _data(seed, n_per=150):
+    rng = np.random.default_rng(seed)
+    a = rng.multivariate_normal([0.0, 0.0], np.eye(2), size=n_per)
+    b = rng.multivariate_normal([7.0, 3.0], 0.5 * np.eye(2), size=n_per)
+    data = np.concatenate([a, b])
+    rng.shuffle(data)
+    return data
+
+
+def _fit(points, seed=0, k=2):
+    return EMTrainer(k, max_iter=120, tol=1e-8).fit(
+        points, np.random.default_rng(seed)
+    ).model
+
+
+def _match_components(means_a, means_b):
+    """Pair components of two 2-component models by proximity."""
+    direct = np.linalg.norm(means_a - means_b)
+    swapped = np.linalg.norm(means_a - means_b[::-1])
+    return (0, 1) if direct <= swapped else (1, 0)
+
+
+class TestTranslationEquivariance:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        dx=st.floats(min_value=-50, max_value=50),
+        dy=st.floats(min_value=-50, max_value=50),
+    )
+    def test_means_translate(self, dx, dy):
+        data = _data(3)
+        base = _fit(data)
+        shifted = _fit(data + np.array([dx, dy]))
+        order = _match_components(
+            base.means + np.array([dx, dy]), shifted.means
+        )
+        np.testing.assert_allclose(
+            base.means + np.array([dx, dy]),
+            shifted.means[list(order)],
+            atol=1e-3,
+        )
+        # Covariances and weights are translation-invariant.
+        np.testing.assert_allclose(
+            base.covariances,
+            shifted.covariances[list(order)],
+            atol=1e-3,
+        )
+
+
+class TestScaleEquivariance:
+    @settings(max_examples=8, deadline=None)
+    @given(scale=st.floats(min_value=0.1, max_value=20.0))
+    def test_moments_scale(self, scale):
+        data = _data(4)
+        base = _fit(data)
+        scaled = _fit(data * scale)
+        order = _match_components(base.means * scale, scaled.means)
+        np.testing.assert_allclose(
+            base.means * scale,
+            scaled.means[list(order)],
+            rtol=1e-3,
+            atol=1e-3,
+        )
+        np.testing.assert_allclose(
+            base.covariances * scale**2,
+            scaled.covariances[list(order)],
+            rtol=5e-3,
+            atol=1e-3,
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(scale=st.floats(min_value=0.5, max_value=5.0))
+    def test_density_jacobian(self, scale):
+        # p_scaled(s x) = p(x) / s^2 in 2-D.
+        data = _data(5)
+        base = _fit(data)
+        scaled = _fit(data * scale)
+        probe = np.array([[1.0, 1.0], [5.0, 2.0]])
+        np.testing.assert_allclose(
+            scaled.score_samples(probe * scale),
+            base.score_samples(probe) / scale**2,
+            rtol=0.05,
+        )
+
+
+class TestRobustness:
+    def test_single_outlier_does_not_break_fit(self):
+        data = np.concatenate(
+            [_data(6), np.array([[1e4, 1e4]])]
+        )
+        model = _fit(data, k=2)
+        assert np.all(np.isfinite(model.means))
+        assert model.weights.sum() == pytest.approx(1.0)
+
+    def test_duplicated_dataset_same_model(self):
+        # EM's fixed points depend on the empirical distribution, not
+        # the sample count: duplicating every point changes nothing.
+        data = _data(7)
+        base = _fit(data)
+        doubled = _fit(np.concatenate([data, data]))
+        order = _match_components(base.means, doubled.means)
+        np.testing.assert_allclose(
+            base.means, doubled.means[list(order)], atol=1e-4
+        )

@@ -1,0 +1,167 @@
+"""Tests for the GaussianMixture inference model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gmm.model import GaussianMixture
+
+
+def _simple_mixture():
+    weights = np.array([0.6, 0.4])
+    means = np.array([[0.0, 0.0], [5.0, 5.0]])
+    covariances = np.array([np.eye(2), 2.0 * np.eye(2)])
+    return GaussianMixture(weights, means, covariances)
+
+
+class TestConstruction:
+    def test_valid_mixture(self):
+        model = _simple_mixture()
+        assert model.n_components == 2
+        assert model.n_features == 2
+
+    def test_rejects_unnormalised_weights(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            GaussianMixture(
+                np.array([0.5, 0.6]),
+                np.zeros((2, 2)),
+                np.tile(np.eye(2), (2, 1, 1)),
+            )
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GaussianMixture(
+                np.array([1.5, -0.5]),
+                np.zeros((2, 2)),
+                np.tile(np.eye(2), (2, 1, 1)),
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="means"):
+            GaussianMixture(
+                np.array([1.0]),
+                np.zeros((2, 2)),
+                np.tile(np.eye(2), (2, 1, 1)),
+            )
+
+    def test_rejects_bad_covariance_shape(self):
+        with pytest.raises(ValueError, match="covariances"):
+            GaussianMixture(
+                np.array([1.0]), np.zeros((1, 2)), np.eye(2)
+            )
+
+    def test_parameters_are_copied(self):
+        weights = np.array([1.0])
+        model = GaussianMixture(
+            weights, np.zeros((1, 2)), np.eye(2)[None]
+        )
+        weights[0] = 99.0
+        assert model.weights[0] == 1.0
+
+    def test_parameter_count(self):
+        # K=2, D=2: 1 weight + 4 means + 6 cov entries = 11.
+        assert _simple_mixture().parameter_count == 11
+
+
+class TestScoring:
+    def test_density_integrates_to_one_on_grid(self):
+        # Riemann sum of the 2-D density over a wide grid ~ 1.
+        model = _simple_mixture()
+        grid = np.linspace(-10, 15, 400)
+        xx, yy = np.meshgrid(grid, grid)
+        points = np.column_stack([xx.ravel(), yy.ravel()])
+        density = model.score_samples(points)
+        cell = (grid[1] - grid[0]) ** 2
+        assert np.sum(density) * cell == pytest.approx(1.0, rel=1e-3)
+
+    def test_score_higher_at_mode_than_tail(self):
+        model = _simple_mixture()
+        at_mode = model.score_samples(np.array([[0.0, 0.0]]))[0]
+        in_tail = model.score_samples(np.array([[20.0, 20.0]]))[0]
+        assert at_mode > in_tail
+
+    def test_single_component_matches_closed_form(self):
+        model = GaussianMixture(
+            np.array([1.0]), np.zeros((1, 2)), np.eye(2)[None]
+        )
+        got = model.score_samples(np.array([[0.0, 0.0]]))[0]
+        assert got == pytest.approx(1.0 / (2.0 * np.pi))
+
+    def test_log_score_consistency(self):
+        model = _simple_mixture()
+        points = np.array([[1.0, 1.0], [4.0, 6.0]])
+        np.testing.assert_allclose(
+            np.log(model.score_samples(points)),
+            model.log_score_samples(points),
+            rtol=1e-12,
+        )
+
+    def test_accepts_single_point_1d(self):
+        model = _simple_mixture()
+        assert model.score_samples(np.array([0.0, 0.0])).shape == (1,)
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError, match=r"\(N, 2\)"):
+            _simple_mixture().score_samples(np.zeros((3, 5)))
+
+    def test_mixture_is_weighted_sum_of_components(self):
+        model = _simple_mixture()
+        points = np.array([[2.0, 2.0], [0.0, 5.0]])
+        component = np.exp(model.log_component_densities(points))
+        expected = component @ model.weights
+        np.testing.assert_allclose(
+            model.score_samples(points), expected, rtol=1e-12
+        )
+
+
+class TestResponsibilities:
+    def test_rows_sum_to_one(self):
+        model = _simple_mixture()
+        points = np.array([[0.0, 0.0], [5.0, 5.0], [2.5, 2.5]])
+        resp = np.exp(model.log_responsibilities(points))
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_predict_picks_nearest_component(self):
+        model = _simple_mixture()
+        labels = model.predict(np.array([[0.0, 0.0], [5.0, 5.0]]))
+        assert labels[0] == 0
+        assert labels[1] == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        x=st.floats(min_value=-50, max_value=50),
+        y=st.floats(min_value=-50, max_value=50),
+    )
+    def test_property_responsibilities_normalised(self, x, y):
+        model = _simple_mixture()
+        resp = np.exp(model.log_responsibilities(np.array([[x, y]])))
+        assert resp.sum() == pytest.approx(1.0, rel=1e-9)
+        assert np.all(resp >= 0)
+
+
+class TestSampling:
+    def test_sample_shape(self, rng):
+        samples = _simple_mixture().sample(100, rng)
+        assert samples.shape == (100, 2)
+
+    def test_sample_zero(self, rng):
+        assert _simple_mixture().sample(0, rng).shape == (0, 2)
+
+    def test_sample_negative_rejected(self, rng):
+        with pytest.raises(ValueError, match=">= 0"):
+            _simple_mixture().sample(-1, rng)
+
+    def test_sample_moments_close(self, rng):
+        model = _simple_mixture()
+        samples = model.sample(50_000, rng)
+        expected_mean = model.weights @ model.means
+        np.testing.assert_allclose(
+            samples.mean(axis=0), expected_mean, atol=0.1
+        )
+
+    def test_sample_deterministic_given_seed(self, rng_factory):
+        model = _simple_mixture()
+        a = model.sample(10, rng_factory(5))
+        b = model.sample(10, rng_factory(5))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,119 @@
+"""Tests for the incremental (stepwise EM) GMM."""
+
+import numpy as np
+import pytest
+
+from repro.gmm.em import EMTrainer
+from repro.gmm.model import GaussianMixture
+from repro.gmm.online import OnlineGmm
+
+
+def _blob(rng, center, n=400, std=0.5):
+    return center + std * rng.standard_normal((n, 2))
+
+
+def _initial_model(rng):
+    data = np.concatenate(
+        [_blob(rng, [0.0, 0.0]), _blob(rng, [6.0, 6.0])]
+    )
+    return EMTrainer(2, max_iter=100).fit(data, rng).model
+
+
+class TestConstruction:
+    def test_from_model(self, rng):
+        model = _initial_model(rng)
+        online = OnlineGmm.from_model(model)
+        np.testing.assert_allclose(
+            online.model.means, model.means, atol=1e-12
+        )
+        assert online.updates_applied == 0
+
+    def test_validation(self, rng):
+        model = _initial_model(rng)
+        with pytest.raises(ValueError, match="step_exponent"):
+            OnlineGmm.from_model(model, step_exponent=0.4)
+        with pytest.raises(ValueError, match="t0"):
+            OnlineGmm.from_model(model, t0=0.0)
+
+    def test_update_validation(self, rng):
+        online = OnlineGmm.from_model(_initial_model(rng))
+        with pytest.raises(ValueError, match=r"\(N, 2\)"):
+            online.update(np.zeros((5, 3)))
+        with pytest.raises(ValueError, match="empty"):
+            online.update(np.zeros((0, 2)))
+
+
+class TestStationaryStream:
+    def test_stays_near_batch_solution(self, rng):
+        model = _initial_model(rng)
+        online = OnlineGmm.from_model(model)
+        holdout = np.concatenate(
+            [_blob(rng, [0.0, 0.0], 300), _blob(rng, [6.0, 6.0], 300)]
+        )
+        before = float(
+            np.mean(model.log_score_samples(holdout))
+        )
+        for _ in range(30):
+            batch = np.concatenate(
+                [_blob(rng, [0.0, 0.0], 50), _blob(rng, [6.0, 6.0], 50)]
+            )
+            online.update(batch)
+        after = float(
+            np.mean(online.model.log_score_samples(holdout))
+        )
+        # Stationary data: updates must not degrade the fit.
+        assert after > before - 0.1
+        assert online.updates_applied == 30
+
+    def test_model_remains_valid(self, rng):
+        online = OnlineGmm.from_model(_initial_model(rng))
+        for _ in range(10):
+            online.update(rng.standard_normal((40, 2)) * 3.0)
+        model = online.model
+        assert isinstance(model, GaussianMixture)
+        assert model.weights.sum() == pytest.approx(1.0)
+        for cov in model.covariances:
+            assert np.all(np.linalg.eigvalsh(cov) > 0)
+
+
+class TestDrift:
+    def test_tracks_moving_cluster(self, rng):
+        # One cluster migrates from (6,6) to (12,12); the online model
+        # must follow while a frozen model decays.
+        frozen = _initial_model(rng)
+        online = OnlineGmm.from_model(frozen, step_exponent=0.6)
+        drifted = None
+        for step in range(40):
+            center = 6.0 + 6.0 * min(1.0, step / 20.0)
+            drifted = np.concatenate(
+                [
+                    _blob(rng, [0.0, 0.0], 50),
+                    _blob(rng, [center, center], 50),
+                ]
+            )
+            online.update(drifted)
+        final_data = np.concatenate(
+            [_blob(rng, [0.0, 0.0], 300), _blob(rng, [12.0, 12.0], 300)]
+        )
+        online_ll = float(
+            np.mean(online.model.log_score_samples(final_data))
+        )
+        frozen_ll = float(
+            np.mean(frozen.log_score_samples(final_data))
+        )
+        assert online_ll > frozen_ll + 1.0
+
+    def test_learning_rate_decays(self, rng):
+        online = OnlineGmm.from_model(_initial_model(rng))
+        first = online._learning_rate()
+        for _ in range(20):
+            online.update(rng.standard_normal((20, 2)))
+        assert online._learning_rate() < first
+
+    def test_score_samples_interface(self, rng):
+        online = OnlineGmm.from_model(_initial_model(rng))
+        points = rng.standard_normal((50, 2))
+        np.testing.assert_array_equal(
+            online.score_samples(points),
+            online.model.score_samples(points),
+        )

@@ -1,0 +1,130 @@
+"""Tests for the fixed-point GMM emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gmm.model import GaussianMixture
+from repro.gmm.quantized import FixedPointFormat, QuantizedGmm, _ExpTable
+
+
+def _mixture():
+    weights = np.array([0.5, 0.3, 0.2])
+    means = np.array([[0.0, 0.0], [3.0, 1.0], [-2.0, 2.0]])
+    covariances = np.array([np.eye(2), 0.5 * np.eye(2), 2.0 * np.eye(2)])
+    return GaussianMixture(weights, means, covariances)
+
+
+class TestFixedPointFormat:
+    def test_scale(self):
+        fmt = FixedPointFormat(total_bits=16, frac_bits=8)
+        assert fmt.scale == pytest.approx(1.0 / 256.0)
+
+    def test_quantize_rounds_to_grid(self):
+        fmt = FixedPointFormat(total_bits=16, frac_bits=8)
+        got = fmt.quantize(np.array([0.00196]))  # ~0.5 LSB above 1 LSB/2
+        assert got[0] * 256 == pytest.approx(round(0.00196 * 256))
+
+    def test_quantize_saturates(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=4)
+        assert fmt.quantize(np.array([1000.0]))[0] == fmt.max_value
+        assert fmt.quantize(np.array([-1000.0]))[0] == fmt.min_value
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=1, frac_bits=0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=8, frac_bits=8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.floats(min_value=-100, max_value=100))
+    def test_property_quantize_idempotent(self, value):
+        fmt = FixedPointFormat(total_bits=32, frac_bits=16)
+        once = fmt.quantize(np.array([value]))
+        twice = fmt.quantize(once)
+        np.testing.assert_array_equal(once, twice)
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.floats(min_value=-1000, max_value=1000))
+    def test_property_error_bounded_by_half_lsb(self, value):
+        fmt = FixedPointFormat(total_bits=32, frac_bits=12)
+        got = float(fmt.quantize(np.array([value]))[0])
+        if fmt.min_value < value < fmt.max_value:
+            assert abs(got - value) <= fmt.scale / 2 + 1e-12
+
+
+class TestExpTable:
+    def test_close_to_exp_in_range(self):
+        table = _ExpTable(input_floor=-40.0, address_bits=12)
+        xs = np.linspace(-39.0, 0.0, 1000)
+        np.testing.assert_allclose(table(xs), np.exp(xs), atol=1e-4)
+
+    def test_flushes_below_floor_to_zero(self):
+        table = _ExpTable(input_floor=-10.0)
+        assert table(np.array([-11.0]))[0] == 0.0
+
+    def test_at_zero(self):
+        table = _ExpTable()
+        assert table(np.array([0.0]))[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_rejects_positive_floor(self):
+        with pytest.raises(ValueError, match="negative"):
+            _ExpTable(input_floor=1.0)
+
+
+class TestQuantizedGmm:
+    def test_scores_close_to_float_reference(self):
+        model = _mixture()
+        quantized = QuantizedGmm(model)
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-5, 5, size=(500, 2))
+        error = quantized.max_abs_error(model, points)
+        # Scores are O(0.1); 32-bit Q12.20 keeps error tiny.
+        assert error < 1e-3
+
+    def test_preserves_score_ordering_for_policy(self):
+        # What the cache policy needs: hot pages (high float score)
+        # still rank above cold ones after quantization.
+        model = _mixture()
+        quantized = QuantizedGmm(model)
+        hot = np.array([[0.0, 0.0]])
+        cold = np.array([[8.0, 8.0]])
+        assert (
+            quantized.score_samples(hot)[0]
+            > quantized.score_samples(cold)[0]
+        )
+
+    def test_coarse_format_degrades_gracefully(self):
+        model = _mixture()
+        fine = QuantizedGmm(model, FixedPointFormat(32, 24))
+        coarse = QuantizedGmm(model, FixedPointFormat(16, 8))
+        rng = np.random.default_rng(1)
+        points = rng.uniform(-4, 4, size=(200, 2))
+        assert fine.max_abs_error(model, points) <= coarse.max_abs_error(
+            model, points
+        ) + 1e-12
+
+    def test_rejects_non_2d_model(self):
+        model_3d = GaussianMixture(
+            np.array([1.0]), np.zeros((1, 3)), np.eye(3)[None]
+        )
+        with pytest.raises(ValueError, match="2-D"):
+            QuantizedGmm(model_3d)
+
+    def test_rejects_bad_point_shape(self):
+        quantized = QuantizedGmm(_mixture())
+        with pytest.raises(ValueError, match=r"\(N, 2\)"):
+            quantized.score_samples(np.zeros((4, 3)))
+
+    def test_weight_buffer_bits(self):
+        quantized = QuantizedGmm(_mixture(), FixedPointFormat(32, 20))
+        assert quantized.weight_buffer_bits == 3 * 6 * 32
+
+    def test_mac_ops_scale_with_components(self):
+        quantized = QuantizedGmm(_mixture())
+        assert quantized.multiply_accumulate_ops_per_point() == 3 * 7
+
+    def test_single_point_1d_input(self):
+        quantized = QuantizedGmm(_mixture())
+        assert quantized.score_samples(np.array([0.0, 0.0])).shape == (1,)

@@ -1,0 +1,79 @@
+"""Tests for BIC/AIC mixture-size selection."""
+
+import numpy as np
+import pytest
+
+from repro.gmm.em import EMTrainer
+from repro.gmm.selection import (
+    SelectionResult,
+    aic,
+    bic,
+    select_n_components,
+)
+
+
+def _three_blob_data(rng, n_per=250):
+    centers = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]])
+    data = np.concatenate(
+        [c + 0.5 * rng.standard_normal((n_per, 2)) for c in centers]
+    )
+    rng.shuffle(data)
+    return data
+
+
+class TestCriteria:
+    def test_bic_penalises_parameters(self, rng):
+        data = _three_blob_data(rng)
+        small = EMTrainer(1).fit(data, rng).model
+        big = EMTrainer(20, max_iter=30).fit(
+            data, np.random.default_rng(0)
+        ).model
+        # The 20-component model fits better in likelihood but its
+        # parameter penalty must show up in the criterion.
+        penalty_small = small.parameter_count * np.log(len(data))
+        penalty_big = big.parameter_count * np.log(len(data))
+        assert penalty_big > penalty_small
+        assert np.isfinite(bic(big, data))
+
+    def test_aic_lighter_penalty_than_bic(self, rng):
+        data = _three_blob_data(rng)
+        model = EMTrainer(3).fit(data, rng).model
+        # Same likelihood term; BIC's log(N) > AIC's 2 for N > 7.
+        assert bic(model, data) > aic(model, data)
+
+    def test_empty_points_rejected(self, rng):
+        model = EMTrainer(1).fit(
+            rng.standard_normal((10, 2)), rng
+        ).model
+        with pytest.raises(ValueError, match="empty"):
+            bic(model, np.empty((0, 2)))
+        with pytest.raises(ValueError, match="empty"):
+            aic(model, np.empty((0, 2)))
+
+
+class TestSelection:
+    def test_recovers_true_component_count(self, rng):
+        data = _three_blob_data(rng)
+        result = select_n_components(
+            data, candidates=(1, 2, 3, 6), rng=rng
+        )
+        assert isinstance(result, SelectionResult)
+        assert result.best_k == 3
+        assert set(result.scores) == {1, 2, 3, 6}
+        assert result.models[3].n_components == 3
+
+    def test_aic_criterion_runs(self, rng):
+        data = _three_blob_data(rng, n_per=150)
+        result = select_n_components(
+            data, candidates=(1, 3), rng=rng, criterion="aic"
+        )
+        assert result.best_k == 3
+
+    def test_validation(self, rng):
+        data = _three_blob_data(rng, n_per=50)
+        with pytest.raises(ValueError, match="candidates"):
+            select_n_components(data, candidates=(), rng=rng)
+        with pytest.raises(ValueError, match="criterion"):
+            select_n_components(
+                data, candidates=(2,), rng=rng, criterion="elbow"
+            )

@@ -1,0 +1,77 @@
+"""Tests for GMM persistence."""
+
+import numpy as np
+import pytest
+
+from repro.gmm.model import GaussianMixture
+from repro.gmm.serialization import (
+    gmm_from_dict,
+    gmm_to_dict,
+    load_gmm,
+    save_gmm,
+)
+
+
+def _mixture():
+    return GaussianMixture(
+        np.array([0.7, 0.3]),
+        np.array([[1.0, 2.0], [3.0, 4.0]]),
+        np.array([np.eye(2), 2.0 * np.eye(2)]),
+    )
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_parameters(self):
+        model = _mixture()
+        rebuilt = gmm_from_dict(gmm_to_dict(model))
+        np.testing.assert_array_equal(rebuilt.weights, model.weights)
+        np.testing.assert_array_equal(rebuilt.means, model.means)
+        np.testing.assert_array_equal(
+            rebuilt.covariances, model.covariances
+        )
+
+    def test_round_trip_preserves_scores(self, rng):
+        model = _mixture()
+        rebuilt = gmm_from_dict(gmm_to_dict(model))
+        points = rng.uniform(-5, 5, size=(50, 2))
+        np.testing.assert_array_equal(
+            rebuilt.score_samples(points), model.score_samples(points)
+        )
+
+    def test_rejects_missing_keys(self):
+        blob = gmm_to_dict(_mixture())
+        del blob["means"]
+        with pytest.raises(ValueError, match="missing"):
+            gmm_from_dict(blob)
+
+    def test_rejects_wrong_version(self):
+        blob = gmm_to_dict(_mixture())
+        blob["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            gmm_from_dict(blob)
+
+    def test_rejects_absent_version(self):
+        with pytest.raises(ValueError, match="version"):
+            gmm_from_dict({"weights": np.array([1.0])})
+
+
+class TestFileRoundTrip:
+    def test_npz_round_trip(self, tmp_path, rng):
+        model = _mixture()
+        path = tmp_path / "model.npz"
+        save_gmm(model, path)
+        loaded = load_gmm(path)
+        points = rng.uniform(-3, 3, size=(20, 2))
+        np.testing.assert_array_equal(
+            loaded.score_samples(points), model.score_samples(points)
+        )
+
+    def test_accepts_string_path(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_gmm(_mixture(), path)
+        loaded = load_gmm(path)
+        assert loaded.n_components == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_gmm(tmp_path / "nope.npz")

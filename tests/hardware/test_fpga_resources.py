@@ -1,0 +1,161 @@
+"""Tests for FPGA timing and resource models (Table 2, Sec. 5.1)."""
+
+import pytest
+
+from repro.hardware.fpga import (
+    FpgaSpec,
+    GmmEngineTiming,
+    LstmEngineTiming,
+    engine_speedup,
+)
+from repro.hardware.resources import (
+    ResourceEstimate,
+    estimate_cache_controller,
+    estimate_gmm_engine,
+    estimate_icgmm_system,
+    estimate_lstm_engine,
+    lstm_parameter_count,
+)
+
+
+class TestFpgaSpec:
+    def test_u50_defaults(self):
+        fpga = FpgaSpec()
+        assert fpga.clock_mhz == 233.0
+        assert fpga.bram == 1344
+        assert fpga.dsp == 5952
+
+    def test_cycle_ns(self):
+        assert FpgaSpec(clock_mhz=250).cycle_ns == pytest.approx(4.0)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            FpgaSpec(clock_mhz=0)
+
+
+class TestGmmTiming:
+    def test_paper_latency_3us(self):
+        timing = GmmEngineTiming()
+        assert timing.latency_us(FpgaSpec()) == pytest.approx(3.0, abs=0.01)
+
+    def test_scales_with_components(self):
+        small = GmmEngineTiming(n_components=64)
+        large = GmmEngineTiming(n_components=1024)
+        assert large.cycles > small.cycles
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GmmEngineTiming(n_components=0)
+        with pytest.raises(ValueError):
+            GmmEngineTiming(ii=0)
+
+
+class TestLstmTiming:
+    def test_paper_latency_46ms(self):
+        timing = LstmEngineTiming()
+        assert timing.latency_us(FpgaSpec()) / 1000 == pytest.approx(
+            46.3, abs=0.1
+        )
+
+    def test_mac_count(self):
+        timing = LstmEngineTiming()
+        expected = 32 * (
+            4 * 128 * (2 + 128) + 2 * 4 * 128 * 256
+        ) + 128
+        assert timing.macs_per_inference == expected
+
+    def test_speedup_over_10000x(self):
+        # Table 2 reports a 15,433x latency gap.
+        speedup = engine_speedup(LstmEngineTiming(), GmmEngineTiming())
+        assert speedup > 10_000
+        assert speedup == pytest.approx(15_433, rel=0.01)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            LstmEngineTiming(hidden_size=0)
+        with pytest.raises(ValueError):
+            LstmEngineTiming(effective_macs_per_cycle=0)
+
+
+class TestGmmResources:
+    def test_table2_row_exact(self):
+        estimate = estimate_gmm_engine()
+        assert estimate == ResourceEstimate(
+            bram=8, dsp=113, lut=58_353, ff=152_583
+        )
+
+    def test_bram_scales_with_components(self):
+        small = estimate_gmm_engine(n_components=256)
+        large = estimate_gmm_engine(n_components=8192)
+        assert large.bram > small.bram
+        assert large.dsp == small.dsp  # unroll unchanged
+
+    def test_dsp_scales_with_unroll(self):
+        assert estimate_gmm_engine(unroll=32).dsp > estimate_gmm_engine(
+            unroll=16
+        ).dsp
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            estimate_gmm_engine(n_components=0)
+
+
+class TestLstmResources:
+    def test_table2_row_exact(self):
+        estimate = estimate_lstm_engine()
+        assert estimate == ResourceEstimate(
+            bram=339, dsp=145, lut=85_029, ff=103_561
+        )
+
+    def test_parameter_count_matches_network_module(self):
+        # The resource model and the executable numpy network must
+        # agree on the parameter count.
+        import numpy as np
+
+        from repro.lstm.network import LstmNetwork
+
+        network = LstmNetwork(
+            input_size=2,
+            hidden_size=128,
+            n_layers=3,
+            rng=np.random.default_rng(0),
+        )
+        assert lstm_parameter_count() == network.parameter_count
+
+    def test_bram_ratio_over_40x(self):
+        # The paper highlights >40x BRAM advantage for the GMM.
+        gmm = estimate_gmm_engine()
+        lstm = estimate_lstm_engine()
+        assert lstm.bram / gmm.bram > 40
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            estimate_lstm_engine(hidden_size=0)
+        with pytest.raises(ValueError):
+            estimate_lstm_engine(dsp_budget=0)
+
+
+class TestSystemResources:
+    def test_section51_totals(self):
+        system = estimate_icgmm_system()
+        assert system.bram == 190
+        assert system.dsp == 117
+
+    def test_utilization_on_u50(self):
+        # Sec. 5.1: "only 190 (14%) BRAM and 117 (2%) DSP consumption".
+        utilization = estimate_icgmm_system().utilization(FpgaSpec())
+        assert utilization["bram"] == pytest.approx(0.14, abs=0.005)
+        assert utilization["dsp"] == pytest.approx(0.02, abs=0.002)
+
+    def test_system_fits_u50(self):
+        assert estimate_icgmm_system().fits(FpgaSpec())
+
+    def test_cache_controller_scales_with_blocks(self):
+        small = estimate_cache_controller(n_blocks=16_384)
+        large = estimate_cache_controller(n_blocks=262_144)
+        assert large.bram > small.bram
+
+    def test_estimate_addition(self):
+        a = ResourceEstimate(1, 2, 3, 4)
+        b = ResourceEstimate(10, 20, 30, 40)
+        assert a + b == ResourceEstimate(11, 22, 33, 44)

@@ -1,0 +1,113 @@
+"""Tests for the average access-time model (Table 1 machinery)."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.hardware.latency import LatencyModel, reduction_percent
+from repro.hardware.ssd import get_ssd_spec
+
+
+class TestAverageAccessTime:
+    def test_all_hits(self):
+        model = LatencyModel()
+        stats = CacheStats(hits=100)
+        assert model.average_access_time_us(stats) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert LatencyModel().average_access_time_us(CacheStats()) == 0.0
+
+    def test_paper_miss_penalty_values(self):
+        # One clean read miss costs exactly the 75 us SSD read.
+        model = LatencyModel()
+        stats = CacheStats(misses=1, fills=1)
+        assert model.average_access_time_us(stats) == pytest.approx(75.0)
+
+    def test_dirty_eviction_adds_975_total(self):
+        # Sec. 5.3: "975 us for dirty cache block writing back".
+        model = LatencyModel()
+        stats = CacheStats(
+            misses=1, fills=1, evictions=1, dirty_evictions=1
+        )
+        assert model.average_access_time_us(stats) == pytest.approx(975.0)
+
+    def test_bypassed_read_pays_read_only(self):
+        model = LatencyModel()
+        stats = CacheStats(misses=1, bypasses=1)
+        assert model.average_access_time_us(stats) == pytest.approx(75.0)
+
+    def test_bypassed_write_pays_write(self):
+        model = LatencyModel()
+        stats = CacheStats(
+            misses=1, bypasses=1, bypassed_writes=1, write_misses=1
+        )
+        assert model.average_access_time_us(stats) == pytest.approx(900.0)
+
+    def test_mixed_example(self):
+        # 90 hits, 10 misses of which 2 dirty evictions.
+        model = LatencyModel()
+        stats = CacheStats(
+            hits=90, misses=10, fills=10, evictions=5, dirty_evictions=2
+        )
+        expected = (90 * 1.0 + 10 * 75.0 + 2 * 900.0) / 100
+        assert model.average_access_time_us(stats) == pytest.approx(
+            expected
+        )
+
+    def test_overlap_hides_policy_latency(self):
+        overlapped = LatencyModel(overlapped=True)
+        sequential = LatencyModel(overlapped=False)
+        stats = CacheStats(hits=0, misses=10, fills=10)
+        gap = sequential.average_access_time_us(
+            stats
+        ) - overlapped.average_access_time_us(stats)
+        assert gap == pytest.approx(3.0)  # 3 us per miss
+
+    def test_different_device(self):
+        model = LatencyModel(ssd=get_ssd_spec("optane"))
+        stats = CacheStats(misses=1, fills=1)
+        assert model.average_access_time_us(stats) == pytest.approx(10.0)
+
+
+class TestBreakdown:
+    def test_components_sum_to_amat(self):
+        model = LatencyModel()
+        stats = CacheStats(
+            hits=80,
+            misses=20,
+            bypasses=5,
+            bypassed_writes=2,
+            fills=15,
+            evictions=10,
+            dirty_evictions=4,
+            write_misses=6,
+        )
+        breakdown = model.breakdown_us(stats)
+        assert sum(breakdown.values()) == pytest.approx(
+            model.average_access_time_us(stats)
+        )
+
+    def test_empty_breakdown(self):
+        assert LatencyModel().breakdown_us(CacheStats()) == {}
+
+    def test_policy_component_only_when_sequential(self):
+        stats = CacheStats(hits=1, misses=1, fills=1)
+        assert "policy" not in LatencyModel().breakdown_us(stats)
+        assert "policy" in LatencyModel(overlapped=False).breakdown_us(
+            stats
+        )
+
+
+class TestReductionPercent:
+    def test_matches_paper_arithmetic(self):
+        # Table 1 parsec row: 3.92 -> 3.29 us is a 16.07% reduction
+        # (the paper rounds to 16.23 from unrounded values).
+        assert reduction_percent(3.92, 3.29) == pytest.approx(
+            16.07, abs=0.01
+        )
+
+    def test_no_change(self):
+        assert reduction_percent(5.0, 5.0) == 0.0
+
+    def test_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            reduction_percent(0.0, 1.0)

@@ -1,0 +1,73 @@
+"""Tests for the SSD latency emulator."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.ssd import (
+    SSD_CATALOG,
+    SsdLatencyEmulator,
+    SsdSpec,
+    get_ssd_spec,
+)
+
+
+class TestSsdSpec:
+    def test_paper_tlc_target(self):
+        spec = get_ssd_spec("tlc")
+        assert spec.read_latency_us == 75.0
+        assert spec.write_latency_us == 900.0
+
+    def test_ns_conversion(self):
+        spec = SsdSpec("x", 75.0, 900.0)
+        assert spec.read_latency_ns == 75_000
+        assert spec.write_latency_ns == 900_000
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            SsdSpec("bad", 0.0, 1.0)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown SSD"):
+            get_ssd_spec("floppy")
+
+    def test_catalog_ordering(self):
+        # Denser cells are slower: slc < mlc < tlc < qlc on both axes.
+        order = ["slc", "mlc", "tlc", "qlc"]
+        reads = [SSD_CATALOG[n].read_latency_us for n in order]
+        writes = [SSD_CATALOG[n].write_latency_us for n in order]
+        assert reads == sorted(reads)
+        assert writes == sorted(writes)
+
+
+class TestEmulator:
+    def test_deterministic_without_jitter(self):
+        emulator = SsdLatencyEmulator()
+        assert emulator.read_latency_ns() == 75_000
+        assert emulator.write_latency_ns() == 900_000
+        assert emulator.access_latency_ns(False) == 75_000
+        assert emulator.access_latency_ns(True) == 900_000
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            SsdLatencyEmulator(jitter=0.1)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            SsdLatencyEmulator(jitter=-0.1, rng=np.random.default_rng(0))
+
+    def test_jitter_mean_preserved(self):
+        emulator = SsdLatencyEmulator(
+            jitter=0.3, rng=np.random.default_rng(0)
+        )
+        samples = np.array(
+            [emulator.read_latency_ns() for _ in range(20_000)]
+        )
+        assert samples.mean() == pytest.approx(75_000, rel=0.02)
+        assert samples.std() > 0
+
+    def test_jitter_latency_positive(self):
+        emulator = SsdLatencyEmulator(
+            jitter=2.0, rng=np.random.default_rng(1)
+        )
+        for _ in range(100):
+            assert emulator.read_latency_ns() >= 1

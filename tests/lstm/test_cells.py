@@ -1,0 +1,107 @@
+"""Tests for the LSTM cell, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.lstm.cells import LstmCell
+
+
+def _cell(input_size=3, hidden_size=4, seed=0):
+    return LstmCell(input_size, hidden_size, np.random.default_rng(seed))
+
+
+class TestForward:
+    def test_output_shapes(self, rng):
+        cell = _cell()
+        x = rng.standard_normal((5, 3))
+        h = np.zeros((5, 4))
+        c = np.zeros((5, 4))
+        h_out, c_out, cache = cell.forward(x, h, c)
+        assert h_out.shape == (5, 4)
+        assert c_out.shape == (5, 4)
+        assert "i" in cache
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        cell = _cell()
+        x = 100.0 * rng.standard_normal((8, 3))
+        h = np.zeros((8, 4))
+        c = np.zeros((8, 4))
+        h_out, _, _ = cell.forward(x, h, c)
+        assert np.all(np.abs(h_out) <= 1.0)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = _cell()
+        h = cell.hidden_size
+        np.testing.assert_array_equal(cell.bias[h : 2 * h], 1.0)
+
+    def test_parameter_count(self):
+        cell = _cell(input_size=3, hidden_size=4)
+        # 4H(D + H) weights + 4H biases = 16*7 + 16 = 128.
+        assert cell.parameter_count == 128
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            LstmCell(0, 4, np.random.default_rng(0))
+
+
+class TestBackwardNumerically:
+    def test_gradients_match_finite_differences(self, rng):
+        # Scalar loss L = sum(h_out); compare analytic and numeric
+        # gradients for every parameter tensor.
+        cell = _cell(input_size=2, hidden_size=3, seed=1)
+        x = rng.standard_normal((4, 2))
+        h_prev = 0.1 * rng.standard_normal((4, 3))
+        c_prev = 0.1 * rng.standard_normal((4, 3))
+
+        def loss():
+            h_out, _, _ = cell.forward(x, h_prev, c_prev)
+            return float(np.sum(h_out))
+
+        h_out, _, cache = cell.forward(x, h_prev, c_prev)
+        grads = cell.zero_grads()
+        d_x, d_h_prev, d_c_prev = cell.backward(
+            np.ones_like(h_out), np.zeros((4, 3)), cache, grads
+        )
+        epsilon = 1e-6
+        for name, param in cell.parameters().items():
+            flat = param.reshape(-1)
+            numeric = np.zeros_like(flat)
+            for idx in range(min(flat.size, 24)):
+                original = flat[idx]
+                flat[idx] = original + epsilon
+                up = loss()
+                flat[idx] = original - epsilon
+                down = loss()
+                flat[idx] = original
+                numeric[idx] = (up - down) / (2 * epsilon)
+            analytic = grads[name].reshape(-1)
+            np.testing.assert_allclose(
+                analytic[: min(flat.size, 24)],
+                numeric[: min(flat.size, 24)],
+                rtol=1e-4,
+                atol=1e-6,
+                err_msg=f"gradient mismatch for {name}",
+            )
+
+    def test_input_gradient_matches_finite_differences(self, rng):
+        cell = _cell(input_size=2, hidden_size=3, seed=2)
+        x = rng.standard_normal((2, 2))
+        h_prev = np.zeros((2, 3))
+        c_prev = np.zeros((2, 3))
+        h_out, _, cache = cell.forward(x, h_prev, c_prev)
+        grads = cell.zero_grads()
+        d_x, _, _ = cell.backward(
+            np.ones_like(h_out), np.zeros((2, 3)), cache, grads
+        )
+        epsilon = 1e-6
+        numeric = np.zeros_like(x)
+        for i in range(x.shape[0]):
+            for j in range(x.shape[1]):
+                original = x[i, j]
+                x[i, j] = original + epsilon
+                up = float(np.sum(cell.forward(x, h_prev, c_prev)[0]))
+                x[i, j] = original - epsilon
+                down = float(np.sum(cell.forward(x, h_prev, c_prev)[0]))
+                x[i, j] = original
+                numeric[i, j] = (up - down) / (2 * epsilon)
+        np.testing.assert_allclose(d_x, numeric, rtol=1e-4, atol=1e-7)

@@ -1,0 +1,128 @@
+"""Tests for the stacked LSTM network."""
+
+import numpy as np
+import pytest
+
+from repro.lstm.network import LstmNetwork
+
+
+def _network(hidden=4, layers=2, seed=0):
+    return LstmNetwork(
+        input_size=2,
+        hidden_size=hidden,
+        n_layers=layers,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestForward:
+    def test_prediction_shape(self, rng):
+        network = _network()
+        sequences = rng.standard_normal((5, 7, 2))
+        predictions = network.predict(sequences)
+        assert predictions.shape == (5,)
+
+    def test_rejects_bad_shape(self, rng):
+        network = _network()
+        with pytest.raises(ValueError, match=r"\(B, T, 2\)"):
+            network.predict(rng.standard_normal((5, 7, 3)))
+
+    def test_deterministic(self, rng):
+        network = _network()
+        sequences = rng.standard_normal((3, 5, 2))
+        np.testing.assert_array_equal(
+            network.predict(sequences), network.predict(sequences)
+        )
+
+    def test_paper_baseline_dimensions(self):
+        network = LstmNetwork(
+            input_size=2,
+            hidden_size=128,
+            n_layers=3,
+            rng=np.random.default_rng(0),
+        )
+        # Layer 1: 4*128*(2+128)+512; layers 2-3: 4*128*(128+128)+512.
+        expected_cells = (
+            4 * 128 * (2 + 128)
+            + 512
+            + 2 * (4 * 128 * (128 + 128) + 512)
+        )
+        assert network.parameter_count == expected_cells + 128 + 1
+
+    def test_mac_count_dwarfs_gmm(self):
+        # Table 2's root cause: per-decision MACs. The GMM with K=256
+        # needs 7K = 1792 multiplies; the LSTM baseline needs ~4 orders
+        # of magnitude more.
+        network = LstmNetwork(
+            input_size=2,
+            hidden_size=128,
+            n_layers=3,
+            rng=np.random.default_rng(0),
+        )
+        macs = network.multiply_accumulate_ops_per_inference(32)
+        assert macs > 10_000 * 1792 / 10  # > 1000x the GMM's cost
+        assert macs == 32 * (
+            4 * 128 * (2 + 128) + 2 * 4 * 128 * (128 + 128)
+        ) + 128
+
+
+class TestBackward:
+    def test_head_gradient_matches_finite_differences(self, rng):
+        network = _network(hidden=3, layers=1, seed=3)
+        sequences = rng.standard_normal((2, 4, 2))
+        targets = np.array([0.5, -0.2])
+
+        def loss():
+            predictions = network.predict(sequences)
+            return float(np.mean((predictions - targets) ** 2))
+
+        predictions, caches = network.forward(sequences)
+        d_predictions = 2.0 * (predictions - targets) / 2
+        grads = network.backward(d_predictions, caches)
+        epsilon = 1e-6
+        numeric = np.zeros_like(network.w_head)
+        for idx in range(network.w_head.size):
+            original = network.w_head[idx]
+            network.w_head[idx] = original + epsilon
+            up = loss()
+            network.w_head[idx] = original - epsilon
+            down = loss()
+            network.w_head[idx] = original
+            numeric[idx] = (up - down) / (2 * epsilon)
+        np.testing.assert_allclose(
+            grads["head_w"], numeric, rtol=1e-4, atol=1e-8
+        )
+
+    def test_cell_gradient_matches_finite_differences(self, rng):
+        # End-to-end BPTT check through two layers and time.
+        network = _network(hidden=3, layers=2, seed=4)
+        sequences = rng.standard_normal((2, 3, 2))
+        targets = np.array([1.0, 0.0])
+
+        def loss():
+            predictions = network.predict(sequences)
+            return float(np.mean((predictions - targets) ** 2))
+
+        predictions, caches = network.forward(sequences)
+        d_predictions = 2.0 * (predictions - targets) / 2
+        grads = network.backward(d_predictions, caches)
+        epsilon = 1e-6
+        cell = network.cells[0]
+        analytic = grads["cells"][0]["w_x"]
+        numeric = np.zeros_like(cell.w_x)
+        flat = cell.w_x.reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for idx in range(min(flat.size, 12)):
+            original = flat[idx]
+            flat[idx] = original + epsilon
+            up = loss()
+            flat[idx] = original - epsilon
+            down = loss()
+            flat[idx] = original
+            numeric_flat[idx] = (up - down) / (2 * epsilon)
+        np.testing.assert_allclose(
+            analytic.reshape(-1)[:12],
+            numeric_flat[:12],
+            rtol=1e-3,
+            atol=1e-7,
+        )

@@ -1,0 +1,125 @@
+"""Tests for sequence windowing, Adam and the BPTT trainer."""
+
+import numpy as np
+import pytest
+
+from repro.lstm.network import LstmNetwork
+from repro.lstm.training import (
+    AdamOptimizer,
+    LstmTrainer,
+    make_sequences,
+)
+
+
+class TestMakeSequences:
+    def test_windowing(self):
+        features = np.arange(10, dtype=float).reshape(5, 2)
+        targets = np.arange(5, dtype=float)
+        sequences, sequence_targets = make_sequences(features, targets, 3)
+        assert sequences.shape == (3, 3, 2)
+        np.testing.assert_array_equal(sequence_targets, [2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(sequences[0], features[0:3])
+        np.testing.assert_array_equal(sequences[2], features[2:5])
+
+    def test_full_length_window(self):
+        features = np.zeros((4, 2))
+        targets = np.arange(4, dtype=float)
+        sequences, sequence_targets = make_sequences(features, targets, 4)
+        assert sequences.shape == (1, 4, 2)
+        assert sequence_targets[0] == 3.0
+
+    def test_rejects_bad_length(self):
+        features = np.zeros((4, 2))
+        targets = np.zeros(4)
+        with pytest.raises(ValueError):
+            make_sequences(features, targets, 0)
+        with pytest.raises(ValueError):
+            make_sequences(features, targets, 5)
+
+    def test_rejects_misaligned_targets(self):
+        with pytest.raises(ValueError, match="align"):
+            make_sequences(np.zeros((4, 2)), np.zeros(3), 2)
+
+
+class TestAdam:
+    def test_moves_toward_minimum(self):
+        # Minimise f(x) = x^2 from x=5.
+        param = np.array([5.0])
+        optimizer = AdamOptimizer(learning_rate=0.1)
+        for _ in range(200):
+            grad = 2.0 * param
+            optimizer.update([param], [grad])
+        assert abs(param[0]) < 0.1
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            AdamOptimizer(learning_rate=0.0)
+
+
+class TestLstmTrainer:
+    def test_loss_decreases_on_learnable_task(self, rng):
+        # Target = last feature's first coordinate: learnable by the
+        # head alone, so even a tiny LSTM must fit it quickly.
+        network = LstmNetwork(
+            input_size=2,
+            hidden_size=8,
+            n_layers=1,
+            rng=np.random.default_rng(0),
+        )
+        features = rng.standard_normal((300, 2))
+        targets = features[:, 0]
+        sequences, sequence_targets = make_sequences(features, targets, 4)
+        trainer = LstmTrainer(network, learning_rate=5e-3)
+        history = trainer.fit(
+            sequences,
+            sequence_targets,
+            epochs=12,
+            batch_size=32,
+            rng=np.random.default_rng(1),
+        )
+        assert history.losses[-1] < history.losses[0] * 0.5
+
+    def test_gradient_clipping_limits_update(self, rng):
+        network = LstmNetwork(
+            input_size=2,
+            hidden_size=4,
+            n_layers=1,
+            rng=np.random.default_rng(0),
+        )
+        # Huge targets produce huge gradients; clipping must keep the
+        # parameters finite.
+        sequences = rng.standard_normal((8, 4, 2))
+        targets = 1e6 * np.ones(8)
+        trainer = LstmTrainer(network, clip_norm=1.0)
+        trainer.train_batch(sequences, targets)
+        for cell in network.cells:
+            assert np.all(np.isfinite(cell.w_x))
+
+    def test_rejects_bad_clip(self):
+        network = LstmNetwork(
+            input_size=2, hidden_size=4, n_layers=1,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError, match="clip_norm"):
+            LstmTrainer(network, clip_norm=0.0)
+
+    def test_rejects_bad_fit_args(self, rng):
+        network = LstmNetwork(
+            input_size=2, hidden_size=4, n_layers=1,
+            rng=np.random.default_rng(0),
+        )
+        trainer = LstmTrainer(network)
+        sequences = rng.standard_normal((4, 3, 2))
+        targets = np.zeros(4)
+        with pytest.raises(ValueError, match="epochs"):
+            trainer.fit(sequences, targets, 0, 2, rng)
+        with pytest.raises(ValueError, match="batch_size"):
+            trainer.fit(sequences, targets, 1, 0, rng)
+
+    def test_history_final_loss(self):
+        from repro.lstm.training import TrainingHistory
+
+        history = TrainingHistory()
+        assert history.final_loss == float("inf")
+        history.losses.append(0.5)
+        assert history.final_loss == 0.5

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.io import load_trace_csv, load_trace_npz
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate-trace", "quake", "-o", "x.csv"]
+            )
+
+
+class TestGenerateTrace:
+    def test_writes_npz(self, tmp_path, capsys):
+        path = tmp_path / "trace.npz"
+        code = main(
+            [
+                "generate-trace",
+                "heap",
+                "-n",
+                "2000",
+                "-o",
+                str(path),
+                "--scale",
+                "0.03125",
+            ]
+        )
+        assert code == 0
+        trace = load_trace_npz(path)
+        assert len(trace) == 2000
+        assert "wrote 2000 requests" in capsys.readouterr().out
+
+    def test_writes_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        assert main(
+            ["generate-trace", "stream", "-n", "500", "-o", str(path)]
+        ) == 0
+        assert len(load_trace_csv(path)) == 500
+
+    def test_rejects_unknown_extension(self, tmp_path, capsys):
+        path = tmp_path / "trace.parquet"
+        code = main(
+            ["generate-trace", "heap", "-n", "10", "-o", str(path)]
+        )
+        assert code == 2
+        assert "must end in" in capsys.readouterr().err
+
+    def test_seed_reproducible(self, tmp_path):
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        for path in (a, b):
+            main(
+                [
+                    "generate-trace",
+                    "dlrm",
+                    "-n",
+                    "1000",
+                    "-o",
+                    str(path),
+                    "--seed",
+                    "7",
+                ]
+            )
+        np.testing.assert_array_equal(
+            load_trace_npz(a).addresses, load_trace_npz(b).addresses
+        )
+
+
+class TestRun:
+    def test_run_prints_strategy_table(self, capsys):
+        code = main(
+            [
+                "run",
+                "stream",
+                "--trace-length",
+                "40000",
+                "--components",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lru" in out
+        assert "gmm-caching-eviction" in out
+        assert "best:" in out
+
+
+class TestSuite:
+    def test_suite_two_workloads(self, capsys):
+        code = main(
+            [
+                "suite",
+                "--workloads",
+                "stream",
+                "heap",
+                "--trace-length",
+                "40000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduction_points" in out
+        assert "reduction_percent" in out
+
+
+class TestHardwareReport:
+    def test_report_contains_table2(self, capsys):
+        assert main(["hardware-report"]) == 0
+        out = capsys.readouterr().out
+        assert "LSTM" in out
+        assert "339" in out
+        assert "15,4" in out  # the ~15,433x speedup

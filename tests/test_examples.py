@@ -1,0 +1,65 @@
+"""Smoke tests: every example script must run to completion.
+
+The heavyweight examples are shrunk via argv/config monkey-patching
+where possible; the goal is catching API drift, not re-verifying the
+numbers (the benches do that).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_six_examples(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 6
+        names = {script.stem for script in scripts}
+        assert "quickstart" in names
+
+
+class TestRunnableExamples:
+    def test_fpga_resource_report(self, capsys):
+        _load("fpga_resource_report").main()
+        out = capsys.readouterr().out
+        assert "15,4" in out  # the speedup figure
+
+    def test_dataflow_overlap(self, capsys):
+        _load("dataflow_overlap").main()
+        out = capsys.readouterr().out
+        assert "3.00 us per miss" in out
+
+    def test_trace_explorer(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            sys, "argv", ["trace_explorer.py", "heap", "30000"]
+        )
+        _load("trace_explorer").main()
+        out = capsys.readouterr().out
+        assert "footprint" in out
+        assert "heap" in out
+
+    def test_trace_explorer_rejects_unknown(self, monkeypatch):
+        monkeypatch.setattr(
+            sys, "argv", ["trace_explorer.py", "quake"]
+        )
+        module = _load("trace_explorer")
+        with pytest.raises(SystemExit):
+            module.main()
+
+    def test_online_adaptation(self, capsys):
+        _load("online_adaptation").main()
+        out = capsys.readouterr().out
+        assert "recovers" in out

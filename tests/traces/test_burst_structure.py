@@ -1,0 +1,100 @@
+"""Tests for the maintenance-burst structure of the workloads.
+
+The burst-phased generators place their maintenance traffic (expiry
+scans, rehashes, rebuilds, range scans, reduction sweeps) in the final
+``burst_len`` requests of every ``burst_period`` window.  That
+placement is load-bearing: it aligns the bursts with Algorithm 1's
+access shots, giving the GMM's temporal dimension its signal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import (
+    PhasedTraceBuilder,
+    UniformSampler,
+    add_bursty_phases,
+)
+from repro.traces.workloads import get_workload
+
+#: (workload, attribute holding the burst sampler's page region lo).
+BURSTY_WORKLOADS = ("memtier", "hashmap", "heap", "sysbench", "dlrm")
+
+
+class TestAddBurstyPhases:
+    def test_alternating_layout(self, rng):
+        builder = PhasedTraceBuilder()
+        normal = UniformSampler(0, 10)
+        burst = UniformSampler(1000, 10)
+        add_bursty_phases(
+            builder, 1000, normal, burst, period=100, burst_len=20
+        )
+        trace = builder.build(rng)
+        pages = trace.page_indices()
+        # Each period: first 80 normal, last 20 burst.
+        for start in range(0, 1000, 100):
+            window = pages[start : start + 100]
+            assert np.all(window[:80] < 1000)
+            assert np.all(window[80:] >= 1000)
+
+    def test_zero_burst_len(self, rng):
+        builder = PhasedTraceBuilder()
+        add_bursty_phases(
+            builder,
+            250,
+            UniformSampler(0, 4),
+            UniformSampler(100, 4),
+            period=100,
+            burst_len=0,
+        )
+        trace = builder.build(rng)
+        assert np.all(trace.page_indices() < 100)
+
+    def test_partial_trailing_period(self, rng):
+        builder = PhasedTraceBuilder()
+        add_bursty_phases(
+            builder,
+            150,  # one full period + half a quiet phase
+            UniformSampler(0, 4),
+            UniformSampler(100, 4),
+            period=100,
+            burst_len=10,
+        )
+        assert builder.total_accesses == 150
+
+    def test_validation(self):
+        builder = PhasedTraceBuilder()
+        normal = UniformSampler(0, 4)
+        with pytest.raises(ValueError, match="period"):
+            add_bursty_phases(builder, 10, normal, normal, 0, 0)
+        with pytest.raises(ValueError, match="burst_len"):
+            add_bursty_phases(builder, 10, normal, normal, 10, 10)
+
+
+class TestWorkloadBurstAlignment:
+    @pytest.mark.parametrize("name", BURSTY_WORKLOADS)
+    def test_bursts_sit_in_shot_tail(self, name):
+        # Burst traffic is sequential (scans/sweeps advance page by
+        # page), so within each 10k period the tail (where bursts
+        # live) must show a far higher rate of +1-page steps than the
+        # body's random traffic.
+        rng = np.random.default_rng(0)
+        workload = get_workload(name, scale=1 / 32)
+        trace = workload.generate(60_000, rng)
+        pages = trace.page_indices()
+        sequential = np.zeros(len(pages), dtype=bool)
+        sequential[1:] = np.diff(pages) == 1
+        period = workload.burst_period
+        burst_len = workload.burst_len
+        body_rate = []
+        tail_rate = []
+        for start in range(0, 60_000 - period + 1, period):
+            body = sequential[start : start + period - burst_len]
+            tail = sequential[
+                start + period - burst_len : start + period
+            ]
+            body_rate.append(body.mean())
+            tail_rate.append(tail.mean())
+        assert np.mean(tail_rate) > 5 * max(
+            np.mean(body_rate), 1e-3
+        ), name

@@ -1,0 +1,93 @@
+"""Tests for trace file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+from repro.traces.record import MemoryTrace
+
+
+def _trace():
+    return MemoryTrace(
+        np.array([0, 4096, 123456]),
+        np.array([False, True, False]),
+        np.array([0, 5, 9]),
+    )
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(_trace(), path)
+        loaded = load_trace_csv(path)
+        np.testing.assert_array_equal(
+            loaded.addresses, _trace().addresses
+        )
+        np.testing.assert_array_equal(loaded.is_write, _trace().is_write)
+        np.testing.assert_array_equal(loaded.times, _trace().times)
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(_trace(), path)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line == "op,address,time"
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,z\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trace_csv(path)
+
+    def test_rejects_unknown_op(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("op,address,time\nX,0,0\n")
+        with pytest.raises(ValueError, match="unknown op"):
+            load_trace_csv(path)
+
+    def test_rejects_wrong_field_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("op,address,time\nR,0\n")
+        with pytest.raises(ValueError, match="3 fields"):
+            load_trace_csv(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        empty = MemoryTrace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        save_trace_csv(empty, path)
+        assert len(load_trace_csv(path)) == 0
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(_trace(), path)
+        loaded = load_trace_npz(path)
+        np.testing.assert_array_equal(
+            loaded.addresses, _trace().addresses
+        )
+        np.testing.assert_array_equal(loaded.is_write, _trace().is_write)
+        np.testing.assert_array_equal(loaded.times, _trace().times)
+
+    def test_rejects_missing_arrays(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, addresses=np.array([1]))
+        with pytest.raises(ValueError, match="missing"):
+            load_trace_npz(path)
+
+    def test_large_trace_round_trip(self, tmp_path, rng):
+        n = 50_000
+        trace = MemoryTrace(
+            rng.integers(0, 2**40, size=n),
+            rng.random(n) < 0.3,
+        )
+        path = tmp_path / "large.npz"
+        save_trace_npz(trace, path)
+        loaded = load_trace_npz(path)
+        np.testing.assert_array_equal(loaded.addresses, trace.addresses)

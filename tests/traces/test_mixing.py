@@ -1,0 +1,113 @@
+"""Tests for multi-tenant trace mixing."""
+
+import numpy as np
+import pytest
+
+from repro.traces.mixing import interleave, multi_tenant_trace, relocate
+from repro.traces.record import MemoryTrace
+from repro.traces.workloads import get_workload
+
+
+def _trace(pages, writes=None):
+    pages = np.asarray(pages, dtype=np.int64)
+    if writes is None:
+        writes = np.zeros(len(pages), dtype=bool)
+    return MemoryTrace(pages << 12, np.asarray(writes))
+
+
+class TestRelocate:
+    def test_moves_origin(self):
+        trace = _trace([10, 12, 11])
+        moved = relocate(trace, base_page=100)
+        np.testing.assert_array_equal(
+            moved.page_indices(), [100, 102, 101]
+        )
+
+    def test_preserves_flags_and_order(self):
+        trace = _trace([5, 6], writes=[True, False])
+        moved = relocate(trace, 0)
+        np.testing.assert_array_equal(moved.is_write, [True, False])
+        np.testing.assert_array_equal(moved.page_indices(), [0, 1])
+
+    def test_empty_trace(self):
+        empty = MemoryTrace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        assert len(relocate(empty, 50)) == 0
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(ValueError, match="base_page"):
+            relocate(_trace([1]), -1)
+
+
+class TestInterleave:
+    def test_length_and_sources(self, rng):
+        a = _trace([0, 1, 2])
+        b = _trace([1000, 1001])
+        mixed = interleave([a, b], [0.5, 0.5], 200, rng)
+        assert len(mixed) == 200
+        pages = mixed.page_indices()
+        assert np.any(pages < 100)
+        assert np.any(pages >= 1000)
+
+    def test_per_tenant_order_preserved(self, rng):
+        a = _trace(list(range(50)))
+        b = _trace([9999])
+        mixed = interleave([a, b], [0.7, 0.3], 60, rng)
+        a_pages = mixed.page_indices()[mixed.page_indices() < 9999]
+        # Tenant A's stream is consumed in order (with wraparound).
+        diffs = np.diff(a_pages)
+        assert np.all((diffs == 1) | (diffs < 0))
+
+    def test_weights_respected(self, rng):
+        a = _trace([0])
+        b = _trace([1000])
+        mixed = interleave([a, b], [0.9, 0.1], 5000, rng)
+        fraction_b = np.mean(mixed.page_indices() == 1000)
+        assert fraction_b == pytest.approx(0.1, abs=0.02)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="not be empty"):
+            interleave([], [], 10, rng)
+        with pytest.raises(ValueError, match="align"):
+            interleave([_trace([1])], [0.5, 0.5], 10, rng)
+        with pytest.raises(ValueError, match="non-negative"):
+            interleave([_trace([1])], [-1.0], 10, rng)
+        empty = MemoryTrace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        with pytest.raises(ValueError, match="non-empty"):
+            interleave([empty], [1.0], 10, rng)
+
+
+class TestMultiTenant:
+    def test_partitions_are_disjoint(self, rng):
+        mixed = multi_tenant_trace(
+            [
+                get_workload("memtier", scale=1 / 128),
+                get_workload("stream", scale=1 / 128),
+            ],
+            weights=[0.5, 0.5],
+            n_accesses=20_000,
+            rng=rng,
+            partition_pages=100_000,
+        )
+        pages = mixed.page_indices()
+        tenant = pages // 100_000
+        assert set(np.unique(tenant)) == {0, 1}
+
+    def test_rejects_misaligned_weights(self, rng):
+        with pytest.raises(ValueError, match="align"):
+            multi_tenant_trace(
+                [get_workload("heap")], [0.5, 0.5], 100, rng
+            )
+
+    def test_rejects_bad_partition(self, rng):
+        with pytest.raises(ValueError, match="partition_pages"):
+            multi_tenant_trace(
+                [get_workload("heap", scale=1 / 128)],
+                [1.0],
+                100,
+                rng,
+                partition_pages=0,
+            )

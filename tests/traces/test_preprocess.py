@@ -1,0 +1,170 @@
+"""Tests for Sec. 3.1 preprocessing (trim, page index, Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.preprocess import (
+    ProcessedTrace,
+    TracePreprocessor,
+    transform_timestamps,
+    transform_timestamps_reference,
+    trim_warmup,
+)
+from repro.traces.record import MemoryTrace
+
+
+def _trace(n=100):
+    return MemoryTrace(
+        np.arange(n, dtype=np.int64) * 4096,
+        np.zeros(n, dtype=bool),
+    )
+
+
+class TestTrimWarmup:
+    def test_paper_defaults_trim_20_and_10_percent(self):
+        trimmed = trim_warmup(_trace(100))
+        assert len(trimmed) == 70
+        assert trimmed[0].address == 20 * 4096
+        assert trimmed[-1].address == 89 * 4096
+
+    def test_zero_fractions_keep_everything(self):
+        trimmed = trim_warmup(_trace(50), 0.0, 0.0)
+        assert len(trimmed) == 50
+
+    def test_rejects_fractions_that_consume_trace(self):
+        with pytest.raises(ValueError, match="non-empty middle"):
+            trim_warmup(_trace(), 0.6, 0.4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            trim_warmup(_trace(), -0.1, 0.1)
+        with pytest.raises(ValueError):
+            trim_warmup(_trace(), 0.1, 1.0)
+
+    def test_small_trace(self):
+        trimmed = trim_warmup(_trace(3), 0.2, 0.1)
+        assert len(trimmed) == 3  # floor(3*0.2) = floor(3*0.1) = 0
+
+
+class TestTransformTimestamps:
+    def test_window_grouping(self):
+        ts = transform_timestamps(10, len_window=3, len_access_shot=100)
+        np.testing.assert_array_equal(
+            ts, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+        )
+
+    def test_shot_reset_algorithm_mode(self):
+        # Timestamp wraps when it reaches len_access_shot.
+        ts = transform_timestamps(
+            12, len_window=2, len_access_shot=3, mode="algorithm"
+        )
+        np.testing.assert_array_equal(
+            ts, [0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2]
+        )
+
+    def test_prose_mode_wraps_by_requests(self):
+        # Shot = 6 requests, window = 2 -> timestamps 0,0,1,1,2,2 repeat.
+        ts = transform_timestamps(
+            12, len_window=2, len_access_shot=6, mode="prose"
+        )
+        np.testing.assert_array_equal(
+            ts, [0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2]
+        )
+
+    def test_matches_reference_implementation(self):
+        # The vectorised version must agree with the literal
+        # line-by-line transcription of Algorithm 1.
+        got = transform_timestamps(5000, 32, 10, mode="algorithm")
+        expected = transform_timestamps_reference(5000, 32, 10)
+        np.testing.assert_array_equal(got, expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=2000),
+        len_window=st.integers(min_value=1, max_value=64),
+        len_access_shot=st.integers(min_value=1, max_value=50),
+    )
+    def test_property_matches_reference(
+        self, n, len_window, len_access_shot
+    ):
+        got = transform_timestamps(
+            n, len_window, len_access_shot, mode="algorithm"
+        )
+        expected = transform_timestamps_reference(
+            n, len_window, len_access_shot
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_paper_defaults(self):
+        ts = transform_timestamps(100_000)
+        # 100k accesses / 32 per window < 10,000 shots: no wrap yet.
+        assert ts[0] == 0
+        assert ts[-1] == (100_000 - 1) // 32
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            transform_timestamps(-1)
+        with pytest.raises(ValueError):
+            transform_timestamps(10, len_window=0)
+        with pytest.raises(ValueError):
+            transform_timestamps(10, len_access_shot=0)
+        with pytest.raises(ValueError, match="unknown mode"):
+            transform_timestamps(10, mode="banana")
+
+    def test_zero_length(self):
+        assert transform_timestamps(0).shape == (0,)
+
+
+class TestTracePreprocessor:
+    def test_process_pipeline(self):
+        processor = TracePreprocessor()
+        processed = processor.process(_trace(1000))
+        assert isinstance(processed, ProcessedTrace)
+        assert len(processed) == 700
+        # Page indices derive from the *trimmed* trace.
+        np.testing.assert_array_equal(
+            processed.page_indices, np.arange(200, 900)
+        )
+
+    def test_features_shape_and_columns(self):
+        processed = TracePreprocessor().process(_trace(1000))
+        features = processed.features
+        assert features.shape == (700, 2)
+        np.testing.assert_array_equal(
+            features[:, 0], processed.page_indices.astype(float)
+        )
+        np.testing.assert_array_equal(
+            features[:, 1], processed.timestamps.astype(float)
+        )
+
+    def test_timestamps_restart_after_trim(self):
+        # Timestamps are assigned on the trimmed trace, so the first
+        # surviving request gets timestamp 0.
+        processed = TracePreprocessor().process(_trace(1000))
+        assert processed.timestamps[0] == 0
+
+    def test_custom_windows_prose_default(self):
+        # Default mode is "prose": shot = 50 requests, window = 10
+        # -> timestamps cycle 0..4.
+        processor = TracePreprocessor(
+            head_fraction=0.0,
+            tail_fraction=0.0,
+            len_window=10,
+            len_access_shot=50,
+        )
+        processed = processor.process(_trace(100))
+        assert processed.timestamps.max() == 4
+        assert processed.timestamps[50] == 0  # wrapped at shot end
+
+    def test_custom_windows_algorithm_mode(self):
+        processor = TracePreprocessor(
+            head_fraction=0.0,
+            tail_fraction=0.0,
+            len_window=10,
+            len_access_shot=5,
+            timestamp_mode="algorithm",
+        )
+        processed = processor.process(_trace(100))
+        assert processed.timestamps.max() == 4  # wraps at 5

@@ -1,0 +1,133 @@
+"""Tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.traces.record import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    MemoryTrace,
+    TraceRecord,
+)
+
+
+def _small_trace():
+    addresses = np.array([0, 4096, 8192, 4096 + 64, 123456])
+    writes = np.array([False, True, False, False, True])
+    return MemoryTrace(addresses, writes)
+
+
+class TestTraceRecord:
+    def test_page_index_right_shift(self):
+        record = TraceRecord(address=4096 + 64, is_write=False, time=0)
+        assert record.page_index == 1
+
+    def test_page_zero(self):
+        record = TraceRecord(address=4095, is_write=False, time=0)
+        assert record.page_index == 0
+
+
+class TestMemoryTraceConstruction:
+    def test_default_times_are_arange(self):
+        trace = _small_trace()
+        np.testing.assert_array_equal(trace.times, np.arange(5))
+
+    def test_rejects_negative_addresses(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MemoryTrace(np.array([-1]), np.array([False]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="same shape"):
+            MemoryTrace(np.array([1, 2]), np.array([False]))
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            MemoryTrace(
+                np.array([1, 2]),
+                np.array([False, False]),
+                np.array([5, 3]),
+            )
+
+    def test_rejects_2d_addresses(self):
+        with pytest.raises(ValueError, match="1-D"):
+            MemoryTrace(np.zeros((2, 2)), np.zeros((2, 2), dtype=bool))
+
+    def test_columns_are_read_only(self):
+        trace = _small_trace()
+        with pytest.raises(ValueError):
+            trace.addresses[0] = 7
+
+
+class TestMemoryTraceAccess:
+    def test_len(self):
+        assert len(_small_trace()) == 5
+
+    def test_getitem_record(self):
+        record = _small_trace()[1]
+        assert record == TraceRecord(address=4096, is_write=True, time=1)
+
+    def test_getitem_slice(self):
+        sliced = _small_trace()[1:3]
+        assert isinstance(sliced, MemoryTrace)
+        assert len(sliced) == 2
+        assert sliced[0].address == 4096
+
+    def test_iteration_yields_records(self):
+        records = list(_small_trace())
+        assert len(records) == 5
+        assert all(isinstance(r, TraceRecord) for r in records)
+
+    def test_page_indices(self):
+        trace = _small_trace()
+        expected = trace.addresses >> PAGE_SHIFT
+        np.testing.assert_array_equal(trace.page_indices(), expected)
+
+
+class TestMemoryTraceStats:
+    def test_write_fraction(self):
+        assert _small_trace().write_fraction() == pytest.approx(0.4)
+
+    def test_write_fraction_empty(self):
+        empty = MemoryTrace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        assert empty.write_fraction() == 0.0
+
+    def test_unique_page_count(self):
+        # Pages: 0, 1, 2, 1, 30 -> 4 distinct.
+        assert _small_trace().unique_page_count() == 4
+
+    def test_footprint_bytes(self):
+        assert _small_trace().footprint_bytes() == 4 * PAGE_SIZE
+
+
+class TestConcatenate:
+    def test_concatenate_rebases_times(self):
+        a = MemoryTrace(np.array([0]), np.array([False]), np.array([10]))
+        b = MemoryTrace(np.array([4096]), np.array([True]), np.array([3]))
+        combined = MemoryTrace.concatenate([a, b])
+        assert len(combined) == 2
+        assert list(combined.times) == [0, 1]
+
+    def test_concatenate_empty_list(self):
+        combined = MemoryTrace.concatenate([])
+        assert len(combined) == 0
+
+    def test_concatenate_preserves_order_and_flags(self):
+        a = _small_trace()
+        combined = MemoryTrace.concatenate([a, a])
+        np.testing.assert_array_equal(
+            combined.addresses,
+            np.concatenate([a.addresses, a.addresses]),
+        )
+        np.testing.assert_array_equal(
+            combined.is_write,
+            np.concatenate([a.is_write, a.is_write]),
+        )
+
+    def test_concatenate_with_empty_segment(self):
+        empty = MemoryTrace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        combined = MemoryTrace.concatenate([empty, _small_trace()])
+        assert len(combined) == 5

@@ -1,0 +1,130 @@
+"""Tests for trace statistics (Fig. 2 data)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.record import MemoryTrace
+from repro.traces.stats import (
+    hot_page_concentration,
+    page_access_counts,
+    reuse_gaps,
+    spatial_histogram,
+    temporal_histogram,
+)
+
+
+def _trace_from_pages(pages, times=None):
+    pages = np.asarray(pages, dtype=np.int64)
+    return MemoryTrace(
+        pages << 12, np.zeros(len(pages), dtype=bool), times
+    )
+
+
+class TestSpatialHistogram:
+    def test_counts_sum_to_trace_length(self):
+        trace = _trace_from_pages([0, 1, 2, 100, 100, 100])
+        histogram = spatial_histogram(trace, n_bins=10)
+        assert histogram.counts.sum() == 6
+
+    def test_bimodal_trace_detected(self):
+        pages = [10] * 100 + [5000] * 100
+        histogram = spatial_histogram(_trace_from_pages(pages), 50)
+        assert histogram.modality() == 2
+
+    def test_unimodal_trace(self):
+        pages = list(range(100))
+        histogram = spatial_histogram(_trace_from_pages(pages), 10)
+        assert histogram.modality() == 1
+
+    def test_empty_trace(self):
+        empty = MemoryTrace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        histogram = spatial_histogram(empty, 10)
+        assert histogram.counts.sum() == 0
+        assert histogram.modality() == 0
+
+    def test_bin_centers_between_edges(self):
+        trace = _trace_from_pages([0, 100])
+        histogram = spatial_histogram(trace, 4)
+        assert np.all(histogram.bin_centers > histogram.bin_edges[:-1])
+        assert np.all(histogram.bin_centers < histogram.bin_edges[1:])
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            spatial_histogram(_trace_from_pages([1]), 0)
+
+
+class TestTemporalHistogram:
+    def test_shape(self):
+        trace = _trace_from_pages(list(range(100)))
+        histogram = temporal_histogram(trace, 5, 4)
+        assert histogram.counts.shape == (5, 4)
+
+    def test_moving_hotspot_is_nonuniform(self):
+        # First half hits page 0, second half hits page 1000.
+        pages = [0] * 500 + [1000] * 500
+        histogram = temporal_histogram(_trace_from_pages(pages), 10, 10)
+        assert histogram.column_nonuniformity() > 0.5
+
+    def test_stationary_pattern_is_uniform(self, rng):
+        pages = rng.integers(0, 100, size=10_000)
+        histogram = temporal_histogram(_trace_from_pages(pages), 10, 5)
+        assert histogram.column_nonuniformity() < 0.2
+
+    def test_empty_trace(self):
+        empty = MemoryTrace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        histogram = temporal_histogram(empty, 5, 5)
+        assert histogram.counts.sum() == 0
+        assert histogram.column_nonuniformity() == 0.0
+
+
+class TestPageAccessCounts:
+    def test_sorted_hottest_first(self):
+        pages, counts = page_access_counts(
+            _trace_from_pages([1, 2, 2, 3, 3, 3])
+        )
+        np.testing.assert_array_equal(counts, [3, 2, 1])
+        np.testing.assert_array_equal(pages, [3, 2, 1])
+
+
+class TestHotPageConcentration:
+    def test_uniform_trace(self):
+        pages = list(range(100))
+        assert hot_page_concentration(
+            _trace_from_pages(pages), 0.1
+        ) == pytest.approx(0.1)
+
+    def test_skewed_trace(self):
+        pages = [0] * 900 + list(range(1, 101))
+        concentration = hot_page_concentration(
+            _trace_from_pages(pages), 0.01
+        )
+        assert concentration > 0.85
+
+    def test_empty_trace(self):
+        empty = MemoryTrace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        assert hot_page_concentration(empty, 0.1) == 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            hot_page_concentration(_trace_from_pages([1]), 0.0)
+
+
+class TestReuseGaps:
+    def test_simple_pattern(self):
+        # First touches of 7 and 8 are excluded; three reuses remain.
+        gaps = reuse_gaps(_trace_from_pages([7, 8, 7, 8, 7]))
+        np.testing.assert_array_equal(gaps, [2, 2, 2])
+
+    def test_no_reuse(self):
+        gaps = reuse_gaps(_trace_from_pages([1, 2, 3, 4]))
+        assert gaps.size == 0
+
+    def test_gap_counts_requests_not_pages(self):
+        gaps = reuse_gaps(_trace_from_pages([5, 1, 2, 3, 5]))
+        np.testing.assert_array_equal(gaps, [4])

@@ -1,0 +1,264 @@
+"""Tests for the synthetic sampler building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.record import PAGE_SHIFT
+from repro.traces.synthetic import (
+    GaussianClusterSampler,
+    MixtureSampler,
+    PhasedTraceBuilder,
+    ScanOnceSampler,
+    SequentialLoopSampler,
+    UniformSampler,
+    ZipfSampler,
+    pages_to_addresses,
+    zipf_probabilities,
+)
+
+
+class TestZipfProbabilities:
+    def test_normalised(self):
+        probs = zipf_probabilities(100, 1.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(50, 0.8)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_alpha_zero_uniform(self):
+        probs = zipf_probabilities(10, 0.0)
+        np.testing.assert_allclose(probs, 0.1)
+
+    def test_higher_alpha_more_skewed(self):
+        weak = zipf_probabilities(100, 0.5)
+        strong = zipf_probabilities(100, 1.5)
+        assert strong[0] > weak[0]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -0.1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=1000),
+        alpha=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_property_valid_distribution(self, n, alpha):
+        probs = zipf_probabilities(n, alpha)
+        assert probs.shape == (n,)
+        assert np.all(probs > 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestZipfSampler:
+    def test_stays_in_range(self, rng):
+        sampler = ZipfSampler(base_page=100, n_pages=50, alpha=1.0)
+        pages, _ = sampler.sample(1000, rng)
+        assert pages.min() >= 100
+        assert pages.max() < 150
+
+    def test_head_hotter_than_tail(self, rng):
+        sampler = ZipfSampler(base_page=0, n_pages=1000, alpha=1.2)
+        pages, _ = sampler.sample(20_000, rng)
+        head_hits = np.sum(pages < 100)
+        tail_hits = np.sum(pages >= 900)
+        assert head_hits > 5 * tail_hits
+
+    def test_write_fraction_respected(self, rng):
+        sampler = ZipfSampler(0, 100, 1.0, write_fraction=0.3)
+        _, writes = sampler.sample(20_000, rng)
+        assert np.mean(writes) == pytest.approx(0.3, abs=0.02)
+
+    def test_scramble_spreads_hot_pages(self, rng):
+        plain = ZipfSampler(0, 1000, 1.5, scramble=False)
+        scrambled = ZipfSampler(0, 1000, 1.5, scramble=True, perm_seed=7)
+        plain_pages, _ = plain.sample(5000, rng)
+        scrambled_pages, _ = scrambled.sample(
+            5000, np.random.default_rng(0)
+        )
+        # Without scrambling the mean page is near the base; scrambling
+        # moves it toward the middle of the range.
+        assert plain_pages.mean() < scrambled_pages.mean()
+
+
+class TestGaussianClusterSampler:
+    def test_clip_to_bounds(self, rng):
+        sampler = GaussianClusterSampler(
+            [(0.0, 100.0, 1.0)], lo_page=0, hi_page=50
+        )
+        pages, _ = sampler.sample(1000, rng)
+        assert pages.min() >= 0
+        assert pages.max() < 50
+
+    def test_clusters_produce_local_modes(self, rng):
+        sampler = GaussianClusterSampler(
+            [(1000.0, 50.0, 0.5), (5000.0, 50.0, 0.5)],
+            lo_page=0,
+            hi_page=10_000,
+        )
+        pages, _ = sampler.sample(10_000, rng)
+        near_first = np.sum(np.abs(pages - 1000) < 200)
+        near_second = np.sum(np.abs(pages - 5000) < 200)
+        in_between = np.sum(np.abs(pages - 3000) < 200)
+        assert near_first > 100
+        assert near_second > 100
+        assert in_between < near_first / 10
+
+    def test_rejects_empty_clusters(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GaussianClusterSampler([], 0, 10)
+
+    def test_rejects_bad_std(self):
+        with pytest.raises(ValueError, match="std"):
+            GaussianClusterSampler([(0.0, 0.0, 1.0)], 0, 10)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError, match="hi_page"):
+            GaussianClusterSampler([(0.0, 1.0, 1.0)], 10, 10)
+
+
+class TestUniformSampler:
+    def test_covers_range(self, rng):
+        sampler = UniformSampler(10, 20)
+        pages, _ = sampler.sample(5000, rng)
+        assert pages.min() == 10
+        assert pages.max() == 29
+        assert len(np.unique(pages)) == 20
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0, 0)
+
+
+class TestSequentialLoopSampler:
+    def test_wraps_around(self, rng):
+        sampler = SequentialLoopSampler(0, 4)
+        pages, _ = sampler.sample(10, rng)
+        np.testing.assert_array_equal(
+            pages, [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+        )
+
+    def test_burst_repeats_pages(self, rng):
+        sampler = SequentialLoopSampler(0, 3, burst=2)
+        pages, _ = sampler.sample(8, rng)
+        np.testing.assert_array_equal(pages, [0, 0, 1, 1, 2, 2, 0, 0])
+
+    def test_stride_skips(self, rng):
+        sampler = SequentialLoopSampler(0, 10, stride_pages=3)
+        pages, _ = sampler.sample(5, rng)
+        np.testing.assert_array_equal(pages, [0, 3, 6, 9, 2])
+
+    def test_state_persists_across_calls(self, rng):
+        sampler = SequentialLoopSampler(0, 100)
+        first, _ = sampler.sample(5, rng)
+        second, _ = sampler.sample(5, rng)
+        np.testing.assert_array_equal(second, [5, 6, 7, 8, 9])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SequentialLoopSampler(0, 0)
+        with pytest.raises(ValueError):
+            SequentialLoopSampler(0, 5, burst=0)
+        with pytest.raises(ValueError):
+            SequentialLoopSampler(0, 5, stride_pages=0)
+
+
+class TestScanOnceSampler:
+    def test_every_page_fresh_within_region(self, rng):
+        sampler = ScanOnceSampler(0, 1000)
+        pages, _ = sampler.sample(500, rng)
+        assert len(np.unique(pages)) == 500
+
+    def test_wraps_at_region_end(self, rng):
+        sampler = ScanOnceSampler(0, 5)
+        pages, _ = sampler.sample(7, rng)
+        np.testing.assert_array_equal(pages, [0, 1, 2, 3, 4, 0, 1])
+
+
+class TestMixtureSampler:
+    def test_interleaves_components_in_order(self, rng):
+        loop = SequentialLoopSampler(0, 1000)
+        mixture = MixtureSampler([(loop, 1.0)])
+        pages, _ = mixture.sample(5, rng)
+        np.testing.assert_array_equal(pages, [0, 1, 2, 3, 4])
+
+    def test_weights_respected(self, rng):
+        a = UniformSampler(0, 10)
+        b = UniformSampler(1000, 10)
+        mixture = MixtureSampler([(a, 0.8), (b, 0.2)])
+        pages, _ = mixture.sample(10_000, rng)
+        fraction_b = np.mean(pages >= 1000)
+        assert fraction_b == pytest.approx(0.2, abs=0.02)
+
+    def test_stateful_component_keeps_internal_order(self, rng):
+        loop = SequentialLoopSampler(1000, 1000)
+        noise = UniformSampler(0, 10)
+        mixture = MixtureSampler([(loop, 0.5), (noise, 0.5)])
+        pages, _ = mixture.sample(200, rng)
+        loop_pages = pages[pages >= 1000]
+        np.testing.assert_array_equal(
+            loop_pages, 1000 + np.arange(len(loop_pages))
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MixtureSampler([])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MixtureSampler([(UniformSampler(0, 5), -1.0)])
+
+
+class TestPagesToAddresses:
+    def test_addresses_in_page(self, rng):
+        pages = np.array([3, 7])
+        addresses = pages_to_addresses(pages, rng)
+        np.testing.assert_array_equal(addresses >> PAGE_SHIFT, pages)
+
+    def test_line_aligned(self, rng):
+        addresses = pages_to_addresses(np.arange(100), rng)
+        assert np.all(addresses % 64 == 0)
+
+    def test_no_sub_page(self, rng):
+        pages = np.array([3, 7])
+        addresses = pages_to_addresses(pages, rng, sub_page=False)
+        np.testing.assert_array_equal(addresses, pages << PAGE_SHIFT)
+
+
+class TestPhasedTraceBuilder:
+    def test_total_and_build_length(self, rng):
+        builder = PhasedTraceBuilder()
+        builder.add_phase(100, UniformSampler(0, 10))
+        builder.add_phase(50, UniformSampler(100, 10))
+        assert builder.total_accesses == 150
+        trace = builder.build(rng)
+        assert len(trace) == 150
+
+    def test_phases_in_order(self, rng):
+        builder = PhasedTraceBuilder()
+        builder.add_phase(10, UniformSampler(0, 5))
+        builder.add_phase(10, UniformSampler(1000, 5))
+        trace = builder.build(rng)
+        pages = trace.page_indices()
+        assert np.all(pages[:10] < 1000)
+        assert np.all(pages[10:] >= 1000)
+
+    def test_empty_builder_raises(self, rng):
+        with pytest.raises(ValueError, match="no phases"):
+            PhasedTraceBuilder().build(rng)
+
+    def test_zero_length_phase_skipped(self, rng):
+        builder = PhasedTraceBuilder()
+        builder.add_phase(0, UniformSampler(0, 5))
+        builder.add_phase(10, UniformSampler(0, 5))
+        assert len(builder.build(rng)) == 10
+
+    def test_negative_phase_rejected(self):
+        builder = PhasedTraceBuilder()
+        with pytest.raises(ValueError, match=">= 0"):
+            builder.add_phase(-1, UniformSampler(0, 5))

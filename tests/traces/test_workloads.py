@@ -1,0 +1,147 @@
+"""Tests for the seven benchmark workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces.stats import (
+    hot_page_concentration,
+    spatial_histogram,
+    temporal_histogram,
+)
+from repro.traces.workloads import (
+    WORKLOAD_NAMES,
+    WORKLOADS,
+    get_workload,
+)
+
+#: Small trace length for fast structural tests.
+N = 30_000
+
+
+@pytest.fixture(scope="module")
+def generated():
+    """One small trace per workload, shared across this module."""
+    traces = {}
+    for name in WORKLOAD_NAMES:
+        rng = np.random.default_rng(42)
+        traces[name] = get_workload(name).generate(N, rng)
+    return traces
+
+
+class TestRegistry:
+    def test_seven_workloads(self):
+        assert len(WORKLOAD_NAMES) == 7
+
+    def test_paper_order(self):
+        assert WORKLOAD_NAMES == (
+            "parsec",
+            "memtier",
+            "hashmap",
+            "heap",
+            "sysbench",
+            "dlrm",
+            "stream",
+        )
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("quake")
+
+    def test_names_match_classes(self):
+        for name, cls in WORKLOADS.items():
+            assert cls.name == name
+
+    def test_get_workload_forwards_params(self):
+        workload = get_workload("stream", array_pages=1000)
+        assert workload.array_pages == 1000
+
+
+class TestAllWorkloads:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_generates_requested_length(self, generated, name):
+        assert len(generated[name]) == N
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_deterministic_given_seed(self, name):
+        a = get_workload(name).generate(2000, np.random.default_rng(7))
+        b = get_workload(name).generate(2000, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.addresses, b.addresses)
+        np.testing.assert_array_equal(a.is_write, b.is_write)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_different_seeds_differ(self, name):
+        a = get_workload(name).generate(2000, np.random.default_rng(1))
+        b = get_workload(name).generate(2000, np.random.default_rng(2))
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_has_reads_and_writes(self, generated, name):
+        fraction = generated[name].write_fraction()
+        assert 0.0 < fraction < 1.0
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_multimodal_spatial_structure(self, generated, name):
+        # Fig. 2 motivation: every benchmark shows spatially clustered
+        # access density.  Peaks differ in height by orders of
+        # magnitude (Fig. 2's spikes), so detect at a 1% threshold.
+        histogram = spatial_histogram(generated[name], n_bins=200)
+        assert histogram.modality(threshold_fraction=0.01) >= 2
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_times_monotone(self, generated, name):
+        times = generated[name].times
+        assert np.all(np.diff(times) >= 0)
+
+
+class TestWorkloadCharacter:
+    def test_stream_is_mostly_one_touch(self, generated):
+        # The swept arrays dominate the stream footprint: the median
+        # page is touched at most twice within a short trace while the
+        # hot scalar region absorbs the rest of the traffic.
+        from repro.traces.stats import page_access_counts
+
+        _, counts = page_access_counts(generated["stream"])
+        assert np.median(counts) <= 2
+        # The hot region (192 pages) collects the majority of accesses.
+        assert counts[:192].sum() > 0.5 * counts.sum()
+
+    def test_memtier_read_heavy(self, generated):
+        assert generated["memtier"].write_fraction() < 0.2
+
+    def test_heap_write_heavy(self, generated):
+        assert generated["heap"].write_fraction() > 0.35
+
+    def test_dlrm_mostly_reads(self, generated):
+        assert generated["dlrm"].write_fraction() < 0.1
+
+    def test_dlrm_footprint_far_exceeds_cache(self):
+        # The embedding tables dwarf the device cache, which is what
+        # gives dlrm the second-worst miss rate in Fig. 6.  Checked at
+        # the experiment scale (1/32 footprints vs the 512-block
+        # cache) where the ratio fully develops within the trace.
+        rng = np.random.default_rng(5)
+        trace = get_workload("dlrm", scale=1 / 32).generate(
+            200_000, rng
+        )
+        assert trace.unique_page_count() > 4 * 512
+
+    def test_dlrm_temporal_phases(self):
+        # Table popularity rotates across phases, so the temporal
+        # profile must be non-uniform in time.
+        rng = np.random.default_rng(3)
+        trace = get_workload("dlrm").generate(60_000, rng)
+        histogram = temporal_histogram(trace, 30, 30)
+        assert histogram.column_nonuniformity() > 0.1
+
+    def test_parsec_working_set_near_cache_size(self):
+        # The parsec design point: a resident working set comparable to
+        # the 16K-page (64 MB) cache, with the over-capacity sweep
+        # supplying just enough pressure that eviction quality matters
+        # while misses stay rare.  Needs a realistic length to develop.
+        rng = np.random.default_rng(11)
+        trace = get_workload("parsec").generate(200_000, rng)
+        pages = trace.unique_page_count()
+        assert 8_000 < pages < 30_000
+
+    def test_sysbench_has_very_hot_head(self, generated):
+        assert hot_page_concentration(generated["sysbench"], 0.01) > 0.25

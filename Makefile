@@ -1,0 +1,25 @@
+# Convenience targets for the ICGMM reproduction.
+#
+# The pytest configuration lives in pyproject.toml (pythonpath=src,
+# importlib import mode), so plain `pytest` works too; the explicit
+# PYTHONPATH below keeps the targets usable from any cwd and matches
+# the tier-1 verify command in ROADMAP.md.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-throughput bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full simulator-throughput matrix; writes BENCH_sim_throughput.json.
+bench-throughput:
+	$(PYTHON) benchmarks/bench_sim_throughput.py
+
+# Short trace + policy subset, then schema-validate the emitted JSON.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_sim_throughput.py --smoke \
+		--output BENCH_sim_throughput.smoke.json
+	$(PYTHON) benchmarks/bench_sim_throughput.py \
+		--validate BENCH_sim_throughput.smoke.json

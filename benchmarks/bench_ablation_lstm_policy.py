@@ -15,7 +15,7 @@ import pytest
 from conftest import fast_config
 
 from repro.analysis import render_table
-from repro.cache import SetAssociativeCache, simulate
+from repro.cache import SetAssociativeCache, simulate_fast
 from repro.cache.policies import GmmCachePolicy
 from repro.core.lstm_engine import LstmEngineConfig, LstmPolicyEngine
 from repro.core.system import IcgmmSystem
@@ -90,7 +90,7 @@ def test_lstm_vs_gmm_policy(setup, report, benchmark):
     def run_eviction(scores):
         cache = SetAssociativeCache(config.geometry)
         policy = GmmCachePolicy(admission=False, eviction=True)
-        return simulate(
+        return simulate_fast(
             cache,
             policy,
             processed.page_indices,
@@ -102,7 +102,7 @@ def test_lstm_vs_gmm_policy(setup, report, benchmark):
     from repro.cache.policies import LruPolicy
 
     cache = SetAssociativeCache(config.geometry)
-    lru_stats = simulate(
+    lru_stats = simulate_fast(
         cache,
         LruPolicy(),
         processed.page_indices,

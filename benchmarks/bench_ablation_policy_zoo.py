@@ -12,7 +12,7 @@ import pytest
 from conftest import fast_config
 
 from repro.analysis import render_table
-from repro.cache import BeladyPolicy, SetAssociativeCache, simulate
+from repro.cache import BeladyPolicy, SetAssociativeCache, simulate_fast
 from repro.cache.policies import make_policy
 from repro.core.system import IcgmmSystem
 
@@ -39,7 +39,7 @@ def test_policy_zoo(heap_setup, report, benchmark):
                 else make_policy(name)
             )
             cache = SetAssociativeCache(config.geometry)
-            out[name] = simulate(
+            out[name] = simulate_fast(
                 cache,
                 policy,
                 prepared.page_indices,
@@ -60,7 +60,7 @@ def test_policy_zoo(heap_setup, report, benchmark):
         ),
         key=lambda o: o.stats.miss_rate,
     )
-    oracle = simulate(
+    oracle = simulate_fast(
         SetAssociativeCache(config.geometry),
         BeladyPolicy(prepared.page_indices),
         prepared.page_indices,

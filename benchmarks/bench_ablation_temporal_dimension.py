@@ -17,7 +17,7 @@ from conftest import fast_config
 
 from repro.analysis import render_table
 from repro.analysis.distributions import temporal_information_gain
-from repro.cache import SetAssociativeCache, simulate
+from repro.cache import SetAssociativeCache, simulate_fast
 from repro.core.engine import GmmPolicyEngine
 from repro.core.policy import build_policy
 from repro.core.system import IcgmmSystem
@@ -88,7 +88,7 @@ def test_spatial_only_admission_degrades(memtier_setup, report, benchmark):
     def run_caching(scores, threshold):
         cache = SetAssociativeCache(config.geometry)
         policy = build_policy("gmm-caching", threshold)
-        return simulate(
+        return simulate_fast(
             cache,
             policy,
             prepared.page_indices,

@@ -13,7 +13,7 @@ import pytest
 from conftest import fast_config
 
 from repro.analysis import render_table
-from repro.cache import SetAssociativeCache, simulate
+from repro.cache import SetAssociativeCache, simulate_fast
 from repro.cache.policies import GmmCachePolicy, LruPolicy
 from repro.cache.prefetch import (
     StridePrefetcher,
@@ -36,14 +36,14 @@ def test_prefetch_composes_with_gmm(stream_setup, report, benchmark):
     pages = prepared.page_indices
     writes = prepared.is_write
 
-    lru = simulate(
+    lru = simulate_fast(
         SetAssociativeCache(config.geometry),
         LruPolicy(),
         pages,
         writes,
         warmup_fraction=config.warmup_fraction,
     )
-    gmm = simulate(
+    gmm = simulate_fast(
         SetAssociativeCache(config.geometry),
         GmmCachePolicy(admission=False, eviction=True),
         pages,

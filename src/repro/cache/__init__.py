@@ -19,6 +19,7 @@ from repro.cache.setassoc import (
     SetAssociativeCache,
     simulate,
 )
+from repro.cache.simulate_fast import simulate_fast
 from repro.cache.stats import CacheStats
 
 __all__ = [
@@ -37,5 +38,6 @@ __all__ = [
     "ScoreBasedPolicy",
     "SetAssociativeCache",
     "simulate",
+    "simulate_fast",
     "make_policy",
 ]

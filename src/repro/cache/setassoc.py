@@ -7,10 +7,15 @@ on-board table.  The paper's case-study geometry -- 64 MB capacity,
 4 KB blocks, associativity 8 (Sec. 5.1) -- is the default
 :class:`CacheGeometry`.
 
-The implementation uses plain Python lists rather than numpy because
-the simulator's inner loop touches 8-entry ways one access at a time;
-list indexing is several times faster than numpy scalar extraction at
-this shape.
+Cache state lives in four ``(n_sets, ways)`` numpy planes (tags,
+dirty, meta, stamp), which is what lets
+:mod:`repro.cache.simulate_fast` process whole request chunks with
+array operations.  The reference :func:`simulate` below stays a
+scalar access-at-a-time loop -- it is the executable specification
+the fast path is differential-tested against -- and mirrors the tag
+plane into plain Python lists for the duration of the loop, because
+list indexing is several times faster than numpy scalar extraction
+at the 8-entry-way shape.
 """
 
 from __future__ import annotations
@@ -80,16 +85,21 @@ class SetAssociativeCache:
     buffer (Sec. 4.2).  Two float metadata planes (``meta`` and
     ``stamp``) are maintained per way; each policy assigns them its own
     meaning (GMM score, LRU counter, reference bit, ...).
+
+    All four planes are ``(n_sets, ways)`` numpy arrays so the
+    vectorized simulator can gather/scatter whole chunks at once;
+    scalar code indexes them exactly like the former list-of-lists
+    (``cache.meta[set_index][way]``).
     """
 
     def __init__(self, geometry: CacheGeometry | None = None) -> None:
         self.geometry = geometry if geometry is not None else CacheGeometry()
         n_sets = self.geometry.n_sets
         ways = self.geometry.associativity
-        self.tags = [[INVALID] * ways for _ in range(n_sets)]
-        self.dirty = [[False] * ways for _ in range(n_sets)]
-        self.meta = [[0.0] * ways for _ in range(n_sets)]
-        self.stamp = [[0.0] * ways for _ in range(n_sets)]
+        self.tags = np.full((n_sets, ways), INVALID, dtype=np.int64)
+        self.dirty = np.zeros((n_sets, ways), dtype=bool)
+        self.meta = np.zeros((n_sets, ways), dtype=np.float64)
+        self.stamp = np.zeros((n_sets, ways), dtype=np.float64)
 
     # ------------------------------------------------------------------
     # Address mapping
@@ -104,18 +114,17 @@ class SetAssociativeCache:
     def lookup(self, page: int) -> tuple[int, int | None]:
         """Locate ``page``; returns ``(set_index, way | None)``."""
         index = page % self.geometry.n_sets
-        try:
-            way = self.tags[index].index(page)
-        except ValueError:
+        match = np.nonzero(self.tags[index] == page)[0]
+        if match.size == 0:
             return index, None
-        return index, way
+        return index, int(match[0])
 
     def find_invalid_way(self, set_index: int) -> int | None:
         """First empty way in a set, or None when the set is full."""
-        try:
-            return self.tags[set_index].index(INVALID)
-        except ValueError:
+        match = np.nonzero(self.tags[set_index] == INVALID)[0]
+        if match.size == 0:
             return None
+        return int(match[0])
 
     def fill(
         self,
@@ -136,19 +145,13 @@ class SetAssociativeCache:
     # Introspection
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
-        """Number of valid blocks currently cached."""
-        return sum(
-            way != INVALID for ways in self.tags for way in ways
-        )
+        """Number of valid blocks currently cached (one array scan)."""
+        return int(np.count_nonzero(self.tags != INVALID))
 
     def resident_pages(self) -> set[int]:
         """Set of pages currently cached (for tests/analysis)."""
-        return {
-            tag
-            for ways in self.tags
-            for tag in ways
-            if tag != INVALID
-        }
+        valid = self.tags[self.tags != INVALID]
+        return {int(tag) for tag in valid}
 
     def __repr__(self) -> str:
         g = self.geometry
@@ -159,44 +162,16 @@ class SetAssociativeCache:
         )
 
 
-def simulate(
-    cache: SetAssociativeCache,
-    policy: ReplacementPolicy,
+def _validate_stream(
     pages: np.ndarray,
     is_write: np.ndarray,
-    scores: np.ndarray | None = None,
-    warmup_fraction: float = 0.0,
-) -> CacheStats:
-    """Drive a cache/policy pair over a page-level request stream.
+    scores: np.ndarray | None,
+    warmup_fraction: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Shared input validation for both simulator paths.
 
-    Implements the Sec. 3.2 flow: a hit is served from DRAM (the GMM is
-    bypassed); on a miss the policy decides admission using the
-    precomputed GMM score, and -- when the set is full -- selects the
-    victim; a dirty victim costs an SSD write-back.
-
-    Parameters
-    ----------
-    cache:
-        Cache state (mutated in place; pass a fresh instance per run).
-    policy:
-        Replacement/admission policy.
-    pages:
-        Page index per request.
-    is_write:
-        Write flag per request.
-    scores:
-        Policy score per request (GMM density); zeros when omitted.
-        Scores are precomputed for the whole stream because the GMM is
-        a pure function of ``(page, timestamp)`` -- mirroring the
-        pipelined engine, which computes them independently per request.
-    warmup_fraction:
-        Leading fraction of requests that update cache state but are
-        excluded from the returned counters.
-
-    Returns
-    -------
-    CacheStats
-        Counters over the measured (post-warm-up) region.
+    Returns ``(pages, is_write, scores, measure_from)`` with scores
+    defaulted to zeros.
     """
     pages = np.asarray(pages)
     is_write = np.asarray(is_write)
@@ -211,22 +186,44 @@ def simulate(
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
     measure_from = int(pages.shape[0] * warmup_fraction)
+    return pages, is_write, scores, measure_from
 
-    stats = CacheStats()
-    tags = cache.tags
+
+def _scalar_span(
+    cache: SetAssociativeCache,
+    policy: ReplacementPolicy,
+    tags_list: list[list[int]],
+    page_list: list[int],
+    write_list: list[bool],
+    score_list: list[float],
+    index_list,
+    measure_from: int,
+    stats: CacheStats,
+) -> None:
+    """Exact access-at-a-time simulation of one request span.
+
+    ``page_list``/``write_list``/``score_list`` are the span's
+    requests as plain Python scalars; ``index_list`` (any indexable
+    sequence, e.g. a ``range`` or a list) gives the absolute access
+    index of each position.  ``tags_list`` is a list-of-lists mirror
+    of ``cache.tags`` kept in sync by this function (fast lookups);
+    dirty/meta/stamp go through the cache's numpy planes directly so
+    policy hooks observe them.
+
+    This is the executable specification: the vectorized engine in
+    :mod:`repro.cache.simulate_fast` must match it bit for bit, and
+    falls back to it for heavily set-conflicted request spans.
+    """
     dirty = cache.dirty
     n_sets = cache.geometry.n_sets
-    page_list = [int(p) for p in pages]
-    write_list = [bool(w) for w in is_write]
-    score_list = [float(s) for s in scores]
-
-    for access_index in range(len(page_list)):
-        page = page_list[access_index]
-        write = write_list[access_index]
-        score = score_list[access_index]
+    for offset in range(len(page_list)):
+        access_index = index_list[offset]
+        page = page_list[offset]
+        write = write_list[offset]
+        score = score_list[offset]
         measured = access_index >= measure_from
         set_index = page % n_sets
-        set_tags = tags[set_index]
+        set_tags = tags_list[set_index]
         try:
             way: int | None = set_tags.index(page)
         except ValueError:
@@ -256,7 +253,10 @@ def simulate(
                     stats.bypassed_writes += 1
             continue
 
-        victim = cache.find_invalid_way(set_index)
+        try:
+            victim: int | None = set_tags.index(INVALID)
+        except ValueError:
+            victim = None
         if victim is None:
             victim = policy.select_victim(cache, set_index, access_index)
             if measured:
@@ -265,6 +265,7 @@ def simulate(
                     stats.dirty_evictions += 1
         if measured:
             stats.fills += 1
+        set_tags[victim] = page
         cache.fill(
             set_index,
             victim,
@@ -273,4 +274,70 @@ def simulate(
             policy.fill_meta(page, score, access_index),
             float(access_index),
         )
+
+
+def simulate(
+    cache: SetAssociativeCache,
+    policy: ReplacementPolicy,
+    pages: np.ndarray,
+    is_write: np.ndarray,
+    scores: np.ndarray | None = None,
+    warmup_fraction: float = 0.0,
+) -> CacheStats:
+    """Drive a cache/policy pair over a page-level request stream.
+
+    Implements the Sec. 3.2 flow: a hit is served from DRAM (the GMM is
+    bypassed); on a miss the policy decides admission using the
+    precomputed GMM score, and -- when the set is full -- selects the
+    victim; a dirty victim costs an SSD write-back.
+
+    This is the *reference* scalar path.  The chunked/vectorized
+    engine lives in :func:`repro.cache.simulate_fast.simulate_fast`
+    and produces bit-identical counters and final cache state.
+
+    Parameters
+    ----------
+    cache:
+        Cache state (mutated in place; pass a fresh instance per run).
+    policy:
+        Replacement/admission policy.
+    pages:
+        Page index per request.
+    is_write:
+        Write flag per request.
+    scores:
+        Policy score per request (GMM density); zeros when omitted.
+        Scores are precomputed for the whole stream because the GMM is
+        a pure function of ``(page, timestamp)`` -- mirroring the
+        pipelined engine, which computes them independently per request.
+    warmup_fraction:
+        Leading fraction of requests that update cache state but are
+        excluded from the returned counters.
+
+    Returns
+    -------
+    CacheStats
+        Counters over the measured (post-warm-up) region.
+    """
+    pages, is_write, scores, measure_from = _validate_stream(
+        pages, is_write, scores, warmup_fraction
+    )
+    stats = CacheStats()
+    tags_list = [
+        [int(tag) for tag in ways] for ways in cache.tags
+    ]
+    page_list = [int(p) for p in pages]
+    write_list = [bool(w) for w in is_write]
+    score_list = [float(s) for s in scores]
+    _scalar_span(
+        cache,
+        policy,
+        tags_list,
+        page_list,
+        write_list,
+        score_list,
+        range(len(page_list)),
+        measure_from,
+        stats,
+    )
     return stats

@@ -1,0 +1,391 @@
+"""Chunked, vectorized trace-driven cache simulation.
+
+The reference :func:`repro.cache.setassoc.simulate` walks the request
+stream one access at a time through virtual-dispatch policy hooks --
+faithful, but the bottleneck of every Fig. 6 / Table 1 / ablation
+bench.  This module processes the stream in *chunks* of a few
+thousand requests with whole-array operations, delegating the
+policy-specific updates to the vectorized kernels registered in
+:mod:`repro.cache.policies.kernels`.
+
+Exactness is non-negotiable: :func:`simulate_fast` produces the
+*bit-identical* :class:`~repro.cache.stats.CacheStats` and final
+cache state (tags/dirty/meta/stamp) of the reference loop, for every
+registered policy, on every trace.  The mechanism:
+
+1.  **Chunking.**  The stream is cut into fixed-size chunks; hit
+    detection for a whole chunk round is one gather-and-compare
+    against the ``(n_sets, ways)`` tag plane.
+
+2.  **Same-set rounds.**  Accesses within a chunk only interact when
+    they map to the same cache set (all simulator and policy state is
+    per-set; access order *across* sets never changes an outcome).
+    Each chunk is therefore split into *rounds* by per-set occurrence
+    rank: round ``r`` holds every access that is the ``r``-th touch
+    of its set within the chunk.  Every set appears at most once per
+    round, so a round is embarrassingly parallel, and processing
+    rounds in rank order preserves the exact per-set access order.
+
+3.  **Scalar tail fallback.**  Round width shrinks with rank (only
+    hot sets are touched many times per chunk).  Once a round would
+    be narrower than ``min_round_width``, the chunk's remaining
+    accesses -- exactly those with rank >= the current round -- run
+    through the reference scalar span instead, in access order.
+    Every vector-processed access of a set strictly precedes its
+    scalar-tail accesses, so the per-set order (the only order that
+    matters) is preserved and results stay exact.  A chunk whose
+    *first* round is already too narrow (tiny cache, one scorching
+    set) thereby degrades gracefully to the pure reference loop.
+
+Policies without a registered kernel (notably ``RandomPolicy``,
+whose RNG draw order cannot survive reordering, and user subclasses
+that override scalar hooks) fall back to the reference
+implementation for the whole trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.policies.kernels import PolicyKernel, kernel_for
+from repro.cache.setassoc import (
+    INVALID,
+    SetAssociativeCache,
+    _scalar_span,
+    _validate_stream,
+    simulate,
+)
+from repro.cache.stats import CacheStats
+
+#: Requests per chunk.  Bigger chunks amortise the per-chunk sort and
+#: bookkeeping over more accesses; the per-round working set stays
+#: small because round width is bounded by the set count.
+DEFAULT_CHUNK_SIZE = 131072
+
+#: Minimum round width before the rest of a chunk is handed to the
+#: scalar tail (below this the numpy call overhead loses to the
+#: plain Python loop).
+DEFAULT_MIN_ROUND_WIDTH = 48
+
+
+def _count(mask: np.ndarray) -> int:
+    return int(np.count_nonzero(mask))
+
+
+#: Row widths whose bool mask packs into one unsigned word, turning a
+#: row-wise ``any`` reduction into a single vector compare.
+_PACK_DTYPE = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+def _row_any(mask: np.ndarray) -> np.ndarray:
+    """Row-wise ``any`` over a C-contiguous ``(n, ways)`` bool mask."""
+    packed = _PACK_DTYPE.get(mask.shape[1])
+    if packed is None or not mask.flags.c_contiguous:
+        return mask.any(axis=1)
+    return mask.view(packed).reshape(mask.shape[0]) != 0
+
+
+class _RoundScratch:
+    """Reusable per-round gather buffers (malloc-free inner loop).
+
+    Round width is bounded by ``min(chunk_size, n_sets)``; two
+    ``(bound, ways)`` planes cover the tag gather and the tag compare
+    for both the hit-detection and the invalid-way scans.
+    """
+
+    def __init__(self, bound: int, ways: int) -> None:
+        self.tags = np.empty((bound, ways), dtype=np.int64)
+        self.cmp = np.empty((bound, ways), dtype=bool)
+        self.tags2 = np.empty((bound, ways), dtype=np.int64)
+        self.cmp2 = np.empty((bound, ways), dtype=bool)
+
+
+def _process_round(
+    cache: SetAssociativeCache,
+    kernel: PolicyKernel,
+    stats: CacheStats,
+    pages: np.ndarray,
+    sets: np.ndarray,
+    is_write: np.ndarray,
+    scores: np.ndarray,
+    idx: np.ndarray,
+    measured,
+    scratch: _RoundScratch,
+) -> None:
+    """Vectorized simulation of one round (all sets distinct).
+
+    Mirrors the reference access loop stage for stage: hit detection,
+    hit-side updates, miss counting, admission, victim selection
+    (first invalid way, else the kernel's choice), and the fill.
+    ``measured`` is ``True`` (whole round counted), ``False`` (pure
+    warm-up), or a per-access bool array for the straddling chunk.
+    """
+    mixed = not isinstance(measured, bool)
+    m = pages.shape[0]
+    tag_rows = cache.tags.take(sets, axis=0, out=scratch.tags[:m])
+    match = np.equal(tag_rows, pages[:, None], out=scratch.cmp[:m])
+    hit = _row_any(match)
+    h_pos = np.nonzero(hit)[0]
+
+    if h_pos.size:
+        h_sets = sets.take(h_pos)
+        h_ways = match.take(h_pos, axis=0).argmax(axis=1)
+        h_write = is_write.take(h_pos)
+        kernel.on_hits(
+            h_sets, h_ways, idx.take(h_pos), scores.take(h_pos)
+        )
+        if h_write.any():
+            cache.dirty[h_sets[h_write], h_ways[h_write]] = True
+        if measured is True:
+            stats.hits += int(h_pos.size)
+            stats.write_hits += _count(h_write)
+        elif mixed:
+            h_measured = measured.take(h_pos)
+            stats.hits += _count(h_measured)
+            stats.write_hits += _count(h_measured & h_write)
+
+    if h_pos.size == m:
+        return
+    m_pos = np.nonzero(~hit)[0]
+    m_write = is_write.take(m_pos)
+    if measured is True:
+        stats.misses += int(m_pos.size)
+        stats.write_misses += _count(m_write)
+    elif mixed:
+        m_measured = measured.take(m_pos)
+        stats.misses += _count(m_measured)
+        stats.write_misses += _count(m_measured & m_write)
+
+    if kernel.admits_all:
+        a_pos = m_pos
+    else:
+        admitted = kernel.admit(
+            pages.take(m_pos),
+            scores.take(m_pos),
+            m_write,
+            idx.take(m_pos),
+        )
+        n_admitted = _count(admitted)
+        if measured is True:
+            stats.bypasses += int(m_pos.size) - n_admitted
+            stats.bypassed_writes += _count(m_write) - _count(
+                admitted & m_write
+            )
+        elif mixed:
+            bypassed = ~admitted
+            stats.bypasses += _count(m_measured & bypassed)
+            stats.bypassed_writes += _count(
+                m_measured & bypassed & m_write
+            )
+        if n_admitted == 0:
+            return
+        a_pos = m_pos[admitted]
+
+    a_sets = sets.take(a_pos)
+    a_pages = pages.take(a_pos)
+    a_idx = idx.take(a_pos)
+    ma = a_pos.shape[0]
+    a_tag_rows = tag_rows.take(a_pos, axis=0, out=scratch.tags2[:ma])
+    invalid_rows = np.equal(
+        a_tag_rows, INVALID, out=scratch.cmp2[:ma]
+    )
+    has_invalid = _row_any(invalid_rows)
+    n_invalid = _count(has_invalid)
+    if n_invalid == ma:
+        # Every target set has a free way (cold cache): no evictions.
+        victims = invalid_rows.argmax(axis=1)
+    else:
+        if n_invalid == 0:
+            # Steady state: every target set is full.
+            victims = kernel.select_victims(a_sets, a_idx)
+            full_pos = None
+            f_sets, f_victims = a_sets, victims
+        else:
+            victims = np.where(
+                has_invalid, invalid_rows.argmax(axis=1), 0
+            )
+            full_pos = np.nonzero(~has_invalid)[0]
+            f_sets = a_sets.take(full_pos)
+            f_victims = kernel.select_victims(
+                f_sets, a_idx.take(full_pos)
+            )
+            victims[full_pos] = f_victims
+        if measured is True:
+            stats.evictions += int(f_sets.size)
+            stats.dirty_evictions += _count(
+                cache.dirty[f_sets, f_victims]
+            )
+        elif mixed:
+            f_measured = (
+                measured.take(a_pos)
+                if full_pos is None
+                else measured.take(a_pos.take(full_pos))
+            )
+            stats.evictions += _count(f_measured)
+            stats.dirty_evictions += _count(
+                f_measured & cache.dirty[f_sets, f_victims]
+            )
+    if measured is True:
+        stats.fills += int(a_pos.size)
+    elif mixed:
+        stats.fills += _count(measured.take(a_pos))
+
+    cache.tags[a_sets, victims] = a_pages
+    cache.dirty[a_sets, victims] = is_write.take(a_pos)
+    cache.meta[a_sets, victims] = kernel.fill_meta(
+        a_pages, scores.take(a_pos), a_idx
+    )
+    cache.stamp[a_sets, victims] = a_idx.astype(np.float64)
+
+
+def simulate_fast(
+    cache: SetAssociativeCache,
+    policy: ReplacementPolicy,
+    pages: np.ndarray,
+    is_write: np.ndarray,
+    scores: np.ndarray | None = None,
+    warmup_fraction: float = 0.0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    min_round_width: int = DEFAULT_MIN_ROUND_WIDTH,
+) -> CacheStats:
+    """Vectorized drop-in replacement for
+    :func:`repro.cache.setassoc.simulate`.
+
+    Same signature, same semantics, bit-identical results (counters
+    and final cache/policy state); see the module docstring for the
+    mechanism.  Policies without a registered vector kernel -- or
+    with scalar hooks overridden below their registration -- run the
+    reference loop transparently.
+
+    Parameters
+    ----------
+    chunk_size:
+        Requests processed per vector step.
+    min_round_width:
+        Adaptive fallback threshold: once a chunk's next same-set
+        round would hold fewer accesses than this, the chunk's
+        remaining accesses run through the exact scalar span.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if min_round_width < 1:
+        raise ValueError("min_round_width must be >= 1")
+    pages, is_write, scores, measure_from = _validate_stream(
+        pages, is_write, scores, warmup_fraction
+    )
+    kernel = kernel_for(policy, cache)
+    if kernel is None:
+        return simulate(
+            cache,
+            policy,
+            pages,
+            is_write,
+            scores=scores,
+            warmup_fraction=warmup_fraction,
+        )
+
+    pages = pages.astype(np.int64, copy=False)
+    is_write = is_write.astype(bool, copy=False)
+    n = pages.shape[0]
+    n_sets = cache.geometry.n_sets
+    stats = CacheStats()
+    scratch = _RoundScratch(
+        min(chunk_size, n_sets), cache.geometry.associativity
+    )
+
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        m = stop - start
+        c_pages = pages[start:stop]
+        c_sets = c_pages % n_sets
+
+        # Per-set occurrence rank within the chunk: `order` sorts the
+        # chunk by set (stable, so by access order within a set);
+        # round r holds the r-th access of every set touched >= r+1
+        # times.  Sorting a uint16 key engages numpy's fast radix
+        # path (~8x over int64 comparison sort).
+        sort_key = (
+            c_sets.astype(np.uint16) if n_sets <= 65536 else c_sets
+        )
+        order = np.argsort(sort_key, kind="stable")
+        sorted_sets = c_sets[order]
+        new_group = np.empty(m, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = sorted_sets[1:] != sorted_sets[:-1]
+        group_starts = np.nonzero(new_group)[0]
+        group_sizes = np.diff(np.append(group_starts, m))
+        max_rank = int(group_sizes.max())
+        sorted_rank = np.arange(m) - np.repeat(group_starts, group_sizes)
+        # Make rounds *contiguous*: round r occupies
+        # bounds[r]:bounds[r+1] of `seq`, so the per-round work below
+        # operates on views instead of gathers.  Within a round any
+        # set order is valid (sets are distinct); ordering groups by
+        # descending size means the sets alive at rank r are exactly
+        # the first round_sizes[r] groups, which turns the placement
+        # into a direct scatter instead of a second argsort.
+        round_sizes = np.bincount(sorted_rank, minlength=max_rank)
+        bounds = np.concatenate(([0], np.cumsum(round_sizes)))
+        n_groups = group_starts.shape[0]
+        size_desc = np.argsort(-group_sizes, kind="stable")
+        slot_of_group = np.empty(n_groups, dtype=np.int64)
+        slot_of_group[size_desc] = np.arange(n_groups)
+        group_of = np.cumsum(new_group) - 1
+        seq = np.empty(m, dtype=np.int64)
+        seq[bounds[sorted_rank] + slot_of_group[group_of]] = order
+
+        r_pages = c_pages[seq]
+        r_sets = c_sets[seq]
+        r_write = is_write[start:stop][seq]
+        r_scores = scores[start:stop][seq]
+        r_idx = seq.astype(np.int64) + start
+        if measure_from <= start:
+            r_measured: bool | np.ndarray = True
+        elif measure_from >= stop:
+            r_measured = False
+        else:
+            r_measured = r_idx >= measure_from
+
+        rank = 0
+        while rank < max_rank and round_sizes[rank] >= min_round_width:
+            lo = bounds[rank]
+            hi = bounds[rank + 1]
+            _process_round(
+                cache,
+                kernel,
+                stats,
+                r_pages[lo:hi],
+                r_sets[lo:hi],
+                r_write[lo:hi],
+                r_scores[lo:hi],
+                r_idx[lo:hi],
+                r_measured
+                if isinstance(r_measured, bool)
+                else r_measured[lo:hi],
+                scratch,
+            )
+            rank += 1
+
+        if rank < max_rank:
+            # Scalar tail: every access that is the `rank`-th or later
+            # touch of its set, in access order.  Per-set order is
+            # preserved (their earlier touches were the vector rounds
+            # above), which is the only ordering that matters.
+            tail_positions = np.sort(seq[bounds[rank] :])
+            tags_list = cache.tags.tolist()
+            kernel.flush()
+            _scalar_span(
+                cache,
+                policy,
+                tags_list,
+                [int(p) for p in c_pages[tail_positions]],
+                [bool(w) for w in is_write[start:stop][tail_positions]],
+                [float(s) for s in scores[start:stop][tail_positions]],
+                [start + int(p) for p in tail_positions],
+                measure_from,
+                stats,
+            )
+            kernel.reload()
+
+    kernel.finalize()
+    return stats

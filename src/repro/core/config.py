@@ -26,6 +26,9 @@ STRATEGIES = (
     "gmm-caching-eviction",
 )
 
+#: Valid values of :attr:`IcgmmConfig.simulator`.
+SIMULATORS = ("fast", "reference")
+
 
 @dataclass(frozen=True)
 class GmmEngineConfig:
@@ -123,6 +126,12 @@ class IcgmmConfig:
     warmup_fraction:
         Leading fraction of the simulated trace excluded from cache
         counters (the cache is filling during it).
+    simulator:
+        ``"fast"`` (default) drives strategies through the chunked
+        vectorized engine of :mod:`repro.cache.simulate_fast`;
+        ``"reference"`` forces the scalar access-at-a-time loop.
+        Both produce bit-identical results -- the flag exists for
+        differential testing and for timing the reference path.
     seed:
         Root seed for trace generation and EM initialisation.
     """
@@ -137,6 +146,7 @@ class IcgmmConfig:
     tail_fraction: float = 0.1
     train_fraction: float = 0.5
     warmup_fraction: float = 0.3
+    simulator: str = "fast"
     trace_length: int | None = None
     seed: int = 42
 
@@ -147,6 +157,11 @@ class IcgmmConfig:
             raise ValueError("train_fraction must be in (0, 1]")
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.simulator not in SIMULATORS:
+            raise ValueError(
+                f"simulator must be one of {SIMULATORS}, got"
+                f" {self.simulator!r}"
+            )
         if self.trace_length is not None and self.trace_length < 10:
             raise ValueError("trace_length must be >= 10")
 

@@ -18,6 +18,11 @@ from repro.gmm.em import EMTrainer, FitResult
 from repro.gmm.model import GaussianMixture
 from repro.gmm.quantized import QuantizedGmm
 
+#: Row budget for one batched :meth:`GmmPolicyEngine.page_scores`
+#: scoring call (~16 MB of features at float64); bounds peak memory
+#: on traces with millions of distinct pages.
+_GRID_BUFFER_ROWS = 1 << 20
+
 
 @dataclass(frozen=True)
 class FeatureScaler:
@@ -161,25 +166,40 @@ class GmmPolicyEngine:
         maintenance-burst traffic as it happens).
 
         The marginal is evaluated on an ``n_time_samples``-point grid
-        spanning the training timestamp range, once per distinct page.
+        spanning the training timestamp range, once per distinct
+        page: the ``(unique_pages x n_time_samples)`` grid is scored
+        in batched calls covering as many whole grid points per call
+        as fit a bounded feature buffer (one call in the common case)
+        instead of the former one-pass-per-grid-point Python loop.
         """
         page_indices = np.asarray(page_indices)
         unique_pages, inverse = np.unique(
             page_indices, return_inverse=True
         )
+        n_pages = unique_pages.shape[0]
+        if n_pages == 0:
+            return np.zeros(0, dtype=np.float64)
+        pages_f = unique_pages.astype(np.float64)
         # Timestamp grid in raw feature units, then standardised.
         t_lo = self.scaler.mean[1] - 2.0 * self.scaler.std[1]
         t_hi = self.scaler.mean[1] + 2.0 * self.scaler.std[1]
         t_grid = np.linspace(t_lo, t_hi, n_time_samples)
-        per_page = np.zeros(unique_pages.shape[0], dtype=np.float64)
-        for t_value in t_grid:
-            features = np.column_stack(
-                [
-                    unique_pages.astype(np.float64),
-                    np.full(unique_pages.shape[0], t_value),
-                ]
-            )
-            per_page += self.score(features)
+        per_page = np.zeros(n_pages, dtype=np.float64)
+        page_block = min(n_pages, _GRID_BUFFER_ROWS)
+        for p_lo in range(0, n_pages, page_block):
+            block_pages = pages_f[p_lo : p_lo + page_block]
+            n_block = block_pages.shape[0]
+            t_per_call = max(1, _GRID_BUFFER_ROWS // n_block)
+            for t_lo_i in range(0, n_time_samples, t_per_call):
+                t_block = t_grid[t_lo_i : t_lo_i + t_per_call]
+                features = np.empty((n_block * t_block.shape[0], 2))
+                features[:, 0] = np.tile(block_pages, t_block.shape[0])
+                features[:, 1] = np.repeat(t_block, n_block)
+                per_page[p_lo : p_lo + page_block] += (
+                    self.score(features)
+                    .reshape(t_block.shape[0], n_block)
+                    .sum(axis=0)
+                )
         per_page /= n_time_samples
         return per_page[inverse]
 

@@ -24,6 +24,10 @@ from repro.cache.policies import (
     LruPolicy,
     ReplacementPolicy,
 )
+from repro.cache.policies.kernels import (
+    CombinedScoreKernel,
+    register_kernel,
+)
 from repro.core.config import STRATEGIES
 
 
@@ -53,6 +57,12 @@ class CombinedIcgmmPolicy(GmmCachePolicy):
     def fill_meta(self, page, score, access_index):
         """Store the page's marginal score for coherent eviction."""
         return self._page_scores.get(page, score)
+
+
+# The combined policy overrides fill_meta (dict lookup), so the plain
+# ScoreBasedPolicy kernel would no longer match it; its dedicated
+# kernel vectorizes the lookup with a sorted-key binary search.
+register_kernel(CombinedIcgmmPolicy)(CombinedScoreKernel)
 
 
 def strategy_uses_scores(strategy: str) -> bool:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cache.setassoc import SetAssociativeCache, simulate
+from repro.cache.simulate_fast import simulate_fast
 from repro.core.config import STRATEGIES, IcgmmConfig
 from repro.core.engine import GmmPolicyEngine
 from repro.core.policy import build_policy, strategy_score_view
@@ -165,7 +166,12 @@ class IcgmmSystem:
             scores = prepared.page_frequency_scores
         else:
             scores = None
-        stats = simulate(
+        run = (
+            simulate_fast
+            if self.config.simulator == "fast"
+            else simulate
+        )
+        stats = run(
             cache,
             policy,
             prepared.page_indices,

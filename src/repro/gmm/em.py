@@ -101,7 +101,10 @@ class EMTrainer:
     # Initialisation
     # ------------------------------------------------------------------
     def _initial_parameters(
-        self, points: np.ndarray, rng: np.random.Generator
+        self,
+        points: np.ndarray,
+        rng: np.random.Generator,
+        moments=None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Produce (weights, means, covariances) to start EM from."""
         n, d = points.shape
@@ -114,13 +117,34 @@ class EMTrainer:
         else:
             responsibilities = rng.random((n, k))
             responsibilities /= responsibilities.sum(axis=1, keepdims=True)
-        return self._m_step(points, responsibilities)
+        return self._m_step(points, responsibilities, moments)
 
     # ------------------------------------------------------------------
     # E and M steps
     # ------------------------------------------------------------------
+    @staticmethod
+    def _moment_features(
+        points: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(global mean, per-sample shifted second moments).
+
+        Both depend only on ``points``, so a fit computes them once
+        and reuses them across every M-step (the flattened moment
+        matrix is the larger of the two: ``(N, D*D)``).
+        """
+        n, d = points.shape
+        global_mean = points.mean(axis=0)
+        shifted = points - global_mean  # (N, D)
+        moment_matrix = (
+            shifted[:, :, None] * shifted[:, None, :]
+        ).reshape(n, d * d)
+        return global_mean, moment_matrix
+
     def _m_step(
-        self, points: np.ndarray, responsibilities: np.ndarray
+        self,
+        points: np.ndarray,
+        responsibilities: np.ndarray,
+        moments: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Maximisation step: moment-match each component.
 
@@ -142,8 +166,44 @@ class EMTrainer:
         weights = nk / n
         weights = weights / weights.sum()
         means = (responsibilities.T @ points) / nk_safe[:, None]
-        covariances = np.empty((k, d, d), dtype=np.float64)
-        for j in range(k):
+        # All K scatter matrices from one GEMM over per-sample second
+        # moments -- replaces the former component-at-a-time Python
+        # loop (the EM hot spot: K skinny matmuls plus 3K
+        # temporaries per iteration).  Moments are taken around the
+        # *global* mean, so the usual E[yy^T] - E[y]E[y]^T
+        # cancellation is scaled by the data spread rather than the
+        # raw feature magnitude (numerically benign), and the result
+        # is exactly symmetric.
+        if moments is None:
+            moments = self._moment_features(points)
+        global_mean, moment_matrix = moments
+        second_moment = (
+            responsibilities.T @ moment_matrix
+        ).reshape(k, d, d) / nk_safe[:, None, None]
+        delta = means - global_mean  # (K, D)
+        covariances = second_moment - delta[:, :, None] * delta[:, None, :]
+        # A zero-mass component has means[j] = 0 (not the conditional
+        # mean), so the identity above would yield the spurious
+        # -global_mean outer product; match the old per-component
+        # loop, which degraded to the regularized zero matrix.
+        dead = nk <= 10.0 * np.finfo(np.float64).tiny
+        if np.any(dead):
+            covariances[dead] = 0.0
+        # Cancellation guard: the shifted-moment identity loses about
+        # eps * |terms| of absolute accuracy, which can swamp (or turn
+        # negative) a genuinely tiny variance when a component sits
+        # far from the global mean of raw-scale data.  Components
+        # whose smallest variance falls inside that noise band are
+        # recomputed with the exact centered form (PSD by
+        # construction); the suspect set is empty on standardised
+        # features, keeping the fast path one GEMM.
+        eps = np.finfo(np.float64).eps
+        term_scale = np.abs(second_moment).reshape(k, -1).max(axis=1)
+        min_variance = covariances[:, np.arange(d), np.arange(d)].min(
+            axis=1
+        )
+        suspect = (min_variance <= 64.0 * eps * term_scale) & ~dead
+        for j in np.nonzero(suspect)[0]:
             centered = points - means[j]
             weighted = responsibilities[:, j : j + 1] * centered
             covariances[j] = (weighted.T @ centered) / nk_safe[j]
@@ -177,7 +237,10 @@ class EMTrainer:
     def _fit_once(
         self, points: np.ndarray, rng: np.random.Generator
     ) -> FitResult:
-        weights, means, covariances = self._initial_parameters(points, rng)
+        moments = self._moment_features(points)
+        weights, means, covariances = self._initial_parameters(
+            points, rng, moments
+        )
         history: list[float] = []
         previous = -np.inf
         converged = False
@@ -187,7 +250,7 @@ class EMTrainer:
                 points, weights, means, covariances
             )
             weights, means, covariances = self._m_step(
-                points, responsibilities
+                points, responsibilities, moments
             )
             history.append(log_likelihood)
             if abs(log_likelihood - previous) < self.tol:

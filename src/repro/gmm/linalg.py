@@ -13,6 +13,10 @@ import numpy as np
 #: Smallest diagonal jitter used when repairing a non-PD covariance.
 _MIN_JITTER = 1e-12
 
+#: Element budget for the batched-solve temporaries (block * K * D);
+#: ~4M float64 elements keeps each temporary around 32 MB.
+_SOLVE_TEMP_ELEMENTS = 1 << 22
+
 
 class NotPositiveDefiniteError(ValueError):
     """Raised when a covariance matrix cannot be Cholesky-factorised."""
@@ -128,14 +132,30 @@ def mahalanobis_squared_batch(
     points = np.asarray(points, dtype=np.float64)
     n, d = points.shape
     k = means.shape[0]
+    # Batched forward substitution: solve L_k z = (x_n - mu_k) for
+    # every (point, component) pair at once.  The D-step loop runs
+    # over the *tiny* feature dimension (2 for the paper's [P, T]
+    # features) while each step is a vectorized (block, K) operation
+    # -- replacing the former per-component ``np.linalg.solve`` loop,
+    # which also ignored the factors' triangularity.  Points are
+    # processed in blocks so the (block, K, D) temporaries stay
+    # memory-bounded on arbitrarily long request streams.
     out = np.empty((n, k), dtype=np.float64)
-    for j in range(k):
-        centered = points - means[j]  # (N, D)
-        # Solve L z = centered^T for z, then dist^2 = ||z||^2.
-        z = np.linalg.solve(
-            cholesky_factors[j], centered.T
-        )  # (D, N)
-        out[:, j] = np.sum(z * z, axis=0)
+    block = max(1, _SOLVE_TEMP_ELEMENTS // max(k * d, 1))
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        centered = points[lo:hi, None, :] - means[None, :, :]
+        z = np.empty_like(centered)  # (block, K, D)
+        for i in range(d):
+            acc = centered[:, :, i]
+            if i:
+                acc = acc - np.einsum(
+                    "nkj,kj->nk",
+                    z[:, :, :i],
+                    cholesky_factors[:, i, :i],
+                )
+            z[:, :, i] = acc / cholesky_factors[:, i, i]
+        np.einsum("nkd,nkd->nk", z, z, out=out[lo:hi])
     return out
 
 

@@ -147,3 +147,40 @@ class TestMoreComponentsFitBetter:
         one = EMTrainer(1).fit(data, np.random.default_rng(0))
         two = EMTrainer(2).fit(data, np.random.default_rng(0))
         assert two.log_likelihood > one.log_likelihood
+
+
+class TestZeroMassComponent:
+    def test_m_step_dead_component_stays_positive_definite(self):
+        """A component with zero responsibility mass must degrade to
+        the regularized zero covariance (as the pre-vectorization
+        per-component loop did), not a -mean*mean^T artifact --
+        even on data far from the origin."""
+        rng = np.random.default_rng(0)
+        points = rng.normal(1000.0, 1.0, size=(50, 2))
+        responsibilities = np.zeros((50, 3))
+        responsibilities[:25, 0] = 1.0
+        responsibilities[25:, 1] = 1.0  # component 2 gets no mass
+        trainer = EMTrainer(3, reg_covar=1e-6)
+        weights, means, covariances = trainer._m_step(
+            points, responsibilities
+        )
+        np.testing.assert_allclose(
+            covariances[2], 1e-6 * np.eye(2), atol=1e-12
+        )
+        for cov in covariances:
+            assert np.all(np.linalg.eigvalsh(cov) > 0)
+
+    def test_fit_on_extreme_raw_scale_data(self):
+        """Tight far-from-origin clusters (variance ~1e-8 at offset
+        ~1e8) must not crash EM: the shifted-moment covariance would
+        lose the variance to cancellation without the guard."""
+        rng = np.random.default_rng(0)
+        points = np.concatenate(
+            [
+                rng.normal(1e8, 1e-4, size=(500, 2)),
+                rng.normal(0.0, 1.0, size=(500, 2)),
+            ]
+        )
+        result = EMTrainer(2, max_iter=20).fit(points, rng)
+        for cov in result.model.covariances:
+            assert np.all(np.linalg.eigvalsh(cov) > 0)

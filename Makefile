@@ -8,7 +8,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-throughput bench-smoke
+.PHONY: test bench-throughput bench-smoke bench-serving bench-serving-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,3 +23,15 @@ bench-smoke:
 		--output BENCH_sim_throughput.smoke.json
 	$(PYTHON) benchmarks/bench_sim_throughput.py \
 		--validate BENCH_sim_throughput.smoke.json
+
+# Full serving-under-drift bench; writes BENCH_serving_drift.json.
+bench-serving:
+	$(PYTHON) benchmarks/bench_serving_drift.py
+
+# Short drift stream, then schema-validate (acceptance: >= 50% gap
+# recovery and bit-exact sharded/single-shot parity).
+bench-serving-smoke:
+	$(PYTHON) benchmarks/bench_serving_drift.py --smoke \
+		--output BENCH_serving_drift.smoke.json
+	$(PYTHON) benchmarks/bench_serving_drift.py \
+		--validate BENCH_serving_drift.smoke.json

@@ -36,6 +36,7 @@ import numpy as np
 from repro.cache.policies import (
     BeladyPolicy,
     ClockPolicy,
+    CounterRandomPolicy,
     FifoPolicy,
     GmmCachePolicy,
     LfuPolicy,
@@ -90,6 +91,7 @@ def policy_factories(pages: np.ndarray, threshold: float):
         "slru": lambda: SlruPolicy(),
         "2q": lambda: TwoQPolicy(),
         "random": lambda: RandomPolicy(np.random.default_rng(7)),
+        "counter-random": lambda: CounterRandomPolicy(seed=7),
         "belady": lambda: BeladyPolicy(pages),
         "gmm": lambda: GmmCachePolicy(threshold=threshold),
     }
@@ -242,7 +244,7 @@ def main(argv=None) -> int:
         lengths = args.lengths or [100_000, 1_000_000]
         policies = (
             "lru", "fifo", "lfu", "clock", "slru", "2q",
-            "random", "belady", "gmm",
+            "random", "counter-random", "belady", "gmm",
         )
         output = args.output or "BENCH_sim_throughput.json"
 

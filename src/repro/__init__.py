@@ -29,10 +29,12 @@ from repro.core import (
     GmmPolicyEngine,
     IcgmmConfig,
     IcgmmSystem,
+    ServingConfig,
     StrategyOutcome,
     SuiteResult,
     run_suite,
 )
+from repro.serving import IcgmmCacheService
 
 __version__ = "1.0.0"
 
@@ -41,9 +43,11 @@ __all__ = [
     "GMM_STRATEGIES",
     "GmmEngineConfig",
     "GmmPolicyEngine",
+    "IcgmmCacheService",
     "IcgmmConfig",
     "IcgmmSystem",
     "STRATEGIES",
+    "ServingConfig",
     "StrategyOutcome",
     "SuiteResult",
     "run_suite",

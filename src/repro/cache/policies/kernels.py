@@ -26,7 +26,10 @@ differentially for every registered kernel.
 *not* registered: its victim draws consume a sequential RNG stream
 whose order the chunk-reordering engine cannot preserve, so the fast
 path falls back to the scalar reference for it (bit-exactness beats
-throughput for a baseline policy).
+throughput for a baseline policy).  Its counter-based sibling
+:class:`~repro.cache.policies.random_.CounterRandomPolicy` closes
+that gap: each victim is a pure hash of the access index, so
+:class:`CounterRandomKernel` evaluates whole rounds order-free.
 """
 
 from __future__ import annotations
@@ -42,6 +45,10 @@ from repro.cache.policies.fifo import FifoPolicy
 from repro.cache.policies.gmm_policy import ScoreBasedPolicy
 from repro.cache.policies.lfu import LfuPolicy
 from repro.cache.policies.lru import LruPolicy
+from repro.cache.policies.random_ import (
+    CounterRandomPolicy,
+    splitmix64_array,
+)
 from repro.cache.policies.slru import SlruPolicy
 from repro.cache.policies.twoq import TwoQPolicy
 
@@ -277,6 +284,26 @@ class ClockKernel(PolicyKernel):
             self._touched[set_index] = True
 
 
+@register_kernel(CounterRandomPolicy)
+class CounterRandomKernel(PolicyKernel):
+    """Counter-based random: victims are pure hashes of access indices.
+
+    Vectorizes :meth:`CounterRandomPolicy.victim_for` -- the SplitMix64
+    draw keyed by ``(seed, access_index)`` -- as whole-array ``uint64``
+    arithmetic.  Because the draw ignores every other access, chunk
+    reordering is invisible and parity with the scalar reference is
+    exact (unlike the sequential-stream ``RandomPolicy``).
+    """
+
+    def select_victims(self, sets, idx):
+        draws = splitmix64_array(
+            idx.astype(np.uint64)
+            + np.uint64(self.policy._seed_mix)
+        )
+        ways = np.uint64(self.cache.geometry.associativity)
+        return (draws % ways).astype(np.int64)
+
+
 @register_kernel(SlruPolicy)
 class SlruKernel(PolicyKernel):
     """SLRU: probation/protected segments in ``meta``."""
@@ -391,23 +418,18 @@ class CombinedScoreKernel(ScoreKernel):
     """Score kernel whose fill metadata is a per-page marginal score.
 
     Vectorizes ``CombinedIcgmmPolicy.fill_meta`` (a dict lookup with
-    request-score fallback) via binary search over the sorted page
-    keys.  Registered from :mod:`repro.core.policy` to avoid an
-    import cycle.
+    request-score fallback) via binary search over the policy's
+    memoised ``sorted_page_scores()`` arrays.  Registered from
+    :mod:`repro.core.policy` to avoid an import cycle.
     """
 
     def __init__(self, policy, cache):
         super().__init__(policy, cache)
-        mapping = policy._page_scores
-        keys = np.fromiter(
-            mapping.keys(), dtype=np.int64, count=len(mapping)
-        )
-        values = np.fromiter(
-            mapping.values(), dtype=np.float64, count=len(mapping)
-        )
-        order = np.argsort(keys, kind="stable")
-        self._keys = keys[order]
-        self._values = values[order]
+        # The combined policy memoises its sorted view; the serving
+        # loop constructs a kernel per shard per chunk, and
+        # rebuilding O(U log U) arrays from the dict each time would
+        # dominate once U reaches millions of pages.
+        self._keys, self._values = policy.sorted_page_scores()
 
     def fill_meta(self, pages, scores, idx):
         if self._keys.size == 0:
@@ -424,6 +446,7 @@ __all__ = [
     "BeladyKernel",
     "ClockKernel",
     "CombinedScoreKernel",
+    "CounterRandomKernel",
     "FifoKernel",
     "KERNELS",
     "LfuKernel",

@@ -25,7 +25,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cache.policies.base import ReplacementPolicy
-from repro.cache.stats import CacheStats
+from repro.cache.stats import (
+    OUTCOME_BYPASS,
+    OUTCOME_DIRTY_EVICT,
+    OUTCOME_EVICT,
+    OUTCOME_FILL,
+    OUTCOME_HIT,
+    CacheStats,
+)
 
 #: Tag value marking an empty way.
 INVALID = -1
@@ -167,11 +174,14 @@ def _validate_stream(
     is_write: np.ndarray,
     scores: np.ndarray | None,
     warmup_fraction: float,
+    index_offset: int = 0,
+    outcome: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Shared input validation for both simulator paths.
 
     Returns ``(pages, is_write, scores, measure_from)`` with scores
-    defaulted to zeros.
+    defaulted to zeros.  ``measure_from`` is an *absolute* access
+    index (``index_offset`` plus the warm-up cut within this call).
     """
     pages = np.asarray(pages)
     is_write = np.asarray(is_write)
@@ -185,7 +195,16 @@ def _validate_stream(
             raise ValueError("scores and pages must have the same shape")
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
-    measure_from = int(pages.shape[0] * warmup_fraction)
+    if index_offset < 0:
+        raise ValueError("index_offset must be >= 0")
+    if outcome is not None:
+        if not isinstance(outcome, np.ndarray):
+            raise ValueError("outcome must be a numpy array")
+        if outcome.shape != pages.shape:
+            raise ValueError("outcome and pages must have the same shape")
+        if outcome.dtype != np.uint8:
+            raise ValueError("outcome must have dtype uint8")
+    measure_from = index_offset + int(pages.shape[0] * warmup_fraction)
     return pages, is_write, scores, measure_from
 
 
@@ -199,6 +218,8 @@ def _scalar_span(
     index_list,
     measure_from: int,
     stats: CacheStats,
+    outcome: np.ndarray | None = None,
+    outcome_base: int = 0,
 ) -> None:
     """Exact access-at-a-time simulation of one request span.
 
@@ -210,12 +231,16 @@ def _scalar_span(
     dirty/meta/stamp go through the cache's numpy planes directly so
     policy hooks observe them.
 
+    When ``outcome`` is given, each access's ``OUTCOME_*`` code is
+    written at ``outcome[access_index - outcome_base]``.
+
     This is the executable specification: the vectorized engine in
     :mod:`repro.cache.simulate_fast` must match it bit for bit, and
     falls back to it for heavily set-conflicted request spans.
     """
     dirty = cache.dirty
     n_sets = cache.geometry.n_sets
+    record = outcome is not None
     for offset in range(len(page_list)):
         access_index = index_list[offset]
         page = page_list[offset]
@@ -238,6 +263,8 @@ def _scalar_span(
                 stats.hits += 1
                 if write:
                     stats.write_hits += 1
+            if record:
+                outcome[access_index - outcome_base] = OUTCOME_HIT
             continue
 
         # Miss: SSD must be accessed either way; the policy decides
@@ -251,6 +278,8 @@ def _scalar_span(
                 stats.bypasses += 1
                 if write:
                     stats.bypassed_writes += 1
+            if record:
+                outcome[access_index - outcome_base] = OUTCOME_BYPASS
             continue
 
         try:
@@ -259,10 +288,17 @@ def _scalar_span(
             victim = None
         if victim is None:
             victim = policy.select_victim(cache, set_index, access_index)
+            victim_dirty = bool(dirty[set_index][victim])
             if measured:
                 stats.evictions += 1
-                if dirty[set_index][victim]:
+                if victim_dirty:
                     stats.dirty_evictions += 1
+            if record:
+                outcome[access_index - outcome_base] = (
+                    OUTCOME_DIRTY_EVICT if victim_dirty else OUTCOME_EVICT
+                )
+        elif record:
+            outcome[access_index - outcome_base] = OUTCOME_FILL
         if measured:
             stats.fills += 1
         set_tags[victim] = page
@@ -283,6 +319,8 @@ def simulate(
     is_write: np.ndarray,
     scores: np.ndarray | None = None,
     warmup_fraction: float = 0.0,
+    index_offset: int = 0,
+    outcome: np.ndarray | None = None,
 ) -> CacheStats:
     """Drive a cache/policy pair over a page-level request stream.
 
@@ -313,6 +351,17 @@ def simulate(
     warmup_fraction:
         Leading fraction of requests that update cache state but are
         excluded from the returned counters.
+    index_offset:
+        Absolute access index of the first request.  Non-zero offsets
+        make the call *resumable*: the serving loop replays a stream
+        in chunks against the same live cache, and recency stamps /
+        policy hooks keep seeing the global access order.  (Policies
+        that pre-index the full trace, e.g. Belady, assume offset 0.)
+    outcome:
+        Optional ``uint8`` buffer of the call's length; when given,
+        each access's ``OUTCOME_*`` code (see
+        :mod:`repro.cache.stats`) is recorded at its call-local
+        position, enabling exact per-tenant accounting downstream.
 
     Returns
     -------
@@ -320,7 +369,7 @@ def simulate(
         Counters over the measured (post-warm-up) region.
     """
     pages, is_write, scores, measure_from = _validate_stream(
-        pages, is_write, scores, warmup_fraction
+        pages, is_write, scores, warmup_fraction, index_offset, outcome
     )
     stats = CacheStats()
     tags_list = [
@@ -336,8 +385,10 @@ def simulate(
         page_list,
         write_list,
         score_list,
-        range(len(page_list)),
+        range(index_offset, index_offset + len(page_list)),
         measure_from,
         stats,
+        outcome=outcome,
+        outcome_base=index_offset,
     )
     return stats

@@ -56,7 +56,14 @@ from repro.cache.setassoc import (
     _validate_stream,
     simulate,
 )
-from repro.cache.stats import CacheStats
+from repro.cache.stats import (
+    OUTCOME_BYPASS,
+    OUTCOME_DIRTY_EVICT,
+    OUTCOME_EVICT,
+    OUTCOME_FILL,
+    OUTCOME_HIT,
+    CacheStats,
+)
 
 #: Requests per chunk.  Bigger chunks amortise the per-chunk sort and
 #: bookkeeping over more accesses; the per-round working set stays
@@ -112,6 +119,8 @@ def _process_round(
     idx: np.ndarray,
     measured,
     scratch: _RoundScratch,
+    outcome: np.ndarray | None = None,
+    outcome_base: int = 0,
 ) -> None:
     """Vectorized simulation of one round (all sets distinct).
 
@@ -120,8 +129,11 @@ def _process_round(
     (first invalid way, else the kernel's choice), and the fill.
     ``measured`` is ``True`` (whole round counted), ``False`` (pure
     warm-up), or a per-access bool array for the straddling chunk.
+    ``idx`` holds absolute access indices; outcome codes land at
+    ``outcome[idx - outcome_base]``.
     """
     mixed = not isinstance(measured, bool)
+    record = outcome is not None
     m = pages.shape[0]
     tag_rows = cache.tags.take(sets, axis=0, out=scratch.tags[:m])
     match = np.equal(tag_rows, pages[:, None], out=scratch.cmp[:m])
@@ -144,6 +156,8 @@ def _process_round(
             h_measured = measured.take(h_pos)
             stats.hits += _count(h_measured)
             stats.write_hits += _count(h_measured & h_write)
+        if record:
+            outcome[idx.take(h_pos) - outcome_base] = OUTCOME_HIT
 
     if h_pos.size == m:
         return
@@ -178,6 +192,10 @@ def _process_round(
             stats.bypassed_writes += _count(
                 m_measured & bypassed & m_write
             )
+        if record:
+            outcome[
+                idx.take(m_pos[~admitted]) - outcome_base
+            ] = OUTCOME_BYPASS
         if n_admitted == 0:
             return
         a_pos = m_pos[admitted]
@@ -195,6 +213,8 @@ def _process_round(
     if n_invalid == ma:
         # Every target set has a free way (cold cache): no evictions.
         victims = invalid_rows.argmax(axis=1)
+        if record:
+            outcome[a_idx - outcome_base] = OUTCOME_FILL
     else:
         if n_invalid == 0:
             # Steady state: every target set is full.
@@ -211,11 +231,10 @@ def _process_round(
                 f_sets, a_idx.take(full_pos)
             )
             victims[full_pos] = f_victims
+        f_dirty = cache.dirty[f_sets, f_victims]
         if measured is True:
             stats.evictions += int(f_sets.size)
-            stats.dirty_evictions += _count(
-                cache.dirty[f_sets, f_victims]
-            )
+            stats.dirty_evictions += _count(f_dirty)
         elif mixed:
             f_measured = (
                 measured.take(a_pos)
@@ -223,9 +242,15 @@ def _process_round(
                 else measured.take(a_pos.take(full_pos))
             )
             stats.evictions += _count(f_measured)
-            stats.dirty_evictions += _count(
-                f_measured & cache.dirty[f_sets, f_victims]
+            stats.dirty_evictions += _count(f_measured & f_dirty)
+        if record:
+            outcome[a_idx - outcome_base] = OUTCOME_FILL
+            f_idx = (
+                a_idx if full_pos is None else a_idx.take(full_pos)
             )
+            outcome[f_idx - outcome_base] = np.where(
+                f_dirty, OUTCOME_DIRTY_EVICT, OUTCOME_EVICT
+            ).astype(np.uint8)
     if measured is True:
         stats.fills += int(a_pos.size)
     elif mixed:
@@ -248,6 +273,8 @@ def simulate_fast(
     warmup_fraction: float = 0.0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     min_round_width: int = DEFAULT_MIN_ROUND_WIDTH,
+    index_offset: int = 0,
+    outcome: np.ndarray | None = None,
 ) -> CacheStats:
     """Vectorized drop-in replacement for
     :func:`repro.cache.setassoc.simulate`.
@@ -266,13 +293,19 @@ def simulate_fast(
         Adaptive fallback threshold: once a chunk's next same-set
         round would hold fewer accesses than this, the chunk's
         remaining accesses run through the exact scalar span.
+    index_offset:
+        Absolute access index of the first request (resumable chunked
+        replay; see :func:`repro.cache.setassoc.simulate`).
+    outcome:
+        Optional ``uint8`` per-access outcome buffer (see
+        :func:`repro.cache.setassoc.simulate`).
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
     if min_round_width < 1:
         raise ValueError("min_round_width must be >= 1")
     pages, is_write, scores, measure_from = _validate_stream(
-        pages, is_write, scores, warmup_fraction
+        pages, is_write, scores, warmup_fraction, index_offset, outcome
     )
     kernel = kernel_for(policy, cache)
     if kernel is None:
@@ -283,6 +316,8 @@ def simulate_fast(
             is_write,
             scores=scores,
             warmup_fraction=warmup_fraction,
+            index_offset=index_offset,
+            outcome=outcome,
         )
 
     pages = pages.astype(np.int64, copy=False)
@@ -338,10 +373,10 @@ def simulate_fast(
         r_sets = c_sets[seq]
         r_write = is_write[start:stop][seq]
         r_scores = scores[start:stop][seq]
-        r_idx = seq.astype(np.int64) + start
-        if measure_from <= start:
+        r_idx = seq.astype(np.int64) + start + index_offset
+        if measure_from <= start + index_offset:
             r_measured: bool | np.ndarray = True
-        elif measure_from >= stop:
+        elif measure_from >= stop + index_offset:
             r_measured = False
         else:
             r_measured = r_idx >= measure_from
@@ -363,6 +398,8 @@ def simulate_fast(
                 if isinstance(r_measured, bool)
                 else r_measured[lo:hi],
                 scratch,
+                outcome=outcome,
+                outcome_base=index_offset,
             )
             rank += 1
 
@@ -381,9 +418,11 @@ def simulate_fast(
                 [int(p) for p in c_pages[tail_positions]],
                 [bool(w) for w in is_write[start:stop][tail_positions]],
                 [float(s) for s in scores[start:stop][tail_positions]],
-                [start + int(p) for p in tail_positions],
+                [index_offset + start + int(p) for p in tail_positions],
                 measure_from,
                 stats,
+                outcome=outcome,
+                outcome_base=index_offset,
             )
             kernel.reload()
 

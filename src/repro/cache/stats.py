@@ -4,6 +4,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+#: Per-access outcome codes recorded by the simulators when an
+#: ``outcome`` buffer is passed (see
+#: :func:`repro.cache.setassoc.simulate`).  Every access receives
+#: exactly one code, so :func:`stats_from_outcomes` can rebuild the
+#: full :class:`CacheStats` for any subset of the stream (per tenant,
+#: per phase, per SLO class) after a single simulation pass.
+OUTCOME_FILL = 0  #: miss, admitted, filled an invalid way
+OUTCOME_HIT = 1  #: served from the DRAM cache
+OUTCOME_BYPASS = 2  #: miss, refused by the admission policy
+OUTCOME_EVICT = 3  #: miss, admitted, evicted a clean victim
+OUTCOME_DIRTY_EVICT = 4  #: miss, admitted, evicted a dirty victim
+
 
 @dataclass
 class CacheStats:
@@ -111,3 +125,64 @@ class CacheStats:
             "bypass_rate": self.bypass_rate,
             "dirty_eviction_rate": self.dirty_eviction_rate,
         }
+
+
+def stats_from_outcomes(
+    outcomes: np.ndarray,
+    is_write: np.ndarray,
+    measured: np.ndarray | None = None,
+) -> CacheStats:
+    """Rebuild :class:`CacheStats` from recorded per-access outcomes.
+
+    Parameters
+    ----------
+    outcomes:
+        Outcome code per access (the ``OUTCOME_*`` constants), as
+        recorded by a simulator ``outcome`` buffer.
+    is_write:
+        Write flag per access (same shape as ``outcomes``).
+    measured:
+        Optional boolean mask selecting the accesses to count; the
+        serving loop uses it to slice one simulation pass into
+        per-tenant / post-warm-up views.
+
+    Because every access carries exactly one code, the counters built
+    here over the *full* stream equal the simulator's own counters for
+    a ``warmup_fraction=0`` run, and any partition of the stream sums
+    back to the whole (asserted by the test suite).
+    """
+    outcomes = np.asarray(outcomes)
+    is_write = np.asarray(is_write, dtype=bool)
+    if outcomes.shape != is_write.shape:
+        raise ValueError("outcomes and is_write must have the same shape")
+    if measured is not None:
+        measured = np.asarray(measured, dtype=bool)
+        if measured.shape != outcomes.shape:
+            raise ValueError(
+                "measured mask and outcomes must have the same shape"
+            )
+        outcomes = outcomes[measured]
+        is_write = is_write[measured]
+    hit = outcomes == OUTCOME_HIT
+    bypass = outcomes == OUTCOME_BYPASS
+    evict = outcomes == OUTCOME_EVICT
+    dirty = outcomes == OUTCOME_DIRTY_EVICT
+    n = outcomes.shape[0]
+    n_hits = int(np.count_nonzero(hit))
+    n_bypass = int(np.count_nonzero(bypass))
+    n_evict = int(np.count_nonzero(evict))
+    n_dirty = int(np.count_nonzero(dirty))
+    n_misses = n - n_hits
+    write_hits = int(np.count_nonzero(hit & is_write))
+    write_misses = int(np.count_nonzero(~hit & is_write))
+    return CacheStats(
+        hits=n_hits,
+        misses=n_misses,
+        bypasses=n_bypass,
+        bypassed_writes=int(np.count_nonzero(bypass & is_write)),
+        fills=n_misses - n_bypass,
+        evictions=n_evict + n_dirty,
+        dirty_evictions=n_dirty,
+        write_hits=write_hits,
+        write_misses=write_misses,
+    )

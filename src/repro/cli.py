@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands cover the common entry points without writing any
+Five subcommands cover the common entry points without writing any
 Python::
 
     python -m repro.cli generate-trace dlrm -n 100000 -o dlrm.npz
     python -m repro.cli run memtier --trace-length 120000
     python -m repro.cli suite --workloads memtier stream
+    python -m repro.cli serve --workloads memtier stream --drift
     python -m repro.cli hardware-report
 """
 
@@ -17,7 +18,13 @@ import sys
 import numpy as np
 
 from repro.analysis import render_dict_table, render_table
-from repro.core.config import GmmEngineConfig, IcgmmConfig
+from repro.core.config import (
+    STRATEGIES,
+    GmmEngineConfig,
+    IcgmmConfig,
+    ServingConfig,
+)
+from repro.core.engine import GmmPolicyEngine
 from repro.core.experiment import run_suite
 from repro.core.system import IcgmmSystem
 from repro.hardware import (
@@ -29,7 +36,11 @@ from repro.hardware import (
     estimate_icgmm_system,
     estimate_lstm_engine,
 )
+from repro.serving import IcgmmCacheService
 from repro.traces.io import save_trace_csv, save_trace_npz
+from repro.traces.mixing import multi_tenant_trace, relocate
+from repro.traces.preprocess import transform_timestamps
+from repro.traces.record import PAGE_SHIFT
 from repro.traces.workloads import WORKLOAD_NAMES, get_workload
 
 
@@ -75,6 +86,58 @@ def _add_suite(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=42)
 
 
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "replay a multi-tenant stream through the online ICGMM"
+            " cache service (sharded planes, drift-aware refresh)"
+        ),
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=WORKLOAD_NAMES,
+        default=["memtier", "stream"],
+        help="one tenant per workload",
+    )
+    parser.add_argument("--length", type=int, default=200_000)
+    parser.add_argument("--chunk", type=int, default=8192)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--sharding", choices=("hash", "tenant"), default="hash"
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="gmm-caching-eviction",
+        help="Fig. 6 strategy driving the cache planes",
+    )
+    parser.add_argument("--components", type=int, default=None)
+    parser.add_argument(
+        "--train-fraction", type=float, default=0.3,
+        help="leading stream fraction the offline engine trains on",
+    )
+    parser.add_argument(
+        "--drift",
+        action="store_true",
+        help=(
+            "shift every tenant's hot region at the stream midpoint"
+            " (exercises the drift detector and model refresh)"
+        ),
+    )
+    parser.add_argument(
+        "--no-refresh",
+        action="store_true",
+        help="freeze the engine (the paper's deployment)",
+    )
+    parser.add_argument(
+        "--report-every", type=int, default=8,
+        help="chunks between progress lines",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+
+
 def _add_hardware_report(subparsers) -> None:
     subparsers.add_parser(
         "hardware-report",
@@ -103,7 +166,7 @@ def _cmd_generate_trace(args) -> int:
 
 def _config_from_args(args) -> IcgmmConfig:
     kwargs = {"seed": args.seed}
-    if args.trace_length is not None:
+    if getattr(args, "trace_length", None) is not None:
         kwargs["trace_length"] = args.trace_length
     if getattr(args, "components", None) is not None:
         kwargs["gmm"] = GmmEngineConfig(n_components=args.components)
@@ -145,6 +208,152 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    config = _config_from_args(args)
+    generators = [
+        get_workload(name, scale=config.workload_scale)
+        for name in args.workloads
+    ]
+    weights = [1.0] * len(generators)
+    serving = ServingConfig(
+        chunk_requests=args.chunk,
+        n_shards=args.shards,
+        sharding=args.sharding,
+        strategy=args.strategy,
+        refresh_enabled=not args.no_refresh,
+    )
+
+    if args.drift:
+        half = args.length // 2
+        head = multi_tenant_trace(
+            generators, weights, half, rng,
+            partition_pages=serving.partition_pages,
+        )
+        shifted = [
+            get_workload(name, scale=config.workload_scale)
+            for name in args.workloads
+        ]
+        tail = relocate(
+            multi_tenant_trace(
+                shifted, weights, args.length - half, rng,
+                partition_pages=serving.partition_pages,
+            ),
+            base_page=serving.partition_pages // 8,
+        )
+        pages = np.concatenate(
+            [head.addresses >> PAGE_SHIFT, tail.addresses >> PAGE_SHIFT]
+        )
+        is_write = np.concatenate([head.is_write, tail.is_write])
+    else:
+        trace = multi_tenant_trace(
+            generators, weights, args.length, rng,
+            partition_pages=serving.partition_pages,
+        )
+        pages = trace.addresses >> PAGE_SHIFT
+        is_write = trace.is_write
+
+    n_train = min(
+        len(pages),
+        max(
+            config.gmm.n_components + 1,
+            int(len(pages) * args.train_fraction),
+        ),
+    )
+    if n_train <= config.gmm.n_components:
+        print(
+            f"error: --length {args.length} leaves only {n_train}"
+            f" training requests for K={config.gmm.n_components};"
+            " raise --length or lower --components",
+            file=sys.stderr,
+        )
+        return 2
+    timestamps = transform_timestamps(
+        n_train,
+        config.len_window,
+        config.len_access_shot,
+        config.timestamp_mode,
+    )
+    features = np.column_stack(
+        [
+            pages[:n_train].astype(np.float64),
+            timestamps.astype(np.float64),
+        ]
+    )
+    print(
+        f"training offline engine on {n_train:,} requests"
+        f" ({len(args.workloads)} tenants)..."
+    )
+    engine = GmmPolicyEngine.train(features, config.gmm, rng)
+    try:
+        service = IcgmmCacheService(
+            engine, config=config, serving=serving, measure_from=n_train
+        )
+    except ValueError as exc:  # e.g. --shards not dividing the sets
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    step = serving.chunk_requests * max(1, args.report_every)
+    for start in range(0, len(pages), step):
+        reports = service.ingest(
+            pages[start : start + step],
+            is_write[start : start + step],
+        )
+        window_hits = sum(r.stats.hits for r in reports)
+        window_total = sum(r.stats.accesses for r in reports)
+        window_miss = (
+            100.0 * (1.0 - window_hits / window_total)
+            if window_total
+            else 0.0
+        )
+        swapped = any(r.swapped for r in reports)
+        print(
+            f"  cursor {service.access_cursor:>9,d}"
+            f"  window miss {window_miss:6.2f}%"
+            f"  generation {service.generation}"
+            f"{'  [engine swapped]' if swapped else ''}"
+        )
+
+    summary = service.summary()
+    print()
+    print(
+        render_table(
+            ["shard", "miss rate %", "latency us", "traffic %"],
+            [
+                [
+                    key,
+                    100 * row["miss_rate"],
+                    row["latency_us"],
+                    100 * row["traffic_share"],
+                ]
+                for key, row in sorted(summary["shards"].items())
+            ],
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["tenant", "miss rate %", "latency us", "traffic %"],
+            [
+                [
+                    key,
+                    100 * row["miss_rate"],
+                    row["latency_us"],
+                    100 * row["traffic_share"],
+                ]
+                for key, row in sorted(summary["tenants"].items())
+            ],
+        )
+    )
+    print(
+        f"\ntotal: {summary['accesses']:,} measured accesses,"
+        f" miss rate {100 * summary['miss_rate']:.2f}%,"
+        f" {len(summary['swaps'])} engine swap(s),"
+        f" generation {summary['generation']}"
+    )
+    return 0
+
+
 def _cmd_hardware_report(_args) -> int:
     fpga = FpgaSpec()
     gmm = estimate_gmm_engine()
@@ -177,6 +386,7 @@ _COMMANDS = {
     "generate-trace": _cmd_generate_trace,
     "run": _cmd_run,
     "suite": _cmd_suite,
+    "serve": _cmd_serve,
     "hardware-report": _cmd_hardware_report,
 }
 
@@ -191,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate_trace(subparsers)
     _add_run(subparsers)
     _add_suite(subparsers)
+    _add_serve(subparsers)
     _add_hardware_report(subparsers)
     return parser
 

@@ -4,6 +4,7 @@ from repro.core.config import (
     STRATEGIES,
     GmmEngineConfig,
     IcgmmConfig,
+    ServingConfig,
 )
 from repro.core.engine import FeatureScaler, GmmPolicyEngine
 from repro.core.experiment import run_suite
@@ -26,6 +27,7 @@ __all__ = [
     "IcgmmSystem",
     "PreparedWorkload",
     "STRATEGIES",
+    "ServingConfig",
     "StrategyOutcome",
     "SuiteResult",
     "build_policy",

@@ -29,6 +29,9 @@ STRATEGIES = (
 #: Valid values of :attr:`IcgmmConfig.simulator`.
 SIMULATORS = ("fast", "reference")
 
+#: Valid values of :attr:`ServingConfig.sharding`.
+SHARDING_MODES = ("hash", "tenant")
+
 
 @dataclass(frozen=True)
 class GmmEngineConfig:
@@ -177,3 +180,134 @@ class IcgmmConfig:
         overrides.setdefault("geometry", CacheGeometry())
         overrides.setdefault("workload_scale", 1.0)
         return cls(**overrides)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Configuration of the online serving loop
+    (:class:`repro.serving.IcgmmCacheService`).
+
+    The service runs the paper's pipeline continuously: chunks of the
+    live request stream are scored under the currently-loaded engine,
+    simulated against sharded cache planes, watched for score-
+    distribution drift, and periodically folded into an
+    :class:`repro.gmm.OnlineGmm` whose refreshed parameters are
+    atomically swapped in (the software analogue of the FPGA
+    weight-buffer reload of Sec. 3.3).
+
+    Attributes
+    ----------
+    chunk_requests:
+        Requests ingested per service step (one scoring + simulation
+        batch).
+    n_shards:
+        Cache planes the logical cache is split into.  In ``hash``
+        mode the split is exact: it must divide the geometry's set
+        count, and the sharded loop reproduces the unsharded cache's
+        behaviour bit for bit.
+    sharding:
+        ``"hash"`` (page-interleaved set partition; exact) or
+        ``"tenant"`` (one plane per tenant partition; isolation).
+    partition_pages:
+        Tenant address-partition stride (matches
+        :func:`repro.traces.multi_tenant_trace`); used for tenant
+        attribution in metrics and for ``tenant`` sharding.
+    strategy:
+        Fig. 6 strategy driving the cache planes.
+    threshold_quantile:
+        Quantile used when re-deriving the admission threshold after
+        a model refresh, and the drift detector's expected
+        below-threshold fraction.  ``None`` (default) inherits
+        :attr:`GmmEngineConfig.threshold_quantile` from the system
+        config, keeping the detector consistent with however the
+        deployed engine's threshold was actually cut.
+    drift_baseline_chunks:
+        Chunks of scores accumulated as the reference distribution
+        after every (re)load before drift monitoring starts.
+    ks_threshold:
+        Two-sample Kolmogorov-Smirnov statistic above which a chunk's
+        score distribution counts as drifted.
+    quantile_drift_tolerance:
+        Allowed deviation of the observed below-threshold score
+        fraction from ``threshold_quantile`` (the cheap secondary
+        drift signal: a frozen engine under drift suddenly scores
+        most traffic below its admission cut).
+    drift_patience:
+        Consecutive drifted chunks required before a refresh fires
+        (debounces bursts).
+    refresh_enabled:
+        Master switch; with ``False`` the engine stays frozen (the
+        paper's deployment) and the loop is exactly reproducible
+        against a single-shot run.
+    refresh_buffer_chunks:
+        Recent chunks of features kept for the refresh fold-in.
+    refresh_batch_size:
+        Mini-batch size of the stepwise-EM updates.
+    refresh_step_exponent:
+        :class:`~repro.gmm.OnlineGmm` learning-rate exponent.
+    refresh_cooldown_chunks:
+        Minimum chunks between consecutive engine swaps.
+    metrics_window_chunks:
+        Rolling-window length of the per-shard / per-tenant metrics.
+    """
+
+    chunk_requests: int = 8192
+    n_shards: int = 4
+    sharding: str = "hash"
+    partition_pages: int = 1 << 20
+    strategy: str = "gmm-caching-eviction"
+    threshold_quantile: float | None = None
+    drift_baseline_chunks: int = 2
+    ks_threshold: float = 0.25
+    quantile_drift_tolerance: float = 0.25
+    drift_patience: int = 2
+    refresh_enabled: bool = True
+    refresh_buffer_chunks: int = 6
+    refresh_batch_size: int = 2048
+    refresh_step_exponent: float = 0.6
+    refresh_cooldown_chunks: int = 4
+    metrics_window_chunks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.chunk_requests < 1:
+            raise ValueError("chunk_requests must be >= 1")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.sharding not in SHARDING_MODES:
+            raise ValueError(
+                f"sharding must be one of {SHARDING_MODES}, got"
+                f" {self.sharding!r}"
+            )
+        if self.partition_pages < 1:
+            raise ValueError("partition_pages must be >= 1")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got"
+                f" {self.strategy!r}"
+            )
+        if self.threshold_quantile is not None and not (
+            0.0 <= self.threshold_quantile < 1.0
+        ):
+            raise ValueError(
+                "threshold_quantile must be None or in [0, 1)"
+            )
+        if self.drift_baseline_chunks < 1:
+            raise ValueError("drift_baseline_chunks must be >= 1")
+        if not 0.0 < self.ks_threshold <= 1.0:
+            raise ValueError("ks_threshold must be in (0, 1]")
+        if self.quantile_drift_tolerance <= 0.0:
+            raise ValueError("quantile_drift_tolerance must be > 0")
+        if self.drift_patience < 1:
+            raise ValueError("drift_patience must be >= 1")
+        if self.refresh_buffer_chunks < 1:
+            raise ValueError("refresh_buffer_chunks must be >= 1")
+        if self.refresh_batch_size < 1:
+            raise ValueError("refresh_batch_size must be >= 1")
+        if not 0.5 < self.refresh_step_exponent <= 1.0:
+            raise ValueError(
+                "refresh_step_exponent must be in (0.5, 1]"
+            )
+        if self.refresh_cooldown_chunks < 0:
+            raise ValueError("refresh_cooldown_chunks must be >= 0")
+        if self.metrics_window_chunks < 1:
+            raise ValueError("metrics_window_chunks must be >= 1")

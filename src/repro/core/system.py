@@ -58,14 +58,21 @@ class PreparedWorkload:
 
     def page_score_map(self) -> dict[int, float]:
         """Mapping page index -> marginal score (for the combined
-        policy's eviction metadata)."""
+        policy's eviction metadata).
+
+        Built with one vectorized ``np.unique`` + take; ``tolist()``
+        converts to Python scalars in bulk so the dict materialises
+        at C speed even on million-page traces (the per-element
+        ``int()``/``float()`` loop it replaces dominated profile time
+        in the serving replay).
+        """
         unique_pages, first_position = np.unique(
             self.page_indices, return_index=True
         )
-        return {
-            int(page): float(self.page_frequency_scores[position])
-            for page, position in zip(unique_pages, first_position)
-        }
+        values = self.page_frequency_scores[first_position]
+        return dict(
+            zip(unique_pages.tolist(), values.tolist(), strict=True)
+        )
 
 
 class IcgmmSystem:

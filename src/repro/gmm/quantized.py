@@ -189,22 +189,18 @@ class QuantizedGmm:
         """
         return self._n_components * 7
 
-    def score_samples(self, points: np.ndarray) -> np.ndarray:
-        """Quantized mixture score per point, shape ``(N,)``.
+    def score_samples_reference(self, points: np.ndarray) -> np.ndarray:
+        """Per-component-loop scoring (the executable specification).
 
         Follows the hardware order of operations: quantize the input,
         evaluate the quadratic form per component, add the folded
         log-constant, exponentiate through the table, and accumulate
         with quantization after every partial sum (the shift-register
-        accumulator of Sec. 4.1).
+        accumulator of Sec. 4.1).  The vectorized
+        :meth:`score_samples` must match it bit for bit (asserted by
+        the test suite).
         """
-        points = np.asarray(points, dtype=np.float64)
-        if points.ndim == 1:
-            points = points[None, :]
-        if points.shape[1] != 2:
-            raise ValueError(
-                f"points must have shape (N, 2), got {points.shape}"
-            )
+        points = self._validate_points(points)
         q = self.fmt.quantize
         x = q(points)
         accumulator = np.zeros(x.shape[0], dtype=np.float64)
@@ -220,6 +216,75 @@ class QuantizedGmm:
             term = q(self.exp_table(exponent))
             accumulator = q(accumulator + term)
         return accumulator
+
+    #: Element budget of one ``(rows, K)`` term block in
+    #: :meth:`score_samples` (bounds peak memory to a few MB).
+    _BLOCK_ELEMENTS = 1 << 21
+
+    def score_samples(self, points: np.ndarray) -> np.ndarray:
+        """Quantized mixture score per point, shape ``(N,)``.
+
+        Bit-identical to :meth:`score_samples_reference`, evaluated
+        as whole ``(rows, K)`` arrays: every per-component operation
+        is elementwise, so broadcasting across components reproduces
+        the scalar loop's values exactly.  The one sequential step --
+        the shift-register accumulator quantized after every add --
+        collapses to a plain row sum whenever no partial sum
+        saturates: all terms lie on the fixed-point grid, sums of
+        grid values stay on the grid (and are exact in float64 at
+        these magnitudes), so the per-step round is the identity.
+        Rows whose running sum would leave the representable range
+        are re-run through the reference loop to reproduce the
+        saturation behaviour exactly.
+        """
+        points = self._validate_points(points)
+        # The exactness argument needs every partial sum, measured in
+        # LSBs, to stay inside float64's 2**53 integer range; K terms
+        # of at most max_value each bound it by K * 2**(total_bits-1).
+        if self._n_components * 2 ** (self.fmt.total_bits - 1) >= 2**53:
+            return self.score_samples_reference(points)
+        n = points.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        rows_per_block = max(
+            1, self._BLOCK_ELEMENTS // max(1, self._n_components)
+        )
+        q = self.fmt.quantize
+        for lo in range(0, n, rows_per_block):
+            block = points[lo : lo + rows_per_block]
+            x = q(block)
+            dx = q(x[:, 0:1] - self._means[None, :, 0])  # (m, K)
+            dy = q(x[:, 1:2] - self._means[None, :, 1])
+            quad = q(
+                q(self._inv_a[None, :] * dx * dx)
+                + q(2.0 * self._inv_b[None, :] * dx * dy)
+                + q(self._inv_c[None, :] * dy * dy)
+            )
+            exponent = q(self._log_norm[None, :] - 0.5 * quad)
+            terms = q(self.exp_table(exponent))
+            partial = np.cumsum(terms, axis=1)
+            in_range = (
+                (partial <= self.fmt.max_value)
+                & (partial >= self.fmt.min_value)
+            ).all(axis=1)
+            result = partial[:, -1]
+            if not in_range.all():
+                saturated = np.nonzero(~in_range)[0]
+                result[saturated] = self.score_samples_reference(
+                    block[saturated]
+                )
+            out[lo : lo + block.shape[0]] = result
+        return out
+
+    @staticmethod
+    def _validate_points(points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points[None, :]
+        if points.shape[1] != 2:
+            raise ValueError(
+                f"points must have shape (N, 2), got {points.shape}"
+            )
+        return points
 
     def max_abs_error(
         self, reference: GaussianMixture, points: np.ndarray

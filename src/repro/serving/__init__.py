@@ -1,0 +1,32 @@
+"""Online serving subsystem: the streaming ICGMM cache service.
+
+The paper evaluates a frozen, single-tenant pipeline offline; this
+package runs the same loop continuously against live multi-tenant
+traffic -- chunked scoring, sharded resumable simulation, score-drift
+detection, and stepwise-EM model refresh with atomic engine swaps
+(the software analogue of the FPGA weight-buffer reload).  See
+``docs/serving.md`` for the architecture.
+"""
+
+from repro.serving.drift import DriftDetector, DriftReport, ks_statistic
+from repro.serving.metrics import RollingMetrics
+from repro.serving.refresh import EngineSlot, ModelRefresher
+from repro.serving.service import (
+    ChunkReport,
+    IcgmmCacheService,
+    SwapEvent,
+)
+from repro.serving.sharding import ShardedCachePlanes
+
+__all__ = [
+    "ChunkReport",
+    "DriftDetector",
+    "DriftReport",
+    "EngineSlot",
+    "IcgmmCacheService",
+    "ModelRefresher",
+    "RollingMetrics",
+    "ShardedCachePlanes",
+    "SwapEvent",
+    "ks_statistic",
+]

@@ -1,0 +1,99 @@
+"""Rolling per-shard / per-tenant serving metrics.
+
+The serving loop records one :class:`~repro.cache.stats.CacheStats`
+delta per key (shard or tenant) per chunk, reconstructed exactly from
+the simulator's per-access outcome codes.  This module keeps a
+bounded window of those deltas per key and derives the two numbers an
+operator watches: the rolling miss rate and the rolling average
+access time under the Table 1 :class:`~repro.hardware.latency.LatencyModel`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cache.stats import CacheStats
+from repro.hardware.latency import LatencyModel
+
+
+class RollingMetrics:
+    """Windowed metric aggregation keyed by shard/tenant label.
+
+    Parameters
+    ----------
+    latency_model:
+        Table 1 pricing model used for the latency view.
+    window_chunks:
+        Chunk deltas retained per key.
+    """
+
+    def __init__(
+        self,
+        latency_model: LatencyModel | None = None,
+        window_chunks: int = 8,
+    ) -> None:
+        if window_chunks < 1:
+            raise ValueError("window_chunks must be >= 1")
+        self.latency_model = (
+            latency_model if latency_model is not None else LatencyModel()
+        )
+        self.window_chunks = int(window_chunks)
+        self._windows: dict[str, deque[CacheStats]] = {}
+        self._totals: dict[str, CacheStats] = {}
+
+    def record(self, key: str, stats: CacheStats) -> None:
+        """Append one chunk's counter delta for ``key``."""
+        window = self._windows.get(key)
+        if window is None:
+            window = deque(maxlen=self.window_chunks)
+            self._windows[key] = window
+            self._totals[key] = CacheStats()
+        window.append(stats)
+        self._totals[key] = self._totals[key].merge(stats)
+
+    def keys(self) -> list[str]:
+        """All keys seen so far, in first-seen order."""
+        return list(self._windows)
+
+    def window(self, key: str) -> CacheStats:
+        """Merged counters over the rolling window of ``key``."""
+        merged = CacheStats()
+        for stats in self._windows.get(key, ()):
+            merged = merged.merge(stats)
+        return merged
+
+    def total(self, key: str) -> CacheStats:
+        """Merged counters over the whole run of ``key``."""
+        return self._totals.get(key, CacheStats())
+
+    def miss_rate(self, key: str) -> float:
+        """Rolling miss rate of ``key``."""
+        return self.window(key).miss_rate
+
+    def latency_us(self, key: str) -> float:
+        """Rolling Table 1 average access time of ``key``."""
+        return self.latency_model.average_access_time_us(
+            self.window(key)
+        )
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Rolling miss rate / latency / traffic share per key."""
+        out: dict[str, dict[str, float]] = {}
+        windows = {key: self.window(key) for key in self._windows}
+        total_accesses = sum(
+            window.accesses for window in windows.values()
+        )
+        for key, window in windows.items():
+            out[key] = {
+                "miss_rate": window.miss_rate,
+                "latency_us": self.latency_model.average_access_time_us(
+                    window
+                ),
+                "accesses": float(window.accesses),
+                "traffic_share": (
+                    window.accesses / total_accesses
+                    if total_accesses
+                    else 0.0
+                ),
+            }
+        return out

@@ -1,0 +1,140 @@
+"""Model refresh: fold recent traffic into the mixture and swap.
+
+The paper trains the GMM offline and freezes it in the FPGA weight
+buffer (Sec. 3.3); the hardware analogue of adapting to drift is a
+periodic weight-buffer reload -- inference keeps running on the old
+parameters until the new set is committed in one step.  This module
+reproduces that split in software:
+
+* :class:`ModelRefresher` is the *background stage*: it keeps a
+  bounded buffer of recent chunk features and, on demand, folds them
+  into an :class:`~repro.gmm.online.OnlineGmm` seeded from the
+  currently-serving mixture (stepwise EM, bounded memory), then
+  re-derives the admission threshold at the configured quantile of
+  the refreshed scores.
+* :class:`EngineSlot` is the *weight buffer*: the serving loop reads
+  ``slot.engine`` at the top of every chunk, and a refresh replaces
+  the whole engine reference in one assignment -- a chunk is scored
+  entirely under one generation, never a mix.
+
+The feature scaler is deliberately carried over from the deployed
+engine: it is the fixed input-transform stage of the pipeline (the
+hardware's address/timestamp mapping), and keeping it frozen is what
+makes scores comparable across generations for the drift detector.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.engine import GmmPolicyEngine
+from repro.gmm.online import OnlineGmm
+
+
+class EngineSlot:
+    """Atomic holder of the serving engine (weight-buffer analogue)."""
+
+    def __init__(self, engine: GmmPolicyEngine) -> None:
+        self._engine = engine
+        self._generation = 0
+
+    @property
+    def engine(self) -> GmmPolicyEngine:
+        """The currently-loaded engine."""
+        return self._engine
+
+    @property
+    def generation(self) -> int:
+        """Number of swaps since service start."""
+        return self._generation
+
+    def swap(self, engine: GmmPolicyEngine) -> int:
+        """Install a new engine; returns the new generation."""
+        self._engine = engine
+        self._generation += 1
+        return self._generation
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineSlot(generation={self._generation},"
+            f" engine={self._engine!r})"
+        )
+
+
+class ModelRefresher:
+    """Buffers recent features and builds refreshed engines.
+
+    Parameters
+    ----------
+    buffer_chunks:
+        Recent chunks of features retained (bounded memory).
+    batch_size:
+        Stepwise-EM mini-batch size for the fold-in.
+    step_exponent:
+        :class:`OnlineGmm` learning-rate exponent; lower adapts
+        faster.
+    threshold_quantile:
+        Quantile of the refreshed scores at which the new admission
+        threshold is cut.
+    """
+
+    def __init__(
+        self,
+        buffer_chunks: int = 6,
+        batch_size: int = 2048,
+        step_exponent: float = 0.6,
+        threshold_quantile: float = 0.02,
+    ) -> None:
+        if buffer_chunks < 1:
+            raise ValueError("buffer_chunks must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
+        self.step_exponent = float(step_exponent)
+        self.threshold_quantile = float(threshold_quantile)
+        self._buffer: deque[np.ndarray] = deque(maxlen=buffer_chunks)
+        self.refreshes_built = 0
+
+    def ingest(self, features: np.ndarray) -> None:
+        """Retain one chunk of raw ``(N, 2)`` features."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != 2:
+            raise ValueError("features must have shape (N, 2)")
+        self._buffer.append(features)
+
+    @property
+    def buffered_samples(self) -> int:
+        """Feature rows currently retained."""
+        return sum(chunk.shape[0] for chunk in self._buffer)
+
+    def build(self, current: GmmPolicyEngine) -> GmmPolicyEngine:
+        """Fold the buffered traffic into ``current``'s mixture.
+
+        Returns a fresh engine sharing the deployed scaler, with the
+        stepwise-EM-updated mixture and a threshold re-cut at the
+        configured quantile of the buffered traffic's new scores.
+        """
+        if not self._buffer:
+            raise ValueError("no buffered features to refresh from")
+        scaled = current.scaler.transform(
+            np.concatenate(list(self._buffer))
+        )
+        online = OnlineGmm.from_model(
+            current.model, step_exponent=self.step_exponent
+        )
+        for start in range(0, scaled.shape[0], self.batch_size):
+            batch = scaled[start : start + self.batch_size]
+            if batch.shape[0] > 0:
+                online.update(batch)
+        refreshed_scores = online.model.score_samples(scaled)
+        threshold = float(
+            np.quantile(refreshed_scores, self.threshold_quantile)
+        )
+        self.refreshes_built += 1
+        return GmmPolicyEngine(
+            model=online.model,
+            scaler=current.scaler,
+            admission_threshold=threshold,
+        )

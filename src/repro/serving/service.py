@@ -1,0 +1,430 @@
+"""The streaming ICGMM cache service.
+
+:class:`IcgmmCacheService` runs the paper's whole loop *continuously*
+on an access stream consumed in chunks:
+
+1. stamp the chunk with Algorithm-1 timestamps from the global
+   stream cursor and score it under the currently-loaded engine
+   (Sec. 3.3 inference),
+2. watch the score distribution for drift
+   (:mod:`repro.serving.drift`),
+3. simulate the chunk against the live sharded cache planes with
+   resumable, bit-exact :func:`~repro.cache.simulate_fast.simulate_fast`
+   calls (Sec. 3.2 smart caching/eviction),
+4. account per-shard and per-tenant rolling miss rate and Table 1
+   latency from the recorded per-access outcomes, and
+5. when drift is confirmed, fold the recent traffic into an
+   :class:`~repro.gmm.OnlineGmm` and atomically swap the refreshed
+   engine in (:mod:`repro.serving.refresh` -- the software analogue
+   of the FPGA weight-buffer reload).
+
+Exactness contract: with ``hash`` sharding and refresh disabled, the
+service's totals are *bit-identical* to a single-shot
+:meth:`repro.core.system.IcgmmSystem.run_strategy` over the same
+stream -- chunking, sharding and resumption are pure implementation
+details, not approximations.  The equivalence test in
+``tests/serving`` and the acceptance check in
+``benchmarks/bench_serving_drift.py`` both assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.simulate_fast import simulate_fast
+from repro.cache.stats import CacheStats, stats_from_outcomes
+from repro.core.config import IcgmmConfig, ServingConfig
+from repro.core.engine import GmmPolicyEngine
+from repro.core.policy import build_policy, strategy_score_view
+from repro.hardware.latency import LatencyModel
+from repro.serving.drift import DriftDetector, DriftReport
+from repro.serving.metrics import RollingMetrics
+from repro.serving.refresh import EngineSlot, ModelRefresher
+from repro.serving.sharding import ShardedCachePlanes
+from repro.traces.preprocess import transform_timestamps_at
+
+
+class _PageScoreCache:
+    """Lazily-extended map of page -> time-marginalised score.
+
+    One instance per engine generation: the marginal is a pure
+    function of the page under a fixed mixture, so values are
+    computed once per *new* page and reused for every later chunk --
+    the working analogue of the on-board score table.  Vectorized
+    per-access lookups go through sorted key/value arrays; the
+    combined policy's shard-local dicts are fed from the new
+    (pages, scores) pairs :meth:`ensure` returns.
+    """
+
+    def __init__(self, engine: GmmPolicyEngine) -> None:
+        self._engine = engine
+        self._keys = np.empty(0, dtype=np.int64)
+        self._values = np.empty(0, dtype=np.float64)
+
+    def ensure(
+        self, pages: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Score pages not yet cached; returns the new (pages, scores)."""
+        unique = np.unique(np.asarray(pages, dtype=np.int64))
+        if self._keys.size:
+            pos = np.searchsorted(self._keys, unique)
+            pos_clipped = np.minimum(pos, self._keys.size - 1)
+            new = unique[self._keys[pos_clipped] != unique]
+        else:
+            new = unique
+        if new.size == 0:
+            return new, np.empty(0, dtype=np.float64)
+        marginals = self._engine.page_scores(new)
+        # Both arrays are sorted already: an O(U + k) positional
+        # insert replaces a full re-sort of the merged keys.
+        insert_at = np.searchsorted(self._keys, new)
+        self._keys = np.insert(self._keys, insert_at, new)
+        self._values = np.insert(self._values, insert_at, marginals)
+        return new, marginals
+
+    def lookup(self, pages: np.ndarray) -> np.ndarray:
+        """Marginal score per access (pages must be ensured)."""
+        pos = np.searchsorted(
+            self._keys, np.asarray(pages, dtype=np.int64)
+        )
+        return self._values[pos]
+
+
+@dataclass(frozen=True)
+class ChunkReport:
+    """What one service step did (returned per chunk)."""
+
+    chunk_index: int
+    accesses: int
+    stats: CacheStats
+    drift: DriftReport | None
+    swapped: bool
+    generation: int
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """One engine swap in the service's history."""
+
+    chunk_index: int
+    generation: int
+    access_cursor: int
+    threshold: float
+
+
+class IcgmmCacheService:
+    """Long-running sharded ICGMM cache service (module docstring).
+
+    Parameters
+    ----------
+    engine:
+        The initially-deployed scoring engine (offline-trained, as
+        the paper ships it).
+    config:
+        System profile: cache geometry and the Algorithm-1
+        preprocessing constants the stream is stamped with.
+    serving:
+        Serving-loop knobs (:class:`~repro.core.config.ServingConfig`).
+    latency_model:
+        Table 1 pricing for the metrics view.
+    measure_from:
+        Absolute access index at which counters start (the stream
+        before it warms the cache unmeasured -- the serving analogue
+        of ``warmup_fraction``).
+    """
+
+    def __init__(
+        self,
+        engine: GmmPolicyEngine,
+        config: IcgmmConfig | None = None,
+        serving: ServingConfig | None = None,
+        latency_model: LatencyModel | None = None,
+        measure_from: int = 0,
+    ) -> None:
+        if measure_from < 0:
+            raise ValueError("measure_from must be >= 0")
+        self.config = config if config is not None else IcgmmConfig()
+        self.serving = serving if serving is not None else ServingConfig()
+        self.measure_from = int(measure_from)
+        self.slot = EngineSlot(engine)
+        self.planes = ShardedCachePlanes(
+            self.config.geometry,
+            self.serving.n_shards,
+            mode=self.serving.sharding,
+            partition_pages=self.serving.partition_pages,
+        )
+        # None inherits the quantile the deployed engine's threshold
+        # was trained at, so the drift detector's expected
+        # below-threshold fraction matches reality at generation 0.
+        self.threshold_quantile = (
+            self.serving.threshold_quantile
+            if self.serving.threshold_quantile is not None
+            else self.config.gmm.threshold_quantile
+        )
+        self.detector = DriftDetector(
+            threshold=engine.admission_threshold,
+            quantile=self.threshold_quantile,
+            ks_threshold=self.serving.ks_threshold,
+            quantile_tolerance=self.serving.quantile_drift_tolerance,
+            patience=self.serving.drift_patience,
+            baseline_chunks=self.serving.drift_baseline_chunks,
+        )
+        self.refresher = ModelRefresher(
+            buffer_chunks=self.serving.refresh_buffer_chunks,
+            batch_size=self.serving.refresh_batch_size,
+            step_exponent=self.serving.refresh_step_exponent,
+            threshold_quantile=self.threshold_quantile,
+        )
+        self.shard_metrics = RollingMetrics(
+            latency_model, self.serving.metrics_window_chunks
+        )
+        self.tenant_metrics = RollingMetrics(
+            latency_model, self.serving.metrics_window_chunks
+        )
+        self.totals = CacheStats()
+        self.swaps: list[SwapEvent] = []
+        self._score_view = strategy_score_view(self.serving.strategy)
+        self._cursor = 0
+        self._chunk_index = 0
+        self._shard_cursors = [0] * self.serving.n_shards
+        self._last_swap_chunk = -(10**9)
+        self._load_generation()
+
+    # ------------------------------------------------------------------
+    # Engine (re)load
+    # ------------------------------------------------------------------
+    def _load_generation(self) -> None:
+        """Rebuild generation-scoped state from the slot's engine."""
+        engine = self.slot.engine
+        self._page_cache = _PageScoreCache(engine)
+        combined = self.serving.strategy == "gmm-caching-eviction"
+        # The combined policy looks its eviction metadata up by the
+        # page value the *simulator* sees, which after routing is the
+        # shard-local page -- so each shard's policy gets its own
+        # local-keyed mapping, filled as new pages are scored.  The
+        # page-view strategy ("gmm-eviction") needs only the global
+        # lookup arrays in the page cache, not these dicts.
+        self._shard_page_maps: list[dict[int, float]] = [
+            {} for _ in range(self.serving.n_shards)
+        ]
+        self._policies = [
+            build_policy(
+                self.serving.strategy,
+                engine.admission_threshold,
+                page_scores=(
+                    self._shard_page_maps[shard] if combined else None
+                ),
+            )
+            for shard in range(self.serving.n_shards)
+        ]
+        self._combined = combined
+        self._needs_page_cache = combined or self._score_view == "page"
+
+    @property
+    def generation(self) -> int:
+        """Engine generation currently serving."""
+        return self.slot.generation
+
+    @property
+    def access_cursor(self) -> int:
+        """Absolute index of the next access to be ingested."""
+        return self._cursor
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self, pages: np.ndarray, is_write: np.ndarray
+    ) -> list[ChunkReport]:
+        """Stream a span of accesses through the service.
+
+        The span is cut into :attr:`ServingConfig.chunk_requests`
+        chunks processed in order; returns one report per chunk.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        if pages.shape != is_write.shape or pages.ndim != 1:
+            raise ValueError(
+                "pages and is_write must be 1-D arrays of equal length"
+            )
+        reports = []
+        step = self.serving.chunk_requests
+        for start in range(0, pages.shape[0], step):
+            reports.append(
+                self._process_chunk(
+                    pages[start : start + step],
+                    is_write[start : start + step],
+                )
+            )
+        return reports
+
+    def _process_chunk(
+        self, pages: np.ndarray, is_write: np.ndarray
+    ) -> ChunkReport:
+        n = pages.shape[0]
+        engine = self.slot.engine
+        abs_idx = np.arange(self._cursor, self._cursor + n)
+        timestamps = transform_timestamps_at(
+            abs_idx,
+            self.config.len_window,
+            self.config.len_access_shot,
+            self.config.timestamp_mode,
+        )
+        features = np.column_stack(
+            [pages.astype(np.float64), timestamps.astype(np.float64)]
+        )
+
+        # --- scoring (Sec. 3.3 inference) -------------------------------
+        # The 2-D request scores feed admission ("request" view) and
+        # the drift detector; a frozen page-view or LRU deployment
+        # needs neither, so it skips the dominant per-access cost.
+        need_scores = (
+            self._score_view == "request"
+            or self.serving.refresh_enabled
+        )
+        scores = engine.score(features) if need_scores else None
+        if self._needs_page_cache:
+            new_pages, new_marginals = self._page_cache.ensure(pages)
+            if self._combined and new_pages.size:
+                new_shards, new_local = self.planes.route(new_pages)
+                for shard in np.unique(new_shards).tolist():
+                    mask = new_shards == shard
+                    self._shard_page_maps[shard].update(
+                        zip(
+                            new_local[mask].tolist(),
+                            new_marginals[mask].tolist(),
+                            strict=True,
+                        )
+                    )
+        if self._score_view == "request":
+            sim_scores = scores
+        elif self._score_view == "page":
+            sim_scores = self._page_cache.lookup(pages)
+        else:
+            sim_scores = None
+
+        # --- drift watch ------------------------------------------------
+        drift: DriftReport | None = None
+        if self.serving.refresh_enabled:
+            drift = self.detector.observe(scores)
+            self.refresher.ingest(features)
+
+        # --- sharded simulation (resumable, exact) ----------------------
+        shard_ids, local_pages = self.planes.route(pages)
+        outcome = np.empty(n, dtype=np.uint8)
+        shard_positions = self.planes.partition(shard_ids)
+        for shard, positions in enumerate(shard_positions):
+            if positions.size == 0:
+                continue
+            shard_outcome = np.empty(positions.size, dtype=np.uint8)
+            simulate_fast(
+                self.planes.caches[shard],
+                self._policies[shard],
+                local_pages[positions],
+                is_write[positions],
+                scores=(
+                    sim_scores[positions]
+                    if sim_scores is not None
+                    else None
+                ),
+                index_offset=self._shard_cursors[shard],
+                outcome=shard_outcome,
+            )
+            outcome[positions] = shard_outcome
+            self._shard_cursors[shard] += int(positions.size)
+
+        # --- accounting -------------------------------------------------
+        measured = abs_idx >= self.measure_from
+        chunk_stats = stats_from_outcomes(outcome, is_write, measured)
+        self.totals = self.totals.merge(chunk_stats)
+        for shard, positions in enumerate(shard_positions):
+            if positions.size == 0:
+                continue
+            self.shard_metrics.record(
+                f"shard:{shard}",
+                stats_from_outcomes(
+                    outcome[positions],
+                    is_write[positions],
+                    measured[positions],
+                ),
+            )
+        tenants = pages // self.serving.partition_pages
+        for tenant in np.unique(tenants).tolist():
+            mask = tenants == tenant
+            self.tenant_metrics.record(
+                f"tenant:{tenant}",
+                stats_from_outcomes(
+                    outcome[mask], is_write[mask], measured[mask]
+                ),
+            )
+
+        # --- refresh / swap ---------------------------------------------
+        swapped = False
+        if (
+            self.serving.refresh_enabled
+            and drift is not None
+            and drift.drifted
+            and self._chunk_index - self._last_swap_chunk
+            >= self.serving.refresh_cooldown_chunks
+        ):
+            refreshed = self.refresher.build(engine)
+            self.slot.swap(refreshed)
+            self._load_generation()
+            self.detector.rebase(
+                refreshed.admission_threshold,
+                self.threshold_quantile,
+            )
+            self._last_swap_chunk = self._chunk_index
+            self.swaps.append(
+                SwapEvent(
+                    chunk_index=self._chunk_index,
+                    generation=self.slot.generation,
+                    access_cursor=self._cursor + n,
+                    threshold=refreshed.admission_threshold,
+                )
+            )
+            swapped = True
+
+        self._cursor += n
+        report = ChunkReport(
+            chunk_index=self._chunk_index,
+            accesses=n,
+            stats=chunk_stats,
+            drift=drift,
+            swapped=swapped,
+            generation=self.slot.generation,
+        )
+        self._chunk_index += 1
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Operator view: totals, rolling metrics, swap history."""
+        return {
+            "accesses": self.totals.accesses,
+            "miss_rate": self.totals.miss_rate,
+            "generation": self.slot.generation,
+            "swaps": [
+                {
+                    "chunk_index": event.chunk_index,
+                    "generation": event.generation,
+                    "access_cursor": event.access_cursor,
+                    "threshold": event.threshold,
+                }
+                for event in self.swaps
+            ],
+            "shards": self.shard_metrics.snapshot(),
+            "tenants": self.tenant_metrics.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IcgmmCacheService(strategy={self.serving.strategy!r},"
+            f" shards={self.serving.n_shards},"
+            f" generation={self.slot.generation},"
+            f" cursor={self._cursor})"
+        )

@@ -22,6 +22,7 @@ from repro.traces.preprocess import (
     ProcessedTrace,
     TracePreprocessor,
     transform_timestamps,
+    transform_timestamps_at,
     trim_warmup,
 )
 from repro.traces.record import (
@@ -70,5 +71,6 @@ __all__ = [
     "spatial_histogram",
     "temporal_histogram",
     "transform_timestamps",
+    "transform_timestamps_at",
     "trim_warmup",
 ]

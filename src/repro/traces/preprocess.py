@@ -98,11 +98,36 @@ def transform_timestamps(
     """
     if n_accesses < 0:
         raise ValueError("n_accesses must be >= 0")
+    return transform_timestamps_at(
+        np.arange(n_accesses, dtype=np.int64),
+        len_window,
+        len_access_shot,
+        mode,
+    )
+
+
+def transform_timestamps_at(
+    indices: np.ndarray,
+    len_window: int = DEFAULT_LEN_WINDOW,
+    len_access_shot: int = DEFAULT_LEN_ACCESS_SHOT,
+    mode: str = "algorithm",
+) -> np.ndarray:
+    """Algorithm-1 timestamps at arbitrary absolute access indices.
+
+    Both readings of Algorithm 1 are position-based formulas, so the
+    timestamp of access ``i`` can be computed without materialising
+    the whole prefix -- which is what lets the streaming service
+    stamp each chunk from its global cursor and agree exactly with
+    :func:`transform_timestamps` over the full stream (asserted by
+    the test suite).
+    """
     if len_window < 1:
         raise ValueError("len_window must be >= 1")
     if len_access_shot < 1:
         raise ValueError("len_access_shot must be >= 1")
-    indices = np.arange(n_accesses, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    if np.any(indices < 0):
+        raise ValueError("access indices must be >= 0")
     if mode == "algorithm":
         return (indices // len_window) % len_access_shot
     if mode == "prose":

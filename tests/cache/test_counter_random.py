@@ -1,0 +1,163 @@
+"""Tests for the counter-based random policy and its vector kernel.
+
+The fast-path gap the ROADMAP tracked for ``RandomPolicy`` is closed
+by :class:`CounterRandomPolicy`: victims are pure SplitMix64 hashes
+of the access index, so the vector kernel and the scalar reference
+agree under any processing order.  These tests pin the hash itself
+(scalar vs vectorized), its statistical behaviour, and the kernel's
+bit-exactness (the policy also rides the shared parity suite in
+``test_simulate_fast_parity.py``).
+"""
+
+import collections
+
+import numpy as np
+
+from repro.cache.policies import CounterRandomPolicy, RandomPolicy
+from repro.cache.policies.kernels import (
+    CounterRandomKernel,
+    kernel_for,
+)
+from repro.cache.policies.random_ import splitmix64, splitmix64_array
+from repro.cache.setassoc import (
+    CacheGeometry,
+    SetAssociativeCache,
+    simulate,
+)
+from repro.cache.simulate_fast import simulate_fast
+
+
+def _geometry(n_sets=16, ways=4):
+    return CacheGeometry(
+        capacity_bytes=n_sets * ways * 4096,
+        block_bytes=4096,
+        associativity=ways,
+    )
+
+
+class TestSplitMix64:
+    def test_vector_matches_scalar_reference(self):
+        values = np.concatenate(
+            [
+                np.arange(0, 2000, dtype=np.uint64),
+                np.array(
+                    [2**63, 2**64 - 1, 2**64 - 2, 123456789012345],
+                    dtype=np.uint64,
+                ),
+            ]
+        )
+        expected = np.array(
+            [splitmix64(int(v)) for v in values], dtype=np.uint64
+        )
+        np.testing.assert_array_equal(
+            splitmix64_array(values), expected
+        )
+
+    def test_wraps_like_masked_python(self):
+        # The additive constant must wrap identically on both sides.
+        top = (1 << 64) - 1
+        assert splitmix64(top) == int(
+            splitmix64_array(np.array([top], dtype=np.uint64))[0]
+        )
+
+    def test_avalanche(self):
+        # Flipping one input bit flips ~half the output bits.
+        a = splitmix64(0x1234)
+        flips = [
+            bin(a ^ splitmix64(0x1234 ^ (1 << b))).count("1")
+            for b in range(64)
+        ]
+        assert min(flips) > 16
+
+    def test_seeds_decorrelate(self):
+        draws_a = [
+            CounterRandomPolicy(0).victim_for(i, 8) for i in range(512)
+        ]
+        draws_b = [
+            CounterRandomPolicy(1).victim_for(i, 8) for i in range(512)
+        ]
+        agree = sum(a == b for a, b in zip(draws_a, draws_b))
+        assert agree < 512 * 0.25  # ~1/8 expected for independence
+
+
+class TestCounterRandomPolicy:
+    def test_draws_roughly_uniform(self):
+        policy = CounterRandomPolicy(seed=3)
+        counts = collections.Counter(
+            policy.victim_for(i, 8) for i in range(8000)
+        )
+        assert set(counts) == set(range(8))
+        assert all(800 <= c <= 1200 for c in counts.values())
+
+    def test_pure_function_of_index(self):
+        policy = CounterRandomPolicy(seed=5)
+        cache = SetAssociativeCache(_geometry())
+        first = policy.select_victim(cache, 0, 777)
+        # Unrelated draws in between change nothing (no hidden state).
+        for i in range(100):
+            policy.select_victim(cache, 1, i)
+        assert policy.select_victim(cache, 0, 777) == first
+
+    def test_deterministic_across_instances(self):
+        a = CounterRandomPolicy(seed=9)
+        b = CounterRandomPolicy(seed=9)
+        assert [a.victim_for(i, 4) for i in range(64)] == [
+            b.victim_for(i, 4) for i in range(64)
+        ]
+
+
+class TestCounterRandomKernel:
+    def test_registered(self):
+        cache = SetAssociativeCache(_geometry())
+        kernel = kernel_for(CounterRandomPolicy(), cache)
+        assert isinstance(kernel, CounterRandomKernel)
+
+    def test_sequential_random_still_scalar(self):
+        cache = SetAssociativeCache(_geometry())
+        assert kernel_for(RandomPolicy(), cache) is None
+
+    def test_parity_with_scalar_reference(self):
+        rng = np.random.default_rng(17)
+        pages = rng.integers(0, 300, 12000)
+        writes = rng.random(12000) < 0.3
+        for warmup in (0.0, 0.3):
+            ref_cache = SetAssociativeCache(_geometry())
+            fast_cache = SetAssociativeCache(_geometry())
+            ref = simulate(
+                ref_cache, CounterRandomPolicy(seed=2), pages, writes,
+                warmup_fraction=warmup,
+            )
+            fast = simulate_fast(
+                fast_cache, CounterRandomPolicy(seed=2), pages, writes,
+                warmup_fraction=warmup, chunk_size=997,
+                min_round_width=1,
+            )
+            assert ref == fast
+            np.testing.assert_array_equal(
+                ref_cache.tags, fast_cache.tags
+            )
+            np.testing.assert_array_equal(
+                ref_cache.stamp, fast_cache.stamp
+            )
+
+    def test_resumable_chunks_match_single_shot(self):
+        rng = np.random.default_rng(23)
+        pages = rng.integers(0, 200, 9000)
+        writes = rng.random(9000) < 0.2
+        single = SetAssociativeCache(_geometry())
+        stats = simulate_fast(
+            single, CounterRandomPolicy(seed=4), pages, writes
+        )
+        chunked = SetAssociativeCache(_geometry())
+        policy = CounterRandomPolicy(seed=4)
+        merged = None
+        for start in range(0, 9000, 2111):
+            stop = min(start + 2111, 9000)
+            part = simulate_fast(
+                chunked, policy, pages[start:stop], writes[start:stop],
+                index_offset=start,
+            )
+            merged = part if merged is None else merged.merge(part)
+        assert merged == stats
+        np.testing.assert_array_equal(single.tags, chunked.tags)
+        np.testing.assert_array_equal(single.stamp, chunked.stamp)

@@ -17,6 +17,7 @@ import pytest
 from repro.cache.policies import (
     BeladyPolicy,
     ClockPolicy,
+    CounterRandomPolicy,
     FifoPolicy,
     GmmCachePolicy,
     LfuPolicy,
@@ -48,6 +49,10 @@ POLICY_FACTORIES = [
     (
         "random",
         lambda pages, universe: RandomPolicy(np.random.default_rng(7)),
+    ),
+    (
+        "counter-random",
+        lambda pages, universe: CounterRandomPolicy(seed=11),
     ),
     ("score", lambda pages, universe: ScoreBasedPolicy(threshold=0.1)),
     (
@@ -248,7 +253,7 @@ class TestKernelRegistry:
         cache = SetAssociativeCache(_geometry(4, 2))
         for policy in (
             LruPolicy(), FifoPolicy(), LfuPolicy(), ClockPolicy(),
-            SlruPolicy(), TwoQPolicy(),
+            SlruPolicy(), TwoQPolicy(), CounterRandomPolicy(),
             ScoreBasedPolicy(threshold=0.0),
             GmmCachePolicy(threshold=0.0),
             CombinedIcgmmPolicy(threshold=0.0, page_scores={}),

@@ -128,3 +128,76 @@ class TestQuantizedGmm:
     def test_single_point_1d_input(self):
         quantized = QuantizedGmm(_mixture())
         assert quantized.score_samples(np.array([0.0, 0.0])).shape == (1,)
+
+
+class TestVectorizedScoring:
+    """The batched path must match the per-component reference loop
+    bit for bit (ROADMAP fast-path gap, closed)."""
+
+    def test_matches_reference_on_random_points(self):
+        quantized = QuantizedGmm(_mixture())
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-6, 6, size=(4000, 2))
+        np.testing.assert_array_equal(
+            quantized.score_samples(points),
+            quantized.score_samples_reference(points),
+        )
+
+    def test_matches_reference_across_formats(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(-4, 4, size=(500, 2))
+        for fmt in (
+            FixedPointFormat(32, 20),
+            FixedPointFormat(16, 8),
+            FixedPointFormat(12, 6),
+            FixedPointFormat(8, 4),
+        ):
+            quantized = QuantizedGmm(_mixture(), fmt)
+            np.testing.assert_array_equal(
+                quantized.score_samples(points),
+                quantized.score_samples_reference(points),
+            )
+
+    def test_matches_reference_under_saturation(self):
+        # Concentrated identical components drive every term to ~1,
+        # overflowing a narrow accumulator: the saturating sequential
+        # adds differ from a plain sum, and the vectorized path must
+        # reproduce them through its row fallback.
+        k = 6
+        model = GaussianMixture(
+            np.full(k, 1.0 / k),
+            np.zeros((k, 2)),
+            np.tile(np.eye(2) * 1e-6, (k, 1, 1)),
+        )
+        fmt = FixedPointFormat(total_bits=10, frac_bits=8)
+        quantized = QuantizedGmm(model, fmt)
+        points = np.vstack(
+            [np.zeros((8, 2)), np.full((8, 2), 9.0)]
+        )
+        got = quantized.score_samples(points)
+        np.testing.assert_array_equal(
+            got, quantized.score_samples_reference(points)
+        )
+        assert got[0] == fmt.max_value  # saturation really happened
+
+    def test_blocked_evaluation_is_seamless(self):
+        quantized = QuantizedGmm(_mixture())
+        quantized._BLOCK_ELEMENTS = 64  # force many tiny blocks
+        rng = np.random.default_rng(2)
+        points = rng.uniform(-5, 5, size=(333, 2))
+        np.testing.assert_array_equal(
+            quantized.score_samples(points),
+            quantized.score_samples_reference(points),
+        )
+
+    def test_wide_format_uses_reference_guard(self):
+        # total_bits > 52: partial sums may not be exact in float64,
+        # so the vectorized path must delegate wholesale.
+        quantized = QuantizedGmm(
+            _mixture(), FixedPointFormat(total_bits=60, frac_bits=20)
+        )
+        points = np.array([[0.0, 0.0], [1.0, -1.0]])
+        np.testing.assert_array_equal(
+            quantized.score_samples(points),
+            quantized.score_samples_reference(points),
+        )

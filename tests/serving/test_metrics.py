@@ -1,0 +1,52 @@
+"""Tests for the rolling serving metrics."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.serving.metrics import RollingMetrics
+
+
+def _stats(hits, misses, **kwargs):
+    return CacheStats(hits=hits, misses=misses, **kwargs)
+
+
+class TestRollingMetrics:
+    def test_window_rolls(self):
+        metrics = RollingMetrics(window_chunks=2)
+        metrics.record("shard:0", _stats(10, 0))
+        metrics.record("shard:0", _stats(0, 10))
+        assert metrics.miss_rate("shard:0") == pytest.approx(0.5)
+        # Third chunk evicts the first: window is now all misses.
+        metrics.record("shard:0", _stats(0, 10))
+        assert metrics.miss_rate("shard:0") == pytest.approx(1.0)
+
+    def test_totals_keep_everything(self):
+        metrics = RollingMetrics(window_chunks=1)
+        metrics.record("k", _stats(10, 0))
+        metrics.record("k", _stats(0, 10))
+        assert metrics.total("k").accesses == 20
+        assert metrics.total("k").miss_rate == pytest.approx(0.5)
+
+    def test_latency_tracks_miss_mix(self):
+        metrics = RollingMetrics(window_chunks=4)
+        metrics.record("fast", _stats(100, 0))
+        metrics.record("slow", _stats(0, 100, fills=100))
+        assert metrics.latency_us("fast") == pytest.approx(1.0)
+        assert metrics.latency_us("slow") > 50.0
+
+    def test_snapshot_shares(self):
+        metrics = RollingMetrics()
+        metrics.record("a", _stats(30, 0))
+        metrics.record("b", _stats(10, 0))
+        snapshot = metrics.snapshot()
+        assert snapshot["a"]["traffic_share"] == pytest.approx(0.75)
+        assert snapshot["b"]["traffic_share"] == pytest.approx(0.25)
+
+    def test_unknown_key_is_empty(self):
+        metrics = RollingMetrics()
+        assert metrics.total("nope").accesses == 0
+        assert metrics.miss_rate("nope") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingMetrics(window_chunks=0)

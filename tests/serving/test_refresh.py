@@ -1,0 +1,105 @@
+"""Tests for the engine slot and the stepwise-EM model refresher."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GmmEngineConfig
+from repro.core.engine import GmmPolicyEngine
+from repro.serving.refresh import EngineSlot, ModelRefresher
+from repro.traces.preprocess import transform_timestamps
+from repro.traces.synthetic import ZipfSampler
+
+
+def _features(base_page, n, rng):
+    sampler = ZipfSampler(base_page=base_page, n_pages=800, alpha=1.2)
+    pages, _ = sampler.sample(n, rng)
+    timestamps = transform_timestamps(n, mode="prose")
+    return np.column_stack(
+        [pages.astype(float), timestamps.astype(float)]
+    )
+
+
+def _engine(features, seed=0):
+    return GmmPolicyEngine.train(
+        features,
+        GmmEngineConfig(
+            n_components=6, max_iter=15, max_train_samples=6000
+        ),
+        np.random.default_rng(seed),
+    )
+
+
+class TestEngineSlot:
+    def test_swap_bumps_generation(self):
+        rng = np.random.default_rng(0)
+        engine = _engine(_features(0, 4000, rng))
+        slot = EngineSlot(engine)
+        assert slot.generation == 0
+        assert slot.engine is engine
+        other = _engine(_features(0, 4000, rng), seed=1)
+        assert slot.swap(other) == 1
+        assert slot.engine is other
+        assert slot.generation == 1
+
+
+class TestModelRefresher:
+    def test_buffer_is_bounded(self):
+        refresher = ModelRefresher(buffer_chunks=3)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            refresher.ingest(_features(0, 500, rng))
+        assert refresher.buffered_samples == 3 * 500
+
+    def test_build_requires_data(self):
+        refresher = ModelRefresher()
+        rng = np.random.default_rng(2)
+        engine = _engine(_features(0, 4000, rng))
+        with pytest.raises(ValueError, match="buffered"):
+            refresher.build(engine)
+
+    def test_refresh_adapts_to_drifted_traffic(self):
+        """Folding post-drift chunks in must raise the new traffic's
+        likelihood well above the frozen engine's."""
+        rng = np.random.default_rng(3)
+        pre = _features(0, 12_000, rng)
+        post = _features(5_000, 12_000, rng)
+        engine = _engine(pre)
+        refresher = ModelRefresher(
+            buffer_chunks=6, batch_size=1024, step_exponent=0.6
+        )
+        for start in range(0, 12_000, 2_000):
+            refresher.ingest(post[start : start + 2_000])
+        refreshed = refresher.build(engine)
+        assert refresher.refreshes_built == 1
+        # Shared scaler: scores stay in one comparable space.
+        assert refreshed.scaler is engine.scaler
+        holdout = engine.scaler.transform(_features(5_000, 4_000, rng))
+        frozen_ll = float(
+            np.mean(engine.model.log_score_samples(holdout))
+        )
+        refreshed_ll = float(
+            np.mean(refreshed.model.log_score_samples(holdout))
+        )
+        assert refreshed_ll > frozen_ll + 1.0
+
+    def test_threshold_recut_at_quantile(self):
+        rng = np.random.default_rng(4)
+        engine = _engine(_features(0, 8_000, rng))
+        refresher = ModelRefresher(threshold_quantile=0.1)
+        chunk = _features(0, 4_000, rng)
+        refresher.ingest(chunk)
+        refreshed = refresher.build(engine)
+        scores = refreshed.model.score_samples(
+            engine.scaler.transform(chunk)
+        )
+        below = np.mean(scores < refreshed.admission_threshold)
+        assert below == pytest.approx(0.1, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelRefresher(buffer_chunks=0)
+        with pytest.raises(ValueError):
+            ModelRefresher(batch_size=0)
+        refresher = ModelRefresher()
+        with pytest.raises(ValueError, match=r"\(N, 2\)"):
+            refresher.ingest(np.zeros((5, 3)))

@@ -1,0 +1,237 @@
+"""Tests for the streaming cache service.
+
+The headline property is the exactness contract: with ``hash``
+sharding and refresh disabled, the chunked, sharded, resumable
+serving loop produces *bit-identical* counters to a single-shot
+:meth:`IcgmmSystem.run_strategy` over the same stream, for every
+Fig. 6 strategy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.core.config import (
+    GmmEngineConfig,
+    IcgmmConfig,
+    ServingConfig,
+)
+from repro.core.system import IcgmmSystem
+from repro.serving import IcgmmCacheService
+
+
+@pytest.fixture(scope="module")
+def prepared_system():
+    """One trained workload shared by the equivalence matrix."""
+    config = IcgmmConfig(
+        trace_length=40_000,
+        gmm=GmmEngineConfig(
+            n_components=8, max_iter=15, max_train_samples=8_000
+        ),
+    )
+    system = IcgmmSystem(config)
+    prepared = system.prepare("memtier")
+    return config, system, prepared
+
+
+class TestSingleShotEquivalence:
+    @pytest.mark.parametrize(
+        "strategy",
+        ["lru", "gmm-caching", "gmm-eviction", "gmm-caching-eviction"],
+    )
+    def test_sharded_chunked_loop_matches_system(
+        self, prepared_system, strategy
+    ):
+        config, system, prepared = prepared_system
+        expected = system.run_strategy(prepared, strategy).stats
+        serving = ServingConfig(
+            chunk_requests=3_000,
+            n_shards=4,
+            sharding="hash",
+            strategy=strategy,
+            refresh_enabled=False,
+        )
+        service = IcgmmCacheService(
+            prepared.engine,
+            config=config,
+            serving=serving,
+            measure_from=int(len(prepared) * config.warmup_fraction),
+        )
+        service.ingest(prepared.page_indices, prepared.is_write)
+        assert service.totals == expected
+
+    def test_shard_and_chunk_geometry_is_irrelevant(
+        self, prepared_system
+    ):
+        config, system, prepared = prepared_system
+        expected = system.run_strategy(
+            prepared, "gmm-caching-eviction"
+        ).stats
+        for n_shards, chunk in ((1, 10**9), (8, 1_024)):
+            serving = ServingConfig(
+                chunk_requests=chunk,
+                n_shards=n_shards,
+                sharding="hash",
+                strategy="gmm-caching-eviction",
+                refresh_enabled=False,
+            )
+            service = IcgmmCacheService(
+                prepared.engine,
+                config=config,
+                serving=serving,
+                measure_from=int(
+                    len(prepared) * config.warmup_fraction
+                ),
+            )
+            service.ingest(prepared.page_indices, prepared.is_write)
+            assert service.totals == expected
+
+
+class TestAccounting:
+    @pytest.fixture(scope="class")
+    def served(self, prepared_system):
+        config, _, prepared = prepared_system
+        serving = ServingConfig(
+            chunk_requests=4_096,
+            n_shards=4,
+            sharding="hash",
+            strategy="gmm-caching-eviction",
+            refresh_enabled=False,
+            partition_pages=512,
+        )
+        service = IcgmmCacheService(
+            prepared.engine, config=config, serving=serving
+        )
+        reports = service.ingest(
+            prepared.page_indices, prepared.is_write
+        )
+        return service, reports
+
+    def test_chunk_reports_sum_to_totals(self, served):
+        service, reports = served
+        merged = CacheStats()
+        for report in reports:
+            merged = merged.merge(report.stats)
+        assert merged == service.totals
+
+    def test_shard_totals_sum_to_totals(self, served):
+        service, _ = served
+        merged = CacheStats()
+        for key in service.shard_metrics.keys():
+            merged = merged.merge(service.shard_metrics.total(key))
+        assert merged == service.totals
+
+    def test_tenant_totals_sum_to_totals(self, served):
+        service, _ = served
+        merged = CacheStats()
+        for key in service.tenant_metrics.keys():
+            merged = merged.merge(service.tenant_metrics.total(key))
+        assert merged == service.totals
+
+    def test_summary_shape(self, served):
+        service, _ = served
+        summary = service.summary()
+        assert summary["accesses"] == service.totals.accesses
+        assert summary["generation"] == 0
+        assert summary["swaps"] == []
+        assert set(summary["shards"]) == {
+            f"shard:{i}" for i in range(4)
+        }
+        for row in summary["shards"].values():
+            assert {"miss_rate", "latency_us", "traffic_share"} <= set(
+                row
+            )
+        shares = [
+            row["traffic_share"]
+            for row in summary["shards"].values()
+        ]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_measure_from_excludes_leading_stream(
+        self, prepared_system
+    ):
+        config, _, prepared = prepared_system
+        serving = ServingConfig(
+            chunk_requests=4_096,
+            n_shards=2,
+            strategy="lru",
+            refresh_enabled=False,
+        )
+        cut = len(prepared) // 2
+        service = IcgmmCacheService(
+            prepared.engine,
+            config=config,
+            serving=serving,
+            measure_from=cut,
+        )
+        service.ingest(prepared.page_indices, prepared.is_write)
+        assert service.totals.accesses == len(prepared) - cut
+
+
+class TestTenantMode:
+    def test_tenant_planes_isolate(self, prepared_system):
+        config, _, prepared = prepared_system
+        serving = ServingConfig(
+            chunk_requests=4_096,
+            n_shards=2,
+            sharding="tenant",
+            partition_pages=1 << 9,
+            strategy="lru",
+            refresh_enabled=False,
+        )
+        service = IcgmmCacheService(
+            prepared.engine, config=config, serving=serving
+        )
+        service.ingest(prepared.page_indices, prepared.is_write)
+        assert service.totals.accesses == len(prepared)
+        assert len(service.tenant_metrics.keys()) >= 1
+
+
+class TestThresholdQuantileWiring:
+    def test_inherits_engine_training_quantile(self, prepared_system):
+        """An engine trained at a non-default quantile must not bias
+        the drift detector's expected below-threshold fraction
+        (which would fire spurious refreshes on a stationary
+        stream)."""
+        _, _, prepared = prepared_system
+        config = IcgmmConfig(
+            gmm=GmmEngineConfig(threshold_quantile=0.3)
+        )
+        service = IcgmmCacheService(
+            prepared.engine, config=config, serving=ServingConfig()
+        )
+        assert service.threshold_quantile == 0.3
+        assert service.detector.quantile == 0.3
+        assert service.refresher.threshold_quantile == 0.3
+
+    def test_explicit_serving_quantile_wins(self, prepared_system):
+        _, _, prepared = prepared_system
+        config = IcgmmConfig(
+            gmm=GmmEngineConfig(threshold_quantile=0.3)
+        )
+        service = IcgmmCacheService(
+            prepared.engine,
+            config=config,
+            serving=ServingConfig(threshold_quantile=0.1),
+        )
+        assert service.threshold_quantile == 0.1
+        assert service.detector.quantile == 0.1
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self, prepared_system):
+        config, _, prepared = prepared_system
+        service = IcgmmCacheService(
+            prepared.engine,
+            config=config,
+            serving=ServingConfig(refresh_enabled=False),
+        )
+        with pytest.raises(ValueError, match="1-D"):
+            service.ingest(
+                np.zeros((2, 2), dtype=np.int64),
+                np.zeros((2, 2), dtype=bool),
+            )
+        with pytest.raises(ValueError, match="measure_from"):
+            IcgmmCacheService(
+                prepared.engine, config=config, measure_from=-1
+            )

@@ -1,0 +1,138 @@
+"""Tests for the sharded cache planes."""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import GmmCachePolicy, LruPolicy
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.cache.simulate_fast import simulate_fast
+from repro.serving.sharding import ShardedCachePlanes
+
+
+def _geometry(n_sets=64, ways=4):
+    return CacheGeometry(
+        capacity_bytes=n_sets * ways * 4096,
+        block_bytes=4096,
+        associativity=ways,
+    )
+
+
+class TestConstruction:
+    def test_capacity_splits_evenly(self):
+        planes = ShardedCachePlanes(_geometry(64, 4), n_shards=4)
+        assert len(planes.caches) == 4
+        assert planes.shard_geometry.n_sets == 16
+        assert (
+            planes.shard_geometry.capacity_bytes * 4
+            == planes.geometry.capacity_bytes
+        )
+
+    def test_rejects_indivisible_shards(self):
+        with pytest.raises(ValueError, match="divide"):
+            ShardedCachePlanes(_geometry(30, 4), n_shards=4)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            ShardedCachePlanes(_geometry(), n_shards=2, mode="modulo")
+
+    def test_single_shard_is_identity(self):
+        planes = ShardedCachePlanes(_geometry(), n_shards=1)
+        pages = np.array([5, 77, 123456])
+        shard_ids, local = planes.route(pages)
+        assert (shard_ids == 0).all()
+        np.testing.assert_array_equal(local, pages)
+
+
+class TestHashRouting:
+    def test_local_mapping_is_bijective_per_shard(self):
+        """(shard, local page) <-> page, and local set == global set
+        restricted to the shard (the exactness precondition)."""
+        geometry = _geometry(64, 4)
+        planes = ShardedCachePlanes(geometry, n_shards=4)
+        pages = np.arange(0, 4096)
+        shard_ids, local = planes.route(pages)
+        # Reconstruct: page = local * n_shards + shard.
+        np.testing.assert_array_equal(
+            local * 4 + shard_ids, pages
+        )
+        # Same (shard, local set) <=> same global set.
+        global_sets = pages % geometry.n_sets
+        local_sets = local % planes.shard_geometry.n_sets
+        np.testing.assert_array_equal(
+            global_sets, local_sets * 4 + shard_ids
+        )
+
+    def test_partition_preserves_order(self):
+        planes = ShardedCachePlanes(_geometry(), n_shards=4)
+        pages = np.array([4, 8, 0, 12, 5, 1, 9, 16])
+        shard_ids, _ = planes.route(pages)
+        positions = planes.partition(shard_ids)
+        np.testing.assert_array_equal(positions[0], [0, 1, 2, 3, 7])
+        np.testing.assert_array_equal(positions[1], [4, 5, 6])
+        # Within a shard the positions are ascending (stream order).
+        for pos in positions:
+            assert (np.diff(pos) > 0).all() if pos.size > 1 else True
+
+    @pytest.mark.parametrize("make_policy", [
+        lambda: LruPolicy(),
+        lambda: GmmCachePolicy(threshold=0.2),
+    ])
+    def test_hash_sharding_is_exact(self, make_policy):
+        """Union of shard planes == the unsharded cache, counter for
+        counter, under chunked resumable replay."""
+        rng = np.random.default_rng(3)
+        n = 20000
+        pages = rng.integers(0, 900, n)
+        writes = rng.random(n) < 0.3
+        scores = rng.standard_normal(n)
+        geometry = _geometry(64, 4)
+
+        single_cache = SetAssociativeCache(geometry)
+        expected = simulate_fast(
+            single_cache, make_policy(), pages, writes, scores=scores
+        )
+
+        planes = ShardedCachePlanes(geometry, n_shards=4)
+        policies = [make_policy() for _ in range(4)]
+        cursors = [0] * 4
+        merged = None
+        for start in range(0, n, 4096):
+            stop = min(start + 4096, n)
+            c_pages = pages[start:stop]
+            shard_ids, local = planes.route(c_pages)
+            for shard, positions in enumerate(
+                planes.partition(shard_ids)
+            ):
+                if positions.size == 0:
+                    continue
+                part = simulate_fast(
+                    planes.caches[shard],
+                    policies[shard],
+                    local[positions],
+                    writes[start:stop][positions],
+                    scores=scores[start:stop][positions],
+                    index_offset=cursors[shard],
+                )
+                cursors[shard] += int(positions.size)
+                merged = part if merged is None else merged.merge(part)
+        assert merged == expected
+        # The resident pages agree (local tags map back to global).
+        resident = set()
+        for shard, cache in enumerate(planes.caches):
+            resident |= {
+                tag * 4 + shard for tag in cache.resident_pages()
+            }
+        assert resident == single_cache.resident_pages()
+        assert planes.occupancy() == single_cache.occupancy()
+
+
+class TestTenantRouting:
+    def test_routes_by_partition(self):
+        planes = ShardedCachePlanes(
+            _geometry(), n_shards=2, mode="tenant",
+            partition_pages=1000,
+        )
+        pages = np.array([5, 1005, 2005, 3005])
+        shard_ids, local = planes.route(pages)
+        np.testing.assert_array_equal(shard_ids, [0, 1, 0, 1])
+        np.testing.assert_array_equal(local, pages)

@@ -112,6 +112,82 @@ class TestSuite:
         assert "reduction_percent" in out
 
 
+class TestServe:
+    def test_serve_replays_and_reports(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--workloads",
+                "memtier",
+                "stream",
+                "--length",
+                "30000",
+                "--chunk",
+                "2048",
+                "--components",
+                "6",
+                "--no-refresh",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard:0" in out
+        assert "tenant:0" in out
+        assert "tenant:1" in out
+        assert "miss rate" in out
+        assert "0 engine swap(s)" in out
+
+    def test_serve_with_drift_refreshes(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--workloads",
+                "memtier",
+                "--length",
+                "60000",
+                "--chunk",
+                "4096",
+                "--components",
+                "6",
+                "--drift",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine swapped" in out
+        assert "generation" in out
+
+    def test_serve_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve",
+                    "--length",
+                    "5000",
+                    "--strategy",
+                    "banana",
+                ]
+            )
+
+    def test_serve_rejects_indivisible_shards(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--workloads",
+                "memtier",
+                "--length",
+                "20000",
+                "--components",
+                "6",
+                "--shards",
+                "7",
+                "--no-refresh",
+            ]
+        )
+        assert code == 2
+        assert "divide" in capsys.readouterr().err
+
+
 class TestHardwareReport:
     def test_report_contains_table2(self, capsys):
         assert main(["hardware-report"]) == 0

@@ -63,3 +63,10 @@ class TestRunnableExamples:
         _load("online_adaptation").main()
         out = capsys.readouterr().out
         assert "recovers" in out
+
+    def test_streaming_service(self, capsys):
+        _load("streaming_service").main()
+        out = capsys.readouterr().out
+        assert "engine swap at chunk" in out
+        assert "recovers" in out
+        assert "frozen offline" in out

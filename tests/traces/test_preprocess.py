@@ -9,6 +9,7 @@ from repro.traces.preprocess import (
     ProcessedTrace,
     TracePreprocessor,
     transform_timestamps,
+    transform_timestamps_at,
     transform_timestamps_reference,
     trim_warmup,
 )
@@ -115,6 +116,44 @@ class TestTransformTimestamps:
 
     def test_zero_length(self):
         assert transform_timestamps(0).shape == (0,)
+
+
+class TestTransformTimestampsAt:
+    """The streaming variant: stamps at arbitrary absolute indices."""
+
+    @pytest.mark.parametrize("mode", ["prose", "algorithm"])
+    def test_chunked_agrees_with_full_pass(self, mode):
+        full = transform_timestamps(
+            40_000, len_window=32, len_access_shot=10_000, mode=mode
+        )
+        chunked = np.concatenate(
+            [
+                transform_timestamps_at(
+                    np.arange(start, min(start + 6_113, 40_000)),
+                    len_window=32,
+                    len_access_shot=10_000,
+                    mode=mode,
+                )
+                for start in range(0, 40_000, 6_113)
+            ]
+        )
+        np.testing.assert_array_equal(full, chunked)
+
+    def test_arbitrary_index_subsets(self):
+        full = transform_timestamps(5_000, 4, 100, mode="prose")
+        picks = np.array([0, 3, 17, 4_999, 250, 250])
+        np.testing.assert_array_equal(
+            transform_timestamps_at(picks, 4, 100, mode="prose"),
+            full[picks],
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            transform_timestamps_at(np.array([-1]))
+        with pytest.raises(ValueError):
+            transform_timestamps_at(np.array([0]), len_window=0)
+        with pytest.raises(ValueError, match="unknown mode"):
+            transform_timestamps_at(np.array([0]), mode="banana")
 
 
 class TestTracePreprocessor:

@@ -8,10 +8,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-throughput bench-smoke bench-serving bench-serving-smoke
+.PHONY: test verify bench-throughput bench-smoke bench-serving \
+	bench-serving-smoke bench-fabric bench-fabric-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Tier-1 tests plus every bench smoke validator (schema + acceptance
+# checks on fresh smoke artifacts) -- the one-command CI gate.
+verify: test bench-smoke bench-serving-smoke bench-fabric-smoke
 
 # Full simulator-throughput matrix; writes BENCH_sim_throughput.json.
 bench-throughput:
@@ -35,3 +40,16 @@ bench-serving-smoke:
 		--output BENCH_serving_drift.smoke.json
 	$(PYTHON) benchmarks/bench_serving_drift.py \
 		--validate BENCH_serving_drift.smoke.json
+
+# Full fabric-scaling matrix (scalar CXL router vs vectorized fabric);
+# writes BENCH_fabric_scaling.json (acceptance: bit-exact per-device
+# stats/pricing and >= 8x on the paper geometry).
+bench-fabric:
+	$(PYTHON) benchmarks/bench_fabric_scaling.py
+
+# Short fabric run, then schema-validate the emitted JSON.
+bench-fabric-smoke:
+	$(PYTHON) benchmarks/bench_fabric_scaling.py --smoke \
+		--output BENCH_fabric_scaling.smoke.json
+	$(PYTHON) benchmarks/bench_fabric_scaling.py \
+		--validate BENCH_fabric_scaling.smoke.json

@@ -17,7 +17,7 @@ from repro.cache import SetAssociativeCache, simulate_fast
 from repro.cache.policies import GmmCachePolicy, LruPolicy
 from repro.cache.prefetch import (
     StridePrefetcher,
-    simulate_with_prefetch,
+    simulate_with_prefetch_fast,
 )
 from repro.core.system import IcgmmSystem
 
@@ -53,7 +53,9 @@ def test_prefetch_composes_with_gmm(stream_setup, report, benchmark):
     )
 
     def run_prefetch():
-        return simulate_with_prefetch(
+        # The vectorized prefetch path (bit-identical to the scalar
+        # reference; parity asserted in tests/cache).
+        return simulate_with_prefetch_fast(
             SetAssociativeCache(config.geometry),
             GmmCachePolicy(admission=False, eviction=True),
             StridePrefetcher(degree=2, distance=8),

@@ -1,0 +1,332 @@
+"""Fabric-scaling benchmark: scalar CXL router vs vectorized fabric.
+
+Replays the standard skewed trace over a fleet of CXL
+memory-expansion devices two ways -- the per-access scalar reference
+(:class:`repro.cxl.device.CxlMemoryDevice` walked request by request,
+as :class:`repro.cxl.router.CxlSystem` does) and the vectorized
+:class:`repro.cxl.fabric.CxlFabric` replay through the shared staged
+pipeline -- asserting bit-identical per-device counters *and* priced
+service times between the two, and emits a machine-readable
+``BENCH_fabric_scaling.json``.
+
+Acceptance (checked by ``--validate`` on a full run): every row
+bit-exact, and the fabric at least 8x faster than the scalar router
+on the paper geometry::
+
+    PYTHONPATH=src python benchmarks/bench_fabric_scaling.py            # full
+    PYTHONPATH=src python benchmarks/bench_fabric_scaling.py --smoke    # quick
+    PYTHONPATH=src python benchmarks/bench_fabric_scaling.py --validate out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.core.config import FabricTopology, IcgmmConfig
+from repro.core.policy import build_policy
+from repro.cxl.device import CxlMemoryDevice
+from repro.cxl.fabric import CxlFabric
+from repro.traces.record import CACHE_LINE_SIZE
+
+#: JSON schema (field -> type) of every entry in ``results``.
+RESULT_SCHEMA = {
+    "strategy": str,
+    "placement": str,
+    "n_devices": int,
+    "trace_length": int,
+    "scalar_s": float,
+    "fabric_s": float,
+    "scalar_accesses_per_s": float,
+    "fabric_accesses_per_s": float,
+    "speedup": float,
+    "stats_identical": bool,
+    "time_identical": bool,
+    "miss_rate": float,
+    "average_latency_us": float,
+}
+
+#: Full runs must beat the scalar router by at least this factor.
+MIN_FULL_SPEEDUP = 8.0
+
+HOT_FRACTION = 0.8
+WRITE_FRACTION = 0.3
+
+
+def make_trace(n: int, geometry: CacheGeometry, seed: int = 1):
+    """Skewed page stream + writes + synthetic scores."""
+    rng = np.random.default_rng(seed)
+    n_blocks = geometry.n_blocks
+    hot = rng.integers(0, max(1, n_blocks // 2), n)
+    cold = rng.integers(0, 8 * n_blocks, n)
+    pages = np.where(rng.random(n) < HOT_FRACTION, hot, cold)
+    is_write = rng.random(n) < WRITE_FRACTION
+    scores = rng.standard_normal(n)
+    return pages, is_write, scores
+
+
+def make_marginals(pages: np.ndarray, scores: np.ndarray):
+    """Synthetic per-page marginal scores for the ``score`` placement.
+
+    Stands in for the GMM's time-marginalised page view: each page's
+    marginal is its first-occurrence request score, broadcast to all
+    of its accesses (a pure page function, as placement requires).
+    """
+    unique_pages, first, inverse = np.unique(
+        pages, return_index=True, return_inverse=True
+    )
+    per_page = scores[first]
+    return per_page[inverse], per_page
+
+
+def bench_one(
+    geometry: CacheGeometry,
+    topology: FabricTopology,
+    strategy: str,
+    pages,
+    is_write,
+    scores,
+    threshold: float,
+):
+    """Time both paths once; returns the result row pieces."""
+    config = IcgmmConfig(geometry=geometry)
+    fabric = CxlFabric(topology, config=config)
+    marginals = None
+    score_cuts = None
+    if topology.placement == "score":
+        marginals, per_page = make_marginals(pages, scores)
+        score_cuts = np.quantile(
+            per_page, np.arange(1, topology.n_devices) / topology.n_devices
+        )
+    fabric.bind(strategy, threshold, score_cuts=score_cuts)
+    t0 = time.perf_counter()
+    fabric.ingest(
+        pages, is_write, scores=scores, page_marginals=marginals
+    )
+    fabric_s = time.perf_counter() - t0
+    result = fabric.results()
+
+    # Scalar reference: the same sub-streams through the per-access
+    # device loop the CxlSystem router drives, priced per request.
+    device_ids, local_pages = fabric.place(pages, marginals)
+    t0 = time.perf_counter()
+    identical = True
+    time_identical = True
+    for d in range(topology.n_devices):
+        positions = np.nonzero(device_ids == d)[0]
+        device = CxlMemoryDevice(
+            SetAssociativeCache(geometry),
+            build_policy(strategy, threshold),
+        )
+        link_ns = fabric.links[d].request_latency_ns(CACHE_LINE_SIZE)
+        lp = local_pages[positions]
+        wr = is_write[positions]
+        sc = scores[positions]
+        total_ns = 0
+        for i in range(positions.size):
+            access = device.access(
+                int(lp[i]), bool(wr[i]), float(sc[i])
+            )
+            total_ns += link_ns + access.latency_ns
+        identical &= device.stats == result.devices[d].stats
+        time_identical &= total_ns == result.devices[d].time_ns
+    scalar_s = time.perf_counter() - t0
+    return scalar_s, fabric_s, identical, time_identical, result
+
+
+def run(trace_lengths, strategies, device_counts, geometry, placement):
+    """Benchmark the matrix; returns the result-dict list."""
+    results = []
+    for n in trace_lengths:
+        pages, is_write, scores = make_trace(n, geometry)
+        threshold = float(np.quantile(scores, 0.1))
+        for n_devices in device_counts:
+            topology = FabricTopology(
+                n_devices=n_devices, placement=placement
+            )
+            for strategy in strategies:
+                (
+                    scalar_s,
+                    fabric_s,
+                    identical,
+                    time_identical,
+                    result,
+                ) = bench_one(
+                    geometry,
+                    topology,
+                    strategy,
+                    pages,
+                    is_write,
+                    scores,
+                    threshold,
+                )
+                row = {
+                    "strategy": strategy,
+                    "placement": placement,
+                    "n_devices": int(n_devices),
+                    "trace_length": int(n),
+                    "scalar_s": round(scalar_s, 4),
+                    "fabric_s": round(fabric_s, 4),
+                    "scalar_accesses_per_s": round(n / scalar_s, 1),
+                    "fabric_accesses_per_s": round(n / fabric_s, 1),
+                    "speedup": round(scalar_s / fabric_s, 2),
+                    "stats_identical": bool(identical),
+                    "time_identical": bool(time_identical),
+                    "miss_rate": round(result.totals.miss_rate, 4),
+                    "average_latency_us": round(
+                        result.average_latency_us, 3
+                    ),
+                }
+                results.append(row)
+                print(
+                    f"{strategy:22s} devices={n_devices} n={n:>9,d}"
+                    f"  scalar {row['scalar_accesses_per_s']:>11,.0f}/s"
+                    f"  fabric {row['fabric_accesses_per_s']:>12,.0f}/s"
+                    f"  speedup {row['speedup']:5.1f}x"
+                    f"  identical={identical and time_identical}"
+                )
+    return results
+
+
+def validate(payload: dict) -> list[str]:
+    """Schema + acceptance check of an emitted payload."""
+    problems = []
+    for key in ("geometry", "results", "mode"):
+        if key not in payload:
+            return [f"missing top-level {key!r}"]
+    if not isinstance(payload["results"], list) or not payload["results"]:
+        return ["'results' must be a non-empty list"]
+    for i, row in enumerate(payload["results"]):
+        for field, kind in RESULT_SCHEMA.items():
+            if field not in row:
+                problems.append(f"results[{i}]: missing {field!r}")
+            elif kind is float:
+                if not isinstance(row[field], (int, float)):
+                    problems.append(f"results[{i}].{field}: not numeric")
+            elif not isinstance(row[field], kind):
+                problems.append(
+                    f"results[{i}].{field}: expected {kind.__name__}"
+                )
+        if not row.get("stats_identical", False):
+            problems.append(f"results[{i}]: fabric/scalar stats diverged")
+        if not row.get("time_identical", False):
+            problems.append(
+                f"results[{i}]: fabric/scalar priced times diverged"
+            )
+    if payload["mode"] == "full":
+        best = max(
+            (row.get("speedup", 0.0) for row in payload["results"]),
+            default=0.0,
+        )
+        if best < MIN_FULL_SPEEDUP:
+            problems.append(
+                f"best speedup {best}x below the {MIN_FULL_SPEEDUP}x"
+                " acceptance bar"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short trace + strategy subset (CI smoke run)",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="JSON",
+        help="validate an existing output file and exit",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=(
+            "output JSON path (default: BENCH_fabric_scaling.json,"
+            " or BENCH_fabric_scaling.smoke.json with --smoke so a"
+            " smoke run never clobbers the full results)"
+        ),
+    )
+    parser.add_argument(
+        "--placement",
+        default="interleave",
+        choices=("interleave", "range", "score"),
+    )
+    parser.add_argument(
+        "--lengths", type=int, nargs="+", default=None,
+        help="trace lengths to benchmark",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        path = Path(args.validate)
+        if not path.is_file():
+            print(f"INVALID: no such file: {path}", file=sys.stderr)
+            return 1
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"INVALID: not JSON: {exc}", file=sys.stderr)
+            return 1
+        problems = validate(payload)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.validate}: valid"
+            f" ({len(payload['results'])} result rows)"
+        )
+        return 0
+
+    # The paper's case-study geometry (64 MB / 4 KB / 8-way).
+    geometry = CacheGeometry()
+    if args.smoke:
+        lengths = args.lengths or [20_000]
+        strategies = ("lru", "gmm-caching")
+        device_counts = (2,)
+        output = args.output or "BENCH_fabric_scaling.smoke.json"
+        mode = "smoke"
+    else:
+        lengths = args.lengths or [400_000]
+        strategies = ("lru", "gmm-caching", "gmm-eviction")
+        device_counts = (1, 2, 4, 8)
+        output = args.output or "BENCH_fabric_scaling.json"
+        mode = "full"
+
+    results = run(
+        lengths, strategies, device_counts, geometry, args.placement
+    )
+    payload = {
+        "bench": "fabric_scaling",
+        "mode": mode,
+        "geometry": {
+            "capacity_bytes": geometry.capacity_bytes,
+            "block_bytes": geometry.block_bytes,
+            "associativity": geometry.associativity,
+            "n_sets": geometry.n_sets,
+        },
+        "trace": {
+            "hot_fraction": HOT_FRACTION,
+            "write_fraction": WRITE_FRACTION,
+        },
+        "results": results,
+    }
+    problems = validate(payload)
+    Path(output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

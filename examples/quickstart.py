@@ -1,18 +1,24 @@
 """Quickstart: run one ICGMM benchmark end to end.
 
-Generates a synthetic memtier trace, preprocesses it per Sec. 3.1,
-trains the GMM policy engine, simulates the DRAM cache under all four
-Fig. 6 strategies and prints the miss rates and average SSD access
-times.
+Walks the unified staged pipeline explicitly -- the same four stages
+every entry point (offline system, streaming service, CXL fabric)
+shares:
+
+1. **Prepare**: generate a synthetic memtier trace, preprocess it per
+   Sec. 3.1, train the GMM policy engine, score the stream.
+2. **Score**: select each Fig. 6 strategy's score view and build its
+   policy.
+3. **Simulate**: replay the stream against the DRAM cache.
+4. **Price**: convert the counters into Table 1 access times.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import IcgmmConfig, IcgmmSystem
+from repro import BenchmarkResult, IcgmmConfig, StagedPipeline
 from repro.analysis import render_table
-from repro.core.config import GmmEngineConfig
+from repro.core.config import STRATEGIES, GmmEngineConfig
 
 
 def main() -> None:
@@ -22,13 +28,21 @@ def main() -> None:
         trace_length=120_000,
         gmm=GmmEngineConfig(n_components=24, max_train_samples=15_000),
     )
-    system = IcgmmSystem(config)
+    pipeline = StagedPipeline(config)
 
-    print("Running the ICGMM pipeline on the memtier workload...")
-    result = system.run_benchmark("memtier")
+    print("Stage 1 (Prepare): trace + training + scoring...")
+    prepared = pipeline.prepare("memtier")
+    print(
+        f"  {len(prepared):,} requests prepared,"
+        f" engine {prepared.engine!r}"
+    )
 
+    print("Stages 2-4 (Score/Simulate/Price) per strategy...")
     rows = []
-    for strategy, outcome in result.outcomes.items():
+    outcomes = {}
+    for strategy in STRATEGIES:
+        outcome = pipeline.run_strategy(prepared, strategy)
+        outcomes[strategy] = outcome
         rows.append(
             [
                 strategy,
@@ -45,6 +59,7 @@ def main() -> None:
         )
     )
     print()
+    result = BenchmarkResult(workload="memtier", outcomes=outcomes)
     best = result.best_gmm
     print(
         f"Best GMM strategy: {best.strategy} -- "

@@ -25,11 +25,13 @@ from repro.core import (
     GMM_STRATEGIES,
     STRATEGIES,
     BenchmarkResult,
+    FabricTopology,
     GmmEngineConfig,
     GmmPolicyEngine,
     IcgmmConfig,
     IcgmmSystem,
     ServingConfig,
+    StagedPipeline,
     StrategyOutcome,
     SuiteResult,
     run_suite,
@@ -40,6 +42,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BenchmarkResult",
+    "FabricTopology",
     "GMM_STRATEGIES",
     "GmmEngineConfig",
     "GmmPolicyEngine",
@@ -48,6 +51,7 @@ __all__ = [
     "IcgmmSystem",
     "STRATEGIES",
     "ServingConfig",
+    "StagedPipeline",
     "StrategyOutcome",
     "SuiteResult",
     "run_suite",

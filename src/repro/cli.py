@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands cover the common entry points without writing any
+Six subcommands cover the common entry points without writing any
 Python::
 
     python -m repro.cli generate-trace dlrm -n 100000 -o dlrm.npz
     python -m repro.cli run memtier --trace-length 120000
     python -m repro.cli suite --workloads memtier stream
     python -m repro.cli serve --workloads memtier stream --drift
+    python -m repro.cli fabric memtier --devices 4 --placement score
     python -m repro.cli hardware-report
 """
 
@@ -19,7 +20,9 @@ import numpy as np
 
 from repro.analysis import render_dict_table, render_table
 from repro.core.config import (
+    PLACEMENTS,
     STRATEGIES,
+    FabricTopology,
     GmmEngineConfig,
     IcgmmConfig,
     ServingConfig,
@@ -27,6 +30,7 @@ from repro.core.config import (
 from repro.core.engine import GmmPolicyEngine
 from repro.core.experiment import run_suite
 from repro.core.system import IcgmmSystem
+from repro.cxl.fabric import CxlFabric
 from repro.hardware import (
     FpgaSpec,
     GmmEngineTiming,
@@ -40,7 +44,7 @@ from repro.serving import IcgmmCacheService
 from repro.traces.io import save_trace_csv, save_trace_npz
 from repro.traces.mixing import multi_tenant_trace, relocate
 from repro.traces.preprocess import transform_timestamps
-from repro.traces.record import PAGE_SHIFT
+from repro.traces.record import CACHE_LINE_SIZE, PAGE_SHIFT
 from repro.traces.workloads import WORKLOAD_NAMES, get_workload
 
 
@@ -134,6 +138,40 @@ def _add_serve(subparsers) -> None:
     parser.add_argument(
         "--report-every", type=int, default=8,
         help="chunks between progress lines",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_fabric(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fabric",
+        help=(
+            "replay a workload over a multi-device CXL fabric"
+            " (vectorized per-device replay, per-link pricing)"
+        ),
+    )
+    parser.add_argument("workload", choices=WORKLOAD_NAMES)
+    parser.add_argument("--trace-length", type=int, default=None)
+    parser.add_argument("--components", type=int, default=None)
+    parser.add_argument("--devices", type=int, default=4)
+    parser.add_argument(
+        "--placement", choices=PLACEMENTS, default="interleave"
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="gmm-caching-eviction",
+        help="Fig. 6 strategy driving every device cache",
+    )
+    parser.add_argument(
+        "--link-overhead-ns",
+        type=int,
+        nargs="+",
+        default=None,
+        help=(
+            "per-device CXL link round-trip overhead (one value per"
+            " device; models near/far fabric topologies)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=42)
 
@@ -354,6 +392,60 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_fabric(args) -> int:
+    config = _config_from_args(args)
+    try:
+        topology = FabricTopology(
+            n_devices=args.devices,
+            placement=args.placement,
+            link_overhead_ns=(
+                tuple(args.link_overhead_ns)
+                if args.link_overhead_ns is not None
+                else None
+            ),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fabric = CxlFabric(topology, config=config)
+    print(
+        f"preparing {args.workload} through the staged pipeline"
+        f" ({args.devices} devices, {args.placement} placement)..."
+    )
+    prepared = fabric.pipeline.prepare(args.workload)
+    result = fabric.run_prepared(prepared, args.strategy)
+    print()
+    print(
+        render_table(
+            [
+                "device",
+                "accesses",
+                "miss rate %",
+                "avg latency us",
+                "link ns",
+            ],
+            [
+                [
+                    device.device_id,
+                    device.accesses,
+                    100 * device.stats.miss_rate,
+                    device.average_latency_us,
+                    device.link.request_latency_ns(CACHE_LINE_SIZE),
+                ]
+                for device in result.devices
+            ],
+        )
+    )
+    totals = result.totals
+    print(
+        f"\nfleet: {totals.accesses:,} measured accesses,"
+        f" miss rate {100 * totals.miss_rate:.2f}%,"
+        f" avg latency {result.average_latency_us:.1f} us"
+        f" ({args.strategy})"
+    )
+    return 0
+
+
 def _cmd_hardware_report(_args) -> int:
     fpga = FpgaSpec()
     gmm = estimate_gmm_engine()
@@ -387,6 +479,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "suite": _cmd_suite,
     "serve": _cmd_serve,
+    "fabric": _cmd_fabric,
     "hardware-report": _cmd_hardware_report,
 }
 
@@ -402,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run(subparsers)
     _add_suite(subparsers)
     _add_serve(subparsers)
+    _add_fabric(subparsers)
     _add_hardware_report(subparsers)
     return parser
 

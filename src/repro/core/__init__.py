@@ -1,13 +1,20 @@
 """ICGMM core: the paper's contribution assembled end to end."""
 
 from repro.core.config import (
+    PLACEMENTS,
     STRATEGIES,
+    FabricTopology,
     GmmEngineConfig,
     IcgmmConfig,
     ServingConfig,
 )
 from repro.core.engine import FeatureScaler, GmmPolicyEngine
 from repro.core.experiment import run_suite
+from repro.core.pipeline import (
+    PreparedWorkload,
+    StagedPipeline,
+    StrategyPlan,
+)
 from repro.core.policy import build_policy, strategy_uses_scores
 from repro.core.results import (
     GMM_STRATEGIES,
@@ -15,20 +22,24 @@ from repro.core.results import (
     StrategyOutcome,
     SuiteResult,
 )
-from repro.core.system import IcgmmSystem, PreparedWorkload
+from repro.core.system import IcgmmSystem
 
 __all__ = [
     "BenchmarkResult",
+    "FabricTopology",
     "FeatureScaler",
     "GMM_STRATEGIES",
     "GmmEngineConfig",
     "GmmPolicyEngine",
     "IcgmmConfig",
     "IcgmmSystem",
+    "PLACEMENTS",
     "PreparedWorkload",
     "STRATEGIES",
     "ServingConfig",
+    "StagedPipeline",
     "StrategyOutcome",
+    "StrategyPlan",
     "SuiteResult",
     "build_policy",
     "run_suite",

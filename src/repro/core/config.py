@@ -32,6 +32,9 @@ SIMULATORS = ("fast", "reference")
 #: Valid values of :attr:`ServingConfig.sharding`.
 SHARDING_MODES = ("hash", "tenant")
 
+#: Valid values of :attr:`FabricTopology.placement`.
+PLACEMENTS = ("interleave", "range", "score")
+
 
 @dataclass(frozen=True)
 class GmmEngineConfig:
@@ -180,6 +183,76 @@ class IcgmmConfig:
         overrides.setdefault("geometry", CacheGeometry())
         overrides.setdefault("workload_scale", 1.0)
         return cls(**overrides)
+
+
+@dataclass(frozen=True)
+class FabricTopology:
+    """Layout of a multi-device CXL fabric
+    (:class:`repro.cxl.fabric.CxlFabric`).
+
+    The fabric partitions one page-level request stream across
+    ``n_devices`` expansion devices, replays every device's
+    sub-stream through the shared staged pipeline
+    (:mod:`repro.core.pipeline`), and prices each device through its
+    own CXL link model.
+
+    Attributes
+    ----------
+    n_devices:
+        Expansion devices behind the host.
+    placement:
+        How the trace is partitioned across devices:
+
+        * ``"interleave"`` -- page-modulo striping: device
+          ``page % n``, device-local page ``page // n`` (the
+          collision-free division the hash-sharded serving planes
+          use).  Balances load across devices.
+        * ``"range"`` -- contiguous runs of ``range_stride_pages``
+          pages assigned round-robin: device
+          ``(page // stride) % n``.  Keeps spatial locality (and
+          tenant partitions) on one device.
+        * ``"score"`` -- score-aware: pages are bucketed by their
+          time-marginalised GMM score into ``n_devices`` quantile
+          buckets, and the hottest bucket lands on the device with
+          the lowest link latency.
+    range_stride_pages:
+        Stride of the ``range`` placement.
+    link_overhead_ns / link_bandwidth_gb_s:
+        Optional per-device CXL link parameters (length must equal
+        ``n_devices``); ``None`` gives every device the default
+        :class:`repro.cxl.link.CxlLinkSpec`.  Heterogeneous values
+        model near/far fabric topologies (switch hops, longer
+        retimed paths), which is what the ``score`` placement
+        exploits.
+    """
+
+    n_devices: int = 4
+    placement: str = "interleave"
+    range_stride_pages: int = 1 << 14
+    link_overhead_ns: tuple[int, ...] | None = None
+    link_bandwidth_gb_s: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ValueError("n_devices must be >= 1")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got"
+                f" {self.placement!r}"
+            )
+        if self.range_stride_pages < 1:
+            raise ValueError("range_stride_pages must be >= 1")
+        for name in ("link_overhead_ns", "link_bandwidth_gb_s"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            value = tuple(value)
+            object.__setattr__(self, name, value)
+            if len(value) != self.n_devices:
+                raise ValueError(
+                    f"{name} must have one entry per device"
+                    f" ({self.n_devices}), got {len(value)}"
+                )
 
 
 @dataclass(frozen=True)

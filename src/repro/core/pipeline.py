@@ -1,0 +1,341 @@
+"""The shared staged execution core of every ICGMM entry point.
+
+The paper's loop -- prepare a workload, score it under the GMM,
+simulate the DRAM cache, price the result -- used to live in three
+near-duplicate copies: the offline :class:`~repro.core.system.
+IcgmmSystem`, the per-access CXL router, and the streaming
+:class:`~repro.serving.IcgmmCacheService`.  This module is the single
+implementation all of them (and the vectorized multi-device
+:class:`~repro.cxl.fabric.CxlFabric`) now call into, as four explicit
+stages over :class:`PreparedWorkload`:
+
+* **Prepare** -- generate/accept a trace, preprocess it per Sec. 3.1,
+  train the GMM engine on the leading slice, score the full stream
+  (:meth:`StagedPipeline.prepare`).
+* **Score** -- select the score view a Fig. 6 strategy consumes and
+  build its policy (:meth:`StagedPipeline.plan_strategy`); streaming
+  callers stamp raw page chunks into scoreable features with
+  :meth:`StagedPipeline.chunk_features`.
+* **Simulate** -- drive a cache/policy pair over a (sub-)stream,
+  dispatching on :attr:`IcgmmConfig.simulator` between the vectorized
+  fast engine and the scalar reference, with resumable
+  ``index_offset`` replay and per-access ``OUTCOME_*`` recording
+  (:meth:`StagedPipeline.simulate`).
+* **Price** -- turn the counters into the Table 1 access-time view
+  (:meth:`StagedPipeline.price`).
+
+Because chunked, sharded and multi-device replays all route through
+:meth:`simulate`, their results stay *bit-identical* to a single-shot
+offline run -- the property the serving and fabric parity suites
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.setassoc import SetAssociativeCache, simulate
+from repro.cache.simulate_fast import simulate_fast
+from repro.cache.stats import CacheStats
+from repro.core.config import STRATEGIES, IcgmmConfig
+from repro.core.engine import GmmPolicyEngine
+from repro.core.policy import build_policy, strategy_score_view
+from repro.core.results import BenchmarkResult, StrategyOutcome
+from repro.hardware.latency import LatencyModel
+from repro.traces.preprocess import (
+    TracePreprocessor,
+    transform_timestamps_at,
+)
+from repro.traces.record import MemoryTrace
+from repro.traces.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class PreparedWorkload:
+    """A workload ready for strategy simulations.
+
+    Holds everything shared between the four Fig. 6 strategies so the
+    trace is generated and the GMM trained exactly once per workload.
+
+    Attributes
+    ----------
+    scores:
+        Full 2-D request scores ``G(P, T)`` (drive admission).
+    page_frequency_scores:
+        Time-marginalised per-page scores aligned with the request
+        stream (drive eviction ranking); see
+        :meth:`repro.core.engine.GmmPolicyEngine.page_scores`.
+    """
+
+    name: str
+    page_indices: np.ndarray
+    is_write: np.ndarray
+    scores: np.ndarray
+    page_frequency_scores: np.ndarray
+    engine: GmmPolicyEngine
+
+    def __len__(self) -> int:
+        return self.page_indices.shape[0]
+
+    def page_score_map(self) -> dict[int, float]:
+        """Mapping page index -> marginal score (for the combined
+        policy's eviction metadata).
+
+        Built with one vectorized ``np.unique`` + take; ``tolist()``
+        converts to Python scalars in bulk so the dict materialises
+        at C speed even on million-page traces (the per-element
+        ``int()``/``float()`` loop it replaces dominated profile time
+        in the serving replay).
+        """
+        unique_pages, first_position = np.unique(
+            self.page_indices, return_index=True
+        )
+        values = self.page_frequency_scores[first_position]
+        return dict(
+            zip(unique_pages.tolist(), values.tolist(), strict=True)
+        )
+
+
+@dataclass(frozen=True)
+class StrategyPlan:
+    """Output of the Score stage for one strategy.
+
+    Attributes
+    ----------
+    policy:
+        The configured replacement/admission policy.
+    scores:
+        The per-access score stream the simulator feeds the policy
+        (``None`` for LRU).
+    """
+
+    strategy: str
+    policy: ReplacementPolicy
+    scores: np.ndarray | None
+
+
+class StagedPipeline:
+    """Prepare -> Score -> Simulate -> Price, shared by all entry
+    points (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        System configuration (geometry, GMM, Algorithm 1 constants,
+        simulator selection).
+    latency_model:
+        Table 1 pricing model used by the Price stage.
+    """
+
+    def __init__(
+        self,
+        config: IcgmmConfig | None = None,
+        latency_model: LatencyModel | None = None,
+    ) -> None:
+        self.config = config if config is not None else IcgmmConfig()
+        self.latency_model = (
+            latency_model if latency_model is not None else LatencyModel()
+        )
+        self._preprocessor = TracePreprocessor(
+            head_fraction=self.config.head_fraction,
+            tail_fraction=self.config.tail_fraction,
+            len_window=self.config.len_window,
+            len_access_shot=self.config.len_access_shot,
+            timestamp_mode=self.config.timestamp_mode,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 1: Prepare
+    # ------------------------------------------------------------------
+    def generate_trace(
+        self, workload: str, rng: np.random.Generator
+    ) -> MemoryTrace:
+        """Generate the workload's synthetic trace at the config scale."""
+        generator = get_workload(workload, scale=self.config.workload_scale)
+        length = (
+            self.config.trace_length
+            if self.config.trace_length is not None
+            else generator.default_length
+        )
+        return generator.generate(length, rng)
+
+    def prepare(
+        self,
+        workload: str,
+        trace: MemoryTrace | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> PreparedWorkload:
+        """Trace generation, preprocessing, training and scoring."""
+        if rng is None:
+            rng = np.random.default_rng(self.config.seed)
+        if trace is None:
+            trace = self.generate_trace(workload, rng)
+        processed = self._preprocessor.process(trace)
+        features = processed.features
+        n_train = max(1, int(len(processed) * self.config.train_fraction))
+        engine = GmmPolicyEngine.train(
+            features[:n_train], self.config.gmm, rng
+        )
+        scores = engine.score(features)
+        page_frequency_scores = engine.page_scores(
+            processed.page_indices
+        )
+        return PreparedWorkload(
+            name=workload,
+            page_indices=processed.page_indices,
+            is_write=processed.trace.is_write.copy(),
+            scores=scores,
+            page_frequency_scores=page_frequency_scores,
+            engine=engine,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 2: Score
+    # ------------------------------------------------------------------
+    def strategy_scores(
+        self, prepared: PreparedWorkload, strategy: str
+    ) -> np.ndarray | None:
+        """Score stream a strategy's simulation consumes.
+
+        ``"request"``-view strategies get the 2-D request scores,
+        ``"page"``-view ones the time-marginalised per-page scores,
+        LRU none.
+        """
+        view = strategy_score_view(strategy)
+        if view == "request":
+            return prepared.scores
+        if view == "page":
+            return prepared.page_frequency_scores
+        return None
+
+    def plan_strategy(
+        self, prepared: PreparedWorkload, strategy: str
+    ) -> StrategyPlan:
+        """Build a strategy's policy and score stream (Score stage)."""
+        page_scores = (
+            prepared.page_score_map()
+            if strategy == "gmm-caching-eviction"
+            else None
+        )
+        policy = build_policy(
+            strategy,
+            prepared.engine.admission_threshold,
+            page_scores=page_scores,
+        )
+        return StrategyPlan(
+            strategy=strategy,
+            policy=policy,
+            scores=self.strategy_scores(prepared, strategy),
+        )
+
+    def chunk_features(
+        self, pages: np.ndarray, start_index: int
+    ) -> np.ndarray:
+        """Stamp a raw page chunk into scoreable ``(N, 2)`` features.
+
+        Streaming callers (the serving loop, fabric ingestion) cut
+        the live stream into chunks; the Algorithm 1 timestamp of
+        each access is a pure function of its *absolute* stream
+        index, so chunked scoring matches a whole-stream pass bit
+        for bit.
+        """
+        pages = np.asarray(pages)
+        abs_idx = np.arange(start_index, start_index + pages.shape[0])
+        timestamps = transform_timestamps_at(
+            abs_idx,
+            self.config.len_window,
+            self.config.len_access_shot,
+            self.config.timestamp_mode,
+        )
+        return np.column_stack(
+            [pages.astype(np.float64), timestamps.astype(np.float64)]
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 3: Simulate
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        cache: SetAssociativeCache,
+        policy: ReplacementPolicy,
+        pages: np.ndarray,
+        is_write: np.ndarray,
+        scores: np.ndarray | None = None,
+        warmup_fraction: float = 0.0,
+        index_offset: int = 0,
+        outcome: np.ndarray | None = None,
+    ) -> CacheStats:
+        """Drive one cache/policy pair over a (sub-)stream.
+
+        Dispatches on :attr:`IcgmmConfig.simulator` between the
+        chunked vectorized engine and the scalar reference loop --
+        both bit-identical.  ``index_offset`` makes the call
+        resumable (chunked/sharded/multi-device replay) and
+        ``outcome`` records per-access ``OUTCOME_*`` codes for exact
+        downstream accounting.
+        """
+        run = (
+            simulate_fast
+            if self.config.simulator == "fast"
+            else simulate
+        )
+        return run(
+            cache,
+            policy,
+            pages,
+            is_write,
+            scores=scores,
+            warmup_fraction=warmup_fraction,
+            index_offset=index_offset,
+            outcome=outcome,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 4: Price
+    # ------------------------------------------------------------------
+    def price(self, strategy: str, stats: CacheStats) -> StrategyOutcome:
+        """Table 1 pricing of one simulation's counters."""
+        return StrategyOutcome(
+            strategy=strategy,
+            stats=stats,
+            average_time_us=self.latency_model.average_access_time_us(
+                stats
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Stage composition
+    # ------------------------------------------------------------------
+    def run_strategy(
+        self, prepared: PreparedWorkload, strategy: str
+    ) -> StrategyOutcome:
+        """Score + Simulate + Price for one Fig. 6 strategy."""
+        plan = self.plan_strategy(prepared, strategy)
+        cache = SetAssociativeCache(self.config.geometry)
+        stats = self.simulate(
+            cache,
+            plan.policy,
+            prepared.page_indices,
+            prepared.is_write,
+            scores=plan.scores,
+            warmup_fraction=self.config.warmup_fraction,
+        )
+        return self.price(strategy, stats)
+
+    def run_benchmark(
+        self,
+        workload: str,
+        strategies: tuple[str, ...] = STRATEGIES,
+        trace: MemoryTrace | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> BenchmarkResult:
+        """Prepare a workload and run every requested strategy on it."""
+        prepared = self.prepare(workload, trace=trace, rng=rng)
+        outcomes = {
+            strategy: self.run_strategy(prepared, strategy)
+            for strategy in strategies
+        }
+        return BenchmarkResult(workload=workload, outcomes=outcomes)

@@ -1,7 +1,8 @@
 """The end-to-end ICGMM system.
 
-:class:`IcgmmSystem` drives the paper's whole pipeline on one
-workload:
+:class:`IcgmmSystem` is the offline entry point to the shared staged
+pipeline (:mod:`repro.core.pipeline`): it drives the paper's whole
+loop on one workload --
 
 1. generate (or accept) a memory trace,
 2. preprocess it per Sec. 3.1 (trim, page index, Algorithm 1),
@@ -9,70 +10,28 @@ workload:
 4. score the full request stream in one vectorised pass,
 5. simulate the DRAM cache under a chosen strategy (Sec. 3.2), and
 6. price the run with the Table 1 latency model.
+
+Every stage is implemented once in
+:class:`~repro.core.pipeline.StagedPipeline` and reused verbatim by
+the streaming service (:mod:`repro.serving`) and the multi-device
+fabric (:mod:`repro.cxl.fabric`); this class only binds the stages
+into the offline prepare-then-run shape.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.cache.setassoc import SetAssociativeCache, simulate
-from repro.cache.simulate_fast import simulate_fast
 from repro.core.config import STRATEGIES, IcgmmConfig
-from repro.core.engine import GmmPolicyEngine
-from repro.core.policy import build_policy, strategy_score_view
+from repro.core.pipeline import (
+    PreparedWorkload,
+    StagedPipeline,
+)
 from repro.core.results import BenchmarkResult, StrategyOutcome
 from repro.hardware.latency import LatencyModel
-from repro.traces.preprocess import TracePreprocessor
 from repro.traces.record import MemoryTrace
-from repro.traces.workloads import get_workload
 
-
-@dataclass(frozen=True)
-class PreparedWorkload:
-    """A workload ready for strategy simulations.
-
-    Holds everything shared between the four Fig. 6 strategies so the
-    trace is generated and the GMM trained exactly once per workload.
-
-    Attributes
-    ----------
-    scores:
-        Full 2-D request scores ``G(P, T)`` (drive admission).
-    page_frequency_scores:
-        Time-marginalised per-page scores aligned with the request
-        stream (drive eviction ranking); see
-        :meth:`repro.core.engine.GmmPolicyEngine.page_scores`.
-    """
-
-    name: str
-    page_indices: np.ndarray
-    is_write: np.ndarray
-    scores: np.ndarray
-    page_frequency_scores: np.ndarray
-    engine: GmmPolicyEngine
-
-    def __len__(self) -> int:
-        return self.page_indices.shape[0]
-
-    def page_score_map(self) -> dict[int, float]:
-        """Mapping page index -> marginal score (for the combined
-        policy's eviction metadata).
-
-        Built with one vectorized ``np.unique`` + take; ``tolist()``
-        converts to Python scalars in bulk so the dict materialises
-        at C speed even on million-page traces (the per-element
-        ``int()``/``float()`` loop it replaces dominated profile time
-        in the serving replay).
-        """
-        unique_pages, first_position = np.unique(
-            self.page_indices, return_index=True
-        )
-        values = self.page_frequency_scores[first_position]
-        return dict(
-            zip(unique_pages.tolist(), values.tolist(), strict=True)
-        )
+__all__ = ["IcgmmSystem", "PreparedWorkload"]
 
 
 class IcgmmSystem:
@@ -94,32 +53,31 @@ class IcgmmSystem:
         config: IcgmmConfig | None = None,
         latency_model: LatencyModel | None = None,
     ) -> None:
-        self.config = config if config is not None else IcgmmConfig()
-        self.latency_model = (
-            latency_model if latency_model is not None else LatencyModel()
-        )
-        self._preprocessor = TracePreprocessor(
-            head_fraction=self.config.head_fraction,
-            tail_fraction=self.config.tail_fraction,
-            len_window=self.config.len_window,
-            len_access_shot=self.config.len_access_shot,
-            timestamp_mode=self.config.timestamp_mode,
-        )
+        self.pipeline = StagedPipeline(config, latency_model)
+
+    @property
+    def config(self) -> IcgmmConfig:
+        """The pipeline's system configuration."""
+        return self.pipeline.config
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        """The pipeline's Table 1 pricing model."""
+        return self.pipeline.latency_model
+
+    @property
+    def _preprocessor(self):
+        """The pipeline's Sec. 3.1 preprocessor (compat accessor)."""
+        return self.pipeline._preprocessor
 
     # ------------------------------------------------------------------
-    # Pipeline stages
+    # Pipeline stages (delegated to the shared staged core)
     # ------------------------------------------------------------------
     def generate_trace(
         self, workload: str, rng: np.random.Generator
     ) -> MemoryTrace:
         """Generate the workload's synthetic trace at the config scale."""
-        generator = get_workload(workload, scale=self.config.workload_scale)
-        length = (
-            self.config.trace_length
-            if self.config.trace_length is not None
-            else generator.default_length
-        )
-        return generator.generate(length, rng)
+        return self.pipeline.generate_trace(workload, rng)
 
     def prepare(
         self,
@@ -128,71 +86,13 @@ class IcgmmSystem:
         rng: np.random.Generator | None = None,
     ) -> PreparedWorkload:
         """Run stages 1-4: trace, preprocessing, training, scoring."""
-        if rng is None:
-            rng = np.random.default_rng(self.config.seed)
-        if trace is None:
-            trace = self.generate_trace(workload, rng)
-        processed = self._preprocessor.process(trace)
-        features = processed.features
-        n_train = max(1, int(len(processed) * self.config.train_fraction))
-        engine = GmmPolicyEngine.train(
-            features[:n_train], self.config.gmm, rng
-        )
-        scores = engine.score(features)
-        page_frequency_scores = engine.page_scores(
-            processed.page_indices
-        )
-        return PreparedWorkload(
-            name=workload,
-            page_indices=processed.page_indices,
-            is_write=processed.trace.is_write.copy(),
-            scores=scores,
-            page_frequency_scores=page_frequency_scores,
-            engine=engine,
-        )
+        return self.pipeline.prepare(workload, trace=trace, rng=rng)
 
     def run_strategy(
         self, prepared: PreparedWorkload, strategy: str
     ) -> StrategyOutcome:
         """Simulate one Fig. 6 strategy on a prepared workload."""
-        view = strategy_score_view(strategy)
-        page_scores = (
-            prepared.page_score_map()
-            if strategy == "gmm-caching-eviction"
-            else None
-        )
-        policy = build_policy(
-            strategy,
-            prepared.engine.admission_threshold,
-            page_scores=page_scores,
-        )
-        cache = SetAssociativeCache(self.config.geometry)
-        if view == "request":
-            scores = prepared.scores
-        elif view == "page":
-            scores = prepared.page_frequency_scores
-        else:
-            scores = None
-        run = (
-            simulate_fast
-            if self.config.simulator == "fast"
-            else simulate
-        )
-        stats = run(
-            cache,
-            policy,
-            prepared.page_indices,
-            prepared.is_write,
-            scores=scores,
-            warmup_fraction=self.config.warmup_fraction,
-        )
-        return StrategyOutcome(
-            strategy=strategy,
-            stats=stats,
-            average_time_us=self.latency_model.average_access_time_us(
-                stats
-            ),
-        )
+        return self.pipeline.run_strategy(prepared, strategy)
 
     # ------------------------------------------------------------------
     # Whole-benchmark entry point
@@ -205,9 +105,6 @@ class IcgmmSystem:
         rng: np.random.Generator | None = None,
     ) -> BenchmarkResult:
         """Prepare a workload and run every requested strategy on it."""
-        prepared = self.prepare(workload, trace=trace, rng=rng)
-        outcomes = {
-            strategy: self.run_strategy(prepared, strategy)
-            for strategy in strategies
-        }
-        return BenchmarkResult(workload=workload, outcomes=outcomes)
+        return self.pipeline.run_benchmark(
+            workload, strategies=strategies, trace=trace, rng=rng
+        )

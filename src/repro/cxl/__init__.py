@@ -1,4 +1,13 @@
-"""CXL memory-expansion substrate (Fig. 1's system context)."""
+"""CXL memory-expansion substrate (Fig. 1's system context).
+
+Two execution paths share the staged pipeline core:
+
+* the per-access :class:`CxlSystem` router over one
+  :class:`CxlMemoryDevice` -- the scalar parity reference, and
+* the vectorized multi-device :class:`CxlFabric`, which partitions a
+  trace across a device fleet and replays every sub-stream at
+  fast-path speed (:mod:`repro.cxl.fabric`).
+"""
 
 from repro.cxl.address_space import (
     AddressRange,
@@ -9,6 +18,11 @@ from repro.cxl.device import (
     CxlMemoryDevice,
     DeviceAccessResult,
 )
+from repro.cxl.fabric import (
+    CxlFabric,
+    DeviceReplayResult,
+    FabricRunResult,
+)
 from repro.cxl.link import CxlLinkSpec
 from repro.cxl.router import (
     HOST_DRAM_LATENCY_NS,
@@ -18,11 +32,14 @@ from repro.cxl.router import (
 
 __all__ = [
     "AddressRange",
+    "CxlFabric",
     "CxlLinkSpec",
     "CxlMemoryDevice",
     "CxlSystem",
     "DEVICE_DRAM_HIT_NS",
     "DeviceAccessResult",
+    "DeviceReplayResult",
+    "FabricRunResult",
     "HOST_DRAM_LATENCY_NS",
     "RoutedRunResult",
     "UnifiedAddressSpace",

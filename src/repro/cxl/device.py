@@ -5,15 +5,33 @@ CXL.mem, fronted by the device-DRAM cache that ICGMM manages.  The
 class wraps the cache substrate into a stateful per-request interface
 returning service latencies, which the router composes with the link
 model into end-to-end access times.
+
+Accounting is outcome-based: every access is classified with the same
+``OUTCOME_*`` codes the trace simulators record, and :attr:`
+CxlMemoryDevice.stats` is rebuilt from those codes via
+:func:`repro.cache.stats.stats_from_outcomes` -- the device no longer
+hand-rolls a fourth copy of the counter arithmetic, so its tallies
+are consistent with :class:`~repro.cache.stats.CacheStats` by
+construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.setassoc import SetAssociativeCache
-from repro.cache.stats import CacheStats
+from repro.cache.stats import (
+    OUTCOME_BYPASS,
+    OUTCOME_DIRTY_EVICT,
+    OUTCOME_EVICT,
+    OUTCOME_FILL,
+    OUTCOME_HIT,
+    CacheStats,
+    stats_from_outcomes,
+)
 from repro.hardware.ssd import SsdLatencyEmulator
 
 #: Device DRAM service time for a cache hit (Sec. 5.3: 1 us).
@@ -32,11 +50,15 @@ class DeviceAccessResult:
         Whether the DRAM cache served the request.
     bypassed:
         Whether an admission policy refused to cache the missing page.
+    outcome:
+        The access's ``OUTCOME_*`` classification (see
+        :mod:`repro.cache.stats`).
     """
 
     latency_ns: int
     hit: bool
     bypassed: bool
+    outcome: int
 
 
 class CxlMemoryDevice:
@@ -67,8 +89,38 @@ class CxlMemoryDevice:
         self.policy = policy
         self.ssd = ssd if ssd is not None else SsdLatencyEmulator()
         self.hit_latency_ns = hit_latency_ns
-        self.stats = CacheStats()
+        self._outcomes: list[int] = []
+        self._writes: list[bool] = []
         self._access_index = 0
+        self._stats_cache: tuple[int, CacheStats] | None = None
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counters rebuilt from the recorded per-access outcomes.
+
+        Memoised per history length, so polling between accesses is
+        O(1); only the first read after new traffic pays the rebuild.
+        (The per-access record itself is the point of this device --
+        it is the scalar reference the vectorized paths re-account
+        against -- so it grows with the replayed stream.)
+        """
+        n = len(self._outcomes)
+        if self._stats_cache is None or self._stats_cache[0] != n:
+            self._stats_cache = (
+                n,
+                stats_from_outcomes(
+                    np.asarray(self._outcomes, dtype=np.uint8),
+                    np.asarray(self._writes, dtype=bool),
+                ),
+            )
+        return self._stats_cache[1]
+
+    def outcome_record(self) -> tuple[np.ndarray, np.ndarray]:
+        """The per-access ``(outcomes, is_write)`` arrays so far."""
+        return (
+            np.asarray(self._outcomes, dtype=np.uint8),
+            np.asarray(self._writes, dtype=bool),
+        )
 
     def access(
         self, page: int, is_write: bool, score: float = 0.0
@@ -81,43 +133,45 @@ class CxlMemoryDevice:
         """
         index = self._access_index
         self._access_index += 1
+        self._writes.append(bool(is_write))
         set_index, way = self.cache.lookup(page)
 
         if way is not None:
             self.policy.on_hit(self.cache, set_index, way, index, score)
             if is_write:
                 self.cache.dirty[set_index][way] = True
-            self.stats.hits += 1
-            if is_write:
-                self.stats.write_hits += 1
+            self._outcomes.append(OUTCOME_HIT)
             return DeviceAccessResult(
-                latency_ns=self.hit_latency_ns, hit=True, bypassed=False
+                latency_ns=self.hit_latency_ns,
+                hit=True,
+                bypassed=False,
+                outcome=OUTCOME_HIT,
             )
 
-        self.stats.misses += 1
-        if is_write:
-            self.stats.write_misses += 1
         latency = self.ssd.read_latency_ns()
 
         if not self.policy.admit(page, score, is_write, index):
-            self.stats.bypasses += 1
             if is_write:
-                self.stats.bypassed_writes += 1
                 latency += self.ssd.write_latency_ns()
+            self._outcomes.append(OUTCOME_BYPASS)
             return DeviceAccessResult(
-                latency_ns=latency, hit=False, bypassed=True
+                latency_ns=latency,
+                hit=False,
+                bypassed=True,
+                outcome=OUTCOME_BYPASS,
             )
 
+        outcome = OUTCOME_FILL
         victim = self.cache.find_invalid_way(set_index)
         if victim is None:
             victim = self.policy.select_victim(
                 self.cache, set_index, index
             )
-            self.stats.evictions += 1
             if self.cache.dirty[set_index][victim]:
-                self.stats.dirty_evictions += 1
+                outcome = OUTCOME_DIRTY_EVICT
                 latency += self.ssd.write_latency_ns()
-        self.stats.fills += 1
+            else:
+                outcome = OUTCOME_EVICT
         self.cache.fill(
             set_index,
             victim,
@@ -126,6 +180,7 @@ class CxlMemoryDevice:
             self.policy.fill_meta(page, score, index),
             float(index),
         )
+        self._outcomes.append(outcome)
         return DeviceAccessResult(
-            latency_ns=latency, hit=False, bypassed=False
+            latency_ns=latency, hit=False, bypassed=False, outcome=outcome
         )

@@ -1,0 +1,504 @@
+"""Vectorized multi-device CXL fabric.
+
+A :class:`CxlFabric` models a host expanding memory over *N* CXL
+devices -- each an SSD-backed DRAM cache like the single
+:class:`~repro.cxl.device.CxlMemoryDevice` -- and replays a page-level
+request stream across them at fast-path speed:
+
+1. **Place.**  The stream is partitioned per
+   :class:`~repro.core.config.FabricTopology` (interleave / range /
+   score-aware placement; see that class's docstring).
+2. **Replay.**  Every device's sub-stream runs through the shared
+   staged pipeline's Simulate stage
+   (:meth:`repro.core.pipeline.StagedPipeline.simulate`) with a
+   resumable per-device ``index_offset`` cursor, exactly like the
+   serving shards -- so chunked streaming ingestion and a one-shot
+   offline run are *bit-identical*, and each device's counters equal
+   a single-shot offline run on its sub-stream.
+3. **Price.**  Per-device counters are priced through that device's
+   own link model
+   (:class:`~repro.hardware.latency.DevicePathLatencyModel`), which
+   reproduces the per-access accounting of the scalar
+   :class:`~repro.cxl.router.CxlSystem` from outcome counts alone.
+
+The scalar router remains the executable specification; the fabric
+parity suite (``tests/cxl/test_fabric_parity.py``) and the scaling
+bench (``benchmarks/bench_fabric_scaling.py``) assert agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.core.config import FabricTopology, IcgmmConfig
+from repro.core.pipeline import PreparedWorkload, StagedPipeline
+from repro.core.policy import build_policy
+from repro.cxl.device import DEVICE_DRAM_HIT_NS
+from repro.cxl.link import CxlLinkSpec
+from repro.hardware.latency import DevicePathLatencyModel
+from repro.hardware.ssd import SSD_CATALOG, SsdSpec
+from repro.traces.record import CACHE_LINE_SIZE
+
+
+@dataclass(frozen=True)
+class DeviceReplayResult:
+    """One device's share of a fabric run.
+
+    Attributes
+    ----------
+    device_id:
+        Position in the fabric.
+    link:
+        The device's CXL link model.
+    stats:
+        Cache counters of the device's sub-stream.
+    time_ns:
+        End-to-end service time of the sub-stream (link included).
+    """
+
+    device_id: int
+    link: CxlLinkSpec
+    stats: CacheStats
+    time_ns: int
+
+    @property
+    def accesses(self) -> int:
+        """Requests routed to this device."""
+        return self.stats.accesses
+
+    @property
+    def average_latency_us(self) -> float:
+        """Mean end-to-end request latency, in microseconds."""
+        if self.stats.accesses == 0:
+            return 0.0
+        return self.time_ns / self.stats.accesses / 1_000.0
+
+
+@dataclass(frozen=True)
+class FabricRunResult:
+    """Aggregate outcome of replaying a stream over the fabric."""
+
+    devices: tuple[DeviceReplayResult, ...]
+
+    @property
+    def totals(self) -> CacheStats:
+        """Merged counters across all devices."""
+        totals = CacheStats()
+        for device in self.devices:
+            totals = totals.merge(device.stats)
+        return totals
+
+    @property
+    def accesses(self) -> int:
+        """All replayed requests."""
+        return sum(d.stats.accesses for d in self.devices)
+
+    @property
+    def total_time_ns(self) -> int:
+        """Total service time across all devices."""
+        return sum(d.time_ns for d in self.devices)
+
+    @property
+    def average_latency_us(self) -> float:
+        """Fleet-wide mean request latency, in microseconds."""
+        accesses = self.accesses
+        if accesses == 0:
+            return 0.0
+        return self.total_time_ns / accesses / 1_000.0
+
+    def as_dict(self) -> dict:
+        """Flat summary (for benches and the CLI)."""
+        return {
+            "accesses": self.accesses,
+            "miss_rate": self.totals.miss_rate,
+            "total_time_ns": self.total_time_ns,
+            "average_latency_us": self.average_latency_us,
+            "devices": [
+                {
+                    "device_id": d.device_id,
+                    "accesses": d.accesses,
+                    "miss_rate": d.stats.miss_rate,
+                    "time_ns": d.time_ns,
+                    "average_latency_us": d.average_latency_us,
+                    "link_request_ns": d.link.request_latency_ns(
+                        CACHE_LINE_SIZE
+                    ),
+                }
+                for d in self.devices
+            ],
+        }
+
+
+class CxlFabric:
+    """A fleet of CXL expansion devices behind one host.
+
+    Each device carries its own full :attr:`IcgmmConfig.geometry`
+    DRAM cache, policy instance, and resumable replay cursor.
+
+    Parameters
+    ----------
+    topology:
+        Device count, placement rule and per-device link parameters.
+    config:
+        System profile shared by all devices (geometry, simulator
+        selection); the fabric replays through this config's staged
+        pipeline.
+    ssd:
+        Backing-store latency profile used by the pricing model.
+    hit_latency_ns:
+        Device-DRAM hit service time.
+    """
+
+    def __init__(
+        self,
+        topology: FabricTopology | None = None,
+        config: IcgmmConfig | None = None,
+        ssd: SsdSpec | None = None,
+        hit_latency_ns: int = DEVICE_DRAM_HIT_NS,
+    ) -> None:
+        self.topology = (
+            topology if topology is not None else FabricTopology()
+        )
+        self.pipeline = StagedPipeline(config)
+        self.config = self.pipeline.config
+        ssd = ssd if ssd is not None else SSD_CATALOG["tlc"]
+        n = self.topology.n_devices
+        overheads = self.topology.link_overhead_ns
+        bandwidths = self.topology.link_bandwidth_gb_s
+        default = CxlLinkSpec()
+        self.links: tuple[CxlLinkSpec, ...] = tuple(
+            CxlLinkSpec(
+                name=f"fabric-link-{i}",
+                round_trip_overhead_ns=(
+                    overheads[i]
+                    if overheads is not None
+                    else default.round_trip_overhead_ns
+                ),
+                bandwidth_gb_s=(
+                    bandwidths[i]
+                    if bandwidths is not None
+                    else default.bandwidth_gb_s
+                ),
+            )
+            for i in range(n)
+        )
+        self.pricing: tuple[DevicePathLatencyModel, ...] = tuple(
+            DevicePathLatencyModel(
+                ssd=ssd,
+                hit_latency_ns=hit_latency_ns,
+                link_request_ns=link.request_latency_ns(CACHE_LINE_SIZE),
+            )
+            for link in self.links
+        )
+        # Devices ranked fastest link first; the score placement maps
+        # its hottest bucket to self._device_rank[0].
+        self._device_rank = np.argsort(
+            [p.link_request_ns for p in self.pricing], kind="stable"
+        ).astype(np.int64)
+        self._strategy: str | None = None
+        self._score_cuts: np.ndarray | None = None
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all device caches, cursors and accumulated counters."""
+        n = self.topology.n_devices
+        self.caches = [
+            SetAssociativeCache(self.config.geometry) for _ in range(n)
+        ]
+        self._cursors = [0] * n
+        self._device_stats = [CacheStats() for _ in range(n)]
+        self._policies: list | None = None
+
+    def bind(
+        self,
+        strategy: str,
+        admission_threshold: float = 0.0,
+        page_score_map: dict[int, float] | None = None,
+        score_cuts: np.ndarray | None = None,
+    ) -> None:
+        """Reset the fleet and build per-device policies for a strategy.
+
+        Parameters
+        ----------
+        strategy:
+            Fig. 6 strategy driving every device.
+        admission_threshold:
+            Sec. 3.2 score cut-off (admission-enabled strategies).
+        page_score_map:
+            Global page -> marginal score mapping; required by
+            ``gmm-caching-eviction`` (each device receives the slice
+            routed to it, keyed by the device-local page the
+            simulator sees, exactly like the serving shards).
+        score_cuts:
+            Bucket boundaries of the ``score`` placement; when
+            omitted they are derived as unique-page quantiles of
+            ``page_score_map``'s values.
+        """
+        self.reset()
+        self._strategy = strategy
+        n = self.topology.n_devices
+        combined = strategy == "gmm-caching-eviction"
+        if self.topology.placement == "score":
+            if score_cuts is not None:
+                self._score_cuts = np.asarray(
+                    score_cuts, dtype=np.float64
+                )
+            elif page_score_map:
+                marginals = np.fromiter(
+                    page_score_map.values(),
+                    dtype=np.float64,
+                    count=len(page_score_map),
+                )
+                self._score_cuts = self._cuts_from_marginals(marginals)
+            else:
+                raise ValueError(
+                    "score placement needs score_cuts or a"
+                    " page_score_map to derive them from"
+                )
+        self._device_page_maps: list[dict[int, float]] = [
+            {} for _ in range(n)
+        ]
+        if combined:
+            if page_score_map is None:
+                raise ValueError(
+                    "gmm-caching-eviction requires page_score_map"
+                )
+            keys = np.fromiter(
+                page_score_map.keys(),
+                dtype=np.int64,
+                count=len(page_score_map),
+            )
+            values = np.fromiter(
+                page_score_map.values(),
+                dtype=np.float64,
+                count=len(page_score_map),
+            )
+            self._extend_page_maps(keys, values)
+        self._policies = [
+            build_policy(
+                strategy,
+                admission_threshold,
+                page_scores=(
+                    self._device_page_maps[d] if combined else None
+                ),
+            )
+            for d in range(n)
+        ]
+
+    def _cuts_from_marginals(self, marginals: np.ndarray) -> np.ndarray:
+        """Equal-population score-bucket boundaries for placement."""
+        n = self.topology.n_devices
+        if n == 1 or marginals.size == 0:
+            return np.empty(0, dtype=np.float64)
+        quantiles = np.arange(1, n) / n
+        return np.quantile(np.unique(marginals), quantiles)
+
+    def _extend_page_maps(
+        self, pages: np.ndarray, marginals: np.ndarray
+    ) -> None:
+        """Route (page, marginal) pairs into the per-device dicts."""
+        device_ids, local_pages = self.place(pages, marginals)
+        for device in np.unique(device_ids).tolist():
+            mask = device_ids == device
+            self._device_page_maps[device].update(
+                zip(
+                    local_pages[mask].tolist(),
+                    marginals[mask].tolist(),
+                    strict=True,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Stage: Place
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        pages: np.ndarray,
+        page_marginals: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-access ``(device_id, local_page)`` arrays.
+
+        ``interleave`` divides the page by the device count so the
+        local page doubles as a collision-free tag; ``range`` and
+        ``score`` keep the global page (tags already unique).  The
+        ``score`` placement needs the per-access time-marginalised
+        scores and a bound fabric (for the bucket boundaries).
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        n = self.topology.n_devices
+        placement = self.topology.placement
+        if placement == "interleave":
+            return pages % n, pages // n
+        if placement == "range":
+            stride = self.topology.range_stride_pages
+            return (pages // stride) % n, pages
+        if page_marginals is None:
+            raise ValueError(
+                "score placement needs per-access page_marginals"
+            )
+        if self._score_cuts is None:
+            raise ValueError(
+                "score placement needs bind() (or score_cuts) first"
+            )
+        marginals = np.asarray(page_marginals, dtype=np.float64)
+        buckets = np.searchsorted(
+            self._score_cuts, marginals, side="right"
+        )
+        # Hottest bucket (highest marginal) -> fastest link.
+        device_ids = self._device_rank[n - 1 - buckets]
+        return device_ids, pages
+
+    # ------------------------------------------------------------------
+    # Stage: Replay (resumable)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        pages: np.ndarray,
+        is_write: np.ndarray,
+        scores: np.ndarray | None = None,
+        page_marginals: np.ndarray | None = None,
+    ) -> CacheStats:
+        """Stream one chunk through the fleet; returns its counters.
+
+        Requires a prior :meth:`bind`.  Each device's slice resumes
+        at that device's cursor, so chunked ingestion is bit-identical
+        to a one-shot :meth:`run_prepared` with no warm-up cut.  For
+        the combined strategy, ``page_marginals`` extends the
+        per-device eviction metadata with newly-seen pages.
+        """
+        if self._policies is None:
+            raise ValueError("bind() a strategy before ingesting")
+        pages = np.asarray(pages, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        if self._strategy == "gmm-caching-eviction":
+            if page_marginals is None:
+                raise ValueError(
+                    "gmm-caching-eviction ingestion needs"
+                    " page_marginals"
+                )
+            unique_pages, first = np.unique(pages, return_index=True)
+            self._extend_page_maps(
+                unique_pages,
+                np.asarray(page_marginals, dtype=np.float64)[first],
+            )
+        device_ids, local_pages = self.place(pages, page_marginals)
+        chunk = CacheStats()
+        for device in range(self.topology.n_devices):
+            positions = np.nonzero(device_ids == device)[0]
+            if positions.size == 0:
+                continue
+            stats = self.pipeline.simulate(
+                self.caches[device],
+                self._policies[device],
+                local_pages[positions],
+                is_write[positions],
+                scores=(
+                    np.asarray(scores, dtype=np.float64)[positions]
+                    if scores is not None
+                    else None
+                ),
+                index_offset=self._cursors[device],
+            )
+            self._cursors[device] += int(positions.size)
+            self._device_stats[device] = self._device_stats[
+                device
+            ].merge(stats)
+            chunk = chunk.merge(stats)
+        return chunk
+
+    def results(self) -> FabricRunResult:
+        """Price the accumulated per-device counters."""
+        devices = tuple(
+            DeviceReplayResult(
+                device_id=d,
+                link=self.links[d],
+                stats=self._device_stats[d],
+                time_ns=self.pricing[d].total_time_ns(
+                    self._device_stats[d]
+                ),
+            )
+            for d in range(self.topology.n_devices)
+        )
+        return FabricRunResult(devices=devices)
+
+    # ------------------------------------------------------------------
+    # Offline one-shot entry point
+    # ------------------------------------------------------------------
+    def run_prepared(
+        self,
+        prepared: PreparedWorkload,
+        strategy: str,
+        warmup_fraction: float | None = None,
+    ) -> FabricRunResult:
+        """Replay a prepared workload over the fleet in one shot.
+
+        Binds the strategy, places the full stream, and replays each
+        device's sub-stream through the pipeline's Simulate stage
+        with the warm-up cut applied *per sub-stream* -- which is
+        exactly what a single-shot offline run on that sub-stream
+        does, so per-device counters match it bit for bit (the
+        fabric parity suite asserts this for every placement and
+        strategy).
+        """
+        if warmup_fraction is None:
+            warmup_fraction = self.config.warmup_fraction
+        page_score_map = (
+            prepared.page_score_map()
+            if strategy == "gmm-caching-eviction"
+            or self.topology.placement == "score"
+            else None
+        )
+        score_cuts = None
+        if self.topology.placement == "score":
+            score_cuts = self._cuts_from_marginals(
+                np.fromiter(
+                    page_score_map.values(),
+                    dtype=np.float64,
+                    count=len(page_score_map),
+                )
+            )
+        self.bind(
+            strategy,
+            prepared.engine.admission_threshold,
+            page_score_map=(
+                page_score_map
+                if strategy == "gmm-caching-eviction"
+                else None
+            ),
+            score_cuts=score_cuts,
+        )
+        scores = self.pipeline.strategy_scores(prepared, strategy)
+        device_ids, local_pages = self.place(
+            prepared.page_indices, prepared.page_frequency_scores
+        )
+        for device in range(self.topology.n_devices):
+            positions = np.nonzero(device_ids == device)[0]
+            if positions.size == 0:
+                continue
+            stats = self.pipeline.simulate(
+                self.caches[device],
+                self._policies[device],
+                local_pages[positions],
+                prepared.is_write[positions],
+                scores=(
+                    scores[positions] if scores is not None else None
+                ),
+                warmup_fraction=warmup_fraction,
+            )
+            self._cursors[device] += int(positions.size)
+            self._device_stats[device] = stats
+        return self.results()
+
+    def __repr__(self) -> str:
+        return (
+            f"CxlFabric(n_devices={self.topology.n_devices},"
+            f" placement={self.topology.placement!r},"
+            f" strategy={self._strategy!r})"
+        )

@@ -4,14 +4,25 @@ The host issues loads/stores against one flat physical space; the
 router sends each to native DRAM or across the CXL link to the
 expansion device, and accumulates the end-to-end latency statistics a
 system architect would look at when sizing the expansion.
+
+This per-access router is the *parity reference* for the vectorized
+multi-device :class:`~repro.cxl.fabric.CxlFabric`: it walks one
+request at a time through :meth:`CxlMemoryDevice.access`, and its
+:class:`RoutedRunResult` carries the device's full
+:class:`~repro.cache.stats.CacheStats` (rebuilt from recorded
+``OUTCOME_*`` codes via
+:func:`~repro.cache.stats.stats_from_outcomes`, not re-derived ad
+hoc), so the fabric's count-based pricing can be checked against it
+bit for bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cache.stats import CacheStats, stats_from_outcomes
 from repro.cxl.address_space import UnifiedAddressSpace
 from repro.cxl.device import CxlMemoryDevice
 from repro.cxl.link import CxlLinkSpec
@@ -32,12 +43,18 @@ class RoutedRunResult:
     host_time_ns / device_time_ns:
         Total service time on each side (device time includes the
         link).
+    device_stats:
+        Full cache counters of the device-routed requests, rebuilt
+        from the recorded per-access outcomes -- including the
+        read/write splits (``write_hits``/``write_misses``/
+        ``bypassed_writes``) the latency models need.
     """
 
     host_accesses: int
     device_accesses: int
     host_time_ns: int
     device_time_ns: int
+    device_stats: CacheStats = field(default_factory=CacheStats)
 
     @property
     def total_accesses(self) -> int:
@@ -111,7 +128,12 @@ class CxlSystem:
         """Route every request of a trace; returns aggregate stats.
 
         ``trace`` addresses are interpreted in the unified space;
-        ``scores`` (optional) feed the device's cache policy.
+        ``scores`` (optional) feed the device's cache policy.  Host
+        traffic is tallied in one vectorized pass (its latency is a
+        constant); device traffic walks the per-access reference
+        loop, and its counters are rebuilt from the recorded
+        ``OUTCOME_*`` codes with
+        :func:`~repro.cache.stats.stats_from_outcomes`.
         """
         if scores is None:
             scores = np.zeros(len(trace))
@@ -119,24 +141,44 @@ class CxlSystem:
             scores = np.asarray(scores, dtype=np.float64)
             if scores.shape[0] != len(trace):
                 raise ValueError("scores must align with the trace")
-        host_accesses = 0
-        device_accesses = 0
-        host_time = 0
+        addresses = np.asarray(trace.addresses)
+        writes = np.asarray(trace.is_write, dtype=bool)
+        host = self.address_space.host_range
+        device_range = self.address_space.device_range
+        host_mask = (addresses >= host.base) & (addresses < host.end)
+        device_mask = (addresses >= device_range.base) & (
+            addresses < device_range.end
+        )
+        stray = np.nonzero(~(host_mask | device_mask))[0]
+        if stray.size:
+            # Reuse the translation's error for the first bad address.
+            self.address_space.to_device_offset(int(addresses[stray[0]]))
+
+        host_accesses = int(np.count_nonzero(host_mask))
+        host_time = host_accesses * self.host_latency_ns
+
+        device_positions = np.nonzero(device_mask)[0]
+        link_ns = self.link.request_latency_ns(CACHE_LINE_SIZE)
         device_time = 0
-        addresses = trace.addresses
-        writes = trace.is_write
-        for i in range(len(trace)):
-            address = int(addresses[i])
-            latency = self.access(address, bool(writes[i]), float(scores[i]))
-            if self.address_space.is_host_address(address):
-                host_accesses += 1
-                host_time += latency
-            else:
-                device_accesses += 1
-                device_time += latency
+        outcomes = np.empty(device_positions.size, dtype=np.uint8)
+        device_pages = (
+            addresses[device_positions] - device_range.base
+        ) >> PAGE_SHIFT
+        for i in range(device_positions.size):
+            position = int(device_positions[i])
+            result = self.device.access(
+                int(device_pages[i]),
+                bool(writes[position]),
+                float(scores[position]),
+            )
+            outcomes[i] = result.outcome
+            device_time += link_ns + result.latency_ns
         return RoutedRunResult(
             host_accesses=host_accesses,
-            device_accesses=device_accesses,
+            device_accesses=int(device_positions.size),
             host_time_ns=host_time,
             device_time_ns=device_time,
+            device_stats=stats_from_outcomes(
+                outcomes, writes[device_positions]
+            ),
         )

@@ -13,7 +13,11 @@ from repro.hardware.fpga import (
     LstmEngineTiming,
     engine_speedup,
 )
-from repro.hardware.latency import LatencyModel, reduction_percent
+from repro.hardware.latency import (
+    DevicePathLatencyModel,
+    LatencyModel,
+    reduction_percent,
+)
 from repro.hardware.resources import (
     ResourceEstimate,
     estimate_cache_controller,
@@ -31,6 +35,7 @@ from repro.hardware.ssd import (
 )
 
 __all__ = [
+    "DevicePathLatencyModel",
     "FpgaSpec",
     "GmmEngineTiming",
     "LatencyModel",

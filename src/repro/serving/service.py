@@ -9,8 +9,9 @@ on an access stream consumed in chunks:
 2. watch the score distribution for drift
    (:mod:`repro.serving.drift`),
 3. simulate the chunk against the live sharded cache planes with
-   resumable, bit-exact :func:`~repro.cache.simulate_fast.simulate_fast`
-   calls (Sec. 3.2 smart caching/eviction),
+   resumable, bit-exact calls into the shared pipeline's Simulate
+   stage (:meth:`repro.core.pipeline.StagedPipeline.simulate` --
+   the same code path the offline system and the CXL fabric run),
 4. account per-shard and per-tenant rolling miss rate and Table 1
    latency from the recorded per-access outcomes, and
 5. when drift is confirmed, fold the recent traffic into an
@@ -33,17 +34,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cache.simulate_fast import simulate_fast
 from repro.cache.stats import CacheStats, stats_from_outcomes
 from repro.core.config import IcgmmConfig, ServingConfig
 from repro.core.engine import GmmPolicyEngine
+from repro.core.pipeline import StagedPipeline
 from repro.core.policy import build_policy, strategy_score_view
 from repro.hardware.latency import LatencyModel
 from repro.serving.drift import DriftDetector, DriftReport
 from repro.serving.metrics import RollingMetrics
 from repro.serving.refresh import EngineSlot, ModelRefresher
 from repro.serving.sharding import ShardedCachePlanes
-from repro.traces.preprocess import transform_timestamps_at
 
 
 class _PageScoreCache:
@@ -145,7 +145,8 @@ class IcgmmCacheService:
     ) -> None:
         if measure_from < 0:
             raise ValueError("measure_from must be >= 0")
-        self.config = config if config is not None else IcgmmConfig()
+        self.pipeline = StagedPipeline(config, latency_model)
+        self.config = self.pipeline.config
         self.serving = serving if serving is not None else ServingConfig()
         self.measure_from = int(measure_from)
         self.slot = EngineSlot(engine)
@@ -266,15 +267,7 @@ class IcgmmCacheService:
         n = pages.shape[0]
         engine = self.slot.engine
         abs_idx = np.arange(self._cursor, self._cursor + n)
-        timestamps = transform_timestamps_at(
-            abs_idx,
-            self.config.len_window,
-            self.config.len_access_shot,
-            self.config.timestamp_mode,
-        )
-        features = np.column_stack(
-            [pages.astype(np.float64), timestamps.astype(np.float64)]
-        )
+        features = self.pipeline.chunk_features(pages, self._cursor)
 
         # --- scoring (Sec. 3.3 inference) -------------------------------
         # The 2-D request scores feed admission ("request" view) and
@@ -312,6 +305,8 @@ class IcgmmCacheService:
             self.refresher.ingest(features)
 
         # --- sharded simulation (resumable, exact) ----------------------
+        # Each shard's slice goes through the shared pipeline's
+        # Simulate stage, resuming at that shard's cursor.
         shard_ids, local_pages = self.planes.route(pages)
         outcome = np.empty(n, dtype=np.uint8)
         shard_positions = self.planes.partition(shard_ids)
@@ -319,7 +314,7 @@ class IcgmmCacheService:
             if positions.size == 0:
                 continue
             shard_outcome = np.empty(positions.size, dtype=np.uint8)
-            simulate_fast(
+            self.pipeline.simulate(
                 self.planes.caches[shard],
                 self._policies[shard],
                 local_pages[positions],

@@ -1,0 +1,182 @@
+"""Differential parity: vectorized prefetch simulation vs scalar.
+
+:func:`repro.cache.prefetch.simulate_with_prefetch_fast` must produce
+the bit-identical :class:`CacheStats`, :class:`PrefetchStats` and
+final cache planes of the scalar reference for every registered
+policy kernel on every trace -- the same contract the chunked
+simulator holds, extended to the prefetch path (whose miss-order-
+dependent stream table forces the adaptive hit-scan design instead of
+set reordering).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import (
+    BeladyPolicy,
+    ClockPolicy,
+    CounterRandomPolicy,
+    FifoPolicy,
+    GmmCachePolicy,
+    LfuPolicy,
+    LruPolicy,
+    RandomPolicy,
+    SlruPolicy,
+    TwoQPolicy,
+)
+from repro.cache.prefetch import (
+    StridePrefetcher,
+    simulate_with_prefetch,
+    simulate_with_prefetch_fast,
+)
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+
+POLICY_FACTORIES = {
+    "lru": lambda pages: LruPolicy(),
+    "fifo": lambda pages: FifoPolicy(),
+    "lfu": lambda pages: LfuPolicy(),
+    "lfu-decay": lambda pages: LfuPolicy(decay=0.9),
+    "clock": lambda pages: ClockPolicy(),
+    "slru": lambda pages: SlruPolicy(),
+    "2q": lambda pages: TwoQPolicy(),
+    "counter-random": lambda pages: CounterRandomPolicy(seed=11),
+    "belady": lambda pages: BeladyPolicy(pages),
+    "gmm": lambda pages: GmmCachePolicy(threshold=0.4),
+    "gmm-evict": lambda pages: GmmCachePolicy(
+        admission=False, eviction=True
+    ),
+}
+
+TRACES = ("sequential", "random", "mixed")
+
+
+def _cache(ways=4, sets=8):
+    return SetAssociativeCache(
+        CacheGeometry(
+            capacity_bytes=ways * sets * 4096,
+            block_bytes=4096,
+            associativity=ways,
+        )
+    )
+
+
+def _trace(kind, n, seed):
+    rng = np.random.default_rng(seed)
+    if kind == "sequential":
+        pages = np.arange(n) // 2
+    elif kind == "random":
+        pages = rng.integers(0, 150, n)
+    else:
+        sweep = np.arange(n)
+        noise = rng.integers(0, 400, n)
+        pages = np.where(rng.random(n) < 0.6, sweep, noise)
+    is_write = rng.random(n) < 0.3
+    scores = rng.random(n)
+    return pages.astype(np.int64), is_write, scores
+
+
+def _run_both(policy_key, kind, warmup=0.0, seed=3, n=1_200):
+    pages, is_write, scores = _trace(kind, n, seed)
+    results = []
+    for run in (simulate_with_prefetch, simulate_with_prefetch_fast):
+        cache = _cache()
+        stats, prefetch_stats = run(
+            cache,
+            POLICY_FACTORIES[policy_key](pages),
+            StridePrefetcher(degree=2, distance=4),
+            pages,
+            is_write,
+            scores=scores,
+            warmup_fraction=warmup,
+        )
+        results.append((cache, stats, prefetch_stats))
+    return results
+
+
+@pytest.mark.parametrize("kind", TRACES)
+@pytest.mark.parametrize("policy_key", sorted(POLICY_FACTORIES))
+def test_fast_prefetch_matches_reference(policy_key, kind):
+    (ref_cache, ref_stats, ref_pf), (
+        fast_cache,
+        fast_stats,
+        fast_pf,
+    ) = _run_both(policy_key, kind)
+    assert fast_stats == ref_stats
+    assert (fast_pf.issued, fast_pf.useful) == (
+        ref_pf.issued,
+        ref_pf.useful,
+    )
+    assert np.array_equal(ref_cache.tags, fast_cache.tags)
+    assert np.array_equal(ref_cache.dirty, fast_cache.dirty)
+    assert np.array_equal(ref_cache.meta, fast_cache.meta)
+    assert np.array_equal(ref_cache.stamp, fast_cache.stamp)
+
+
+@pytest.mark.parametrize("policy_key", ("lru", "clock", "gmm"))
+def test_fast_prefetch_matches_with_warmup(policy_key):
+    (_, ref_stats, ref_pf), (_, fast_stats, fast_pf) = _run_both(
+        policy_key, "mixed", warmup=0.3
+    )
+    assert fast_stats == ref_stats
+    assert (fast_pf.issued, fast_pf.useful) == (
+        ref_pf.issued,
+        ref_pf.useful,
+    )
+
+
+def test_unregistered_policy_falls_back_to_reference():
+    """RandomPolicy has no kernel: both entry points take the scalar
+    path and agree (same RNG stream draw order)."""
+    pages, is_write, scores = _trace("mixed", 600, seed=5)
+    ref_cache, fast_cache = _cache(), _cache()
+    ref = simulate_with_prefetch(
+        ref_cache,
+        RandomPolicy(np.random.default_rng(9)),
+        StridePrefetcher(),
+        pages,
+        is_write,
+        scores=scores,
+    )
+    fast = simulate_with_prefetch_fast(
+        fast_cache,
+        RandomPolicy(np.random.default_rng(9)),
+        StridePrefetcher(),
+        pages,
+        is_write,
+        scores=scores,
+    )
+    assert fast[0] == ref[0]
+    assert np.array_equal(ref_cache.tags, fast_cache.tags)
+
+
+def test_fast_prefetch_validation():
+    cache = _cache()
+    with pytest.raises(ValueError, match="same shape"):
+        simulate_with_prefetch_fast(
+            cache,
+            LruPolicy(),
+            StridePrefetcher(),
+            np.arange(4),
+            np.zeros(3, dtype=bool),
+        )
+    with pytest.raises(ValueError, match="warmup_fraction"):
+        simulate_with_prefetch_fast(
+            cache,
+            LruPolicy(),
+            StridePrefetcher(),
+            np.arange(4),
+            np.zeros(4, dtype=bool),
+            warmup_fraction=1.0,
+        )
+
+
+def test_empty_trace():
+    stats, prefetch_stats = simulate_with_prefetch_fast(
+        _cache(),
+        LruPolicy(),
+        StridePrefetcher(),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=bool),
+    )
+    assert stats.accesses == 0
+    assert prefetch_stats.issued == 0

@@ -145,3 +145,74 @@ class TestRouter:
         space = UnifiedAddressSpace(1 << 20, 1 << 30)
         with pytest.raises(ValueError):
             CxlSystem(space, _device(), host_latency_ns=0)
+
+
+class TestOutcomeAccounting:
+    """The device/router tallies are rebuilt from recorded
+    ``OUTCOME_*`` codes (one accounting implementation, not four)."""
+
+    def _system(self):
+        space = UnifiedAddressSpace(
+            host_bytes=1 << 20, device_bytes=1 << 30
+        )
+        return CxlSystem(space, _device(ways=2, sets=4)), space
+
+    def test_access_results_carry_outcome_codes(self):
+        from repro.cache.stats import (
+            OUTCOME_EVICT,
+            OUTCOME_FILL,
+            OUTCOME_HIT,
+        )
+
+        device = _device(ways=1, sets=1)
+        assert device.access(0, False).outcome == OUTCOME_FILL
+        assert device.access(0, False).outcome == OUTCOME_HIT
+        assert device.access(1, False).outcome == OUTCOME_EVICT
+
+    def test_device_stats_from_outcomes(self):
+        from repro.cache.stats import stats_from_outcomes
+
+        device = _device()
+        rng = np.random.default_rng(0)
+        pages = rng.integers(0, 12, size=200)
+        writes = rng.random(200) < 0.4
+        for page, write in zip(pages, writes):
+            device.access(int(page), bool(write))
+        outcomes, is_write = device.outcome_record()
+        assert outcomes.shape == (200,)
+        assert np.array_equal(is_write, writes)
+        assert device.stats == stats_from_outcomes(outcomes, writes)
+
+    def test_run_trace_exposes_device_stats(self):
+        system, space = self._system()
+        rng = np.random.default_rng(1)
+        n = 300
+        device_addresses = (
+            space.device_range.base
+            + (rng.integers(0, 20, n) << 12)
+        )
+        host_addresses = rng.integers(0, 1 << 20, n)
+        addresses = np.where(
+            rng.random(n) < 0.5, device_addresses, host_addresses
+        )
+        writes = rng.random(n) < 0.3
+        trace = MemoryTrace(addresses, writes)
+        result = system.run_trace(trace)
+        stats = result.device_stats
+        assert stats.accesses == result.device_accesses
+        # Read/write split consistent with CacheStats semantics.
+        assert stats.write_hits + stats.write_misses == int(
+            np.count_nonzero(
+                writes & (addresses >= space.device_range.base)
+            )
+        )
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats == system.device.stats
+
+    def test_empty_trace_has_empty_device_stats(self):
+        system, _ = self._system()
+        trace = MemoryTrace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        result = system.run_trace(trace)
+        assert result.device_stats.accesses == 0

@@ -1,0 +1,259 @@
+"""Fabric <-> offline differential parity suite.
+
+The contract of :class:`repro.cxl.fabric.CxlFabric`: replaying a
+trace over N devices is *bit-identical* to running each device's
+sub-stream through a single-shot offline simulation (the same staged
+pipeline the offline system drives), for every placement and every
+Fig. 6 strategy; chunked streaming ingestion equals the one-shot
+replay; and the count-based per-link pricing reproduces the scalar
+per-access :class:`~repro.cxl.device.CxlMemoryDevice` loop exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.core.config import (
+    PLACEMENTS,
+    STRATEGIES,
+    FabricTopology,
+    GmmEngineConfig,
+    IcgmmConfig,
+)
+from repro.core.pipeline import StagedPipeline
+from repro.core.policy import build_policy
+from repro.core.system import IcgmmSystem
+from repro.cxl.device import CxlMemoryDevice
+from repro.cxl.fabric import CxlFabric
+from repro.traces.record import CACHE_LINE_SIZE
+
+N_DEVICES = 4
+WARMUP = 0.2
+
+
+@pytest.fixture(scope="module")
+def config():
+    return IcgmmConfig(
+        trace_length=24_000,
+        gmm=GmmEngineConfig(n_components=8, max_train_samples=4_000),
+    )
+
+
+@pytest.fixture(scope="module")
+def prepared(config):
+    return IcgmmSystem(config).prepare("memtier")
+
+
+def _topology(placement):
+    # Heterogeneous links so per-link pricing actually differs.
+    return FabricTopology(
+        n_devices=N_DEVICES,
+        placement=placement,
+        link_overhead_ns=(100, 150, 200, 250),
+    )
+
+
+@pytest.mark.parametrize("placement", PLACEMENTS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestFabricOfflineParity:
+    def test_per_device_stats_match_single_shot(
+        self, config, prepared, placement, strategy
+    ):
+        """Every device's counters equal a fresh offline run on its
+        sub-stream (same pipeline, same warm-up cut)."""
+        fabric = CxlFabric(_topology(placement), config=config)
+        result = fabric.run_prepared(
+            prepared, strategy, warmup_fraction=WARMUP
+        )
+        assert result.accesses > 0
+
+        pipeline = StagedPipeline(config)
+        device_ids, local_pages = fabric.place(
+            prepared.page_indices, prepared.page_frequency_scores
+        )
+        scores = pipeline.strategy_scores(prepared, strategy)
+        for device in range(N_DEVICES):
+            positions = np.nonzero(device_ids == device)[0]
+            policy = build_policy(
+                strategy,
+                prepared.engine.admission_threshold,
+                page_scores=(
+                    dict(fabric._device_page_maps[device])
+                    if strategy == "gmm-caching-eviction"
+                    else None
+                ),
+            )
+            stats = pipeline.simulate(
+                SetAssociativeCache(config.geometry),
+                policy,
+                local_pages[positions],
+                prepared.is_write[positions],
+                scores=(
+                    scores[positions] if scores is not None else None
+                ),
+                warmup_fraction=WARMUP,
+            )
+            assert stats == result.devices[device].stats, (
+                placement,
+                strategy,
+                device,
+            )
+
+    def test_chunked_ingest_equals_one_shot(
+        self, config, prepared, placement, strategy
+    ):
+        """Streaming ingestion (resumable per-device cursors) is
+        bit-identical to the one-shot replay with no warm-up cut."""
+        one_shot = CxlFabric(_topology(placement), config=config)
+        reference = one_shot.run_prepared(
+            prepared, strategy, warmup_fraction=0.0
+        )
+
+        streamed = CxlFabric(_topology(placement), config=config)
+        streamed.bind(
+            strategy,
+            prepared.engine.admission_threshold,
+            page_score_map=(
+                prepared.page_score_map()
+                if strategy == "gmm-caching-eviction"
+                else None
+            ),
+            score_cuts=one_shot._score_cuts,
+        )
+        scores = streamed.pipeline.strategy_scores(prepared, strategy)
+        n = len(prepared)
+        for start in range(0, n, 5_000):
+            stop = min(start + 5_000, n)
+            streamed.ingest(
+                prepared.page_indices[start:stop],
+                prepared.is_write[start:stop],
+                scores=(
+                    scores[start:stop] if scores is not None else None
+                ),
+                page_marginals=prepared.page_frequency_scores[
+                    start:stop
+                ],
+            )
+        result = streamed.results()
+        for device in range(N_DEVICES):
+            assert (
+                result.devices[device].stats
+                == reference.devices[device].stats
+            )
+            assert (
+                result.devices[device].time_ns
+                == reference.devices[device].time_ns
+            )
+        assert result.total_time_ns == reference.total_time_ns
+
+
+class TestFabricScalarRouterParity:
+    @pytest.mark.parametrize(
+        "strategy", ("lru", "gmm-caching", "gmm-caching-eviction")
+    )
+    def test_pricing_matches_per_access_device_loop(
+        self, config, prepared, strategy
+    ):
+        """Count-based per-link pricing equals summing the scalar
+        device loop's per-access latencies plus the link, request by
+        request."""
+        fabric = CxlFabric(_topology("interleave"), config=config)
+        result = fabric.run_prepared(
+            prepared, strategy, warmup_fraction=0.0
+        )
+        device_ids, local_pages = fabric.place(prepared.page_indices)
+        scores = fabric.pipeline.strategy_scores(prepared, strategy)
+        for d in range(N_DEVICES):
+            positions = np.nonzero(device_ids == d)[0]
+            device = CxlMemoryDevice(
+                SetAssociativeCache(config.geometry),
+                build_policy(
+                    strategy,
+                    prepared.engine.admission_threshold,
+                    page_scores=(
+                        dict(fabric._device_page_maps[d])
+                        if strategy == "gmm-caching-eviction"
+                        else None
+                    ),
+                ),
+            )
+            link_ns = fabric.links[d].request_latency_ns(
+                CACHE_LINE_SIZE
+            )
+            total_ns = 0
+            lp = local_pages[positions]
+            wr = prepared.is_write[positions]
+            for i in range(positions.size):
+                access = device.access(
+                    int(lp[i]),
+                    bool(wr[i]),
+                    float(scores[positions[i]])
+                    if scores is not None
+                    else 0.0,
+                )
+                total_ns += link_ns + access.latency_ns
+            assert device.stats == result.devices[d].stats
+            assert total_ns == result.devices[d].time_ns
+
+
+class TestPlacements:
+    def test_interleave_balances_and_is_collision_free(self, config):
+        fabric = CxlFabric(_topology("interleave"), config=config)
+        pages = np.arange(1000, dtype=np.int64)
+        device_ids, local = fabric.place(pages)
+        assert set(np.unique(device_ids).tolist()) == set(
+            range(N_DEVICES)
+        )
+        # Division keeps (device, local) unique per page.
+        assert np.array_equal(
+            local * N_DEVICES + device_ids, pages
+        )
+
+    def test_range_keeps_runs_together(self, config):
+        topology = FabricTopology(
+            n_devices=2, placement="range", range_stride_pages=64
+        )
+        fabric = CxlFabric(topology, config=config)
+        pages = np.arange(256, dtype=np.int64)
+        device_ids, local = fabric.place(pages)
+        assert np.array_equal(local, pages)
+        assert np.all(device_ids[:64] == 0)
+        assert np.all(device_ids[64:128] == 1)
+        assert np.all(device_ids[128:192] == 0)
+
+    def test_score_placement_sends_hot_pages_to_fast_links(
+        self, config
+    ):
+        topology = FabricTopology(
+            n_devices=2,
+            placement="score",
+            link_overhead_ns=(500, 100),
+        )
+        fabric = CxlFabric(topology, config=config)
+        pages = np.arange(100, dtype=np.int64)
+        marginals = pages.astype(np.float64)  # page i scores i
+        fabric.bind(
+            "lru", score_cuts=fabric._cuts_from_marginals(marginals)
+        )
+        device_ids, _ = fabric.place(pages, marginals)
+        # Device 1 has the faster link: the hottest half lands there.
+        assert np.all(device_ids[50:] == 1)
+        assert np.all(device_ids[:50] == 0)
+
+    def test_score_placement_requires_binding(self, config):
+        fabric = CxlFabric(_topology("score"), config=config)
+        with pytest.raises(ValueError, match="bind"):
+            fabric.place(np.arange(10), np.arange(10, dtype=float))
+
+    def test_ingest_requires_bind(self, config):
+        fabric = CxlFabric(_topology("interleave"), config=config)
+        with pytest.raises(ValueError, match="bind"):
+            fabric.ingest(np.arange(10), np.zeros(10, dtype=bool))
+
+    def test_topology_validation(self):
+        with pytest.raises(ValueError):
+            FabricTopology(n_devices=0)
+        with pytest.raises(ValueError):
+            FabricTopology(placement="striped")
+        with pytest.raises(ValueError):
+            FabricTopology(n_devices=2, link_overhead_ns=(100,))

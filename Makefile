@@ -9,14 +9,16 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test verify bench-throughput bench-smoke bench-serving \
-	bench-serving-smoke bench-fabric bench-fabric-smoke
+	bench-serving-smoke bench-fabric bench-fabric-smoke \
+	bench-parallel bench-parallel-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Tier-1 tests plus every bench smoke validator (schema + acceptance
 # checks on fresh smoke artifacts) -- the one-command CI gate.
-verify: test bench-smoke bench-serving-smoke bench-fabric-smoke
+verify: test bench-smoke bench-serving-smoke bench-fabric-smoke \
+	bench-parallel-smoke
 
 # Full simulator-throughput matrix; writes BENCH_sim_throughput.json.
 bench-throughput:
@@ -53,3 +55,16 @@ bench-fabric-smoke:
 		--output BENCH_fabric_scaling.smoke.json
 	$(PYTHON) benchmarks/bench_fabric_scaling.py \
 		--validate BENCH_fabric_scaling.smoke.json
+
+# Full multicore fabric-replay matrix (1/2/4/8 workers x 1-8 devices;
+# bit-exactness enforced everywhere, the >= 2.5x 4-worker speedup
+# gate only on hosts with >= 4 CPUs); writes BENCH_parallel_scaling.json.
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel_scaling.py
+
+# Small worker/device matrix, then schema-validate the emitted JSON.
+bench-parallel-smoke:
+	$(PYTHON) benchmarks/bench_parallel_scaling.py --smoke \
+		--output BENCH_parallel_scaling.smoke.json
+	$(PYTHON) benchmarks/bench_parallel_scaling.py \
+		--validate BENCH_parallel_scaling.smoke.json

@@ -18,6 +18,7 @@ from repro.analysis.mrc import (
 )
 from repro.analysis.sweep import (
     SweepPoint,
+    run_grid,
     sweep_cache_capacity,
     sweep_n_components,
     sweep_threshold_quantile,
@@ -37,6 +38,7 @@ __all__ = [
     "render_dict_table",
     "render_table",
     "working_set_curve",
+    "run_grid",
     "sweep_cache_capacity",
     "sweep_n_components",
     "sweep_threshold_quantile",

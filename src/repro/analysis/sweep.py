@@ -3,6 +3,14 @@
 Each sweep varies one design choice of DESIGN.md's ablation list and
 reruns the end-to-end pipeline, reusing a single prepared workload
 where the swept parameter allows it.
+
+Sweep points are fully independent end-to-end runs (own config, own
+trace, own GMM), so every sweep accepts a
+:class:`~repro.core.config.ParallelConfig` and fans its grid out
+through :func:`run_grid` -- the same deterministic-merge executor the
+fabric and the serving loop use.  Results always come back in grid
+order, so a parallel sweep is indistinguishable from a sequential
+one.
 """
 
 from __future__ import annotations
@@ -10,10 +18,13 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.cache.setassoc import CacheGeometry
-from repro.core.config import GmmEngineConfig, IcgmmConfig
+from repro.core.config import (
+    GmmEngineConfig,
+    IcgmmConfig,
+    ParallelConfig,
+)
+from repro.core.parallel import ParallelExecutor
 from repro.core.system import IcgmmSystem
 
 
@@ -41,10 +52,51 @@ def _run_point(config: IcgmmConfig, workload: str, value) -> SweepPoint:
     )
 
 
+def run_grid(
+    fn,
+    points,
+    parallel: ParallelConfig | None = None,
+    star: bool = True,
+):
+    """Evaluate independent grid points, optionally in parallel.
+
+    The benchmark/ablation matrices (policy x geometry, K x workload,
+    ...) are lists of argument tuples evaluated by a module-level
+    function; this runner fans them out through a
+    :class:`~repro.core.parallel.ParallelExecutor` and returns
+    results in *point order* regardless of completion order (the
+    first failing point's exception propagates).  ``fn`` and the
+    points must be picklable for the process backend; with
+    ``parallel=None`` (or ``workers=1``) the grid runs inline.
+    """
+    executor = ParallelExecutor.from_config(parallel)
+    try:
+        return executor.map(fn, points, star=star)
+    finally:
+        executor.shutdown()
+
+
+def _sweep(
+    configs_and_values: list[tuple[IcgmmConfig, object]],
+    workload: str,
+    parallel: ParallelConfig | None,
+) -> list[SweepPoint]:
+    """Shared driver of the concrete sweeps below."""
+    return run_grid(
+        _run_point,
+        [
+            (config, workload, value)
+            for config, value in configs_and_values
+        ],
+        parallel=parallel,
+    )
+
+
 def sweep_n_components(
     workload: str,
     component_counts: tuple[int, ...] = (4, 16, 64, 256),
     config: IcgmmConfig | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> list[SweepPoint]:
     """Miss rate vs number of Gaussians K.
 
@@ -53,21 +105,27 @@ def sweep_n_components(
     traces (why the simulator default is smaller).
     """
     base = config if config is not None else IcgmmConfig()
-    points = []
-    for k in component_counts:
-        gmm = dataclasses.replace(base.gmm, n_components=k)
-        points.append(
-            _run_point(
-                dataclasses.replace(base, gmm=gmm), workload, k
+    return _sweep(
+        [
+            (
+                dataclasses.replace(
+                    base,
+                    gmm=dataclasses.replace(base.gmm, n_components=k),
+                ),
+                k,
             )
-        )
-    return points
+            for k in component_counts
+        ],
+        workload,
+        parallel,
+    )
 
 
 def sweep_threshold_quantile(
     workload: str,
     quantiles: tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.10),
     config: IcgmmConfig | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> list[SweepPoint]:
     """Miss rate vs admission threshold quantile.
 
@@ -75,15 +133,22 @@ def sweep_threshold_quantile(
     refusing pages with real reuse -- the sweep exposes the optimum.
     """
     base = config if config is not None else IcgmmConfig()
-    points = []
-    for q in quantiles:
-        gmm = dataclasses.replace(base.gmm, threshold_quantile=q)
-        points.append(
-            _run_point(
-                dataclasses.replace(base, gmm=gmm), workload, q
+    return _sweep(
+        [
+            (
+                dataclasses.replace(
+                    base,
+                    gmm=dataclasses.replace(
+                        base.gmm, threshold_quantile=q
+                    ),
+                ),
+                q,
             )
-        )
-    return points
+            for q in quantiles
+        ],
+        workload,
+        parallel,
+    )
 
 
 def sweep_cache_capacity(
@@ -95,30 +160,35 @@ def sweep_cache_capacity(
         8 * 1024 * 1024,
     ),
     config: IcgmmConfig | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> list[SweepPoint]:
     """Miss rate vs cache capacity (block size and ways fixed)."""
     base = config if config is not None else IcgmmConfig()
-    points = []
-    for capacity in capacities_bytes:
-        geometry = CacheGeometry(
-            capacity_bytes=capacity,
-            block_bytes=base.geometry.block_bytes,
-            associativity=base.geometry.associativity,
-        )
-        points.append(
-            _run_point(
-                dataclasses.replace(base, geometry=geometry),
-                workload,
+    return _sweep(
+        [
+            (
+                dataclasses.replace(
+                    base,
+                    geometry=CacheGeometry(
+                        capacity_bytes=capacity,
+                        block_bytes=base.geometry.block_bytes,
+                        associativity=base.geometry.associativity,
+                    ),
+                ),
                 capacity,
             )
-        )
-    return points
+            for capacity in capacities_bytes
+        ],
+        workload,
+        parallel,
+    )
 
 
 def sweep_windowing(
     workload: str,
     len_windows: tuple[int, ...] = (8, 32, 128),
     config: IcgmmConfig | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> list[SweepPoint]:
     """Miss rate vs Algorithm 1 window length.
 
@@ -126,13 +196,14 @@ def sweep_windowing(
     the sensitivity of that choice.
     """
     base = config if config is not None else IcgmmConfig()
-    points = []
-    for len_window in len_windows:
-        points.append(
-            _run_point(
+    return _sweep(
+        [
+            (
                 dataclasses.replace(base, len_window=len_window),
-                workload,
                 len_window,
             )
-        )
-    return points
+            for len_window in len_windows
+        ],
+        workload,
+        parallel,
+    )

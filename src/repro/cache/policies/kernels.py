@@ -73,6 +73,21 @@ class PolicyKernel:
     #: clear it.
     admits_all = True
 
+    #: When True, ``admit`` is a pure per-access function (its answer
+    #: depends only on the call's arguments, never on accumulated
+    #: state), so the run-length batching engine may pre-resolve
+    #: admission for the followers of a collapsed run.  Kernels with
+    #: a stateful admission rule must clear it.
+    pure_admission = True
+
+    #: When True, ``k`` consecutive hits on one resident block can be
+    #: reproduced by the single closed-form update ``on_hit_runs``;
+    #: kernels (or instances) whose per-hit update cannot be composed
+    #: exactly -- e.g. decaying LFU, whose repeated float multiplies
+    #: are not associative bit for bit -- clear it, and the engine
+    #: falls back to one round per access for them.
+    supports_hit_runs = True
+
     def __init__(
         self, policy: ReplacementPolicy, cache: "SetAssociativeCache"
     ) -> None:
@@ -92,6 +107,31 @@ class PolicyKernel:
     ) -> None:
         """Vectorized ``on_hit``: default refreshes recency."""
         self.cache.stamp[sets, ways] = idx.astype(np.float64)
+
+    def on_hit_runs(
+        self,
+        sets: np.ndarray,
+        ways: np.ndarray,
+        first_idx: np.ndarray,
+        last_idx: np.ndarray,
+        counts: np.ndarray,
+        first_scores: np.ndarray,
+        last_scores: np.ndarray,
+    ) -> None:
+        """Collapsed update for ``counts`` consecutive hits per row.
+
+        Contract: bit-identical to ``counts[i]`` sequential
+        ``on_hit`` calls on row ``i``'s block at the consecutive
+        access indices ``first_idx[i] .. last_idx[i]``.  Only the
+        first and last index/score and the count are available --
+        the run-length engine guarantees the intermediate accesses
+        hit the same block, and a kernel whose update depends on
+        their individual values must clear ``supports_hit_runs``
+        instead of overriding this.
+
+        Default (recency refresh): the last hit's stamp wins.
+        """
+        self.cache.stamp[sets, ways] = last_idx.astype(np.float64)
 
     def admit(
         self,
@@ -200,6 +240,12 @@ class FifoKernel(PolicyKernel):
     def on_hits(self, sets, ways, idx, scores):
         pass
 
+    def on_hit_runs(
+        self, sets, ways, first_idx, last_idx, counts, first_scores,
+        last_scores,
+    ):
+        pass
+
     def select_victims(self, sets, idx):
         return _argmin_rows(self.cache.stamp[sets])
 
@@ -207,6 +253,12 @@ class FifoKernel(PolicyKernel):
 @register_kernel(LfuPolicy)
 class LfuKernel(PolicyKernel):
     """LFU: count hits in ``meta`` (with optional per-set decay)."""
+
+    def __init__(self, policy, cache):
+        super().__init__(policy, cache)
+        # With decay, k sequential (meta * d) multiplies are not the
+        # same float64 value as meta * d**k -- no exact closed form.
+        self.supports_hit_runs = policy.decay == 1.0
 
     def on_hits(self, sets, ways, idx, scores):
         cache = self.cache
@@ -217,6 +269,15 @@ class LfuKernel(PolicyKernel):
             # set matches the scalar per-hit decay loop exactly.
             cache.meta[sets] *= decay
         cache.meta[sets, ways] += 1.0
+
+    def on_hit_runs(
+        self, sets, ways, first_idx, last_idx, counts, first_scores,
+        last_scores,
+    ):
+        # Only reached when decay == 1.0: counters stay small
+        # integers in float64, so += count is exact.
+        self.cache.stamp[sets, ways] = last_idx.astype(np.float64)
+        self.cache.meta[sets, ways] += counts.astype(np.float64)
 
     def fill_meta(self, pages, scores, idx):
         return np.ones(pages.shape[0], dtype=np.float64)
@@ -245,6 +306,15 @@ class ClockKernel(PolicyKernel):
 
     def on_hits(self, sets, ways, idx, scores):
         self.cache.stamp[sets, ways] = idx.astype(np.float64)
+        self.cache.meta[sets, ways] = 1.0
+
+    def on_hit_runs(
+        self, sets, ways, first_idx, last_idx, counts, first_scores,
+        last_scores,
+    ):
+        # Setting the reference bit is idempotent; the hand moves
+        # only on evictions, so k hits collapse to the last stamp.
+        self.cache.stamp[sets, ways] = last_idx.astype(np.float64)
         self.cache.meta[sets, ways] = 1.0
 
     def fill_meta(self, pages, scores, idx):
@@ -331,6 +401,16 @@ class SlruKernel(PolicyKernel):
             cache.meta[p_sets[over_cap], demoted] = 0.0
         cache.meta[p_sets, p_ways] = 1.0
 
+    def on_hit_runs(
+        self, sets, ways, first_idx, last_idx, counts, first_scores,
+        last_scores,
+    ):
+        # Only the run's first hit can promote (afterwards the block
+        # is protected and later hits return early), so the composite
+        # is "first hit's full update, then the last stamp".
+        self.on_hits(sets, ways, first_idx, first_scores)
+        self.cache.stamp[sets, ways] = last_idx.astype(np.float64)
+
     def select_victims(self, sets, idx):
         cache = self.cache
         meta_rows = cache.meta[sets]
@@ -353,6 +433,14 @@ class TwoQKernel(PolicyKernel):
         self.cache.stamp[sets, ways] = idx.astype(np.float64)
         self.cache.meta[sets, ways] = 1.0
 
+    def on_hit_runs(
+        self, sets, ways, first_idx, last_idx, counts, first_scores,
+        last_scores,
+    ):
+        # A1in -> Am promotion is idempotent; the last stamp wins.
+        self.cache.stamp[sets, ways] = last_idx.astype(np.float64)
+        self.cache.meta[sets, ways] = 1.0
+
     def select_victims(self, sets, idx):
         cache = self.cache
         meta_rows = cache.meta[sets]
@@ -372,6 +460,14 @@ class BeladyKernel(PolicyKernel):
     def on_hits(self, sets, ways, idx, scores):
         self.cache.stamp[sets, ways] = idx.astype(np.float64)
         self.cache.meta[sets, ways] = self.policy._next_use[idx]
+
+    def on_hit_runs(
+        self, sets, ways, first_idx, last_idx, counts, first_scores,
+        last_scores,
+    ):
+        # Each hit overwrites both planes; the last access wins.
+        self.cache.stamp[sets, ways] = last_idx.astype(np.float64)
+        self.cache.meta[sets, ways] = self.policy._next_use[last_idx]
 
     def fill_meta(self, pages, scores, idx):
         return self.policy._next_use[idx].astype(np.float64)
@@ -399,6 +495,16 @@ class ScoreKernel(PolicyKernel):
         self.cache.stamp[sets, ways] = idx.astype(np.float64)
         if self.policy.update_score_on_hit:
             self.cache.meta[sets, ways] = scores
+
+    def on_hit_runs(
+        self, sets, ways, first_idx, last_idx, counts, first_scores,
+        last_scores,
+    ):
+        # Stamp and (optionally) stored score are overwritten per
+        # hit; the run's last access wins.
+        self.cache.stamp[sets, ways] = last_idx.astype(np.float64)
+        if self.policy.update_score_on_hit:
+            self.cache.meta[sets, ways] = last_scores
 
     def admit(self, pages, scores, is_write, idx):
         if not self.policy.admission:

@@ -17,25 +17,49 @@ registered policy, on every trace.  The mechanism:
     detection for a whole chunk round is one gather-and-compare
     against the ``(n_sets, ways)`` tag plane.
 
-2.  **Same-set rounds.**  Accesses within a chunk only interact when
-    they map to the same cache set (all simulator and policy state is
-    per-set; access order *across* sets never changes an outcome).
-    Each chunk is therefore split into *rounds* by per-set occurrence
-    rank: round ``r`` holds every access that is the ``r``-th touch
-    of its set within the chunk.  Every set appears at most once per
-    round, so a round is embarrassingly parallel, and processing
-    rounds in rank order preserves the exact per-set access order.
+2.  **Run-length batching.**  Consecutive accesses to the *same page*
+    form a run.  Once the run's first access (the *representative*)
+    resolves, the page is resident -- its followers are guaranteed
+    hits on the same block and collapse into one closed-form kernel
+    update (:meth:`~repro.cache.policies.kernels.PolicyKernel.
+    on_hit_runs`) instead of one round each.  If the representative
+    was *bypassed* the page is still absent, so the followers replay
+    the admission scan vectorized: leading refusals are bypasses, the
+    first admitted follower fills (with exact victim selection), and
+    the rest collapse into hits again.  Traces that hammer a handful
+    of hot pages (memtier/hashmap hot sets) thus cost a few vector
+    operations per *run* rather than per access.  Batching engages
+    only for kernels whose hit update composes exactly
+    (``supports_hit_runs``) and whose admission rule is pure
+    (``pure_admission``), and only for chunks where followers make
+    up at least :data:`RUN_BATCH_MIN_FOLLOWER_FRACTION` of the
+    accesses (below that density the run machinery's O(chunk) prep
+    cannot pay for itself); everything else takes the plain
+    per-access path, with identical results either way.
 
-3.  **Scalar tail fallback.**  Round width shrinks with rank (only
-    hot sets are touched many times per chunk).  Once a round would
-    be narrower than ``min_round_width``, the chunk's remaining
-    accesses -- exactly those with rank >= the current round -- run
-    through the reference scalar span instead, in access order.
-    Every vector-processed access of a set strictly precedes its
-    scalar-tail accesses, so the per-set order (the only order that
-    matters) is preserved and results stay exact.  A chunk whose
-    *first* round is already too narrow (tiny cache, one scorching
-    set) thereby degrades gracefully to the pure reference loop.
+3.  **Same-set rounds.**  Run representatives within a chunk only
+    interact when they map to the same cache set (all simulator and
+    policy state is per-set; access order *across* sets never changes
+    an outcome).  Each chunk is therefore split into *rounds* by
+    per-set occurrence rank: round ``r`` holds every representative
+    that is the ``r``-th touch of its set within the chunk.  Every
+    set appears at most once per round, so a round is embarrassingly
+    parallel, and processing rounds in rank order preserves the exact
+    per-set access order (a run's followers are resolved before its
+    set's next round).
+
+4.  **Scalar tail fallback.**  Round *weight* (the accesses a round
+    covers, runs included) shrinks with rank -- only hot sets are
+    touched many times per chunk.  Once a round would weigh less than
+    ``min_round_width``, the chunk's remaining accesses -- exactly
+    the full runs of every representative with rank >= the current
+    round -- run through the reference scalar span instead, in access
+    order.  Every vector-processed access of a set strictly precedes
+    its scalar-tail accesses, so the per-set order (the only order
+    that matters) is preserved and results stay exact.  A chunk whose
+    *first* round is already too light (tiny cache, one scorching set
+    of distinct pages) thereby degrades gracefully to the pure
+    reference loop.
 
 Policies without a registered kernel (notably ``RandomPolicy``,
 whose RNG draw order cannot survive reordering, and user subclasses
@@ -70,10 +94,17 @@ from repro.cache.stats import (
 #: small because round width is bounded by the set count.
 DEFAULT_CHUNK_SIZE = 131072
 
-#: Minimum round width before the rest of a chunk is handed to the
-#: scalar tail (below this the numpy call overhead loses to the
-#: plain Python loop).
+#: Minimum round weight (accesses covered, runs included) before the
+#: rest of a chunk is handed to the scalar tail (below this the numpy
+#: call overhead loses to the plain Python loop).
 DEFAULT_MIN_ROUND_WIDTH = 48
+
+#: Run batching engages for a chunk only when at least this fraction
+#: of its accesses are run followers (consecutive same-page repeats).
+#: The run machinery costs a few O(chunk) cumulative sums; below this
+#: density the collapsible work cannot repay them, and the chunk
+#: takes the plain per-access path (identical results either way).
+RUN_BATCH_MIN_FOLLOWER_FRACTION = 1 / 8
 
 
 def _count(mask: np.ndarray) -> int:
@@ -93,6 +124,24 @@ def _row_any(mask: np.ndarray) -> np.ndarray:
     return mask.view(packed).reshape(mask.shape[0]) != 0
 
 
+def _ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + l)`` for each (start, length).
+
+    The run machinery's workhorse: expands per-run (start, length)
+    pairs into the flat member positions with two cumulative sums --
+    no Python loop.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    boundaries = np.cumsum(lengths)[:-1]
+    out[0] = starts[0]
+    out[boundaries] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    return np.cumsum(out)
+
+
 class _RoundScratch:
     """Reusable per-round gather buffers (malloc-free inner loop).
 
@@ -108,6 +157,77 @@ class _RoundScratch:
         self.cmp2 = np.empty((bound, ways), dtype=bool)
 
 
+class _ChunkRuns:
+    """Run-length view of one chunk (consecutive same-page accesses).
+
+    Everything the follower-resolution pass needs, precomputed with
+    O(chunk) cumulative sums: per-run member spans, follower write /
+    measured-write aggregates, and first/last indices and scores.
+    Arrays are indexed by *run id* (= representative order within the
+    chunk).
+    """
+
+    def __init__(
+        self,
+        rep_pos: np.ndarray,
+        m: int,
+        base: int,
+        pages: np.ndarray,
+        sets: np.ndarray,
+        is_write: np.ndarray,
+        scores: np.ndarray,
+        measured,  # True | False | per-access bool array
+    ) -> None:
+        self.rep_pos = rep_pos
+        self.base = base
+        self.pages = pages
+        self.sets = sets
+        self.is_write = is_write
+        self.scores = scores
+        self.run_len = np.diff(np.append(rep_pos, m))
+        self.run_end = rep_pos + self.run_len  # exclusive
+        self.fol_count = self.run_len - 1
+        self._cw = np.concatenate(
+            ([0], np.cumsum(is_write, dtype=np.int64))
+        )
+        if isinstance(measured, bool):
+            self._cm = None
+            self._all_measured = measured
+        else:
+            self._cm = np.concatenate(
+                ([0], np.cumsum(measured, dtype=np.int64))
+            )
+            self._cmw = np.concatenate(
+                (
+                    [0],
+                    np.cumsum(measured & is_write, dtype=np.int64),
+                )
+            )
+            self._all_measured = None
+
+    # -- span aggregates (chunk positions, end exclusive) --------------
+    def writes_in(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return self._cw[hi] - self._cw[lo]
+
+    def measured_in(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        if self._cm is None:
+            return (hi - lo) if self._all_measured else np.zeros_like(lo)
+        return self._cm[hi] - self._cm[lo]
+
+    def measured_writes_in(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        if self._cm is None:
+            return (
+                self.writes_in(lo, hi)
+                if self._all_measured
+                else np.zeros_like(lo)
+            )
+        return self._cmw[hi] - self._cmw[lo]
+
+
 def _process_round(
     cache: SetAssociativeCache,
     kernel: PolicyKernel,
@@ -121,6 +241,7 @@ def _process_round(
     scratch: _RoundScratch,
     outcome: np.ndarray | None = None,
     outcome_base: int = 0,
+    resident: np.ndarray | None = None,
 ) -> None:
     """Vectorized simulation of one round (all sets distinct).
 
@@ -130,7 +251,10 @@ def _process_round(
     ``measured`` is ``True`` (whole round counted), ``False`` (pure
     warm-up), or a per-access bool array for the straddling chunk.
     ``idx`` holds absolute access indices; outcome codes land at
-    ``outcome[idx - outcome_base]``.
+    ``outcome[idx - outcome_base]``.  When the run engine passes
+    ``resident`` (a ones-initialised bool array of the round's
+    width), positions whose access left the page absent -- i.e.
+    bypassed misses -- are cleared in it.
     """
     mixed = not isinstance(measured, bool)
     record = outcome is not None
@@ -196,6 +320,8 @@ def _process_round(
             outcome[
                 idx.take(m_pos[~admitted]) - outcome_base
             ] = OUTCOME_BYPASS
+        if resident is not None:
+            resident[m_pos[~admitted]] = False
         if n_admitted == 0:
             return
         a_pos = m_pos[admitted]
@@ -264,6 +390,218 @@ def _process_round(
     cache.stamp[a_sets, victims] = a_idx.astype(np.float64)
 
 
+def _resolve_hit_runs(
+    cache: SetAssociativeCache,
+    kernel: PolicyKernel,
+    stats: CacheStats,
+    runs: _ChunkRuns,
+    ids: np.ndarray,
+    ways: np.ndarray,
+    first_pos: np.ndarray,
+    outcome: np.ndarray | None,
+    chunk_start: int,
+) -> None:
+    """Apply the collapsed effect of all-hit follower spans.
+
+    ``ids`` are run ids whose followers from chunk position
+    ``first_pos`` (inclusive) to the run's end are guaranteed hits on
+    way ``ways`` of the run's set; counts the hits, ORs the dirty
+    bit, and hands the kernel one closed-form ``on_hit_runs`` update.
+    """
+    sets = runs.sets[runs.rep_pos[ids]]
+    end = runs.run_end[ids]
+    last_pos = end - 1
+    stats.hits += int(runs.measured_in(first_pos, end).sum())
+    stats.write_hits += int(
+        runs.measured_writes_in(first_pos, end).sum()
+    )
+    wet = runs.writes_in(first_pos, end) > 0
+    if wet.any():
+        cache.dirty[sets[wet], ways[wet]] = True
+    kernel.on_hit_runs(
+        sets,
+        ways,
+        first_pos + runs.base,
+        last_pos + runs.base,
+        end - first_pos,
+        runs.scores[first_pos],
+        runs.scores[last_pos],
+    )
+    if outcome is not None:
+        flat = _ranges(first_pos, end - first_pos)
+        outcome[flat + chunk_start] = OUTCOME_HIT
+
+
+def _resolve_bypass_runs(
+    cache: SetAssociativeCache,
+    kernel: PolicyKernel,
+    stats: CacheStats,
+    runs: _ChunkRuns,
+    ids: np.ndarray,
+    outcome: np.ndarray | None,
+    chunk_start: int,
+) -> None:
+    """Exact follower replay for runs whose representative bypassed.
+
+    The page is still absent, so each follower repeats the (pure)
+    admission decision on its own score: the leading refusals are
+    bypassed misses, the first admitted follower fills -- victim
+    selection included -- and everything after it collapses into a
+    hit run on the filled way.
+    """
+    record = outcome is not None
+    starts = runs.rep_pos[ids] + 1
+    lens = runs.fol_count[ids]
+    flat = _ranges(starts, lens)
+    admitted = kernel.admit(
+        runs.pages[flat],
+        runs.scores[flat],
+        runs.is_write[flat],
+        flat + runs.base,
+    )
+    # First admitted flat offset per run (flat.size = "none").
+    seg_starts = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    pos_in_flat = np.arange(flat.size, dtype=np.int64)
+    keyed = np.where(admitted, pos_in_flat, flat.size)
+    first_adm = np.minimum.reduceat(keyed, seg_starts)
+    # cumulative-min across the whole array would bleed between
+    # segments only if a segment were empty; lens >= 1 by
+    # construction (only runs with followers reach here).
+
+    # Bypassed prefix of every run (the whole run when none admitted).
+    seg_of = np.repeat(np.arange(ids.shape[0]), lens)
+    bypass_mask = pos_in_flat < first_adm[seg_of]
+    fill_pos = np.where(
+        first_adm < flat.size,
+        flat[np.minimum(first_adm, flat.size - 1)],
+        runs.run_end[ids],  # sentinel: == end, empty hit span
+    )
+    bypassed_measured = int(runs.measured_in(starts, fill_pos).sum())
+    bypassed_measured_writes = int(
+        runs.measured_writes_in(starts, fill_pos).sum()
+    )
+    stats.misses += bypassed_measured
+    stats.write_misses += bypassed_measured_writes
+    stats.bypasses += bypassed_measured
+    stats.bypassed_writes += bypassed_measured_writes
+    if record:
+        outcome[flat[bypass_mask] + chunk_start] = OUTCOME_BYPASS
+
+    has_fill = first_adm < flat.size
+    if not has_fill.any():
+        return
+    f_ids = ids[has_fill]
+    p = fill_pos[has_fill]
+    f_sets = runs.sets[p]
+    f_pages = runs.pages[p]
+    f_idx = p + runs.base
+    f_write = runs.is_write[p]
+    f_measured = runs.measured_in(p, p + 1).astype(bool)
+    stats.misses += _count(f_measured)
+    stats.write_misses += _count(f_measured & f_write)
+    stats.fills += _count(f_measured)
+
+    # Victim selection, exactly like the main fill path: first
+    # invalid way, else the kernel's choice (sets are distinct within
+    # the round, so one vectorized call is order-safe).
+    tag_rows = cache.tags[f_sets]
+    invalid_rows = tag_rows == INVALID
+    has_invalid = _row_any(invalid_rows)
+    victims = np.where(has_invalid, invalid_rows.argmax(axis=1), 0)
+    full = np.nonzero(~has_invalid)[0]
+    if record:
+        outcome[f_idx + chunk_start - runs.base] = OUTCOME_FILL
+    if full.size:
+        e_sets = f_sets.take(full)
+        e_victims = kernel.select_victims(e_sets, f_idx.take(full))
+        victims[full] = e_victims
+        e_dirty = cache.dirty[e_sets, e_victims]
+        e_measured = f_measured.take(full)
+        stats.evictions += _count(e_measured)
+        stats.dirty_evictions += _count(e_measured & e_dirty)
+        if record:
+            outcome[f_idx.take(full) + chunk_start - runs.base] = (
+                np.where(
+                    e_dirty, OUTCOME_DIRTY_EVICT, OUTCOME_EVICT
+                ).astype(np.uint8)
+            )
+    cache.tags[f_sets, victims] = f_pages
+    cache.dirty[f_sets, victims] = f_write
+    cache.meta[f_sets, victims] = kernel.fill_meta(
+        f_pages, runs.scores[p], f_idx
+    )
+    cache.stamp[f_sets, victims] = f_idx.astype(np.float64)
+
+    # Followers after the fill are hits on the freshly filled way.
+    tail = runs.run_end[f_ids] - (p + 1) > 0
+    if tail.any():
+        _resolve_hit_runs(
+            cache,
+            kernel,
+            stats,
+            runs,
+            f_ids[tail],
+            victims[tail],
+            p[tail] + 1,
+            outcome,
+            chunk_start,
+        )
+
+
+def _resolve_runs(
+    cache: SetAssociativeCache,
+    kernel: PolicyKernel,
+    stats: CacheStats,
+    runs: _ChunkRuns,
+    rep_rows: np.ndarray,
+    r_sets: np.ndarray,
+    r_pages: np.ndarray,
+    resident: np.ndarray,
+    outcome: np.ndarray | None,
+    chunk_start: int,
+) -> None:
+    """Resolve the followers of one processed round's runs.
+
+    Called right after :func:`_process_round` on the round's
+    representatives (``rep_rows`` are their run ids) and before the
+    next round -- so every follower lands between its representative
+    and the set's next access, preserving exact per-set order.
+    """
+    has_followers = runs.fol_count[rep_rows] > 0
+    if not has_followers.any():
+        return
+    collapsed = has_followers & resident
+    rows = np.nonzero(collapsed)[0]
+    if rows.size:
+        ids = rep_rows[rows]
+        sets_c = r_sets[rows]
+        match = cache.tags[sets_c] == r_pages[rows][:, None]
+        ways = match.argmax(axis=1)
+        _resolve_hit_runs(
+            cache,
+            kernel,
+            stats,
+            runs,
+            ids,
+            ways,
+            runs.rep_pos[ids] + 1,
+            outcome,
+            chunk_start,
+        )
+    bypassed = has_followers & ~resident
+    rows = np.nonzero(bypassed)[0]
+    if rows.size:
+        _resolve_bypass_runs(
+            cache,
+            kernel,
+            stats,
+            runs,
+            rep_rows[rows],
+            outcome,
+            chunk_start,
+        )
+
+
 def simulate_fast(
     cache: SetAssociativeCache,
     policy: ReplacementPolicy,
@@ -275,6 +613,7 @@ def simulate_fast(
     min_round_width: int = DEFAULT_MIN_ROUND_WIDTH,
     index_offset: int = 0,
     outcome: np.ndarray | None = None,
+    run_batching: bool = True,
 ) -> CacheStats:
     """Vectorized drop-in replacement for
     :func:`repro.cache.setassoc.simulate`.
@@ -291,14 +630,20 @@ def simulate_fast(
         Requests processed per vector step.
     min_round_width:
         Adaptive fallback threshold: once a chunk's next same-set
-        round would hold fewer accesses than this, the chunk's
-        remaining accesses run through the exact scalar span.
+        round would cover fewer accesses than this (runs included),
+        the chunk's remaining accesses run through the exact scalar
+        span.
     index_offset:
         Absolute access index of the first request (resumable chunked
         replay; see :func:`repro.cache.setassoc.simulate`).
     outcome:
         Optional ``uint8`` per-access outcome buffer (see
         :func:`repro.cache.setassoc.simulate`).
+    run_batching:
+        Collapse consecutive same-page accesses into closed-form run
+        updates (mechanism 2 above).  On by default; the switch
+        exists for differential testing and for timing the unbatched
+        engine.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
@@ -328,30 +673,77 @@ def simulate_fast(
     scratch = _RoundScratch(
         min(chunk_size, n_sets), cache.geometry.associativity
     )
+    batch_runs = (
+        run_batching
+        and kernel.supports_hit_runs
+        and (kernel.admits_all or kernel.pure_admission)
+    )
 
     for start in range(0, n, chunk_size):
         stop = min(start + chunk_size, n)
         m = stop - start
         c_pages = pages[start:stop]
         c_sets = c_pages % n_sets
+        c_write = is_write[start:stop]
+        c_scores = scores[start:stop]
+        base = start + index_offset
+        if measure_from <= base:
+            chunk_measured: bool | np.ndarray = True
+        elif measure_from >= stop + index_offset:
+            chunk_measured = False
+        else:
+            chunk_measured = (
+                np.arange(m, dtype=np.int64) + base >= measure_from
+            )
+
+        # Run-length encoding: consecutive same-page accesses form a
+        # run; the round machinery below sees only the first member
+        # of each (the representative).  A density gate keeps the
+        # machinery off low-repeat chunks where it cannot pay for
+        # itself.
+        runs: _ChunkRuns | None = None
+        if batch_runs and m > 1:
+            rep_mask = np.empty(m, dtype=bool)
+            rep_mask[0] = True
+            np.not_equal(c_pages[1:], c_pages[:-1], out=rep_mask[1:])
+            rep_pos = np.nonzero(rep_mask)[0]
+            if (
+                m - rep_pos.size
+                >= m * RUN_BATCH_MIN_FOLLOWER_FRACTION
+            ):
+                runs = _ChunkRuns(
+                    rep_pos,
+                    m,
+                    base,
+                    c_pages,
+                    c_sets,
+                    c_write,
+                    c_scores,
+                    chunk_measured,
+                )
+        sel = runs.rep_pos if runs is not None else None
+        sel_sets = c_sets if sel is None else c_sets[sel]
+        msel = sel_sets.shape[0]
 
         # Per-set occurrence rank within the chunk: `order` sorts the
-        # chunk by set (stable, so by access order within a set);
-        # round r holds the r-th access of every set touched >= r+1
-        # times.  Sorting a uint16 key engages numpy's fast radix
-        # path (~8x over int64 comparison sort).
+        # representatives by set (stable, so by access order within a
+        # set); round r holds the r-th touch of every set touched
+        # >= r+1 times.  Sorting a uint16 key engages numpy's fast
+        # radix path (~8x over int64 comparison sort).
         sort_key = (
-            c_sets.astype(np.uint16) if n_sets <= 65536 else c_sets
+            sel_sets.astype(np.uint16) if n_sets <= 65536 else sel_sets
         )
         order = np.argsort(sort_key, kind="stable")
-        sorted_sets = c_sets[order]
-        new_group = np.empty(m, dtype=bool)
+        sorted_sets = sel_sets[order]
+        new_group = np.empty(msel, dtype=bool)
         new_group[0] = True
         new_group[1:] = sorted_sets[1:] != sorted_sets[:-1]
         group_starts = np.nonzero(new_group)[0]
-        group_sizes = np.diff(np.append(group_starts, m))
+        group_sizes = np.diff(np.append(group_starts, msel))
         max_rank = int(group_sizes.max())
-        sorted_rank = np.arange(m) - np.repeat(group_starts, group_sizes)
+        sorted_rank = np.arange(msel) - np.repeat(
+            group_starts, group_sizes
+        )
         # Make rounds *contiguous*: round r occupies
         # bounds[r]:bounds[r+1] of `seq`, so the per-round work below
         # operates on views instead of gathers.  Within a round any
@@ -366,25 +758,37 @@ def simulate_fast(
         slot_of_group = np.empty(n_groups, dtype=np.int64)
         slot_of_group[size_desc] = np.arange(n_groups)
         group_of = np.cumsum(new_group) - 1
-        seq = np.empty(m, dtype=np.int64)
+        seq = np.empty(msel, dtype=np.int64)
         seq[bounds[sorted_rank] + slot_of_group[group_of]] = order
 
-        r_pages = c_pages[seq]
-        r_sets = c_sets[seq]
-        r_write = is_write[start:stop][seq]
-        r_scores = scores[start:stop][seq]
-        r_idx = seq.astype(np.int64) + start + index_offset
-        if measure_from <= start + index_offset:
-            r_measured: bool | np.ndarray = True
-        elif measure_from >= stop + index_offset:
-            r_measured = False
+        sel_pos = seq if sel is None else sel[seq]
+        r_pages = c_pages[sel_pos]
+        r_sets = c_sets[sel_pos]
+        r_write = c_write[sel_pos]
+        r_scores = c_scores[sel_pos]
+        r_idx = sel_pos + base
+        if isinstance(chunk_measured, bool):
+            r_measured: bool | np.ndarray = chunk_measured
         else:
             r_measured = r_idx >= measure_from
+        r_weight = (
+            None if runs is None else runs.run_len[seq]
+        )
 
         rank = 0
-        while rank < max_rank and round_sizes[rank] >= min_round_width:
+        while rank < max_rank:
             lo = bounds[rank]
             hi = bounds[rank + 1]
+            weight = (
+                int(round_sizes[rank])
+                if r_weight is None
+                else int(r_weight[lo:hi].sum())
+            )
+            if weight < min_round_width:
+                break
+            resident = (
+                None if runs is None else np.ones(hi - lo, dtype=bool)
+            )
             _process_round(
                 cache,
                 kernel,
@@ -400,15 +804,39 @@ def simulate_fast(
                 scratch,
                 outcome=outcome,
                 outcome_base=index_offset,
+                resident=resident,
             )
+            if runs is not None:
+                _resolve_runs(
+                    cache,
+                    kernel,
+                    stats,
+                    runs,
+                    seq[lo:hi],
+                    r_sets[lo:hi],
+                    r_pages[lo:hi],
+                    resident,
+                    outcome,
+                    start,
+                )
             rank += 1
 
         if rank < max_rank:
-            # Scalar tail: every access that is the `rank`-th or later
-            # touch of its set, in access order.  Per-set order is
-            # preserved (their earlier touches were the vector rounds
-            # above), which is the only ordering that matters.
-            tail_positions = np.sort(seq[bounds[rank] :])
+            # Scalar tail: every access that belongs to a `rank`-th-
+            # or-later run of its set, in access order.  Per-set
+            # order is preserved (their earlier touches were the
+            # vector rounds above), which is the only ordering that
+            # matters.
+            if runs is None:
+                tail_positions = np.sort(seq[bounds[rank] :])
+            else:
+                tail_reps = seq[bounds[rank] :]
+                tail_positions = np.sort(
+                    _ranges(
+                        runs.rep_pos[tail_reps],
+                        runs.run_len[tail_reps],
+                    )
+                )
             tags_list = cache.tags.tolist()
             kernel.flush()
             _scalar_span(
@@ -416,9 +844,9 @@ def simulate_fast(
                 policy,
                 tags_list,
                 [int(p) for p in c_pages[tail_positions]],
-                [bool(w) for w in is_write[start:stop][tail_positions]],
-                [float(s) for s in scores[start:stop][tail_positions]],
-                [index_offset + start + int(p) for p in tail_positions],
+                [bool(w) for w in c_write[tail_positions]],
+                [float(s) for s in c_scores[tail_positions]],
+                [base + int(p) for p in tail_positions],
                 measure_from,
                 stats,
                 outcome=outcome,

@@ -20,11 +20,13 @@ import numpy as np
 
 from repro.analysis import render_dict_table, render_table
 from repro.core.config import (
+    PARALLEL_BACKENDS,
     PLACEMENTS,
     STRATEGIES,
     FabricTopology,
     GmmEngineConfig,
     IcgmmConfig,
+    ParallelConfig,
     ServingConfig,
 )
 from repro.core.engine import GmmPolicyEngine
@@ -139,7 +141,36 @@ def _add_serve(subparsers) -> None:
         "--report-every", type=int, default=8,
         help="chunks between progress lines",
     )
+    _add_parallel_arguments(parser, "shard replays")
     parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_parallel_arguments(parser, what: str) -> None:
+    """The shared ``--workers`` / ``--parallel-backend`` flags."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            f"concurrent workers driving the {what}"
+            " (0 = CPU count; 1 = sequential)"
+        ),
+    )
+    parser.add_argument(
+        "--parallel-backend",
+        choices=PARALLEL_BACKENDS,
+        default="thread",
+        help=(
+            "thread pool (numpy releases the GIL) or spawn process"
+            " pool with shared-memory cache planes"
+        ),
+    )
+
+
+def _parallel_from_args(args) -> ParallelConfig:
+    return ParallelConfig(
+        workers=args.workers, backend=args.parallel_backend
+    )
 
 
 def _add_fabric(subparsers) -> None:
@@ -173,6 +204,7 @@ def _add_fabric(subparsers) -> None:
             " device; models near/far fabric topologies)"
         ),
     )
+    _add_parallel_arguments(parser, "per-device replays")
     parser.add_argument("--seed", type=int, default=42)
 
 
@@ -254,13 +286,18 @@ def _cmd_serve(args) -> int:
         for name in args.workloads
     ]
     weights = [1.0] * len(generators)
-    serving = ServingConfig(
-        chunk_requests=args.chunk,
-        n_shards=args.shards,
-        sharding=args.sharding,
-        strategy=args.strategy,
-        refresh_enabled=not args.no_refresh,
-    )
+    try:
+        serving = ServingConfig(
+            chunk_requests=args.chunk,
+            n_shards=args.shards,
+            sharding=args.sharding,
+            strategy=args.strategy,
+            refresh_enabled=not args.no_refresh,
+            parallel=_parallel_from_args(args),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.drift:
         half = args.length // 2
@@ -389,6 +426,7 @@ def _cmd_serve(args) -> int:
         f" {len(summary['swaps'])} engine swap(s),"
         f" generation {summary['generation']}"
     )
+    service.close()
     return 0
 
 
@@ -407,13 +445,17 @@ def _cmd_fabric(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    fabric = CxlFabric(topology, config=config)
+    fabric = CxlFabric(
+        topology, config=config, parallel=_parallel_from_args(args)
+    )
     print(
         f"preparing {args.workload} through the staged pipeline"
-        f" ({args.devices} devices, {args.placement} placement)..."
+        f" ({args.devices} devices, {args.placement} placement,"
+        f" {fabric.parallel.workers} worker(s))..."
     )
     prepared = fabric.pipeline.prepare(args.workload)
     result = fabric.run_prepared(prepared, args.strategy)
+    fabric.close()
     print()
     print(
         render_table(

@@ -35,6 +35,51 @@ SHARDING_MODES = ("hash", "tenant")
 #: Valid values of :attr:`FabricTopology.placement`.
 PLACEMENTS = ("interleave", "range", "score")
 
+#: Valid values of :attr:`ParallelConfig.backend`.
+PARALLEL_BACKENDS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Multicore execution knobs
+    (:class:`repro.core.parallel.ParallelExecutor`).
+
+    The fabric's per-device replay, the serving loop's per-shard
+    replay, and the sweep runner are all embarrassingly parallel:
+    every device/shard/grid-point owns independent state, so their
+    :meth:`~repro.core.pipeline.StagedPipeline.simulate` calls can run
+    concurrently and merge deterministically (results are always
+    combined in device/shard/point order, never completion order --
+    parallel runs are *bit-identical* to ``workers=1``).
+
+    Attributes
+    ----------
+    workers:
+        Concurrent workers.  ``1`` (default) executes inline with
+        zero overhead; ``0`` resolves to the host's CPU count.
+    backend:
+        ``"thread"`` (default) uses a thread pool -- the fast-path
+        kernels spend their time inside numpy, which releases the
+        GIL, so threads scale without any serialization cost.
+        ``"process"`` uses a spawn-safe process pool with the cache's
+        ``(n_sets, ways)`` planes allocated in shared memory
+        (:class:`repro.core.parallel.SharedCache`), for workloads
+        where Python-side time (scalar tails, tiny chunks) would
+        serialize on the GIL.
+    """
+
+    workers: int = 1
+    backend: str = "thread"
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = CPU count)")
+        if self.backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {PARALLEL_BACKENDS}, got"
+                f" {self.backend!r}"
+            )
+
 
 @dataclass(frozen=True)
 class GmmEngineConfig:
@@ -138,6 +183,10 @@ class IcgmmConfig:
         ``"reference"`` forces the scalar access-at-a-time loop.
         Both produce bit-identical results -- the flag exists for
         differential testing and for timing the reference path.
+    parallel:
+        Multicore execution knobs; consumed by the multi-device
+        fabric and any entry point that fans independent simulations
+        out through :class:`repro.core.parallel.ParallelExecutor`.
     seed:
         Root seed for trace generation and EM initialisation.
     """
@@ -153,6 +202,7 @@ class IcgmmConfig:
     train_fraction: float = 0.5
     warmup_fraction: float = 0.3
     simulator: str = "fast"
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
     trace_length: int | None = None
     seed: int = 42
 
@@ -224,6 +274,10 @@ class FabricTopology:
         model near/far fabric topologies (switch hops, longer
         retimed paths), which is what the ``score`` placement
         exploits.
+    parallel:
+        Per-fabric override of the multicore replay knobs; ``None``
+        (default) inherits :attr:`IcgmmConfig.parallel` from the
+        system profile the fabric runs under.
     """
 
     n_devices: int = 4
@@ -231,6 +285,7 @@ class FabricTopology:
     range_stride_pages: int = 1 << 14
     link_overhead_ns: tuple[int, ...] | None = None
     link_bandwidth_gb_s: tuple[float, ...] | None = None
+    parallel: ParallelConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_devices < 1:
@@ -322,6 +377,11 @@ class ServingConfig:
         Minimum chunks between consecutive engine swaps.
     metrics_window_chunks:
         Rolling-window length of the per-shard / per-tenant metrics.
+    parallel:
+        Multicore knobs of the per-shard chunk replay (each shard's
+        resumable simulate call is independent, so the service
+        dispatches them concurrently and merges in shard order --
+        bit-identical to ``workers=1``).
     """
 
     chunk_requests: int = 8192
@@ -340,6 +400,7 @@ class ServingConfig:
     refresh_step_exponent: float = 0.6
     refresh_cooldown_chunks: int = 4
     metrics_window_chunks: int = 8
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
         if self.chunk_requests < 1:

@@ -1,0 +1,531 @@
+"""Reusable multicore execution engine for independent replays.
+
+The paper's pitch is hardware-rate caching: the FPGA scores and
+serves the DRAM cache in a pipeline (Sec. 4), every stage busy at
+once.  The software reproduction's analogue is that its three big
+replay loops are *embarrassingly parallel* -- every CXL fabric device,
+every serving shard, and every sweep grid point owns fully
+independent state (cache planes, policy, resumable cursor) -- yet
+until this module they all ran sequentially on one core.
+
+:class:`ParallelExecutor` drives them concurrently under one
+contract: **determinism**.  Tasks are dispatched in caller order,
+results are merged in caller order (never completion order), no
+randomness enters scheduling, and each task touches only its own
+state -- so a parallel run is *bit-identical* to ``workers=1``, which
+the parity suites in ``tests/cxl`` and ``tests/serving`` assert.
+
+Two backends:
+
+``thread`` (default)
+    A plain thread pool.  The fast-path simulator spends its time in
+    numpy whole-array operations, which release the GIL, so threads
+    scale across cores with zero serialization cost and zero data
+    movement (workers mutate the caller's arrays in place).
+
+``process``
+    An opt-in spawn-based process pool for workloads whose Python-side
+    time (scalar tails, tiny chunks, reference-simulator runs) would
+    serialize on the GIL.  Cache planes are allocated in POSIX shared
+    memory (:class:`SharedCache`) so workers mutate the *same*
+    ``(n_sets, ways)`` storage the parent reads -- no plane copies per
+    round.  Policies travel by pickle and are handed back to the
+    caller post-run, keeping resumable replay exact across rounds.
+
+Use ``spawn`` (not ``fork``) so the pool is safe under threaded
+parents and identical across platforms; the price is a one-time
+interpreter+import cost per worker, amortised over a pool's lifetime.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.setassoc import (
+    INVALID,
+    CacheGeometry,
+    SetAssociativeCache,
+    simulate,
+)
+from repro.cache.simulate_fast import simulate_fast
+from repro.cache.stats import CacheStats
+from repro.core.config import ParallelConfig
+
+
+def resolve_workers(workers: int) -> int:
+    """Effective worker count (``0`` means the host's CPU count)."""
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+# ----------------------------------------------------------------------
+# Shared-memory cache planes (process backend)
+# ----------------------------------------------------------------------
+
+#: The four per-way planes of :class:`SetAssociativeCache`, in the
+#: order they are packed into a shared segment.  The single-byte
+#: ``dirty`` plane goes last so the 8-byte planes stay aligned.
+_PLANES = (
+    ("tags", np.int64),
+    ("meta", np.float64),
+    ("stamp", np.float64),
+    ("dirty", np.bool_),
+)
+
+
+def _plane_layout(
+    geometry: CacheGeometry,
+) -> tuple[dict[str, int], int]:
+    """Byte offset per plane and the total segment size."""
+    cells = geometry.n_sets * geometry.associativity
+    offsets: dict[str, int] = {}
+    total = 0
+    for name, dtype in _PLANES:
+        offsets[name] = total
+        total += cells * np.dtype(dtype).itemsize
+    return offsets, total
+
+
+def _cache_over_buffer(
+    geometry: CacheGeometry, buf
+) -> SetAssociativeCache:
+    """A :class:`SetAssociativeCache` whose planes view ``buf``.
+
+    Bypasses ``__init__`` (which would allocate fresh planes) and
+    points the four plane attributes at the buffer instead; every
+    simulator and kernel operation works unchanged because they only
+    ever index the arrays.
+    """
+    cache = SetAssociativeCache.__new__(SetAssociativeCache)
+    cache.geometry = geometry
+    shape = (geometry.n_sets, geometry.associativity)
+    offsets, _ = _plane_layout(geometry)
+    for name, dtype in _PLANES:
+        setattr(
+            cache,
+            name,
+            np.ndarray(shape, dtype=dtype, buffer=buf, offset=offsets[name]),
+        )
+    return cache
+
+
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink a segment, tolerating exported views.
+
+    ``close`` raises :class:`BufferError` while numpy views of the
+    buffer are still alive somewhere; the mapping then lives until
+    those views are garbage-collected, but ``unlink`` still removes
+    the name so nothing leaks into ``/dev/shm``.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class SharedCache:
+    """Cache planes in one POSIX shared-memory segment.
+
+    The owning process constructs it (planes initialised empty,
+    exactly like a fresh :class:`SetAssociativeCache`) and passes
+    :attr:`name` to workers, which attach zero-copy views over the
+    same physical pages -- a worker's fills and metadata updates are
+    immediately visible to the parent without any copy-back.
+
+    The segment is unlinked by :meth:`close` (call it when the cache
+    is retired, e.g. on a fabric reset) with a GC finalizer as the
+    safety net.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        _, size = _plane_layout(geometry)
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self.name = self._shm.name
+        self.cache = _cache_over_buffer(geometry, self._shm.buf)
+        self.cache.tags.fill(INVALID)
+        self.cache.dirty.fill(False)
+        self.cache.meta.fill(0.0)
+        self.cache.stamp.fill(0.0)
+        self._finalizer = weakref.finalize(
+            self, _release_segment, self._shm
+        )
+
+    def close(self) -> None:
+        """Drop the planes and unlink the segment."""
+        self.cache = None  # release this side's buffer views
+        self._finalizer()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedCache(name={self.name!r},"
+            f" sets={self.geometry.n_sets},"
+            f" ways={self.geometry.associativity})"
+        )
+
+
+#: Worker-side attachment cache: segment name -> (shm, cache).  One
+#: attach per segment per worker process, reused across every round
+#: dispatched to that worker.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, SetAssociativeCache]] = {}
+
+
+def _evict_stale_attachments() -> None:
+    """Drop cached attachments whose segment the parent has retired.
+
+    A fabric/service ``reset()`` unlinks its old segments and
+    allocates fresh names; without eviction a long-lived worker would
+    keep the unlinked segments' pages mapped forever.  Probing by
+    name (an attach that fails with ``FileNotFoundError`` once the
+    parent unlinked) is portable across POSIX shm backends; the probe
+    runs only when a *new* segment shows up, i.e. once per
+    generation, not per task.
+    """
+    for name in list(_ATTACHED):
+        try:
+            probe = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            shm, _ = _ATTACHED.pop(name)
+            try:
+                shm.close()
+            except BufferError:  # views die with the popped cache
+                pass
+        else:
+            probe.close()
+
+
+def _attached_cache(
+    name: str, geometry: CacheGeometry
+) -> SetAssociativeCache:
+    """Attach (once per process) to a parent-owned shared segment."""
+    entry = _ATTACHED.get(name)
+    if entry is not None:
+        return entry[1]
+    _evict_stale_attachments()
+    # Pool workers share the parent's resource-tracker process, so
+    # this attach-side registration is idempotent (set semantics) and
+    # the parent's eventual unlink clears it -- no premature cleanup,
+    # no double-unlink.
+    shm = shared_memory.SharedMemory(name=name)
+    cache = _cache_over_buffer(geometry, shm.buf)
+    _ATTACHED[name] = (shm, cache)
+    return cache
+
+
+# ----------------------------------------------------------------------
+# Replay tasks
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ReplayTask:
+    """One resumable Simulate-stage call over an independent cache.
+
+    This is the unit the fabric (per device) and the serving loop
+    (per shard) dispatch: the exact argument set of
+    :meth:`repro.core.pipeline.StagedPipeline.simulate`, plus the
+    optional :attr:`shared` handle the process backend needs to reach
+    the cache's planes from another process.
+    """
+
+    cache: SetAssociativeCache
+    policy: ReplacementPolicy
+    pages: np.ndarray
+    is_write: np.ndarray
+    scores: np.ndarray | None = None
+    warmup_fraction: float = 0.0
+    index_offset: int = 0
+    record_outcome: bool = False
+    shared: SharedCache | None = None
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of one :class:`ReplayTask`.
+
+    Attributes
+    ----------
+    stats:
+        Counters of the replayed (sub-)stream.
+    outcome:
+        Per-access ``OUTCOME_*`` codes when the task asked for them,
+        else ``None``.
+    policy:
+        The post-run policy object.  Under the thread backend this is
+        the task's own instance; under the process backend it is the
+        pickle round-trip that carries any scalar-side policy state
+        (CLOCK hands, RNG cursors) back to the caller, which must
+        adopt it for the next round to stay bit-exact.
+    """
+
+    stats: CacheStats
+    outcome: np.ndarray | None
+    policy: ReplacementPolicy
+
+
+def _run_replay(task: ReplayTask, simulator: str) -> ReplayResult:
+    """Execute one task in-process (inline and thread backends)."""
+    run = simulate_fast if simulator == "fast" else simulate
+    outcome = (
+        np.empty(task.pages.shape[0], dtype=np.uint8)
+        if task.record_outcome
+        else None
+    )
+    stats = run(
+        task.cache,
+        task.policy,
+        task.pages,
+        task.is_write,
+        scores=task.scores,
+        warmup_fraction=task.warmup_fraction,
+        index_offset=task.index_offset,
+        outcome=outcome,
+    )
+    return ReplayResult(stats=stats, outcome=outcome, policy=task.policy)
+
+
+def _run_replay_in_worker(
+    name: str,
+    geometry: CacheGeometry,
+    policy: ReplacementPolicy,
+    pages: np.ndarray,
+    is_write: np.ndarray,
+    scores: np.ndarray | None,
+    warmup_fraction: float,
+    index_offset: int,
+    record_outcome: bool,
+    simulator: str,
+) -> tuple[CacheStats, np.ndarray | None, ReplacementPolicy]:
+    """Process-backend task body: attach shared planes and replay."""
+    cache = _attached_cache(name, geometry)
+    result = _run_replay(
+        ReplayTask(
+            cache=cache,
+            policy=policy,
+            pages=pages,
+            is_write=is_write,
+            scores=scores,
+            warmup_fraction=warmup_fraction,
+            index_offset=index_offset,
+            record_outcome=record_outcome,
+        ),
+        simulator,
+    )
+    return result.stats, result.outcome, result.policy
+
+
+def _call_star(fn, args: tuple):
+    """Top-level ``fn(*args)`` trampoline (picklable for spawn)."""
+    return fn(*args)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+
+
+class ParallelExecutor:
+    """Deterministic fan-out over threads or spawn processes.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent workers; ``0`` resolves to the CPU count, ``1``
+        executes inline (no pool, no overhead).
+    backend:
+        ``"thread"`` or ``"process"`` (see module docstring).
+
+    Pools are created lazily on first real fan-out and reused until
+    :meth:`shutdown` (the executor is also a context manager), so a
+    streaming caller pays pool start-up once, not per chunk.
+    """
+
+    def __init__(self, workers: int = 1, backend: str = "thread") -> None:
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
+        self.workers = resolve_workers(workers)
+        self.backend = backend
+        self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+
+    @classmethod
+    def from_config(
+        cls, config: ParallelConfig | None
+    ) -> "ParallelExecutor":
+        """Executor matching a :class:`ParallelConfig` (None = inline)."""
+        if config is None:
+            return cls()
+        return cls(workers=config.workers, backend=config.backend)
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def uses_shared_caches(self) -> bool:
+        """Whether callers must allocate caches as :class:`SharedCache`."""
+        return self.backend == "process" and self.workers > 1
+
+    def make_cache(
+        self, geometry: CacheGeometry
+    ) -> tuple[SetAssociativeCache, SharedCache | None]:
+        """A fresh cache reachable by this executor's workers.
+
+        Returns ``(cache, shared_handle)``; the handle is ``None``
+        for inline/thread execution (a plain in-process cache) and
+        must be kept -- and eventually :meth:`SharedCache.close`\\ d --
+        by the caller otherwise.
+        """
+        if not self.uses_shared_caches:
+            return SetAssociativeCache(geometry), None
+        handle = SharedCache(geometry)
+        return handle.cache, handle
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-parallel",
+                )
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=get_context("spawn"),
+                )
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Tear the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- generic ordered fan-out ---------------------------------------
+    def map(self, fn, items, star: bool = False) -> list:
+        """``[fn(item) for item in items]``, possibly concurrent.
+
+        Results come back in *item order* regardless of completion
+        order, and the first failing item's exception (again in item
+        order) is re-raised -- both halves of the determinism
+        contract.  With ``star=True`` each item is an argument tuple.
+        The process backend requires ``fn`` (and items) to be
+        picklable, i.e. a module-level function.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(*item) if star else fn(item) for item in items]
+        pool = self._ensure_pool()
+        if star and self.backend == "process":
+            futures = [
+                pool.submit(_call_star, fn, item) for item in items
+            ]
+        elif star:
+            futures = [pool.submit(fn, *item) for item in items]
+        else:
+            futures = [pool.submit(fn, item) for item in items]
+        return _gather(futures)
+
+    # -- simulate fan-out ----------------------------------------------
+    def replay(
+        self, tasks: list[ReplayTask], simulator: str = "fast"
+    ) -> list[ReplayResult]:
+        """Run independent Simulate-stage tasks; results in task order.
+
+        The caller is responsible for task independence (no two tasks
+        sharing a cache/policy) -- true by construction for fabric
+        devices, serving shards and sweep points.  Under the process
+        backend every task must carry a :attr:`ReplayTask.shared`
+        handle, and the caller must adopt each returned
+        :attr:`ReplayResult.policy`.
+        """
+        if self.workers <= 1 or len(tasks) <= 1:
+            return [_run_replay(task, simulator) for task in tasks]
+        pool = self._ensure_pool()
+        if self.backend == "thread":
+            futures = [
+                pool.submit(_run_replay, task, simulator)
+                for task in tasks
+            ]
+            return _gather(futures)
+        for task in tasks:
+            if task.shared is None:
+                raise ValueError(
+                    "process-backend replay needs SharedCache-backed"
+                    " tasks (allocate caches via"
+                    " ParallelExecutor.make_cache)"
+                )
+        futures = [
+            pool.submit(
+                _run_replay_in_worker,
+                task.shared.name,
+                task.shared.geometry,
+                task.policy,
+                task.pages,
+                task.is_write,
+                task.scores,
+                task.warmup_fraction,
+                task.index_offset,
+                task.record_outcome,
+                simulator,
+            )
+            for task in tasks
+        ]
+        raw = _gather(futures)
+        return [
+            ReplayResult(stats=stats, outcome=outcome, policy=policy)
+            for stats, outcome, policy in raw
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelExecutor(workers={self.workers},"
+            f" backend={self.backend!r})"
+        )
+
+
+def _gather(futures: list[Future]) -> list:
+    """Results in submission order; first (by order) error re-raised."""
+    results = []
+    error: BaseException | None = None
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if error is None:
+                error = exc
+            results.append(None)
+    if error is not None:
+        raise error
+    return results
+
+
+__all__ = [
+    "ParallelExecutor",
+    "ReplayResult",
+    "ReplayTask",
+    "SharedCache",
+    "resolve_workers",
+]

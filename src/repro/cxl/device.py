@@ -30,6 +30,7 @@ from repro.cache.stats import (
     OUTCOME_FILL,
     OUTCOME_HIT,
     CacheStats,
+    fold_outcome,
     stats_from_outcomes,
 )
 from repro.hardware.ssd import SsdLatencyEmulator
@@ -74,6 +75,14 @@ class CxlMemoryDevice:
         SSD latency emulator backing the cache.
     hit_latency_ns:
         DRAM cache service time on a hit.
+    keep_outcomes:
+        With ``True`` (default) the full per-access ``OUTCOME_*`` /
+        write record is retained, which is what the differential
+        parity suites re-account against -- but it grows with the
+        replayed stream.  Pass ``False`` for long replays that only
+        need counters: outcomes then fold into a running
+        :class:`~repro.cache.stats.CacheStats` one access at a time
+        and nothing per-access stays alive.
     """
 
     def __init__(
@@ -82,6 +91,7 @@ class CxlMemoryDevice:
         policy: ReplacementPolicy,
         ssd: SsdLatencyEmulator | None = None,
         hit_latency_ns: int = DEVICE_DRAM_HIT_NS,
+        keep_outcomes: bool = True,
     ) -> None:
         if hit_latency_ns <= 0:
             raise ValueError("hit_latency_ns must be positive")
@@ -89,8 +99,10 @@ class CxlMemoryDevice:
         self.policy = policy
         self.ssd = ssd if ssd is not None else SsdLatencyEmulator()
         self.hit_latency_ns = hit_latency_ns
+        self.keep_outcomes = keep_outcomes
         self._outcomes: list[int] = []
         self._writes: list[bool] = []
+        self._running = CacheStats()
         self._access_index = 0
         self._stats_cache: tuple[int, CacheStats] | None = None
 
@@ -100,10 +112,12 @@ class CxlMemoryDevice:
 
         Memoised per history length, so polling between accesses is
         O(1); only the first read after new traffic pays the rebuild.
-        (The per-access record itself is the point of this device --
-        it is the scalar reference the vectorized paths re-account
-        against -- so it grows with the replayed stream.)
+        With ``keep_outcomes=False`` the incrementally-folded
+        counters are returned directly (same single-source-of-truth
+        arithmetic -- each access's code is folded exactly once).
         """
+        if not self.keep_outcomes:
+            return self._running
         n = len(self._outcomes)
         if self._stats_cache is None or self._stats_cache[0] != n:
             self._stats_cache = (
@@ -117,10 +131,23 @@ class CxlMemoryDevice:
 
     def outcome_record(self) -> tuple[np.ndarray, np.ndarray]:
         """The per-access ``(outcomes, is_write)`` arrays so far."""
+        if not self.keep_outcomes:
+            raise ValueError(
+                "outcome_record() needs keep_outcomes=True; this"
+                " device only folded counters"
+            )
         return (
             np.asarray(self._outcomes, dtype=np.uint8),
             np.asarray(self._writes, dtype=bool),
         )
+
+    def _record(self, outcome: int, is_write: bool) -> None:
+        """Account one classified access (list or running counters)."""
+        if self.keep_outcomes:
+            self._outcomes.append(outcome)
+            self._writes.append(is_write)
+            return
+        fold_outcome(self._running, outcome, is_write)
 
     def access(
         self, page: int, is_write: bool, score: float = 0.0
@@ -133,14 +160,13 @@ class CxlMemoryDevice:
         """
         index = self._access_index
         self._access_index += 1
-        self._writes.append(bool(is_write))
         set_index, way = self.cache.lookup(page)
 
         if way is not None:
             self.policy.on_hit(self.cache, set_index, way, index, score)
             if is_write:
                 self.cache.dirty[set_index][way] = True
-            self._outcomes.append(OUTCOME_HIT)
+            self._record(OUTCOME_HIT, bool(is_write))
             return DeviceAccessResult(
                 latency_ns=self.hit_latency_ns,
                 hit=True,
@@ -153,7 +179,7 @@ class CxlMemoryDevice:
         if not self.policy.admit(page, score, is_write, index):
             if is_write:
                 latency += self.ssd.write_latency_ns()
-            self._outcomes.append(OUTCOME_BYPASS)
+            self._record(OUTCOME_BYPASS, bool(is_write))
             return DeviceAccessResult(
                 latency_ns=latency,
                 hit=False,
@@ -180,7 +206,7 @@ class CxlMemoryDevice:
             self.policy.fill_meta(page, score, index),
             float(index),
         )
-        self._outcomes.append(outcome)
+        self._record(outcome, bool(is_write))
         return DeviceAccessResult(
             latency_ns=latency, hit=False, bypassed=False, outcome=outcome
         )

@@ -14,7 +14,12 @@ request stream across them at fast-path speed:
    resumable per-device ``index_offset`` cursor, exactly like the
    serving shards -- so chunked streaming ingestion and a one-shot
    offline run are *bit-identical*, and each device's counters equal
-   a single-shot offline run on its sub-stream.
+   a single-shot offline run on its sub-stream.  Devices own fully
+   independent planes/policies/cursors, so each round of per-device
+   simulate calls is dispatched concurrently through
+   :class:`repro.core.parallel.ParallelExecutor` (``workers`` per
+   :class:`~repro.core.config.ParallelConfig`) and merged in device
+   order -- parallel replay is bit-identical to ``workers=1``.
 3. **Price.**  Per-device counters are priced through that device's
    own link model
    (:class:`~repro.hardware.latency.DevicePathLatencyModel`), which
@@ -29,14 +34,15 @@ bench (``benchmarks/bench_fabric_scaling.py``) assert agreement.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
-from repro.cache.setassoc import SetAssociativeCache
 from repro.cache.stats import CacheStats
-from repro.core.config import FabricTopology, IcgmmConfig
+from repro.core.config import FabricTopology, IcgmmConfig, ParallelConfig
+from repro.core.parallel import ParallelExecutor, ReplayTask
 from repro.core.pipeline import PreparedWorkload, StagedPipeline
-from repro.core.policy import build_policy
+from repro.core.policy import CombinedIcgmmPolicy, build_policy
 from repro.cxl.device import DEVICE_DRAM_HIT_NS
 from repro.cxl.link import CxlLinkSpec
 from repro.hardware.latency import DevicePathLatencyModel
@@ -58,12 +64,18 @@ class DeviceReplayResult:
         Cache counters of the device's sub-stream.
     time_ns:
         End-to-end service time of the sub-stream (link included).
+    outcomes:
+        Per-access ``OUTCOME_*`` codes of the device's sub-stream,
+        kept only when the replay was asked for them
+        (``keep_outcomes=True``); ``None`` otherwise, so a large
+        fleet replay never holds one outcome array per device alive.
     """
 
     device_id: int
     link: CxlLinkSpec
     stats: CacheStats
     time_ns: int
+    outcomes: np.ndarray | None = None
 
     @property
     def accesses(self) -> int:
@@ -84,9 +96,9 @@ class FabricRunResult:
 
     devices: tuple[DeviceReplayResult, ...]
 
-    @property
+    @cached_property
     def totals(self) -> CacheStats:
-        """Merged counters across all devices."""
+        """Merged counters across all devices (computed once, lazily)."""
         totals = CacheStats()
         for device in self.devices:
             totals = totals.merge(device.stats)
@@ -151,6 +163,15 @@ class CxlFabric:
         Backing-store latency profile used by the pricing model.
     hit_latency_ns:
         Device-DRAM hit service time.
+    parallel:
+        Multicore replay knobs; overrides
+        :attr:`FabricTopology.parallel`, which in turn overrides
+        :attr:`IcgmmConfig.parallel`.  Each round of per-device
+        simulate calls is dispatched through one persistent
+        :class:`~repro.core.parallel.ParallelExecutor` and merged in
+        device order, so any worker count is bit-identical to
+        sequential replay.  Call :meth:`close` when done with a
+        process-backend fabric (worker pool, shared segments).
     """
 
     def __init__(
@@ -159,12 +180,22 @@ class CxlFabric:
         config: IcgmmConfig | None = None,
         ssd: SsdSpec | None = None,
         hit_latency_ns: int = DEVICE_DRAM_HIT_NS,
+        parallel: ParallelConfig | None = None,
     ) -> None:
         self.topology = (
             topology if topology is not None else FabricTopology()
         )
         self.pipeline = StagedPipeline(config)
         self.config = self.pipeline.config
+        if parallel is None:
+            parallel = (
+                self.topology.parallel
+                if self.topology.parallel is not None
+                else self.config.parallel
+            )
+        self.parallel = parallel
+        self._executor = ParallelExecutor.from_config(parallel)
+        self._shared: list = []
         ssd = ssd if ssd is not None else SSD_CATALOG["tlc"]
         n = self.topology.n_devices
         overheads = self.topology.link_overhead_ns
@@ -209,12 +240,35 @@ class CxlFabric:
     def reset(self) -> None:
         """Drop all device caches, cursors and accumulated counters."""
         n = self.topology.n_devices
-        self.caches = [
-            SetAssociativeCache(self.config.geometry) for _ in range(n)
-        ]
+        for handle in self._shared:
+            if handle is not None:
+                handle.close()
+        self.caches = []
+        self._shared = []
+        for _ in range(n):
+            cache, handle = self._executor.make_cache(
+                self.config.geometry
+            )
+            self.caches.append(cache)
+            self._shared.append(handle)
         self._cursors = [0] * n
         self._device_stats = [CacheStats() for _ in range(n)]
+        self._device_outcomes: list = [None] * n
         self._policies: list | None = None
+
+    def close(self) -> None:
+        """Release the worker pool and any shared-memory planes."""
+        self._executor.shutdown()
+        for handle in self._shared:
+            if handle is not None:
+                handle.close()
+        self._shared = [None] * len(self._shared)
+
+    def __enter__(self) -> "CxlFabric":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def bind(
         self,
@@ -356,8 +410,30 @@ class CxlFabric:
         return device_ids, pages
 
     # ------------------------------------------------------------------
-    # Stage: Replay (resumable)
+    # Stage: Replay (resumable, parallel)
     # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        devices: list[int],
+        tasks: list[ReplayTask],
+    ) -> list:
+        """One concurrent round of per-device simulate calls.
+
+        Results come back in task order (deterministic merge); the
+        post-run policy objects are adopted so a process-backend
+        round-trip stays resumable, and the combined strategy's
+        per-device score maps are re-aliased to the adopted policies.
+        """
+        results = self._executor.replay(
+            tasks, simulator=self.config.simulator
+        )
+        for device, result in zip(devices, results, strict=True):
+            policy = result.policy
+            self._policies[device] = policy
+            if isinstance(policy, CombinedIcgmmPolicy):
+                self._device_page_maps[device] = policy._page_scores
+        return results
+
     def ingest(
         self,
         pages: np.ndarray,
@@ -389,28 +465,39 @@ class CxlFabric:
                 np.asarray(page_marginals, dtype=np.float64)[first],
             )
         device_ids, local_pages = self.place(pages, page_marginals)
-        chunk = CacheStats()
+        if scores is not None:
+            scores = np.asarray(scores, dtype=np.float64)
+        devices: list[int] = []
+        tasks: list[ReplayTask] = []
         for device in range(self.topology.n_devices):
             positions = np.nonzero(device_ids == device)[0]
             if positions.size == 0:
                 continue
-            stats = self.pipeline.simulate(
-                self.caches[device],
-                self._policies[device],
-                local_pages[positions],
-                is_write[positions],
-                scores=(
-                    np.asarray(scores, dtype=np.float64)[positions]
-                    if scores is not None
-                    else None
-                ),
-                index_offset=self._cursors[device],
+            devices.append(device)
+            tasks.append(
+                ReplayTask(
+                    cache=self.caches[device],
+                    policy=self._policies[device],
+                    pages=local_pages[positions],
+                    is_write=is_write[positions],
+                    scores=(
+                        scores[positions]
+                        if scores is not None
+                        else None
+                    ),
+                    index_offset=self._cursors[device],
+                    shared=self._shared[device],
+                )
             )
-            self._cursors[device] += int(positions.size)
+        chunk = CacheStats()
+        for device, task, result in zip(
+            devices, tasks, self._dispatch(devices, tasks), strict=True
+        ):
+            self._cursors[device] += int(task.pages.shape[0])
             self._device_stats[device] = self._device_stats[
                 device
-            ].merge(stats)
-            chunk = chunk.merge(stats)
+            ].merge(result.stats)
+            chunk = chunk.merge(result.stats)
         return chunk
 
     def results(self) -> FabricRunResult:
@@ -423,6 +510,7 @@ class CxlFabric:
                 time_ns=self.pricing[d].total_time_ns(
                     self._device_stats[d]
                 ),
+                outcomes=self._device_outcomes[d],
             )
             for d in range(self.topology.n_devices)
         )
@@ -436,6 +524,7 @@ class CxlFabric:
         prepared: PreparedWorkload,
         strategy: str,
         warmup_fraction: float | None = None,
+        keep_outcomes: bool = False,
     ) -> FabricRunResult:
         """Replay a prepared workload over the fleet in one shot.
 
@@ -445,7 +534,17 @@ class CxlFabric:
         exactly what a single-shot offline run on that sub-stream
         does, so per-device counters match it bit for bit (the
         fabric parity suite asserts this for every placement and
-        strategy).
+        strategy).  Device replays run concurrently per
+        :attr:`parallel` and merge in device order.
+
+        With ``keep_outcomes=False`` (the default) only the
+        per-device :class:`~repro.cache.stats.CacheStats` are
+        aggregated -- no per-access outcome array is ever allocated,
+        so an 8-device x 1M-access replay costs counters, not eight
+        megabyte-scale buffers.  Pass ``keep_outcomes=True`` to
+        record each device's ``OUTCOME_*`` stream on
+        :attr:`DeviceReplayResult.outcomes` for downstream per-access
+        accounting.
         """
         if warmup_fraction is None:
             warmup_fraction = self.config.warmup_fraction
@@ -478,22 +577,36 @@ class CxlFabric:
         device_ids, local_pages = self.place(
             prepared.page_indices, prepared.page_frequency_scores
         )
+        devices: list[int] = []
+        tasks: list[ReplayTask] = []
         for device in range(self.topology.n_devices):
             positions = np.nonzero(device_ids == device)[0]
             if positions.size == 0:
                 continue
-            stats = self.pipeline.simulate(
-                self.caches[device],
-                self._policies[device],
-                local_pages[positions],
-                prepared.is_write[positions],
-                scores=(
-                    scores[positions] if scores is not None else None
-                ),
-                warmup_fraction=warmup_fraction,
+            devices.append(device)
+            tasks.append(
+                ReplayTask(
+                    cache=self.caches[device],
+                    policy=self._policies[device],
+                    pages=local_pages[positions],
+                    is_write=prepared.is_write[positions],
+                    scores=(
+                        scores[positions]
+                        if scores is not None
+                        else None
+                    ),
+                    warmup_fraction=warmup_fraction,
+                    record_outcome=keep_outcomes,
+                    shared=self._shared[device],
+                )
             )
-            self._cursors[device] += int(positions.size)
-            self._device_stats[device] = stats
+        for device, task, result in zip(
+            devices, tasks, self._dispatch(devices, tasks), strict=True
+        ):
+            self._cursors[device] += int(task.pages.shape[0])
+            self._device_stats[device] = result.stats
+            if keep_outcomes:
+                self._device_outcomes[device] = result.outcome
         return self.results()
 
     def __repr__(self) -> str:

@@ -11,7 +11,13 @@ on an access stream consumed in chunks:
 3. simulate the chunk against the live sharded cache planes with
    resumable, bit-exact calls into the shared pipeline's Simulate
    stage (:meth:`repro.core.pipeline.StagedPipeline.simulate` --
-   the same code path the offline system and the CXL fabric run),
+   the same code path the offline system and the CXL fabric run);
+   shards are fully independent, so the calls are dispatched
+   concurrently through
+   :class:`~repro.core.parallel.ParallelExecutor`
+   (:attr:`~repro.core.config.ServingConfig.parallel`) and merged
+   in shard order -- any worker count is bit-identical to
+   sequential replay,
 4. account per-shard and per-tenant rolling miss rate and Table 1
    latency from the recorded per-access outcomes, and
 5. when drift is confirmed, fold the recent traffic into an
@@ -37,8 +43,13 @@ import numpy as np
 from repro.cache.stats import CacheStats, stats_from_outcomes
 from repro.core.config import IcgmmConfig, ServingConfig
 from repro.core.engine import GmmPolicyEngine
+from repro.core.parallel import ParallelExecutor, ReplayTask
 from repro.core.pipeline import StagedPipeline
-from repro.core.policy import build_policy, strategy_score_view
+from repro.core.policy import (
+    CombinedIcgmmPolicy,
+    build_policy,
+    strategy_score_view,
+)
 from repro.hardware.latency import LatencyModel
 from repro.serving.drift import DriftDetector, DriftReport
 from repro.serving.metrics import RollingMetrics
@@ -150,11 +161,15 @@ class IcgmmCacheService:
         self.serving = serving if serving is not None else ServingConfig()
         self.measure_from = int(measure_from)
         self.slot = EngineSlot(engine)
+        self._executor = ParallelExecutor.from_config(
+            self.serving.parallel
+        )
         self.planes = ShardedCachePlanes(
             self.config.geometry,
             self.serving.n_shards,
             mode=self.serving.sharding,
             partition_pages=self.serving.partition_pages,
+            executor=self._executor,
         )
         # None inherits the quantile the deployed engine's threshold
         # was trained at, so the drift detector's expected
@@ -304,31 +319,50 @@ class IcgmmCacheService:
             drift = self.detector.observe(scores)
             self.refresher.ingest(features)
 
-        # --- sharded simulation (resumable, exact) ----------------------
+        # --- sharded simulation (resumable, exact, parallel) ------------
         # Each shard's slice goes through the shared pipeline's
-        # Simulate stage, resuming at that shard's cursor.
+        # Simulate stage, resuming at that shard's cursor; shards are
+        # independent, so the round fans out through the executor and
+        # merges in shard order (bit-identical to sequential).
         shard_ids, local_pages = self.planes.route(pages)
         outcome = np.empty(n, dtype=np.uint8)
         shard_positions = self.planes.partition(shard_ids)
+        shards: list[int] = []
+        tasks: list[ReplayTask] = []
         for shard, positions in enumerate(shard_positions):
             if positions.size == 0:
                 continue
-            shard_outcome = np.empty(positions.size, dtype=np.uint8)
-            self.pipeline.simulate(
-                self.planes.caches[shard],
-                self._policies[shard],
-                local_pages[positions],
-                is_write[positions],
-                scores=(
-                    sim_scores[positions]
-                    if sim_scores is not None
-                    else None
-                ),
-                index_offset=self._shard_cursors[shard],
-                outcome=shard_outcome,
+            shards.append(shard)
+            tasks.append(
+                ReplayTask(
+                    cache=self.planes.caches[shard],
+                    policy=self._policies[shard],
+                    pages=local_pages[positions],
+                    is_write=is_write[positions],
+                    scores=(
+                        sim_scores[positions]
+                        if sim_scores is not None
+                        else None
+                    ),
+                    index_offset=self._shard_cursors[shard],
+                    record_outcome=True,
+                    shared=self.planes.shared[shard],
+                )
             )
-            outcome[positions] = shard_outcome
+        results = self._executor.replay(
+            tasks, simulator=self.config.simulator
+        )
+        for shard, result in zip(shards, results, strict=True):
+            positions = shard_positions[shard]
+            outcome[positions] = result.outcome
             self._shard_cursors[shard] += int(positions.size)
+            # Adopt the post-run policy (a pickle round-trip under
+            # the process backend) and re-alias the combined
+            # strategy's shard-local score map to it.
+            policy = result.policy
+            self._policies[shard] = policy
+            if isinstance(policy, CombinedIcgmmPolicy):
+                self._shard_page_maps[shard] = policy._page_scores
 
         # --- accounting -------------------------------------------------
         measured = abs_idx >= self.measure_from
@@ -393,6 +427,24 @@ class IcgmmCacheService:
         )
         self._chunk_index += 1
         return report
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool and any shared-memory planes.
+
+        Only needed for parallel deployments (inline execution holds
+        no pool and no shared segments); safe to call repeatedly.
+        """
+        self._executor.shutdown()
+        self.planes.close()
+
+    def __enter__(self) -> "IcgmmCacheService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection

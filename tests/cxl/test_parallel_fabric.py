@@ -1,0 +1,229 @@
+"""Parallel fabric replay determinism + memory-lean result tests.
+
+The multicore contract of :class:`repro.cxl.fabric.CxlFabric`: any
+worker count, either backend, one-shot or chunked, produces
+*byte-identical* per-device counters and priced service times to the
+sequential replay; a worker crash propagates to the caller; and
+outcome arrays are only materialised when explicitly requested
+(``keep_outcomes=True``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.stats import stats_from_outcomes
+from repro.core.config import (
+    FabricTopology,
+    GmmEngineConfig,
+    IcgmmConfig,
+    ParallelConfig,
+)
+from repro.core.system import IcgmmSystem
+from repro.cxl.fabric import CxlFabric
+
+N_DEVICES = 4
+N = 80_000
+
+PARALLEL_VARIANTS = [
+    ParallelConfig(workers=4, backend="thread"),
+    ParallelConfig(workers=2, backend="process"),
+]
+
+
+@pytest.fixture(scope="module")
+def config():
+    return IcgmmConfig(
+        trace_length=16_000,
+        gmm=GmmEngineConfig(n_components=8, max_train_samples=4_000),
+    )
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(17)
+    pages = rng.integers(0, 30_000, N)
+    is_write = rng.random(N) < 0.3
+    scores = rng.standard_normal(N)
+    return pages, is_write, scores
+
+
+def _topology():
+    return FabricTopology(
+        n_devices=N_DEVICES, link_overhead_ns=(100, 150, 200, 250)
+    )
+
+
+def _replay(config, stream, parallel, strategy, chunked):
+    pages, is_write, scores = stream
+    fabric = CxlFabric(_topology(), config=config, parallel=parallel)
+    fabric.bind(strategy, 0.1)
+    try:
+        if chunked:
+            for start in range(0, N, 9_000):
+                stop = start + 9_000
+                fabric.ingest(
+                    pages[start:stop],
+                    is_write[start:stop],
+                    scores=scores[start:stop],
+                )
+        else:
+            fabric.ingest(pages, is_write, scores=scores)
+        return fabric.results()
+    finally:
+        fabric.close()
+
+
+@pytest.mark.parametrize(
+    "parallel",
+    PARALLEL_VARIANTS,
+    ids=["thread4", "process2"],
+)
+@pytest.mark.parametrize("strategy", ["lru", "gmm-caching"])
+@pytest.mark.parametrize("chunked", [False, True], ids=["oneshot", "chunked"])
+def test_parallel_replay_is_bit_identical(
+    config, stream, parallel, strategy, chunked
+):
+    sequential = _replay(
+        config, stream, ParallelConfig(workers=1), strategy, chunked
+    )
+    parallel_result = _replay(
+        config, stream, parallel, strategy, chunked
+    )
+    for seq, par in zip(
+        sequential.devices, parallel_result.devices, strict=True
+    ):
+        assert par.stats == seq.stats
+        assert par.time_ns == seq.time_ns
+    assert (
+        parallel_result.total_time_ns == sequential.total_time_ns
+    )
+
+
+def test_combined_strategy_parallel_parity(config, stream):
+    """The combined policy's per-device score maps survive the
+    process backend's policy round-trip (re-aliased on adoption)."""
+    pages, is_write, scores = stream
+    marginals = (pages % 97).astype(np.float64) / 97.0
+
+    def run(parallel):
+        fabric = CxlFabric(
+            _topology(), config=config, parallel=parallel
+        )
+        fabric.bind("gmm-caching-eviction", 0.1, page_score_map={})
+        try:
+            for start in range(0, N, 9_000):
+                stop = start + 9_000
+                fabric.ingest(
+                    pages[start:stop],
+                    is_write[start:stop],
+                    scores=scores[start:stop],
+                    page_marginals=marginals[start:stop],
+                )
+            return fabric.results()
+        finally:
+            fabric.close()
+
+    sequential = run(ParallelConfig(workers=1))
+    for parallel in PARALLEL_VARIANTS:
+        result = run(parallel)
+        for seq, par in zip(
+            sequential.devices, result.devices, strict=True
+        ):
+            assert par.stats == seq.stats
+            assert par.time_ns == seq.time_ns
+
+
+@pytest.mark.parametrize(
+    "parallel",
+    [ParallelConfig(workers=1), PARALLEL_VARIANTS[0]],
+    ids=["inline", "thread4"],
+)
+def test_worker_crash_propagates(
+    config, stream, parallel, monkeypatch
+):
+    """A failing device replay surfaces as the caller's exception,
+    never as a silently dropped device."""
+    import repro.core.parallel as parallel_mod
+
+    def explode(task, simulator):
+        raise RuntimeError("device replay exploded")
+
+    monkeypatch.setattr(parallel_mod, "_run_replay", explode)
+    pages, is_write, scores = stream
+    fabric = CxlFabric(_topology(), config=config, parallel=parallel)
+    fabric.bind("gmm-caching", 0.1)
+    try:
+        with pytest.raises(RuntimeError, match="exploded"):
+            fabric.ingest(pages, is_write, scores=scores)
+    finally:
+        fabric.close()
+
+
+def test_process_worker_crash_propagates(config, stream):
+    """A crash inside a spawned worker (its shared segment is gone)
+    reaches the caller instead of hanging or dropping the device."""
+    pages, is_write, scores = stream
+    fabric = CxlFabric(
+        _topology(),
+        config=config,
+        parallel=ParallelConfig(workers=2, backend="process"),
+    )
+    fabric.bind("gmm-caching", 0.1)
+    try:
+        fabric._shared[0].close()  # workers can no longer attach
+        with pytest.raises(FileNotFoundError):
+            fabric.ingest(pages, is_write, scores=scores)
+    finally:
+        fabric.close()
+
+
+class TestKeepOutcomes:
+    @pytest.fixture(scope="class")
+    def prepared(self, config):
+        return IcgmmSystem(config).prepare("memtier")
+
+    def test_default_keeps_nothing(self, config, prepared):
+        fabric = CxlFabric(_topology(), config=config)
+        result = fabric.run_prepared(prepared, "gmm-caching")
+        assert all(d.outcomes is None for d in result.devices)
+
+    def test_requested_outcomes_reaccount_to_stats(
+        self, config, prepared
+    ):
+        fabric = CxlFabric(_topology(), config=config)
+        result = fabric.run_prepared(
+            prepared, "gmm-caching", warmup_fraction=0.0,
+            keep_outcomes=True,
+        )
+        device_ids, _ = fabric.place(prepared.page_indices)
+        for device in result.devices:
+            assert device.outcomes is not None
+            positions = np.nonzero(device_ids == device.device_id)[0]
+            assert device.outcomes.shape[0] == positions.size
+            rebuilt = stats_from_outcomes(
+                device.outcomes, prepared.is_write[positions]
+            )
+            assert rebuilt == device.stats
+
+    def test_parallel_outcome_streams_match_sequential(
+        self, config, prepared
+    ):
+        sequential = CxlFabric(
+            _topology(), config=config
+        ).run_prepared(prepared, "lru", keep_outcomes=True)
+        for parallel in PARALLEL_VARIANTS:
+            fabric = CxlFabric(
+                _topology(), config=config, parallel=parallel
+            )
+            try:
+                result = fabric.run_prepared(
+                    prepared, "lru", keep_outcomes=True
+                )
+                for seq, par in zip(
+                    sequential.devices, result.devices, strict=True
+                ):
+                    np.testing.assert_array_equal(
+                        seq.outcomes, par.outcomes
+                    )
+            finally:
+                fabric.close()

@@ -10,7 +10,8 @@ export PYTHONPATH := src
 
 .PHONY: test verify bench-throughput bench-smoke bench-serving \
 	bench-serving-smoke bench-fabric bench-fabric-smoke \
-	bench-parallel bench-parallel-smoke
+	bench-parallel bench-parallel-smoke bench-train \
+	bench-train-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,7 +19,7 @@ test:
 # Tier-1 tests plus every bench smoke validator (schema + acceptance
 # checks on fresh smoke artifacts) -- the one-command CI gate.
 verify: test bench-smoke bench-serving-smoke bench-fabric-smoke \
-	bench-parallel-smoke
+	bench-parallel-smoke bench-train-smoke
 
 # Full simulator-throughput matrix; writes BENCH_sim_throughput.json.
 bench-throughput:
@@ -68,3 +69,17 @@ bench-parallel-smoke:
 		--output BENCH_parallel_scaling.smoke.json
 	$(PYTHON) benchmarks/bench_parallel_scaling.py \
 		--validate BENCH_parallel_scaling.smoke.json
+
+# Full GMM training/refresh throughput matrix (reference vs fast fit,
+# stepwise vs warm refresh; acceptance: >= 4x fit and >= 3x refresh at
+# the paper geometry, restart modes bit-identical); writes
+# BENCH_train_throughput.json.
+bench-train:
+	$(PYTHON) benchmarks/bench_train_throughput.py
+
+# Small fit/refresh pair, then schema-validate the emitted JSON.
+bench-train-smoke:
+	$(PYTHON) benchmarks/bench_train_throughput.py --smoke \
+		--output BENCH_train_throughput.smoke.json
+	$(PYTHON) benchmarks/bench_train_throughput.py \
+		--validate BENCH_train_throughput.smoke.json

@@ -3,9 +3,26 @@
 Measures accesses/second of the scalar reference simulator
 (:func:`repro.cache.setassoc.simulate`) and the chunked vectorized
 engine (:func:`repro.cache.simulate_fast.simulate_fast`) across the
-policy zoo and several trace lengths, asserting bit-identical
-counters between the two paths on every run, and emits a
+policy zoo, several trace lengths, and three trace shapes, asserting
+bit-identical counters between the paths on every run, and emits a
 machine-readable ``BENCH_sim_throughput.json``.
+
+Trace shapes:
+
+* ``skew`` -- the standard skewed mix for cache studies: 80% of
+  accesses to a hot region half the cache's block count, 20% uniform
+  over an 8x-larger cold footprint, 30% writes; the GMM rows use
+  synthetic standard-normal scores with the admission threshold at
+  the 10th percentile (score *values* do not affect throughput, only
+  the admit/bypass mix does).
+* ``hammer-page`` -- 90% of accesses hammer a single page: the
+  per-page run-length batching fast path (PR 4).
+* ``hammer-set`` -- 6 distinct pages that all collide in one cache
+  set: the same-set run collapse fast path.  Each row also times the
+  fast engine with ``set_run_collapse=False``; the recorded
+  ``set_run_speedup`` is the collapse's own contribution, and the
+  validator requires >= 2x on this shape for every
+  ``supports_set_runs`` policy (full runs only).
 
 Unlike the pytest-benchmark ablation benches this is a standalone
 script (no fixtures, no GMM training) so it can run in seconds and in
@@ -14,13 +31,6 @@ CI smoke mode::
     PYTHONPATH=src python benchmarks/bench_sim_throughput.py            # full
     PYTHONPATH=src python benchmarks/bench_sim_throughput.py --smoke    # quick
     PYTHONPATH=src python benchmarks/bench_sim_throughput.py --validate out.json
-
-The trace is the standard skewed mix for cache studies: 80% of
-accesses to a hot region half the cache's block count, 20% uniform
-over an 8x-larger cold footprint, 30% writes; the GMM rows use
-synthetic standard-normal scores with the admission threshold at the
-10th percentile (score *values* do not affect throughput, only the
-admit/bypass mix does).
 """
 
 from __future__ import annotations
@@ -55,12 +65,15 @@ from repro.cache.simulate_fast import simulate_fast
 #: JSON schema (field -> type) of every entry in ``results``.
 RESULT_SCHEMA = {
     "policy": str,
+    "trace": str,
     "trace_length": int,
     "reference_s": float,
     "fast_s": float,
+    "fast_no_collapse_s": float,
     "reference_accesses_per_s": float,
     "fast_accesses_per_s": float,
     "speedup": float,
+    "set_run_speedup": float,
     "stats_identical": bool,
     "miss_rate": float,
 }
@@ -68,17 +81,37 @@ RESULT_SCHEMA = {
 HOT_FRACTION = 0.8
 WRITE_FRACTION = 0.3
 
+#: Policies whose kernels collapse same-set runs; the validator's
+#: >= 2x ``set_run_speedup`` gate on the ``hammer-set`` trace applies
+#: to these (full runs only).
+SET_RUN_POLICIES = ("lru", "fifo", "lfu", "clock", "2q", "gmm",
+                    "counter-random", "belady")
 
-def make_trace(n: int, geometry: CacheGeometry, seed: int = 1):
-    """Skewed page stream + writes + synthetic scores."""
+#: Acceptance gate on ``hammer-set`` rows of full runs.
+MIN_SET_RUN_SPEEDUP = 2.0
+
+
+def make_trace(
+    n: int, geometry: CacheGeometry, kind: str = "skew", seed: int = 1
+):
+    """Page stream + writes + synthetic scores for one trace shape."""
     rng = np.random.default_rng(seed)
     n_blocks = geometry.n_blocks
-    hot = rng.integers(0, max(1, n_blocks // 2), n)
     cold = rng.integers(0, 8 * n_blocks, n)
-    pages = np.where(rng.random(n) < HOT_FRACTION, hot, cold)
+    if kind == "skew":
+        hot = rng.integers(0, max(1, n_blocks // 2), n)
+        pages = np.where(rng.random(n) < HOT_FRACTION, hot, cold)
+    elif kind == "hammer-page":
+        pages = np.where(rng.random(n) < 0.9, 0, cold)
+    elif kind == "hammer-set":
+        # 6 distinct pages, all in set 0: one scorching set whose
+        # working set fits the 8 ways.
+        pages = rng.integers(0, 6, n) * geometry.n_sets
+    else:
+        raise ValueError(f"unknown trace kind: {kind!r}")
     is_write = rng.random(n) < WRITE_FRACTION
     scores = rng.standard_normal(n)
-    return pages, is_write, scores
+    return pages.astype(np.int64), is_write, scores
 
 
 def policy_factories(pages: np.ndarray, threshold: float):
@@ -98,7 +131,12 @@ def policy_factories(pages: np.ndarray, threshold: float):
 
 
 def bench_one(geometry, make_policy, pages, is_write, scores, warmup):
-    """Time both paths once; returns (ref_s, fast_s, identical, mr)."""
+    """Time all three paths once.
+
+    Returns ``(ref_s, fast_s, fast_plain_s, identical, miss_rate)``
+    where ``fast_plain_s`` is the fast engine with set-run collapse
+    disabled -- identity is asserted across all three.
+    """
     ref_cache = SetAssociativeCache(geometry)
     ref_policy = make_policy()
     t0 = time.perf_counter()
@@ -117,44 +155,64 @@ def bench_one(geometry, make_policy, pages, is_write, scores, warmup):
     )
     fast_s = time.perf_counter() - t0
 
+    plain_cache = SetAssociativeCache(geometry)
+    plain_policy = make_policy()
+    t0 = time.perf_counter()
+    plain_stats = simulate_fast(
+        plain_cache, plain_policy, pages, is_write,
+        scores=scores, warmup_fraction=warmup,
+        set_run_collapse=False,
+    )
+    plain_s = time.perf_counter() - t0
+
     identical = bool(
         ref_stats == fast_stats
+        and ref_stats == plain_stats
         and np.array_equal(ref_cache.tags, fast_cache.tags)
         and np.array_equal(ref_cache.dirty, fast_cache.dirty)
         and np.array_equal(ref_cache.meta, fast_cache.meta)
         and np.array_equal(ref_cache.stamp, fast_cache.stamp)
+        and np.array_equal(ref_cache.tags, plain_cache.tags)
+        and np.array_equal(ref_cache.dirty, plain_cache.dirty)
+        and np.array_equal(ref_cache.meta, plain_cache.meta)
+        and np.array_equal(ref_cache.stamp, plain_cache.stamp)
     )
-    return ref_s, fast_s, identical, ref_stats.miss_rate
+    return ref_s, fast_s, plain_s, identical, ref_stats.miss_rate
 
 
-def run(trace_lengths, policies, geometry, warmup=0.0):
-    """Benchmark the matrix; returns the result-dict list."""
+def run(matrix, policies, geometry, warmup=0.0):
+    """Benchmark ``(trace_kind, length)`` pairs x policies."""
     results = []
-    for n in trace_lengths:
-        pages, is_write, scores = make_trace(n, geometry)
+    for kind, n in matrix:
+        pages, is_write, scores = make_trace(n, geometry, kind)
         threshold = float(np.quantile(scores, 0.1))
         factories = policy_factories(pages, threshold)
         for name in policies:
-            ref_s, fast_s, identical, miss_rate = bench_one(
+            ref_s, fast_s, plain_s, identical, miss_rate = bench_one(
                 geometry, factories[name], pages, is_write,
                 scores, warmup,
             )
             row = {
                 "policy": name,
+                "trace": kind,
                 "trace_length": int(n),
                 "reference_s": round(ref_s, 4),
                 "fast_s": round(fast_s, 4),
+                "fast_no_collapse_s": round(plain_s, 4),
                 "reference_accesses_per_s": round(n / ref_s, 1),
                 "fast_accesses_per_s": round(n / fast_s, 1),
                 "speedup": round(ref_s / fast_s, 2),
+                "set_run_speedup": round(plain_s / fast_s, 2),
                 "stats_identical": identical,
                 "miss_rate": round(miss_rate, 4),
             }
             results.append(row)
             print(
-                f"{name:8s} n={n:>9,d}  ref {row['reference_accesses_per_s']:>12,.0f}/s"
+                f"{name:8s} {kind:12s} n={n:>9,d}"
+                f"  ref {row['reference_accesses_per_s']:>12,.0f}/s"
                 f"  fast {row['fast_accesses_per_s']:>12,.0f}/s"
-                f"  speedup {row['speedup']:5.1f}x"
+                f"  speedup {row['speedup']:6.1f}x"
+                f"  set-run {row['set_run_speedup']:5.1f}x"
                 f"  identical={identical}"
             )
     return results
@@ -180,6 +238,17 @@ def validate(payload: dict) -> list[str]:
                 )
         if not row.get("stats_identical", False):
             problems.append(f"results[{i}]: fast/reference diverged")
+        if (
+            not payload.get("smoke")
+            and row.get("trace") == "hammer-set"
+            and row.get("policy") in SET_RUN_POLICIES
+            and row.get("set_run_speedup", 0.0) < MIN_SET_RUN_SPEEDUP
+        ):
+            problems.append(
+                f"results[{i}]: set-run collapse speedup"
+                f" {row.get('set_run_speedup')} <"
+                f" {MIN_SET_RUN_SPEEDUP}x on hammer-set"
+            )
     return problems
 
 
@@ -238,19 +307,27 @@ def main(argv=None) -> int:
     geometry = CacheGeometry()
     if args.smoke:
         lengths = args.lengths or [20_000]
+        matrix = [("skew", n) for n in lengths]
+        matrix += [("hammer-set", lengths[0])]
         policies = ("lru", "gmm", "clock")
         output = args.output or "BENCH_sim_throughput.smoke.json"
     else:
         lengths = args.lengths or [100_000, 1_000_000]
+        matrix = [("skew", n) for n in lengths]
+        matrix += [
+            ("hammer-page", lengths[-1]),
+            ("hammer-set", lengths[-1]),
+        ]
         policies = (
             "lru", "fifo", "lfu", "clock", "slru", "2q",
             "random", "counter-random", "belady", "gmm",
         )
         output = args.output or "BENCH_sim_throughput.json"
 
-    results = run(lengths, policies, geometry)
+    results = run(matrix, policies, geometry)
     payload = {
         "bench": "sim_throughput",
+        "smoke": bool(args.smoke),
         "geometry": {
             "capacity_bytes": geometry.capacity_bytes,
             "block_bytes": geometry.block_bytes,

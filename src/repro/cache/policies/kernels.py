@@ -88,6 +88,20 @@ class PolicyKernel:
     #: falls back to one round per access for them.
     supports_hit_runs = True
 
+    #: When True, the engine may collapse a contiguous same-set span
+    #: of *distinct-page* hits into per-way ``on_hit_runs`` updates
+    #: whose hit indices are **not consecutive** (hits on the span's
+    #: other ways interleave).  That is sound exactly when a hit's
+    #: update is *order-commutative across ways*: it touches only its
+    #: own way's metadata (or is idempotent) and composes from the
+    #: (first, last, count) summary alone.  LRU / FIFO / CLOCK / 2Q /
+    #: score / Belady / counter-random qualify; SLRU does **not**
+    #: (a promotion can demote a *different* way, so hit order within
+    #: the set matters), nor does decaying LFU (each hit rescales the
+    #: whole set row).  Deliberately False on the base class: a new
+    #: kernel must opt in after checking its cross-way semantics.
+    supports_set_runs = False
+
     def __init__(
         self, policy: ReplacementPolicy, cache: "SetAssociativeCache"
     ) -> None:
@@ -128,6 +142,15 @@ class PolicyKernel:
         hit the same block, and a kernel whose update depends on
         their individual values must clear ``supports_hit_runs``
         instead of overriding this.
+
+        Kernels that additionally declare ``supports_set_runs`` are
+        called with a weaker guarantee: the ``counts[i]`` hits all
+        land on row ``i``'s block between ``first_idx[i]`` and
+        ``last_idx[i]``, but hits on *other ways of the same set*
+        may interleave (the indices are increasing, not
+        consecutive).  Every registered set-run kernel's composite
+        depends only on the summary arguments, so the same
+        implementation serves both contracts.
 
         Default (recency refresh): the last hit's stamp wins.
         """
@@ -229,6 +252,8 @@ def _argmax_rows(values: np.ndarray) -> np.ndarray:
 class LruKernel(PolicyKernel):
     """LRU: base recency refresh, evict the oldest stamp."""
 
+    supports_set_runs = True
+
     def select_victims(self, sets, idx):
         return _argmin_rows(self.cache.stamp[sets])
 
@@ -236,6 +261,8 @@ class LruKernel(PolicyKernel):
 @register_kernel(FifoPolicy)
 class FifoKernel(PolicyKernel):
     """FIFO: hits do not refresh; evict the earliest fill."""
+
+    supports_set_runs = True
 
     def on_hits(self, sets, ways, idx, scores):
         pass
@@ -257,8 +284,11 @@ class LfuKernel(PolicyKernel):
     def __init__(self, policy, cache):
         super().__init__(policy, cache)
         # With decay, k sequential (meta * d) multiplies are not the
-        # same float64 value as meta * d**k -- no exact closed form.
+        # same float64 value as meta * d**k -- no exact closed form;
+        # worse, each decayed hit rescales the *whole* set row, so
+        # hit order across ways matters too (no set-run collapse).
         self.supports_hit_runs = policy.decay == 1.0
+        self.supports_set_runs = policy.decay == 1.0
 
     def on_hits(self, sets, ways, idx, scores):
         cache = self.cache
@@ -295,7 +325,13 @@ class ClockKernel(PolicyKernel):
     hand position) is replayed with one rotation per round.  Hands are
     mirrored into a dense array for vector gather/scatter and written
     back to the policy's sparse dict in :meth:`finalize`.
+
+    Set-run safe: a hit only sets its own way's reference bit
+    (idempotent) and the hand moves only at evictions, which the
+    set-run engine resolves sequentially.
     """
+
+    supports_set_runs = True
 
     def __init__(self, policy, cache):
         super().__init__(policy, cache)
@@ -363,7 +399,12 @@ class CounterRandomKernel(PolicyKernel):
     arithmetic.  Because the draw ignores every other access, chunk
     reordering is invisible and parity with the scalar reference is
     exact (unlike the sequential-stream ``RandomPolicy``).
+
+    Set-run safe: hits take the base recency refresh (own-way stamp
+    only) and victim draws are pure functions of the access index.
     """
+
+    supports_set_runs = True
 
     def select_victims(self, sets, idx):
         draws = splitmix64_array(
@@ -427,7 +468,13 @@ class SlruKernel(PolicyKernel):
 
 @register_kernel(TwoQPolicy)
 class TwoQKernel(PolicyKernel):
-    """2Q: A1in/Am segments in ``meta``, FIFO within A1in."""
+    """2Q: A1in/Am segments in ``meta``, FIFO within A1in.
+
+    Set-run safe: an A1in -> Am promotion writes only the hit way's
+    segment bit (idempotent), never another way's.
+    """
+
+    supports_set_runs = True
 
     def on_hits(self, sets, ways, idx, scores):
         self.cache.stamp[sets, ways] = idx.astype(np.float64)
@@ -457,6 +504,8 @@ class TwoQKernel(PolicyKernel):
 class BeladyKernel(PolicyKernel):
     """Belady/OPT: next-use distances in ``meta``, evict the farthest."""
 
+    supports_set_runs = True
+
     def on_hits(self, sets, ways, idx, scores):
         self.cache.stamp[sets, ways] = idx.astype(np.float64)
         self.cache.meta[sets, ways] = self.policy._next_use[idx]
@@ -484,8 +533,11 @@ class ScoreKernel(PolicyKernel):
     (``GmmCachePolicy``, ``LstmCachePolicy``); the combined-view
     :class:`~repro.core.policy.CombinedIcgmmPolicy` overrides
     ``fill_meta`` and therefore registers its own kernel (see
-    :class:`CombinedScoreKernel`).
+    :class:`CombinedScoreKernel`, which inherits set-run support --
+    both only ever write the hit way's stamp/score).
     """
+
+    supports_set_runs = True
 
     def __init__(self, policy, cache):
         super().__init__(policy, cache)

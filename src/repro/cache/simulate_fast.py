@@ -61,6 +61,25 @@ registered policy, on every trace.  The mechanism:
     of distinct pages) thereby degrades gracefully to the pure
     reference loop.
 
+5.  **Same-set run collapse.**  Same-set rounds cap progress at one
+    representative per set per round, so a *set-skewed* trace (one
+    scorching set hammered with a handful of distinct pages) used to
+    degenerate to rounds of width one and thence to the scalar tail.
+    For kernels whose hit updates are order-commutative *across ways*
+    (``supports_set_runs`` -- LRU/FIFO/CLOCK/2Q/score/Belady/
+    counter-random, and LFU without decay; SLRU and decayed LFU
+    refuse), a contiguous span of same-set representatives collapses
+    into one round element: the span's resident-page runs group by
+    way into closed-form ``on_hit_runs`` updates (hits on different
+    ways commute, so only each way's first/last/count summary is
+    needed), and each miss resolves exactly in sequence -- admission,
+    victim selection, fill, follower collapse -- with the span's
+    remaining page->way matches patched incrementally.  Spans whose
+    resolved prefix turns out miss-heavy bail to the scalar span
+    (per-set order is preserved at any cut, so exactness survives the
+    handoff).  Single-set and few-set hammer traces thus run at
+    vector speed instead of scalar speed.
+
 Policies without a registered kernel (notably ``RandomPolicy``,
 whose RNG draw order cannot survive reordering, and user subclasses
 that override scalar hooks) fall back to the reference
@@ -105,6 +124,20 @@ DEFAULT_MIN_ROUND_WIDTH = 48
 #: density the collapsible work cannot repay them, and the chunk
 #: takes the plain per-access path (identical results either way).
 RUN_BATCH_MIN_FOLLOWER_FRACTION = 1 / 8
+
+#: A set-run span resolver tolerates this many misses before it
+#: starts watching its miss density; once misses exceed a quarter of
+#: the representatives resolved, the span's remainder is handed to
+#: the scalar span (each miss costs an O(remaining-span) rematch, so
+#: a miss-heavy span would otherwise go quadratic).
+SET_RUN_BAIL_MIN_MISSES = 8
+
+#: Minimum runs in a contiguous same-set span before it collapses
+#: into one round element.  A span resolver costs a few dozen numpy
+#: calls regardless of span length; below this the per-element round
+#: machinery is cheaper, so short spans are expanded back into
+#: singleton elements (identical results, just a different schedule).
+SET_RUN_MIN_SPAN_REPS = 48
 
 
 def _count(mask: np.ndarray) -> int:
@@ -602,6 +635,362 @@ def _resolve_runs(
         )
 
 
+def _rank_rounds(
+    element_sets: np.ndarray, n_sets: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Per-set occurrence-rank round assignment.
+
+    ``element_sets`` holds the cache set of each round element in
+    access order; returns ``(bounds, seq, max_rank)`` such that round
+    ``r`` processes elements ``seq[bounds[r]:bounds[r+1]]`` -- every
+    set at most once per round, and a set's elements spread over
+    consecutive rounds in access order (the only ordering the
+    simulation depends on).  Rounds are *contiguous* in ``seq`` so
+    the per-round work operates on views; ordering set groups by
+    descending size turns the placement into a direct scatter (see
+    the inline comments at the original call site in earlier
+    revisions).  Sorting a uint16 key engages numpy's fast radix
+    path (~8x over int64 comparison sort).
+    """
+    m = element_sets.shape[0]
+    sort_key = (
+        element_sets.astype(np.uint16)
+        if n_sets <= 65536
+        else element_sets
+    )
+    order = np.argsort(sort_key, kind="stable")
+    sorted_sets = element_sets[order]
+    new_group = np.empty(m, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_sets[1:] != sorted_sets[:-1]
+    group_starts = np.nonzero(new_group)[0]
+    group_sizes = np.diff(np.append(group_starts, m))
+    max_rank = int(group_sizes.max())
+    sorted_rank = np.arange(m) - np.repeat(group_starts, group_sizes)
+    round_sizes = np.bincount(sorted_rank, minlength=max_rank)
+    bounds = np.concatenate(([0], np.cumsum(round_sizes)))
+    n_groups = group_starts.shape[0]
+    size_desc = np.argsort(-group_sizes, kind="stable")
+    slot_of_group = np.empty(n_groups, dtype=np.int64)
+    slot_of_group[size_desc] = np.arange(n_groups)
+    group_of = np.cumsum(new_group) - 1
+    seq = np.empty(m, dtype=np.int64)
+    seq[bounds[sorted_rank] + slot_of_group[group_of]] = order
+    return bounds, seq, max_rank
+
+
+def _run_scalar_tail(
+    cache: SetAssociativeCache,
+    policy: ReplacementPolicy,
+    kernel: PolicyKernel,
+    stats: CacheStats,
+    pages: np.ndarray,
+    is_write: np.ndarray,
+    scores: np.ndarray,
+    positions: np.ndarray,
+    base: int,
+    measure_from: int,
+    outcome: np.ndarray | None,
+    outcome_base: int,
+) -> None:
+    """Reference-loop replay of chunk ``positions`` in access order.
+
+    Flushes kernel-side mirrors into the policy, runs the exact
+    scalar span, and reloads -- the shared epilogue of every
+    vector-path bailout.
+    """
+    tags_list = cache.tags.tolist()
+    kernel.flush()
+    _scalar_span(
+        cache,
+        policy,
+        tags_list,
+        [int(p) for p in pages[positions]],
+        [bool(w) for w in is_write[positions]],
+        [float(s) for s in scores[positions]],
+        [base + int(p) for p in positions],
+        measure_from,
+        stats,
+        outcome=outcome,
+        outcome_base=outcome_base,
+    )
+    kernel.reload()
+
+
+def _apply_span_hits(
+    cache: SetAssociativeCache,
+    kernel: PolicyKernel,
+    stats: CacheStats,
+    runs: _ChunkRuns,
+    ids: np.ndarray,
+    ways: np.ndarray,
+    set_index: int,
+    outcome: np.ndarray | None,
+    chunk_start: int,
+) -> None:
+    """Collapsed update for a span segment of all-resident runs.
+
+    ``ids`` are consecutive run ids of one set whose pages are all
+    resident (on way ``ways[i]``); every member access is a hit.
+    Runs group by way, and each way receives one ``on_hit_runs``
+    composite -- sound because set-run kernels' hit updates commute
+    across ways (the ``supports_set_runs`` contract), so interleaved
+    hit order between ways cannot change the outcome.
+    """
+    order = np.argsort(ways, kind="stable")
+    ids_sorted = ids[order]
+    ways_sorted = ways[order]
+    m = ids_sorted.shape[0]
+    boundary = np.empty(m, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = ways_sorted[1:] != ways_sorted[:-1]
+    group_starts = np.nonzero(boundary)[0]
+    group_sizes = np.diff(np.append(group_starts, m))
+    lo = runs.rep_pos[ids_sorted]
+    hi = runs.run_end[ids_sorted]
+    counts = np.add.reduceat(hi - lo, group_starts)
+    measured = np.add.reduceat(
+        runs.measured_in(lo, hi), group_starts
+    )
+    measured_writes = np.add.reduceat(
+        runs.measured_writes_in(lo, hi), group_starts
+    )
+    writes = np.add.reduceat(runs.writes_in(lo, hi), group_starts)
+    stats.hits += int(measured.sum())
+    stats.write_hits += int(measured_writes.sum())
+    group_ways = ways_sorted[group_starts]
+    wet = writes > 0
+    if wet.any():
+        cache.dirty[set_index, group_ways[wet]] = True
+    first_member = ids_sorted[group_starts]
+    last_member = ids_sorted[group_starts + group_sizes - 1]
+    first_pos = runs.rep_pos[first_member]
+    last_pos = runs.run_end[last_member] - 1
+    kernel.on_hit_runs(
+        np.full(group_ways.shape[0], set_index, dtype=np.int64),
+        group_ways,
+        first_pos + runs.base,
+        last_pos + runs.base,
+        counts,
+        runs.scores[first_pos],
+        runs.scores[last_pos],
+    )
+    if outcome is not None:
+        flat = _ranges(runs.rep_pos[ids], runs.run_len[ids])
+        outcome[flat + chunk_start] = OUTCOME_HIT
+
+
+def _resolve_miss_run(
+    cache: SetAssociativeCache,
+    kernel: PolicyKernel,
+    stats: CacheStats,
+    runs: _ChunkRuns,
+    rep_id: int,
+    set_index: int,
+    outcome: np.ndarray | None,
+    chunk_start: int,
+) -> tuple[int, int] | None:
+    """Exact resolution of one whole run opening with a miss.
+
+    The run's page is absent: leading admission refusals are
+    bypassed misses, the first admitted member fills (victim
+    selection included), and the remainder collapses into a hit run
+    on the filled way -- the span-path analogue of
+    :func:`_resolve_bypass_runs`, for a single run that *starts* at
+    its representative.  Returns ``(page, victim_way)`` when a fill
+    happened (the caller must re-match later span pages against the
+    changed tag), else ``None``.
+    """
+    record = outcome is not None
+    p_lo = int(runs.rep_pos[rep_id])
+    p_hi = int(runs.run_end[rep_id])
+    if kernel.admits_all:
+        first_adm = 0
+    else:
+        members = np.arange(p_lo, p_hi, dtype=np.int64)
+        admitted = kernel.admit(
+            runs.pages[members],
+            runs.scores[members],
+            runs.is_write[members],
+            members + runs.base,
+        )
+        first_adm = (
+            int(admitted.argmax())
+            if admitted.any()
+            else p_hi - p_lo
+        )
+    if first_adm > 0:
+        span = (
+            np.asarray([p_lo]),
+            np.asarray([p_lo + first_adm]),
+        )
+        bypassed = int(runs.measured_in(*span)[0])
+        bypassed_writes = int(runs.measured_writes_in(*span)[0])
+        stats.misses += bypassed
+        stats.write_misses += bypassed_writes
+        stats.bypasses += bypassed
+        stats.bypassed_writes += bypassed_writes
+        if record:
+            outcome[
+                np.arange(p_lo, p_lo + first_adm) + chunk_start
+            ] = OUTCOME_BYPASS
+    if first_adm == p_hi - p_lo:
+        return None
+    fill_pos = p_lo + first_adm
+    fill_measured = bool(
+        runs.measured_in(
+            np.asarray([fill_pos]), np.asarray([fill_pos + 1])
+        )[0]
+    )
+    fill_write = bool(runs.is_write[fill_pos])
+    if fill_measured:
+        stats.misses += 1
+        if fill_write:
+            stats.write_misses += 1
+        stats.fills += 1
+    page = int(runs.pages[fill_pos])
+    idx = fill_pos + runs.base
+    invalid = np.nonzero(cache.tags[set_index] == INVALID)[0]
+    if invalid.size:
+        victim = int(invalid[0])
+        if record:
+            outcome[fill_pos + chunk_start] = OUTCOME_FILL
+    else:
+        victim = int(
+            kernel.select_victims(
+                np.asarray([set_index]), np.asarray([idx])
+            )[0]
+        )
+        victim_dirty = bool(cache.dirty[set_index, victim])
+        if fill_measured:
+            stats.evictions += 1
+            if victim_dirty:
+                stats.dirty_evictions += 1
+        if record:
+            outcome[fill_pos + chunk_start] = (
+                OUTCOME_DIRTY_EVICT if victim_dirty else OUTCOME_EVICT
+            )
+    cache.tags[set_index, victim] = page
+    cache.dirty[set_index, victim] = fill_write
+    cache.meta[set_index, victim] = kernel.fill_meta(
+        np.asarray([page]),
+        runs.scores[fill_pos : fill_pos + 1],
+        np.asarray([idx]),
+    )[0]
+    cache.stamp[set_index, victim] = float(idx)
+    if p_hi - fill_pos > 1:
+        _resolve_hit_runs(
+            cache,
+            kernel,
+            stats,
+            runs,
+            np.asarray([rep_id]),
+            np.asarray([victim]),
+            np.asarray([fill_pos + 1]),
+            outcome,
+            chunk_start,
+        )
+    return page, victim
+
+
+def _resolve_set_span(
+    cache: SetAssociativeCache,
+    kernel: PolicyKernel,
+    policy: ReplacementPolicy,
+    stats: CacheStats,
+    runs: _ChunkRuns,
+    rep_lo: int,
+    rep_count: int,
+    outcome: np.ndarray | None,
+    chunk_start: int,
+    outcome_base: int,
+    measure_from: int,
+) -> None:
+    """Resolve one contiguous same-set span of ``rep_count`` runs.
+
+    Pages are matched against the set's tags once; maximal resident
+    segments collapse through :func:`_apply_span_hits` and each miss
+    resolves exactly in sequence, patching the remaining matches
+    against the filled tag (a fill changes exactly one way, so only
+    runs matching the evicted tag or the filled page flip state).
+    Spans that turn out miss-heavy bail to the scalar span -- per-set
+    order is preserved at any cut, so the handoff stays exact.
+    """
+    rep_ids = np.arange(rep_lo, rep_lo + rep_count, dtype=np.int64)
+    rep_positions = runs.rep_pos[rep_ids]
+    rep_pages = runs.pages[rep_positions]
+    set_index = int(runs.sets[rep_positions[0]])
+    match = rep_pages[:, None] == cache.tags[set_index][None, :]
+    found = match.any(axis=1)
+    way_of = np.where(found, match.argmax(axis=1), -1)
+    cursor = 0
+    misses = 0
+    hit_reps = 0
+    while cursor < rep_count:
+        absent = way_of[cursor:] < 0
+        stop_rel = (
+            int(absent.argmax()) if absent.any() else absent.shape[0]
+        )
+        stop = cursor + stop_rel
+        if stop > cursor:
+            _apply_span_hits(
+                cache,
+                kernel,
+                stats,
+                runs,
+                rep_ids[cursor:stop],
+                way_of[cursor:stop],
+                set_index,
+                outcome,
+                chunk_start,
+            )
+            hit_reps += stop - cursor
+        if stop == rep_count:
+            return
+        fill = _resolve_miss_run(
+            cache,
+            kernel,
+            stats,
+            runs,
+            int(rep_ids[stop]),
+            set_index,
+            outcome,
+            chunk_start,
+        )
+        misses += 1
+        if fill is not None:
+            page, victim = fill
+            tail_ways = way_of[stop + 1 :]
+            tail_pages = rep_pages[stop + 1 :]
+            np.copyto(tail_ways, -1, where=tail_ways == victim)
+            np.copyto(tail_ways, victim, where=tail_pages == page)
+        cursor = stop + 1
+        if (
+            cursor < rep_count
+            and misses >= SET_RUN_BAIL_MIN_MISSES
+            and 4 * misses > misses + hit_reps
+        ):
+            rest = rep_ids[cursor:]
+            positions = _ranges(
+                runs.rep_pos[rest], runs.run_len[rest]
+            )
+            _run_scalar_tail(
+                cache,
+                policy,
+                kernel,
+                stats,
+                runs.pages,
+                runs.is_write,
+                runs.scores,
+                positions,
+                runs.base,
+                measure_from,
+                outcome,
+                outcome_base,
+            )
+            return
+
+
 def simulate_fast(
     cache: SetAssociativeCache,
     policy: ReplacementPolicy,
@@ -614,6 +1003,7 @@ def simulate_fast(
     index_offset: int = 0,
     outcome: np.ndarray | None = None,
     run_batching: bool = True,
+    set_run_collapse: bool = True,
 ) -> CacheStats:
     """Vectorized drop-in replacement for
     :func:`repro.cache.setassoc.simulate`.
@@ -644,6 +1034,12 @@ def simulate_fast(
         updates (mechanism 2 above).  On by default; the switch
         exists for differential testing and for timing the unbatched
         engine.
+    set_run_collapse:
+        Collapse contiguous same-set spans of runs into single round
+        elements for order-commutative kernels (mechanism 5 above).
+        On by default (kernels without ``supports_set_runs`` refuse
+        it regardless); the switch exists for differential testing
+        and for timing the uncollapsed engine.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
@@ -721,45 +1117,141 @@ def simulate_fast(
                     c_scores,
                     chunk_measured,
                 )
+
+        # Same-set run collapse (mechanism 5): group contiguous
+        # same-set runs into spans and make *spans* the round
+        # elements.  Engages only when the kernel's hit updates
+        # commute across ways and the chunk actually contains a
+        # multi-run span; otherwise the rep-per-element path below
+        # runs unchanged.
+        spans = None
+        if (
+            runs is not None
+            and set_run_collapse
+            and kernel.supports_set_runs
+            and (kernel.admits_all or kernel.pure_admission)
+        ):
+            rep_sets = c_sets[runs.rep_pos]
+            n_reps = rep_sets.shape[0]
+            new_span = np.empty(n_reps, dtype=bool)
+            new_span[0] = True
+            np.not_equal(
+                rep_sets[1:], rep_sets[:-1], out=new_span[1:]
+            )
+            span_first = np.nonzero(new_span)[0]
+            span_count = np.diff(np.append(span_first, n_reps))
+            collapse = span_count >= SET_RUN_MIN_SPAN_REPS
+            if collapse.any():
+                # Sub-threshold spans cost more to resolve than the
+                # per-element round machinery saves; expand them back
+                # into singleton elements (one per run, consecutive
+                # ranks -- same schedule the plain path would give
+                # them).
+                per_span = np.where(collapse, 1, span_count)
+                offsets = np.repeat(
+                    np.cumsum(per_span) - per_span, per_span
+                )
+                within = np.arange(int(per_span.sum())) - offsets
+                spans = (
+                    np.repeat(span_first, per_span) + within,
+                    np.repeat(
+                        np.where(collapse, span_count, 1), per_span
+                    ),
+                )
+
+        if spans is not None:
+            span_first, span_count = spans
+            bounds, seq, max_rank = _rank_rounds(
+                rep_sets[span_first], n_sets
+            )
+            cum_len = np.concatenate(
+                ([0], np.cumsum(runs.run_len))
+            )
+            span_weight = (
+                cum_len[span_first + span_count]
+                - cum_len[span_first]
+            )
+            rank = 0
+            while rank < max_rank:
+                round_spans = seq[bounds[rank] : bounds[rank + 1]]
+                if (
+                    int(span_weight[round_spans].sum())
+                    < min_round_width
+                ):
+                    break
+                single = span_count[round_spans] == 1
+                singles = round_spans[single]
+                if singles.size:
+                    rep_rows = span_first[singles]
+                    pos = runs.rep_pos[rep_rows]
+                    idxs = pos + base
+                    resident = np.ones(pos.shape[0], dtype=bool)
+                    _process_round(
+                        cache,
+                        kernel,
+                        stats,
+                        c_pages[pos],
+                        c_sets[pos],
+                        c_write[pos],
+                        c_scores[pos],
+                        idxs,
+                        chunk_measured
+                        if isinstance(chunk_measured, bool)
+                        else idxs >= measure_from,
+                        scratch,
+                        outcome=outcome,
+                        outcome_base=index_offset,
+                        resident=resident,
+                    )
+                    _resolve_runs(
+                        cache,
+                        kernel,
+                        stats,
+                        runs,
+                        rep_rows,
+                        c_sets[pos],
+                        c_pages[pos],
+                        resident,
+                        outcome,
+                        start,
+                    )
+                for span_id in round_spans[~single]:
+                    _resolve_set_span(
+                        cache,
+                        kernel,
+                        policy,
+                        stats,
+                        runs,
+                        int(span_first[span_id]),
+                        int(span_count[span_id]),
+                        outcome,
+                        start,
+                        index_offset,
+                        measure_from,
+                    )
+                rank += 1
+            if rank < max_rank:
+                remaining = seq[bounds[rank] :]
+                remaining_reps = _ranges(
+                    span_first[remaining], span_count[remaining]
+                )
+                tail_positions = np.sort(
+                    _ranges(
+                        runs.rep_pos[remaining_reps],
+                        runs.run_len[remaining_reps],
+                    )
+                )
+                _run_scalar_tail(
+                    cache, policy, kernel, stats,
+                    c_pages, c_write, c_scores, tail_positions,
+                    base, measure_from, outcome, index_offset,
+                )
+            continue
+
         sel = runs.rep_pos if runs is not None else None
         sel_sets = c_sets if sel is None else c_sets[sel]
-        msel = sel_sets.shape[0]
-
-        # Per-set occurrence rank within the chunk: `order` sorts the
-        # representatives by set (stable, so by access order within a
-        # set); round r holds the r-th touch of every set touched
-        # >= r+1 times.  Sorting a uint16 key engages numpy's fast
-        # radix path (~8x over int64 comparison sort).
-        sort_key = (
-            sel_sets.astype(np.uint16) if n_sets <= 65536 else sel_sets
-        )
-        order = np.argsort(sort_key, kind="stable")
-        sorted_sets = sel_sets[order]
-        new_group = np.empty(msel, dtype=bool)
-        new_group[0] = True
-        new_group[1:] = sorted_sets[1:] != sorted_sets[:-1]
-        group_starts = np.nonzero(new_group)[0]
-        group_sizes = np.diff(np.append(group_starts, msel))
-        max_rank = int(group_sizes.max())
-        sorted_rank = np.arange(msel) - np.repeat(
-            group_starts, group_sizes
-        )
-        # Make rounds *contiguous*: round r occupies
-        # bounds[r]:bounds[r+1] of `seq`, so the per-round work below
-        # operates on views instead of gathers.  Within a round any
-        # set order is valid (sets are distinct); ordering groups by
-        # descending size means the sets alive at rank r are exactly
-        # the first round_sizes[r] groups, which turns the placement
-        # into a direct scatter instead of a second argsort.
-        round_sizes = np.bincount(sorted_rank, minlength=max_rank)
-        bounds = np.concatenate(([0], np.cumsum(round_sizes)))
-        n_groups = group_starts.shape[0]
-        size_desc = np.argsort(-group_sizes, kind="stable")
-        slot_of_group = np.empty(n_groups, dtype=np.int64)
-        slot_of_group[size_desc] = np.arange(n_groups)
-        group_of = np.cumsum(new_group) - 1
-        seq = np.empty(msel, dtype=np.int64)
-        seq[bounds[sorted_rank] + slot_of_group[group_of]] = order
+        bounds, seq, max_rank = _rank_rounds(sel_sets, n_sets)
+        round_sizes = np.diff(bounds)
 
         sel_pos = seq if sel is None else sel[seq]
         r_pages = c_pages[sel_pos]
@@ -837,22 +1329,11 @@ def simulate_fast(
                         runs.run_len[tail_reps],
                     )
                 )
-            tags_list = cache.tags.tolist()
-            kernel.flush()
-            _scalar_span(
-                cache,
-                policy,
-                tags_list,
-                [int(p) for p in c_pages[tail_positions]],
-                [bool(w) for w in c_write[tail_positions]],
-                [float(s) for s in c_scores[tail_positions]],
-                [base + int(p) for p in tail_positions],
-                measure_from,
-                stats,
-                outcome=outcome,
-                outcome_base=index_offset,
+            _run_scalar_tail(
+                cache, policy, kernel, stats,
+                c_pages, c_write, c_scores, tail_positions,
+                base, measure_from, outcome, index_offset,
             )
-            kernel.reload()
 
     kernel.finalize()
     return stats

@@ -31,6 +31,7 @@ from repro.core.config import (
 )
 from repro.core.engine import GmmPolicyEngine
 from repro.core.experiment import run_suite
+from repro.core.pipeline import StageProfiler
 from repro.core.system import IcgmmSystem
 from repro.cxl.fabric import CxlFabric
 from repro.hardware import (
@@ -75,6 +76,7 @@ def _add_run(subparsers) -> None:
     parser.add_argument("workload", choices=WORKLOAD_NAMES)
     parser.add_argument("--trace-length", type=int, default=None)
     parser.add_argument("--components", type=int, default=None)
+    _add_profile_argument(parser)
     parser.add_argument("--seed", type=int, default=42)
 
 
@@ -145,6 +147,34 @@ def _add_serve(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=42)
 
 
+def _add_profile_argument(parser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-stage wall-clock (Prepare/Score/Simulate/"
+            "Price) from the staged pipeline after the run"
+        ),
+    )
+
+
+def _print_profile(pipeline) -> None:
+    """Render an attached :class:`StageProfiler`'s stage table."""
+    profiler = pipeline.profiler
+    if profiler is None or not profiler.seconds:
+        return
+    print()
+    print(
+        render_table(
+            ["stage", "calls", "seconds", "share %"],
+            [
+                [name, calls, seconds, 100.0 * share]
+                for name, calls, seconds, share in profiler.rows()
+            ],
+        )
+    )
+
+
 def _add_parallel_arguments(parser, what: str) -> None:
     """The shared ``--workers`` / ``--parallel-backend`` flags."""
     parser.add_argument(
@@ -205,6 +235,7 @@ def _add_fabric(subparsers) -> None:
         ),
     )
     _add_parallel_arguments(parser, "per-device replays")
+    _add_profile_argument(parser)
     parser.add_argument("--seed", type=int, default=42)
 
 
@@ -245,6 +276,8 @@ def _config_from_args(args) -> IcgmmConfig:
 
 def _cmd_run(args) -> int:
     system = IcgmmSystem(_config_from_args(args))
+    if args.profile:
+        system.pipeline.profiler = StageProfiler()
     result = system.run_benchmark(args.workload)
     rows = [
         [
@@ -264,6 +297,7 @@ def _cmd_run(args) -> int:
         f" (-{result.miss_reduction_points:.2f} pts,"
         f" -{result.time_reduction_percent:.1f}% time)"
     )
+    _print_profile(system.pipeline)
     return 0
 
 
@@ -368,28 +402,33 @@ def _cmd_serve(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    step = serving.chunk_requests * max(1, args.report_every)
-    for start in range(0, len(pages), step):
-        reports = service.ingest(
-            pages[start : start + step],
-            is_write[start : start + step],
-        )
-        window_hits = sum(r.stats.hits for r in reports)
-        window_total = sum(r.stats.accesses for r in reports)
-        window_miss = (
-            100.0 * (1.0 - window_hits / window_total)
-            if window_total
-            else 0.0
-        )
-        swapped = any(r.swapped for r in reports)
-        print(
-            f"  cursor {service.access_cursor:>9,d}"
-            f"  window miss {window_miss:6.2f}%"
-            f"  generation {service.generation}"
-            f"{'  [engine swapped]' if swapped else ''}"
-        )
+    try:
+        step = serving.chunk_requests * max(1, args.report_every)
+        for start in range(0, len(pages), step):
+            reports = service.ingest(
+                pages[start : start + step],
+                is_write[start : start + step],
+            )
+            window_hits = sum(r.stats.hits for r in reports)
+            window_total = sum(r.stats.accesses for r in reports)
+            window_miss = (
+                100.0 * (1.0 - window_hits / window_total)
+                if window_total
+                else 0.0
+            )
+            swapped = any(r.swapped for r in reports)
+            print(
+                f"  cursor {service.access_cursor:>9,d}"
+                f"  window miss {window_miss:6.2f}%"
+                f"  generation {service.generation}"
+                f"{'  [engine swapped]' if swapped else ''}"
+            )
 
-    summary = service.summary()
+        summary = service.summary()
+    finally:
+        # Deterministic teardown even on a failed ingest: the shard
+        # executor pool (and any shared planes) must not leak.
+        service.close()
     print()
     print(
         render_table(
@@ -426,7 +465,6 @@ def _cmd_serve(args) -> int:
         f" {len(summary['swaps'])} engine swap(s),"
         f" generation {summary['generation']}"
     )
-    service.close()
     return 0
 
 
@@ -448,14 +486,21 @@ def _cmd_fabric(args) -> int:
     fabric = CxlFabric(
         topology, config=config, parallel=_parallel_from_args(args)
     )
+    if args.profile:
+        fabric.pipeline.profiler = StageProfiler()
     print(
         f"preparing {args.workload} through the staged pipeline"
         f" ({args.devices} devices, {args.placement} placement,"
         f" {fabric.parallel.workers} worker(s))..."
     )
-    prepared = fabric.pipeline.prepare(args.workload)
-    result = fabric.run_prepared(prepared, args.strategy)
-    fabric.close()
+    try:
+        prepared = fabric.pipeline.prepare(args.workload)
+        result = fabric.run_prepared(prepared, args.strategy)
+    finally:
+        # Deterministic teardown: the executor pool and any
+        # shared-memory planes must not outlive the command, even
+        # when preparation or replay raises.
+        fabric.close()
     print()
     print(
         render_table(
@@ -485,6 +530,7 @@ def _cmd_fabric(args) -> int:
         f" avg latency {result.average_latency_us:.1f} us"
         f" ({args.strategy})"
     )
+    _print_profile(fabric.pipeline)
     return 0
 
 

@@ -38,6 +38,19 @@ PLACEMENTS = ("interleave", "range", "score")
 #: Valid values of :attr:`ParallelConfig.backend`.
 PARALLEL_BACKENDS = ("thread", "process")
 
+#: Valid values of :attr:`GmmEngineConfig.seeding` /
+#: :attr:`GmmEngineConfig.restart_mode`.  Literal copies of
+#: :data:`repro.gmm.em.SEEDINGS` / :data:`repro.gmm.em.RESTART_MODES`
+#: -- config stays import-leaf-light (no gmm dependency) and the gmm
+#: layer stays core-free; ``tests/gmm/test_train_fast.py`` asserts
+#: the pairs match so they cannot drift apart silently.
+EM_SEEDINGS = ("fast", "reference")
+EM_RESTART_MODES = ("batched", "sequential")
+
+#: Valid values of :attr:`ServingConfig.refresh_mode`
+#: (see :class:`repro.serving.refresh.ModelRefresher`).
+REFRESH_MODES = ("warm", "stepwise")
+
 
 @dataclass(frozen=True)
 class ParallelConfig:
@@ -106,6 +119,17 @@ class GmmEngineConfig:
         Score through the fixed-point pipeline of
         :class:`repro.gmm.quantized.QuantizedGmm` instead of float64
         (hardware-faithful mode).
+    seeding:
+        EM initialisation implementation: ``"fast"`` (default, the
+        vectorized greedy k-means++ of
+        :func:`repro.gmm.kmeans.kmeans_fast`) or ``"reference"``
+        (the sequential reference k-means).
+    restart_mode:
+        How ``n_init`` EM restarts execute: ``"batched"`` (default;
+        all restarts stacked through one fused pass) or
+        ``"sequential"``.  Identical models either way at equal
+        seeds -- the knob exists for differential testing and
+        benchmarking.
     """
 
     n_components: int = 64
@@ -116,6 +140,8 @@ class GmmEngineConfig:
     max_train_samples: int = 40_000
     threshold_quantile: float = 0.02
     use_quantized: bool = False
+    seeding: str = "fast"
+    restart_mode: str = "batched"
 
     def __post_init__(self) -> None:
         if self.n_components < 1:
@@ -125,6 +151,16 @@ class GmmEngineConfig:
         if self.max_train_samples < self.n_components:
             raise ValueError(
                 "max_train_samples must be >= n_components"
+            )
+        if self.seeding not in EM_SEEDINGS:
+            raise ValueError(
+                f"seeding must be one of {EM_SEEDINGS}, got"
+                f" {self.seeding!r}"
+            )
+        if self.restart_mode not in EM_RESTART_MODES:
+            raise ValueError(
+                f"restart_mode must be one of {EM_RESTART_MODES},"
+                f" got {self.restart_mode!r}"
             )
 
 
@@ -367,6 +403,14 @@ class ServingConfig:
         Master switch; with ``False`` the engine stays frozen (the
         paper's deployment) and the loop is exactly reproducible
         against a single-shot run.
+    refresh_mode:
+        Fold-in algorithm of the
+        :class:`~repro.serving.refresh.ModelRefresher`: ``"warm"``
+        (default; warm-started batch EM through the training fast
+        path -- skips seeding, converges in a few fused passes) or
+        ``"stepwise"`` (the original mini-batch stepwise-EM fold).
+    refresh_max_iter:
+        EM iteration budget of the ``"warm"`` fold-in.
     refresh_buffer_chunks:
         Recent chunks of features kept for the refresh fold-in.
     refresh_batch_size:
@@ -395,6 +439,8 @@ class ServingConfig:
     quantile_drift_tolerance: float = 0.25
     drift_patience: int = 2
     refresh_enabled: bool = True
+    refresh_mode: str = "warm"
+    refresh_max_iter: int = 8
     refresh_buffer_chunks: int = 6
     refresh_batch_size: int = 2048
     refresh_step_exponent: float = 0.6
@@ -433,6 +479,13 @@ class ServingConfig:
             raise ValueError("quantile_drift_tolerance must be > 0")
         if self.drift_patience < 1:
             raise ValueError("drift_patience must be >= 1")
+        if self.refresh_mode not in REFRESH_MODES:
+            raise ValueError(
+                f"refresh_mode must be one of {REFRESH_MODES}, got"
+                f" {self.refresh_mode!r}"
+            )
+        if self.refresh_max_iter < 1:
+            raise ValueError("refresh_max_iter must be >= 1")
         if self.refresh_buffer_chunks < 1:
             raise ValueError("refresh_buffer_chunks must be >= 1")
         if self.refresh_batch_size < 1:

@@ -32,6 +32,8 @@ assert.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +44,7 @@ from repro.cache.simulate_fast import simulate_fast
 from repro.cache.stats import CacheStats
 from repro.core.config import STRATEGIES, IcgmmConfig
 from repro.core.engine import GmmPolicyEngine
+from repro.core.parallel import ParallelExecutor
 from repro.core.policy import build_policy, strategy_score_view
 from repro.core.results import BenchmarkResult, StrategyOutcome
 from repro.hardware.latency import LatencyModel
@@ -99,6 +102,55 @@ class PreparedWorkload:
         )
 
 
+class StageProfiler:
+    """Wall-clock accumulator for the pipeline's explicit stages.
+
+    Attach one to :attr:`StagedPipeline.profiler` (the ``--profile``
+    flag of ``repro run`` / ``repro fabric`` does) and every stage
+    entry point records its elapsed time under its stage name --
+    Prepare / Score / Simulate / Price -- so a perf investigation
+    starts from measured stage shares instead of guesses.  Nested
+    stage sections of the same profiler accumulate independently;
+    the profiler is not thread-safe *within* one stage name, which
+    is fine because fan-out callers time the whole dispatch, not the
+    per-worker bodies.
+    """
+
+    #: Canonical display order.
+    STAGES = ("prepare", "score", "simulate", "price")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one section under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def rows(self) -> list[tuple[str, int, float, float]]:
+        """(stage, calls, seconds, share) rows in canonical order."""
+        total = sum(self.seconds.values()) or 1.0
+        ordered = [n for n in self.STAGES if n in self.seconds] + [
+            n for n in sorted(self.seconds) if n not in self.STAGES
+        ]
+        return [
+            (
+                name,
+                self.calls[name],
+                self.seconds[name],
+                self.seconds[name] / total,
+            )
+            for name in ordered
+        ]
+
+
 @dataclass(frozen=True)
 class StrategyPlan:
     """Output of the Score stage for one strategy.
@@ -146,6 +198,17 @@ class StagedPipeline:
             len_access_shot=self.config.len_access_shot,
             timestamp_mode=self.config.timestamp_mode,
         )
+        #: Optional :class:`StageProfiler`; when set, every stage
+        #: entry point (and the fabric's fan-out sections) records
+        #: its wall-clock here.
+        self.profiler: StageProfiler | None = None
+
+    def profile_stage(self, name: str):
+        """Context manager timing one stage section (no-op when no
+        profiler is attached)."""
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.stage(name)
 
     # ------------------------------------------------------------------
     # Stage 1: Prepare
@@ -168,29 +231,56 @@ class StagedPipeline:
         trace: MemoryTrace | None = None,
         rng: np.random.Generator | None = None,
     ) -> PreparedWorkload:
-        """Trace generation, preprocessing, training and scoring."""
-        if rng is None:
-            rng = np.random.default_rng(self.config.seed)
-        if trace is None:
-            trace = self.generate_trace(workload, rng)
-        processed = self._preprocessor.process(trace)
-        features = processed.features
-        n_train = max(1, int(len(processed) * self.config.train_fraction))
-        engine = GmmPolicyEngine.train(
-            features[:n_train], self.config.gmm, rng
-        )
-        scores = engine.score(features)
-        page_frequency_scores = engine.page_scores(
-            processed.page_indices
-        )
-        return PreparedWorkload(
-            name=workload,
-            page_indices=processed.page_indices,
-            is_write=processed.trace.is_write.copy(),
-            scores=scores,
-            page_frequency_scores=page_frequency_scores,
-            engine=engine,
-        )
+        """Trace generation, preprocessing, training and scoring.
+
+        With :attr:`IcgmmConfig.parallel` workers and multiple EM
+        restarts configured, training fans the restarts out through a
+        :class:`~repro.core.parallel.ParallelExecutor` whose pool is
+        torn down before returning (identical models either way).
+        """
+        with self.profile_stage("prepare"):
+            if rng is None:
+                rng = np.random.default_rng(self.config.seed)
+            if trace is None:
+                trace = self.generate_trace(workload, rng)
+            processed = self._preprocessor.process(trace)
+            features = processed.features
+            n_train = max(
+                1, int(len(processed) * self.config.train_fraction)
+            )
+            executor = None
+            if (
+                self.config.parallel.workers != 1
+                and self.config.gmm.n_init > 1
+                and self.config.gmm.restart_mode == "sequential"
+            ):
+                # Batched mode is a single stacked pass -- only the
+                # sequential mode has per-restart work to fan out.
+                executor = ParallelExecutor.from_config(
+                    self.config.parallel
+                )
+            try:
+                engine = GmmPolicyEngine.train(
+                    features[:n_train],
+                    self.config.gmm,
+                    rng,
+                    executor=executor,
+                )
+            finally:
+                if executor is not None:
+                    executor.shutdown()
+            scores = engine.score(features)
+            page_frequency_scores = engine.page_scores(
+                processed.page_indices
+            )
+            return PreparedWorkload(
+                name=workload,
+                page_indices=processed.page_indices,
+                is_write=processed.trace.is_write.copy(),
+                scores=scores,
+                page_frequency_scores=page_frequency_scores,
+                engine=engine,
+            )
 
     # ------------------------------------------------------------------
     # Stage 2: Score
@@ -215,21 +305,22 @@ class StagedPipeline:
         self, prepared: PreparedWorkload, strategy: str
     ) -> StrategyPlan:
         """Build a strategy's policy and score stream (Score stage)."""
-        page_scores = (
-            prepared.page_score_map()
-            if strategy == "gmm-caching-eviction"
-            else None
-        )
-        policy = build_policy(
-            strategy,
-            prepared.engine.admission_threshold,
-            page_scores=page_scores,
-        )
-        return StrategyPlan(
-            strategy=strategy,
-            policy=policy,
-            scores=self.strategy_scores(prepared, strategy),
-        )
+        with self.profile_stage("score"):
+            page_scores = (
+                prepared.page_score_map()
+                if strategy == "gmm-caching-eviction"
+                else None
+            )
+            policy = build_policy(
+                strategy,
+                prepared.engine.admission_threshold,
+                page_scores=page_scores,
+            )
+            return StrategyPlan(
+                strategy=strategy,
+                policy=policy,
+                scores=self.strategy_scores(prepared, strategy),
+            )
 
     def chunk_features(
         self, pages: np.ndarray, start_index: int
@@ -282,29 +373,31 @@ class StagedPipeline:
             if self.config.simulator == "fast"
             else simulate
         )
-        return run(
-            cache,
-            policy,
-            pages,
-            is_write,
-            scores=scores,
-            warmup_fraction=warmup_fraction,
-            index_offset=index_offset,
-            outcome=outcome,
-        )
+        with self.profile_stage("simulate"):
+            return run(
+                cache,
+                policy,
+                pages,
+                is_write,
+                scores=scores,
+                warmup_fraction=warmup_fraction,
+                index_offset=index_offset,
+                outcome=outcome,
+            )
 
     # ------------------------------------------------------------------
     # Stage 4: Price
     # ------------------------------------------------------------------
     def price(self, strategy: str, stats: CacheStats) -> StrategyOutcome:
         """Table 1 pricing of one simulation's counters."""
-        return StrategyOutcome(
-            strategy=strategy,
-            stats=stats,
-            average_time_us=self.latency_model.average_access_time_us(
-                stats
-            ),
-        )
+        with self.profile_stage("price"):
+            return StrategyOutcome(
+                strategy=strategy,
+                stats=stats,
+                average_time_us=self.latency_model.average_access_time_us(
+                    stats
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Stage composition

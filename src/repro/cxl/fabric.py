@@ -548,35 +548,36 @@ class CxlFabric:
         """
         if warmup_fraction is None:
             warmup_fraction = self.config.warmup_fraction
-        page_score_map = (
-            prepared.page_score_map()
-            if strategy == "gmm-caching-eviction"
-            or self.topology.placement == "score"
-            else None
-        )
-        score_cuts = None
-        if self.topology.placement == "score":
-            score_cuts = self._cuts_from_marginals(
-                np.fromiter(
-                    page_score_map.values(),
-                    dtype=np.float64,
-                    count=len(page_score_map),
-                )
-            )
-        self.bind(
-            strategy,
-            prepared.engine.admission_threshold,
-            page_score_map=(
-                page_score_map
+        with self.pipeline.profile_stage("score"):
+            page_score_map = (
+                prepared.page_score_map()
                 if strategy == "gmm-caching-eviction"
+                or self.topology.placement == "score"
                 else None
-            ),
-            score_cuts=score_cuts,
-        )
-        scores = self.pipeline.strategy_scores(prepared, strategy)
-        device_ids, local_pages = self.place(
-            prepared.page_indices, prepared.page_frequency_scores
-        )
+            )
+            score_cuts = None
+            if self.topology.placement == "score":
+                score_cuts = self._cuts_from_marginals(
+                    np.fromiter(
+                        page_score_map.values(),
+                        dtype=np.float64,
+                        count=len(page_score_map),
+                    )
+                )
+            self.bind(
+                strategy,
+                prepared.engine.admission_threshold,
+                page_score_map=(
+                    page_score_map
+                    if strategy == "gmm-caching-eviction"
+                    else None
+                ),
+                score_cuts=score_cuts,
+            )
+            scores = self.pipeline.strategy_scores(prepared, strategy)
+            device_ids, local_pages = self.place(
+                prepared.page_indices, prepared.page_frequency_scores
+            )
         devices: list[int] = []
         tasks: list[ReplayTask] = []
         for device in range(self.topology.n_devices):
@@ -600,14 +601,19 @@ class CxlFabric:
                     shared=self._shared[device],
                 )
             )
+        # The whole fan-out is timed as one Simulate section (the
+        # profiler accounts stages, not workers).
+        with self.pipeline.profile_stage("simulate"):
+            results = self._dispatch(devices, tasks)
         for device, task, result in zip(
-            devices, tasks, self._dispatch(devices, tasks), strict=True
+            devices, tasks, results, strict=True
         ):
             self._cursors[device] += int(task.pages.shape[0])
             self._device_stats[device] = result.stats
             if keep_outcomes:
                 self._device_outcomes[device] = result.outcome
-        return self.results()
+        with self.pipeline.profile_stage("price"):
+            return self.results()
 
     def __repr__(self) -> str:
         return (

@@ -152,9 +152,20 @@ class GaussianMixture:
             d * np.log(2.0 * np.pi) + self._log_det[None, :] + maha
         )
 
+    def log_weighted_densities(self, points: np.ndarray) -> np.ndarray:
+        """``log pi_k + log N(x_n | mu_k, Sigma_k)``, shape ``(N, K)``.
+
+        The shared intermediate of scoring and responsibilities: its
+        row-wise logsumexp is ``log G(x)`` and its row-normalised
+        form the posterior.  Exposed so incremental trainers
+        (:class:`repro.gmm.online.OnlineGmm`) can derive both from
+        one density pass.
+        """
+        return self.log_component_densities(points) + self._log_weights
+
     def log_score_samples(self, points: np.ndarray) -> np.ndarray:
         """Log of the mixture density ``log G(x)`` per point (Eq. 3)."""
-        weighted = self.log_component_densities(points) + self._log_weights
+        weighted = self.log_weighted_densities(points)
         return linalg.logsumexp(weighted, axis=1)
 
     def score_samples(self, points: np.ndarray) -> np.ndarray:
@@ -175,7 +186,7 @@ class GaussianMixture:
 
         Returns shape ``(N, K)``; each row log-sums to zero.
         """
-        weighted = self.log_component_densities(points) + self._log_weights
+        weighted = self.log_weighted_densities(points)
         norm = linalg.logsumexp(weighted, axis=1)
         return weighted - norm[:, None]
 

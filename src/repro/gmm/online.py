@@ -106,17 +106,25 @@ class OnlineGmm:
             )
         if points.shape[0] == 0:
             raise ValueError("batch must not be empty")
-        log_resp = self._model.log_responsibilities(points)
-        resp = np.exp(log_resp)
-        batch_ll = float(
-            np.mean(self._model.log_score_samples(points))
-        )
-        n = points.shape[0]
+        # One density pass serves both the responsibilities and the
+        # batch log-likelihood (its normaliser *is* the per-sample
+        # log-score) -- the former two-call version paid the full
+        # (N, K) triangular-solve twice per mini-batch, which
+        # dominated refresh latency.
+        weighted = self._model.log_weighted_densities(points)
+        log_norm = linalg.logsumexp(weighted, axis=1)
+        resp = np.exp(weighted - log_norm[:, None])
+        batch_ll = float(np.mean(log_norm))
+        n, d = points.shape
         batch_s0 = resp.sum(axis=0) / n
         batch_s1 = (resp.T @ points) / n
-        batch_s2 = (
-            np.einsum("nk,ni,nj->kij", resp, points, points) / n
-        )
+        # All K second-moment matrices from one GEMM over per-sample
+        # outer products (replaces an O(N K D^2) einsum with a far
+        # better-tuned matrix product).
+        moment_matrix = (
+            points[:, :, None] * points[:, None, :]
+        ).reshape(n, d * d)
+        batch_s2 = (resp.T @ moment_matrix).reshape(-1, d, d) / n
         self._step += 1
         rho = self._learning_rate()
         self._s0 = (1 - rho) * self._s0 + rho * batch_s0

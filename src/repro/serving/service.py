@@ -192,6 +192,9 @@ class IcgmmCacheService:
             batch_size=self.serving.refresh_batch_size,
             step_exponent=self.serving.refresh_step_exponent,
             threshold_quantile=self.threshold_quantile,
+            mode=self.serving.refresh_mode,
+            warm_max_iter=self.serving.refresh_max_iter,
+            reg_covar=self.config.gmm.reg_covar,
         )
         self.shard_metrics = RollingMetrics(
             latency_model, self.serving.metrics_window_chunks

@@ -1,0 +1,165 @@
+"""Executor lifecycle: pools must never outlive their owners.
+
+Every path that constructs a :class:`ParallelExecutor` -- the sweep
+grid runner, the training fan-out inside ``StagedPipeline.prepare``,
+the fabric and serving CLIs -- must tear its pool down
+deterministically (context manager or ``close()``/``shutdown()`` in a
+``finally``), including on error paths.  These tests assert the
+absence of leaked worker threads by counting live threads with the
+executor's name prefix.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import run_grid
+from repro.core.config import (
+    GmmEngineConfig,
+    IcgmmConfig,
+    ParallelConfig,
+)
+from repro.core.parallel import ParallelExecutor
+from repro.core.pipeline import StagedPipeline
+
+#: Thread-name prefix of every ParallelExecutor thread pool.
+_PREFIX = "repro-parallel"
+
+
+def _live_pool_threads() -> int:
+    return sum(
+        1
+        for thread in threading.enumerate()
+        if thread.name.startswith(_PREFIX)
+    )
+
+
+def _square(value):
+    return value * value
+
+
+def _boom(value):
+    raise RuntimeError(f"boom {value}")
+
+
+class TestExecutorShutdown:
+    def test_context_manager_tears_pool_down(self):
+        baseline = _live_pool_threads()
+        with ParallelExecutor(workers=3) as executor:
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert _live_pool_threads() > baseline
+        assert _live_pool_threads() == baseline
+
+    def test_shutdown_idempotent(self):
+        executor = ParallelExecutor(workers=2)
+        executor.map(_square, [1, 2])
+        executor.shutdown()
+        executor.shutdown()
+        assert _live_pool_threads() == 0
+        # A retired executor can lazily re-pool and close again.
+        assert executor.map(_square, [3, 4]) == [9, 16]
+        executor.shutdown()
+        assert _live_pool_threads() == 0
+
+
+class TestRunGridLifecycle:
+    def test_closes_pool_after_success(self):
+        baseline = _live_pool_threads()
+        results = run_grid(
+            _square,
+            [(1,), (2,), (3,)],
+            parallel=ParallelConfig(workers=3),
+        )
+        assert results == [1, 4, 9]
+        assert _live_pool_threads() == baseline
+
+    def test_closes_pool_after_failure(self):
+        baseline = _live_pool_threads()
+        with pytest.raises(RuntimeError, match="boom"):
+            run_grid(
+                _boom,
+                [(1,), (2,)],
+                parallel=ParallelConfig(workers=2),
+            )
+        assert _live_pool_threads() == baseline
+
+
+class TestTrainingFanOutLifecycle:
+    def test_prepare_closes_training_pool(self):
+        baseline = _live_pool_threads()
+        config = IcgmmConfig(
+            gmm=GmmEngineConfig(
+                n_components=4,
+                max_iter=5,
+                n_init=3,
+                max_train_samples=2000,
+                restart_mode="sequential",  # the mode that fans out
+            ),
+            trace_length=6000,
+            parallel=ParallelConfig(workers=2),
+        )
+        pipeline = StagedPipeline(config)
+        prepared = pipeline.prepare("memtier")
+        assert len(prepared) > 0
+        assert _live_pool_threads() == baseline
+
+    def test_prepare_parallel_matches_inline(self):
+        def build(workers):
+            config = IcgmmConfig(
+                gmm=GmmEngineConfig(
+                    n_components=4,
+                    max_iter=5,
+                    n_init=3,
+                    max_train_samples=2000,
+                    restart_mode="sequential",
+                ),
+                trace_length=6000,
+                parallel=ParallelConfig(workers=workers),
+            )
+            return StagedPipeline(config).prepare("memtier")
+
+        inline = build(1)
+        fanned = build(3)
+        np.testing.assert_array_equal(inline.scores, fanned.scores)
+        assert (
+            inline.engine.admission_threshold
+            == fanned.engine.admission_threshold
+        )
+
+
+class TestCliLifecycle:
+    def test_fabric_command_closes_on_error(self, monkeypatch):
+        from repro import cli
+        from repro.cxl.fabric import CxlFabric
+
+        closed = []
+        original_close = CxlFabric.close
+
+        def tracking_close(self):
+            closed.append(True)
+            original_close(self)
+
+        def exploding_prepare(self, workload, *args, **kwargs):
+            raise RuntimeError("prepare blew up")
+
+        monkeypatch.setattr(CxlFabric, "close", tracking_close)
+        monkeypatch.setattr(
+            StagedPipeline, "prepare", exploding_prepare
+        )
+        baseline = _live_pool_threads()
+        with pytest.raises(RuntimeError, match="prepare blew up"):
+            cli.main(
+                [
+                    "fabric",
+                    "memtier",
+                    "--devices",
+                    "2",
+                    "--workers",
+                    "2",
+                    "--trace-length",
+                    "6000",
+                ]
+            )
+        assert closed, "fabric.close() must run on the error path"
+        assert _live_pool_threads() == baseline

@@ -1,0 +1,222 @@
+"""Tests for the EM training fast path and its execution modes.
+
+The contract the training bench relies on: the fast path's batched,
+sequential, and executor-driven restart modes produce *identical*
+models at equal seeds; warm starts skip seeding and still converge;
+the vectorized k-means and the quadratic-form scorer agree with their
+references to far better than any decision threshold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelExecutor
+from repro.gmm.em import (
+    EMTrainer,
+    fast_log_score_samples,
+)
+from repro.gmm.kmeans import kmeans, kmeans_fast
+from repro.gmm.model import GaussianMixture
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    points = np.concatenate(
+        [
+            rng.normal(loc=(i % 3, i // 3), scale=0.35, size=(1500, 2))
+            for i in range(6)
+        ]
+    )
+    return (points - points.mean(axis=0)) / points.std(axis=0)
+
+
+def _results_identical(a, b) -> bool:
+    return (
+        np.array_equal(a.model.weights, b.model.weights)
+        and np.array_equal(a.model.means, b.model.means)
+        and np.array_equal(a.model.covariances, b.model.covariances)
+        and a.n_iter == b.n_iter
+        and a.converged == b.converged
+        and a.log_likelihood == b.log_likelihood
+        and a.history == b.history
+    )
+
+
+class TestRestartModeIdentity:
+    @pytest.mark.parametrize("k,n_init", [(1, 3), (4, 4), (12, 3)])
+    def test_batched_equals_sequential(self, blobs, k, n_init):
+        batched = EMTrainer(
+            k, max_iter=30, tol=1e-3, n_init=n_init,
+            restart_mode="batched",
+        ).fit(blobs, np.random.default_rng(7))
+        sequential = EMTrainer(
+            k, max_iter=30, tol=1e-3, n_init=n_init,
+            restart_mode="sequential",
+        ).fit(blobs, np.random.default_rng(7))
+        assert _results_identical(batched, sequential)
+
+    @pytest.mark.parametrize("backend", ["thread"])
+    def test_executor_restarts_identical(self, blobs, backend):
+        batched = EMTrainer(6, max_iter=25, tol=1e-3, n_init=4).fit(
+            blobs, np.random.default_rng(3)
+        )
+        sequential = EMTrainer(
+            6, max_iter=25, tol=1e-3, n_init=4,
+            restart_mode="sequential",
+        )
+        with ParallelExecutor(workers=3, backend=backend) as executor:
+            fanned = sequential.fit(
+                blobs, np.random.default_rng(3), executor=executor
+            )
+        assert _results_identical(batched, fanned)
+
+    def test_deterministic_given_seed(self, blobs):
+        trainer = EMTrainer(5, n_init=2)
+        a = trainer.fit(blobs, np.random.default_rng(42))
+        b = trainer.fit(blobs, np.random.default_rng(42))
+        assert _results_identical(a, b)
+
+    def test_seeding_modes_both_work(self, blobs):
+        for seeding in ("fast", "reference"):
+            result = EMTrainer(
+                4, max_iter=30, seeding=seeding
+            ).fit(blobs, np.random.default_rng(1))
+            assert np.isfinite(result.log_likelihood)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="seeding"):
+            EMTrainer(2, seeding="magic")
+        with pytest.raises(ValueError, match="restart_mode"):
+            EMTrainer(2, restart_mode="magic")
+        with pytest.raises(ValueError, match="rng"):
+            EMTrainer(2).fit(np.zeros((10, 2)))
+
+    def test_config_constants_match_trainer(self):
+        """core.config keeps literal copies of the trainer's accepted
+        mode sets (no import edge between the layers); they must not
+        drift apart."""
+        from repro.core import config as core_config
+        from repro.gmm import em
+
+        assert core_config.EM_SEEDINGS == em.SEEDINGS
+        assert core_config.EM_RESTART_MODES == em.RESTART_MODES
+
+
+class TestFastPathQuality:
+    def test_matches_reference_likelihood(self, blobs):
+        """Different seeding, same data: the fast fit must land in
+        the same likelihood basin as the reference fit."""
+        fast = EMTrainer(6, max_iter=60, tol=1e-4).fit(
+            blobs, np.random.default_rng(5)
+        )
+        reference = EMTrainer(6, max_iter=60, tol=1e-4).fit_reference(
+            blobs, np.random.default_rng(5)
+        )
+        assert fast.log_likelihood == pytest.approx(
+            reference.log_likelihood, abs=0.05
+        )
+
+    def test_history_monotone(self, blobs):
+        result = EMTrainer(5, max_iter=40, tol=1e-12).fit(
+            blobs, np.random.default_rng(2)
+        )
+        history = np.array(result.history)
+        assert np.all(np.diff(history) >= -1e-8)
+
+    def test_extreme_raw_scale_guard(self):
+        """Raw-scale data far from the origin trips the quadratic
+        expansion's cancellation guard; the exact fallback must keep
+        the fit finite and positive-definite."""
+        rng = np.random.default_rng(0)
+        points = np.concatenate(
+            [
+                rng.normal(1e8, 1e-4, size=(400, 2)),
+                rng.normal(0.0, 1.0, size=(400, 2)),
+            ]
+        )
+        result = EMTrainer(2, max_iter=20).fit(
+            points, np.random.default_rng(1)
+        )
+        for cov in result.model.covariances:
+            assert np.all(np.linalg.eigvalsh(cov) > 0)
+        assert np.isfinite(result.log_likelihood)
+
+
+class TestWarmStart:
+    def test_skips_seeding_and_improves(self, blobs):
+        base = EMTrainer(4, max_iter=40).fit(
+            blobs, np.random.default_rng(0)
+        )
+        rng = np.random.default_rng(9)
+        shifted = blobs + rng.normal(0.4, 0.05, size=2)
+        warm = EMTrainer(4, max_iter=10, tol=1e-3).fit(
+            shifted, warm_start=base.model
+        )
+        frozen_ll = base.model.mean_log_likelihood(shifted)
+        assert warm.log_likelihood > frozen_ll
+        assert warm.model.n_components == 4
+
+    def test_accepts_parameter_tuple(self, blobs):
+        base = EMTrainer(3, max_iter=30).fit(
+            blobs, np.random.default_rng(0)
+        )
+        model = base.model
+        warm = EMTrainer(3, max_iter=5).fit(
+            blobs,
+            warm_start=(
+                model.weights, model.means, model.covariances
+            ),
+        )
+        assert isinstance(warm.model, GaussianMixture)
+
+
+class TestFastKMeans:
+    def test_every_cluster_alive(self, blobs):
+        result = kmeans_fast(blobs, 16, np.random.default_rng(4))
+        assert len(np.unique(result.labels)) == 16
+        assert result.centers.shape == (16, 2)
+        assert result.inertia >= 0.0
+
+    def test_inertia_comparable_to_reference(self, blobs):
+        fast = kmeans_fast(blobs, 6, np.random.default_rng(1))
+        reference = kmeans(blobs, 6, np.random.default_rng(1))
+        assert fast.inertia <= reference.inertia * 1.25
+
+    def test_deterministic(self, blobs):
+        a = kmeans_fast(blobs, 5, np.random.default_rng(8))
+        b = kmeans_fast(blobs, 5, np.random.default_rng(8))
+        np.testing.assert_array_equal(a.centers, b.centers)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_duplicate_points(self):
+        points = np.repeat(
+            np.array([[1.0, 2.0], [5.0, 6.0]]), 40, axis=0
+        )
+        result = kmeans_fast(points, 2, np.random.default_rng(0))
+        assert len(np.unique(result.labels)) == 2
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError, match="at least"):
+            kmeans_fast(np.zeros((2, 2)), 5, np.random.default_rng(0))
+
+
+class TestFastScorer:
+    def test_agrees_with_exact_scorer(self, blobs):
+        model = EMTrainer(5, max_iter=30).fit(
+            blobs, np.random.default_rng(0)
+        ).model
+        exact = model.log_score_samples(blobs)
+        fast = fast_log_score_samples(model, blobs)
+        np.testing.assert_allclose(fast, exact, rtol=1e-9, atol=1e-9)
+
+    def test_guard_keeps_raw_scale_exact(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(1e7, 1.0, size=(500, 2))
+        weights = np.array([0.5, 0.5])
+        means = points[:2] + 0.5
+        covariances = np.tile(np.eye(2) * 1e-4, (2, 1, 1))
+        model = GaussianMixture(weights, means, covariances)
+        exact = model.log_score_samples(points)
+        fast = fast_log_score_samples(model, points)
+        np.testing.assert_allclose(fast, exact, rtol=1e-8, atol=1e-6)

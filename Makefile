@@ -11,7 +11,7 @@ export PYTHONPATH := src
 .PHONY: test verify bench-throughput bench-smoke bench-serving \
 	bench-serving-smoke bench-fabric bench-fabric-smoke \
 	bench-parallel bench-parallel-smoke bench-train \
-	bench-train-smoke
+	bench-train-smoke bench-chaos bench-chaos-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,7 +19,7 @@ test:
 # Tier-1 tests plus every bench smoke validator (schema + acceptance
 # checks on fresh smoke artifacts) -- the one-command CI gate.
 verify: test bench-smoke bench-serving-smoke bench-fabric-smoke \
-	bench-parallel-smoke bench-train-smoke
+	bench-parallel-smoke bench-train-smoke bench-chaos-smoke
 
 # Full simulator-throughput matrix; writes BENCH_sim_throughput.json.
 bench-throughput:
@@ -83,3 +83,17 @@ bench-train-smoke:
 		--output BENCH_train_throughput.smoke.json
 	$(PYTHON) benchmarks/bench_train_throughput.py \
 		--validate BENCH_train_throughput.smoke.json
+
+# Full chaos-recovery scorecard (fault scenarios x worker counts vs
+# no-fault baselines; acceptance: deterministic timelines, zero-loss
+# failover, bounded post-recovery miss rate, transparent crash
+# retries); writes BENCH_chaos_recovery.json.
+bench-chaos:
+	$(PYTHON) benchmarks/bench_chaos_recovery.py
+
+# Short chaos stream, then schema-validate the emitted JSON.
+bench-chaos-smoke:
+	$(PYTHON) benchmarks/bench_chaos_recovery.py --smoke \
+		--output BENCH_chaos_recovery.smoke.json
+	$(PYTHON) benchmarks/bench_chaos_recovery.py \
+		--validate BENCH_chaos_recovery.smoke.json

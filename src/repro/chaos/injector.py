@@ -1,0 +1,206 @@
+"""Query-side of the chaos harness.
+
+The :class:`FaultInjector` wraps a :class:`~repro.chaos.plan.FaultPlan`
+with O(1)-ish lookups the victim layers call on their logical clocks:
+the fabric asks ``device_down``/``link_factor`` per chunk, the serving
+loop asks ``shard_stall_attempts``/``refresh_fault``, and the executor
+asks ``worker_crash_attempts`` per dispatch round.  Queries are pure --
+asking twice (e.g. when a chunk is retried after an exception) returns
+the same answer -- and every *positive* answer is recorded exactly once
+(deduped by ``(kind, start, target)``), so the observed timeline and
+its digest are reproducible no matter how often a tick is replayed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ChaosConfig
+from repro.chaos.plan import (
+    KIND_DEVICE_FAIL,
+    KIND_LINK_DEGRADE,
+    KIND_REFRESH_CORRUPT,
+    KIND_REFRESH_FAIL,
+    KIND_SHARD_STALL,
+    KIND_WORKER_CRASH,
+    FaultEvent,
+    FaultPlan,
+    _digest,
+)
+
+
+class InjectedFaultError(RuntimeError):
+    """A simulated fault raised into a victim layer by the harness.
+
+    Distinguishable from organic failures so tests and operators can
+    tell an injected refresh/build failure from a real one; the
+    victim's graceful-degradation path must handle both identically.
+    """
+
+
+class FaultInjector:
+    """Deterministic fault oracle over a generated plan.
+
+    All queries run on the parent (single-threaded) side of each
+    victim layer, so the record order -- and therefore
+    :meth:`timeline_digest` -- is identical across worker counts.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._device_windows: dict[int, list[tuple[int, int]]] = {}
+        self._link_windows: dict[
+            int, list[tuple[int, int, float]]
+        ] = {}
+        self._stalls: dict[tuple[int, int], int] = {}
+        self._refresh: dict[int, str] = {}
+        self._crashes: dict[tuple[int, int], int] = {}
+        for event in plan.events:
+            end = event.start + event.duration
+            if event.kind == KIND_DEVICE_FAIL:
+                self._device_windows.setdefault(
+                    event.target, []
+                ).append((event.start, end))
+            elif event.kind == KIND_LINK_DEGRADE:
+                self._link_windows.setdefault(
+                    event.target, []
+                ).append((event.start, end, event.magnitude))
+            elif event.kind == KIND_SHARD_STALL:
+                self._stalls[(event.start, event.target)] = (
+                    event.duration
+                )
+            elif event.kind == KIND_REFRESH_FAIL:
+                self._refresh[event.start] = "fail"
+            elif event.kind == KIND_REFRESH_CORRUPT:
+                self._refresh[event.start] = "corrupt"
+            elif event.kind == KIND_WORKER_CRASH:
+                self._crashes[(event.start, event.target)] = (
+                    event.duration
+                )
+        self._records: list[FaultEvent] = []
+        self._seen: set[tuple[str, int, int]] = set()
+
+    @classmethod
+    def from_config(
+        cls,
+        config: Optional[ChaosConfig],
+        n_devices: int = 0,
+        n_shards: int = 0,
+        task_lanes: int = 0,
+    ) -> Optional["FaultInjector"]:
+        """Build an injector, or ``None`` when chaos is disabled.
+
+        ``None`` (not a no-op injector) is the disabled form so every
+        victim layer can gate on ``if injector is not None`` and run
+        its exact pre-chaos code path otherwise.
+        """
+        if config is None or not config.enabled:
+            return None
+        plan = FaultPlan.generate(
+            config,
+            n_devices=n_devices,
+            n_shards=n_shards,
+            task_lanes=task_lanes,
+        )
+        return cls(plan)
+
+    # ------------------------------------------------------------------
+    # Fabric queries (logical clock: fabric chunk index)
+    # ------------------------------------------------------------------
+    def device_down(self, device: int, chunk: int) -> bool:
+        for start, end in self._device_windows.get(device, ()):
+            if start <= chunk < end:
+                self._record(
+                    KIND_DEVICE_FAIL, start, device, end - start
+                )
+                return True
+        return False
+
+    def outage_end(self, device: int, chunk: int) -> Optional[int]:
+        """First chunk at which ``device`` is healthy again."""
+        for start, end in self._device_windows.get(device, ()):
+            if start <= chunk < end:
+                return end
+        return None
+
+    def link_factor(self, device: int, chunk: int) -> float:
+        """Link round-trip multiplier; 1.0 when healthy."""
+        for start, end, factor in self._link_windows.get(device, ()):
+            if start <= chunk < end:
+                self._record(
+                    KIND_LINK_DEGRADE,
+                    start,
+                    device,
+                    end - start,
+                    factor,
+                )
+                return factor
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # Serving queries (logical clocks: chunk index, build index)
+    # ------------------------------------------------------------------
+    def shard_stall_attempts(self, chunk: int, shard: int) -> int:
+        attempts = self._stalls.get((chunk, shard), 0)
+        if attempts:
+            self._record(KIND_SHARD_STALL, chunk, shard, attempts)
+        return attempts
+
+    def refresh_fault(self, build_index: int) -> Optional[str]:
+        """``"fail"``, ``"corrupt"``, or ``None`` for this build."""
+        kind = self._refresh.get(build_index)
+        if kind == "fail":
+            self._record(KIND_REFRESH_FAIL, build_index, -1)
+        elif kind == "corrupt":
+            self._record(KIND_REFRESH_CORRUPT, build_index, -1)
+        return kind
+
+    # ------------------------------------------------------------------
+    # Executor queries (logical clock: dispatch round)
+    # ------------------------------------------------------------------
+    def worker_crash_attempts(
+        self, dispatch_round: int, task: int
+    ) -> int:
+        attempts = self._crashes.get((dispatch_round, task), 0)
+        if attempts:
+            self._record(
+                KIND_WORKER_CRASH, dispatch_round, task, attempts
+            )
+        return attempts
+
+    # ------------------------------------------------------------------
+    # Observed timeline
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        kind: str,
+        start: int,
+        target: int,
+        duration: int = 1,
+        magnitude: float = 0.0,
+    ) -> None:
+        key = (kind, start, target)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._records.append(
+            FaultEvent(
+                start=start,
+                kind=kind,
+                target=target,
+                duration=duration,
+                magnitude=magnitude,
+            )
+        )
+
+    @property
+    def records(self) -> tuple[FaultEvent, ...]:
+        """Faults that actually fired, in canonical order."""
+        return tuple(sorted(self._records))
+
+    def timeline(self) -> list[dict]:
+        return [event.as_dict() for event in self.records]
+
+    def timeline_digest(self) -> str:
+        """Canonical SHA-256 of the *observed* fault timeline."""
+        return _digest(self.records)

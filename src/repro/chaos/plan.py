@@ -1,0 +1,246 @@
+"""Seeded fault timelines on a logical clock.
+
+A :class:`FaultPlan` is the *schedule* of every fault a chaos run will
+inject: device outages and link-latency degradation against the CXL
+fabric, per-shard stalls and refresh-build faults against the serving
+loop, and worker crashes against the parallel executor.  The plan is
+generated once from a :class:`~repro.core.config.ChaosConfig` seed via
+independent ``numpy`` ``SeedSequence`` child streams (one per fault
+channel, one per target within a channel), and every event is pinned
+to a *logical* tick -- chunk index, build index, or dispatch round --
+never wall-clock time.  Same seed, same topology => byte-identical
+timeline, regardless of worker count or host speed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import ChaosConfig
+
+#: Fault kinds, one per channel.  ``target`` semantics per kind:
+#: device id, device id, shard id, -1, -1, task lane.
+KIND_DEVICE_FAIL = "device-fail"
+KIND_LINK_DEGRADE = "link-degrade"
+KIND_SHARD_STALL = "shard-stall"
+KIND_REFRESH_FAIL = "refresh-fail"
+KIND_REFRESH_CORRUPT = "refresh-corrupt"
+KIND_WORKER_CRASH = "worker-crash"
+
+FAULT_KINDS = (
+    KIND_DEVICE_FAIL,
+    KIND_LINK_DEGRADE,
+    KIND_SHARD_STALL,
+    KIND_REFRESH_FAIL,
+    KIND_REFRESH_CORRUPT,
+    KIND_WORKER_CRASH,
+)
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``start`` is the logical tick the fault begins: the chunk index
+    for fabric/serving faults, the build index for refresh faults,
+    and the dispatch round for worker crashes.  ``duration`` is the
+    window length in the same unit for windowed faults
+    (device outages, link degradation) and the number of consecutive
+    swallowed *attempts* for retry-style faults (shard stalls, worker
+    crashes); refresh faults are always one build.  ``target`` is the
+    device/shard/task lane the fault hits, or ``-1`` when the fault
+    has no spatial target (refresh builds).  ``magnitude`` carries
+    the link-degradation factor and is 0.0 for every other kind.
+    """
+
+    start: int
+    kind: str
+    target: int
+    duration: int = 1
+    magnitude: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "start": int(self.start),
+            "kind": self.kind,
+            "target": int(self.target),
+            "duration": int(self.duration),
+            "magnitude": float(self.magnitude),
+        }
+
+
+def _digest(events: Iterable[FaultEvent]) -> str:
+    payload = json.dumps(
+        [event.as_dict() for event in events],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _window_starts(
+    rng: np.random.Generator,
+    horizon: int,
+    rate: float,
+    duration: int,
+) -> list[int]:
+    """Non-overlapping window starts from per-tick Bernoulli draws."""
+    draws = rng.random(horizon)
+    starts: list[int] = []
+    tick = 0
+    while tick < horizon:
+        if draws[tick] < rate:
+            starts.append(tick)
+            tick += duration
+        else:
+            tick += 1
+    return starts
+
+
+class FaultPlan:
+    """An immutable, sorted fault timeline.
+
+    Construct directly from events (tests, replays) or via
+    :meth:`generate` from a config + topology.  Events are kept
+    sorted by ``(start, kind, target)`` so the timeline -- and its
+    :meth:`digest` -- is canonical.
+    """
+
+    def __init__(
+        self, config: ChaosConfig, events: Iterable[FaultEvent]
+    ) -> None:
+        self.config = config
+        self.events: tuple[FaultEvent, ...] = tuple(sorted(events))
+
+    @classmethod
+    def generate(
+        cls,
+        config: ChaosConfig,
+        n_devices: int = 0,
+        n_shards: int = 0,
+        task_lanes: int = 0,
+    ) -> "FaultPlan":
+        """Sample the full timeline from ``config.seed``.
+
+        ``task_lanes`` bounds the per-round task index the worker
+        crash channel covers; it defaults to
+        ``max(n_devices, n_shards, 1)`` which matches how the fabric
+        and serving loops fan tasks out.  Each channel (and each
+        target within a channel) draws from its own ``SeedSequence``
+        child, so enabling one channel never perturbs another.
+        """
+        horizon = config.horizon_chunks
+        if task_lanes <= 0:
+            task_lanes = max(n_devices, n_shards, 1)
+        channels = np.random.SeedSequence(config.seed).spawn(6)
+        events: list[FaultEvent] = []
+
+        if config.device_fail_rate > 0.0 and n_devices > 0:
+            for device, seq in enumerate(channels[0].spawn(n_devices)):
+                rng = np.random.default_rng(seq)
+                for start in _window_starts(
+                    rng,
+                    horizon,
+                    config.device_fail_rate,
+                    config.device_fail_chunks,
+                ):
+                    events.append(
+                        FaultEvent(
+                            start=start,
+                            kind=KIND_DEVICE_FAIL,
+                            target=device,
+                            duration=min(
+                                config.device_fail_chunks,
+                                horizon - start,
+                            ),
+                        )
+                    )
+
+        if config.link_degrade_rate > 0.0 and n_devices > 0:
+            for device, seq in enumerate(channels[1].spawn(n_devices)):
+                rng = np.random.default_rng(seq)
+                for start in _window_starts(
+                    rng,
+                    horizon,
+                    config.link_degrade_rate,
+                    config.link_degrade_chunks,
+                ):
+                    events.append(
+                        FaultEvent(
+                            start=start,
+                            kind=KIND_LINK_DEGRADE,
+                            target=device,
+                            duration=min(
+                                config.link_degrade_chunks,
+                                horizon - start,
+                            ),
+                            magnitude=config.link_degrade_factor,
+                        )
+                    )
+
+        if config.shard_stall_rate > 0.0 and n_shards > 0:
+            for shard, seq in enumerate(channels[2].spawn(n_shards)):
+                draws = np.random.default_rng(seq).random(horizon)
+                for chunk in np.flatnonzero(
+                    draws < config.shard_stall_rate
+                ):
+                    events.append(
+                        FaultEvent(
+                            start=int(chunk),
+                            kind=KIND_SHARD_STALL,
+                            target=shard,
+                            duration=config.shard_stall_attempts,
+                        )
+                    )
+
+        refresh_total = (
+            config.refresh_fail_rate + config.refresh_corrupt_rate
+        )
+        if refresh_total > 0.0:
+            draws = np.random.default_rng(channels[3]).random(horizon)
+            for build in range(horizon):
+                if draws[build] < config.refresh_fail_rate:
+                    kind = KIND_REFRESH_FAIL
+                elif draws[build] < refresh_total:
+                    kind = KIND_REFRESH_CORRUPT
+                else:
+                    continue
+                events.append(
+                    FaultEvent(start=build, kind=kind, target=-1)
+                )
+
+        if config.worker_crash_rate > 0.0:
+            draws = np.random.default_rng(channels[4]).random(
+                (horizon, task_lanes)
+            )
+            for round_index, lane in zip(
+                *np.nonzero(draws < config.worker_crash_rate)
+            ):
+                events.append(
+                    FaultEvent(
+                        start=int(round_index),
+                        kind=KIND_WORKER_CRASH,
+                        target=int(lane),
+                        duration=config.worker_crash_attempts,
+                    )
+                )
+
+        return cls(config, events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self, kind: str) -> Sequence[FaultEvent]:
+        return tuple(e for e in self.events if e.kind == kind)
+
+    def as_dicts(self) -> list[dict]:
+        return [event.as_dict() for event in self.events]
+
+    def digest(self) -> str:
+        """Canonical SHA-256 of the scheduled timeline."""
+        return _digest(self.events)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the common entry points without writing any
+Seven subcommands cover the common entry points without writing any
 Python::
 
     python -m repro.cli generate-trace dlrm -n 100000 -o dlrm.npz
@@ -8,7 +8,12 @@ Python::
     python -m repro.cli suite --workloads memtier stream
     python -m repro.cli serve --workloads memtier stream --drift
     python -m repro.cli fabric memtier --devices 4 --placement score
+    python -m repro.cli chaos --scenarios device_failure worker_crash
     python -m repro.cli hardware-report
+
+``serve`` and ``fabric`` additionally accept ``--chaos-seed N`` to
+run under the deterministic fault-injection demo plan (see
+``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -19,10 +24,20 @@ import sys
 import numpy as np
 
 from repro.analysis import render_dict_table, render_table
+from repro.chaos import (
+    SCENARIO_NAMES,
+    SERVING_SCENARIOS,
+    recovery_chunk,
+    run_fabric_scenario,
+    run_serving_scenario,
+    scenario_chaos,
+    tail_miss_rate,
+)
 from repro.core.config import (
     PARALLEL_BACKENDS,
     PLACEMENTS,
     STRATEGIES,
+    ChaosConfig,
     FabricTopology,
     GmmEngineConfig,
     IcgmmConfig,
@@ -144,7 +159,27 @@ def _add_serve(subparsers) -> None:
         help="chunks between progress lines",
     )
     _add_parallel_arguments(parser, "shard replays")
+    _add_chaos_seed_argument(parser)
     parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_chaos_seed_argument(parser) -> None:
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help=(
+            "run under the deterministic chaos demo plan seeded here"
+            " (fault injection + graceful degradation; see"
+            " docs/robustness.md)"
+        ),
+    )
+
+
+def _chaos_from_args(args) -> ChaosConfig | None:
+    if args.chaos_seed is None:
+        return None
+    return ChaosConfig.demo(args.chaos_seed)
 
 
 def _add_profile_argument(parser) -> None:
@@ -197,9 +232,15 @@ def _add_parallel_arguments(parser, what: str) -> None:
     )
 
 
-def _parallel_from_args(args) -> ParallelConfig:
+def _parallel_from_args(
+    args, chaos: ChaosConfig | None = None
+) -> ParallelConfig:
+    # A chaos run injects worker crashes; without a retry budget the
+    # first one aborts the replay instead of being absorbed.
     return ParallelConfig(
-        workers=args.workers, backend=args.parallel_backend
+        workers=args.workers,
+        backend=args.parallel_backend,
+        max_retries=2 if chaos is not None else 0,
     )
 
 
@@ -234,8 +275,51 @@ def _add_fabric(subparsers) -> None:
             " device; models near/far fabric topologies)"
         ),
     )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=8192,
+        help=(
+            "requests per streamed ingest chunk (chaos mode replays"
+            " through the streaming path)"
+        ),
+    )
     _add_parallel_arguments(parser, "per-device replays")
+    _add_chaos_seed_argument(parser)
     _add_profile_argument(parser)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_chaos(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "chaos",
+        help=(
+            "run the canonical fault-injection scenarios and report"
+            " degradation + recovery against a no-fault baseline"
+        ),
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        choices=SCENARIO_NAMES,
+        default=list(SCENARIO_NAMES),
+    )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        choices=WORKLOAD_NAMES,
+        default="memtier",
+    )
+    parser.add_argument("--length", type=int, default=60_000)
+    parser.add_argument("--chunk", type=int, default=2048)
+    parser.add_argument("--devices", type=int, default=4)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--components", type=int, default=None)
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the deterministic fault plans",
+    )
+    _add_parallel_arguments(parser, "scenario replays")
     parser.add_argument("--seed", type=int, default=42)
 
 
@@ -315,6 +399,7 @@ def _cmd_suite(args) -> int:
 def _cmd_serve(args) -> int:
     rng = np.random.default_rng(args.seed)
     config = _config_from_args(args)
+    chaos = _chaos_from_args(args)
     generators = [
         get_workload(name, scale=config.workload_scale)
         for name in args.workloads
@@ -327,7 +412,7 @@ def _cmd_serve(args) -> int:
             sharding=args.sharding,
             strategy=args.strategy,
             refresh_enabled=not args.no_refresh,
-            parallel=_parallel_from_args(args),
+            parallel=_parallel_from_args(args, chaos),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -396,7 +481,11 @@ def _cmd_serve(args) -> int:
     engine = GmmPolicyEngine.train(features, config.gmm, rng)
     try:
         service = IcgmmCacheService(
-            engine, config=config, serving=serving, measure_from=n_train
+            engine,
+            config=config,
+            serving=serving,
+            measure_from=n_train,
+            chaos=chaos,
         )
     except ValueError as exc:  # e.g. --shards not dividing the sets
         print(f"error: {exc}", file=sys.stderr)
@@ -465,6 +554,22 @@ def _cmd_serve(args) -> int:
         f" {len(summary['swaps'])} engine swap(s),"
         f" generation {summary['generation']}"
     )
+    if "chaos" in summary:
+        chaos = summary["chaos"]
+        print(
+            f"chaos: {len(chaos['timeline'])} fault(s)"
+            f" [{chaos['timeline_digest'][:12]}],"
+            f" {len(chaos['events'])} event(s),"
+            f" {chaos['stall_retries']} stall retries,"
+            f" {chaos['worker_retries']} worker retries,"
+            f" {chaos['refresh_failures']}/{chaos['refresh_attempts']}"
+            " refresh failures"
+        )
+        for event in chaos["events"]:
+            print(
+                f"  chunk {event['chunk_index']:>5d}"
+                f"  {event['key']:<10s} {event['kind']}"
+            )
     return 0
 
 
@@ -483,19 +588,31 @@ def _cmd_fabric(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    chaos = _chaos_from_args(args)
     fabric = CxlFabric(
-        topology, config=config, parallel=_parallel_from_args(args)
+        topology,
+        config=config,
+        parallel=_parallel_from_args(args, chaos),
+        chaos=chaos,
     )
     if args.profile:
         fabric.pipeline.profiler = StageProfiler()
     print(
         f"preparing {args.workload} through the staged pipeline"
         f" ({args.devices} devices, {args.placement} placement,"
-        f" {fabric.parallel.workers} worker(s))..."
+        f" {fabric.parallel.workers} worker(s)"
+        f"{', chaos on' if chaos is not None else ''})..."
     )
     try:
         prepared = fabric.pipeline.prepare(args.workload)
-        result = fabric.run_prepared(prepared, args.strategy)
+        if chaos is not None:
+            # Faults hook the streaming path: replay chunk by chunk
+            # through ingest instead of the one-shot replay.
+            result = fabric.run_streamed(
+                prepared, args.strategy, chunk_requests=args.chunk
+            )
+        else:
+            result = fabric.run_prepared(prepared, args.strategy)
     finally:
         # Deterministic teardown: the executor pool and any
         # shared-memory planes must not outlive the command, even
@@ -530,7 +647,157 @@ def _cmd_fabric(args) -> int:
         f" avg latency {result.average_latency_us:.1f} us"
         f" ({args.strategy})"
     )
+    if fabric.injector is not None:
+        failover = sum(
+            d.failover_stats.accesses
+            for d in result.devices
+            if d.failover_stats is not None
+        )
+        degraded_ns = sum(d.degraded_time_ns for d in result.devices)
+        print(
+            f"chaos: {len(fabric.injector.timeline())} fault(s)"
+            f" [{fabric.injector.timeline_digest()[:12]}],"
+            f" {failover:,} failover accesses,"
+            f" {degraded_ns:,} ns degraded-link premium"
+        )
+        for event in fabric.metrics.events():
+            print(
+                f"  chunk {event.chunk_index:>5d}"
+                f"  {event.key:<10s} {event.kind}"
+            )
     _print_profile(fabric.pipeline)
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    config = _config_from_args(args)
+    # Phase-shifted stream (as ``serve --drift``): the hot region
+    # moves at the midpoint so the refresh loop actually runs --
+    # otherwise the refresh-fault channel has nothing to hit.
+    half = args.length // 2
+    head = get_workload(
+        args.workload, scale=config.workload_scale
+    ).generate(half, rng)
+    tail = relocate(
+        get_workload(
+            args.workload, scale=config.workload_scale
+        ).generate(args.length - half, rng),
+        base_page=1 << 17,
+    )
+    pages = np.concatenate(
+        [head.addresses >> PAGE_SHIFT, tail.addresses >> PAGE_SHIFT]
+    )
+    is_write = np.concatenate([head.is_write, tail.is_write])
+    parallel = _parallel_from_args(args)
+    # Crash retries must cover the scenario's injected attempts, or
+    # the run aborts instead of recovering.
+    retrying = ParallelConfig(
+        workers=parallel.workers,
+        backend=parallel.backend,
+        max_retries=2,
+    )
+    topology = FabricTopology(n_devices=args.devices)
+    serving = ServingConfig(
+        chunk_requests=args.chunk,
+        n_shards=args.shards,
+        sharding="hash",
+        strategy="gmm-caching-eviction",
+        refresh_enabled=True,
+        drift_baseline_chunks=2,
+        drift_patience=2,
+        refresh_cooldown_chunks=2,
+        # Soft resilience knobs: quick backoff and a late breaker so
+        # the refresh-failure scenario can land a good build before
+        # the stream ends (the breaker path itself is exercised
+        # deterministically in tests/chaos).
+        refresh_backoff_chunks=1,
+        refresh_breaker_threshold=4,
+        quarantine_chunks=8,
+        parallel=retrying,
+    )
+
+    engine = None
+    if any(name in SERVING_SCENARIOS for name in args.scenarios):
+        n_train = max(
+            config.gmm.n_components + 1, int(len(pages) * 0.3)
+        )
+        timestamps = transform_timestamps(
+            n_train,
+            config.len_window,
+            config.len_access_shot,
+            config.timestamp_mode,
+        )
+        features = np.column_stack(
+            [
+                pages[:n_train].astype(np.float64),
+                timestamps.astype(np.float64),
+            ]
+        )
+        print(f"training engine on {n_train:,} requests...")
+        engine = GmmPolicyEngine.train(features, config.gmm, rng)
+
+    def run(name, chaos):
+        if name in SERVING_SCENARIOS:
+            return run_serving_scenario(
+                chaos, engine, pages, is_write,
+                config=config, serving=serving,
+            )
+        return run_fabric_scenario(
+            chaos, pages, is_write,
+            topology=topology, config=config,
+            chunk_requests=args.chunk, parallel=retrying,
+        )
+
+    baselines = {}
+    rows = []
+    for name in args.scenarios:
+        layer = "serving" if name in SERVING_SCENARIOS else "fabric"
+        if layer not in baselines:
+            baselines[layer] = run(name, None)
+        base = baselines[layer]
+        # Faults are planned over the leading 70% of the stream so
+        # the trailing chunks form a clean post-recovery window.
+        n_chunks = -(-len(pages) // args.chunk)
+        horizon = max(1, (7 * n_chunks) // 10)
+        out = run(
+            name,
+            scenario_chaos(
+                name, args.chaos_seed, horizon_chunks=horizon
+            ),
+        )
+        recover_at = recovery_chunk(out["timeline"], out["events"])
+        rows.append(
+            [
+                name,
+                layer,
+                len(out["timeline"]),
+                out["accesses"],
+                100 * out["miss_rate"],
+                100 * base["miss_rate"],
+                100 * tail_miss_rate(out["chunk_counters"], recover_at),
+                100
+                * tail_miss_rate(base["chunk_counters"], recover_at),
+                out["worker_retries"],
+            ]
+        )
+    print()
+    print(
+        render_table(
+            [
+                "scenario",
+                "layer",
+                "faults",
+                "accesses",
+                "miss %",
+                "base %",
+                "tail %",
+                "base tail %",
+                "retries",
+            ],
+            rows,
+        )
+    )
     return 0
 
 
@@ -568,6 +835,7 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "serve": _cmd_serve,
     "fabric": _cmd_fabric,
+    "chaos": _cmd_chaos,
     "hardware-report": _cmd_hardware_report,
 }
 
@@ -584,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_suite(subparsers)
     _add_serve(subparsers)
     _add_fabric(subparsers)
+    _add_chaos(subparsers)
     _add_hardware_report(subparsers)
     return parser
 

@@ -3,9 +3,11 @@
 from repro.core.config import (
     PLACEMENTS,
     STRATEGIES,
+    ChaosConfig,
     FabricTopology,
     GmmEngineConfig,
     IcgmmConfig,
+    ParallelConfig,
     ServingConfig,
 )
 from repro.core.engine import FeatureScaler, GmmPolicyEngine
@@ -26,6 +28,7 @@ from repro.core.system import IcgmmSystem
 
 __all__ = [
     "BenchmarkResult",
+    "ChaosConfig",
     "FabricTopology",
     "FeatureScaler",
     "GMM_STRATEGIES",
@@ -34,6 +37,7 @@ __all__ = [
     "IcgmmConfig",
     "IcgmmSystem",
     "PLACEMENTS",
+    "ParallelConfig",
     "PreparedWorkload",
     "STRATEGIES",
     "ServingConfig",

@@ -79,10 +79,25 @@ class ParallelConfig:
         (:class:`repro.core.parallel.SharedCache`), for workloads
         where Python-side time (scalar tails, tiny chunks) would
         serialize on the GIL.
+    max_retries:
+        Per-task retry budget before the first (in task order) error
+        propagates.  Injected chaos faults
+        (:class:`repro.chaos.FaultInjector` wired through
+        :attr:`repro.core.parallel.ParallelExecutor.fault_hook`) and
+        real exceptions in pure ``map`` tasks both draw from this
+        budget; stateful replay tasks only retry *pre-execution*
+        faults (a half-executed replay cannot be safely repeated).
+    retry_backoff_s:
+        Base of the exponential wait between retry attempts
+        (``backoff * 2**attempt`` seconds).  ``0`` (default) retries
+        immediately -- the deterministic-test configuration; wall
+        clock never influences results either way.
     """
 
     workers: int = 1
     backend: str = "thread"
+    max_retries: int = 0
+    retry_backoff_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -92,6 +107,10 @@ class ParallelConfig:
                 f"backend must be one of {PARALLEL_BACKENDS}, got"
                 f" {self.backend!r}"
             )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -162,6 +181,119 @@ class GmmEngineConfig:
                 f"restart_mode must be one of {EM_RESTART_MODES},"
                 f" got {self.restart_mode!r}"
             )
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Deterministic fault-injection knobs
+    (:class:`repro.chaos.FaultPlan` / :class:`repro.chaos.FaultInjector`).
+
+    The chaos harness schedules faults on a *logical* clock -- chunk
+    indices for the fabric and serving loops, build indices for model
+    refreshes, dispatch rounds for the executor -- never wall-clock
+    time, so one seed produces one byte-identical fault timeline
+    regardless of worker count or host speed.  All ``*_rate`` knobs
+    are per-target, per-logical-tick Bernoulli probabilities sampled
+    once when the plan is generated.
+
+    ``enabled=False`` (default) means no injector is constructed at
+    all and every victim layer runs its exact pre-chaos code path
+    (the parity suite in ``tests/chaos`` asserts bit-identical
+    behaviour).
+
+    Attributes
+    ----------
+    seed:
+        Root seed of the fault timeline (independent of the system's
+        trace/EM seed, so chaos can be re-rolled under a fixed
+        workload).
+    horizon_chunks:
+        Logical-clock span the plan covers; queries beyond it report
+        a healthy world.
+    device_fail_rate / device_fail_chunks:
+        Per-device outage start probability per chunk, and outage
+        length in chunks (failover + reinstatement in
+        :class:`repro.cxl.fabric.CxlFabric`).
+    link_degrade_rate / link_degrade_chunks / link_degrade_factor:
+        Per-device link-latency degradation windows; during a window
+        the device's link round-trip is priced at ``factor`` times
+        its healthy value.
+    shard_stall_rate / shard_stall_attempts:
+        Per-shard per-chunk stall probability and the number of
+        consecutive attempts the stall swallows (the serving loop
+        retries up to :attr:`ServingConfig.shard_retry_limit` times,
+        then degrades the chunk to SSD-direct service).
+    refresh_fail_rate / refresh_corrupt_rate:
+        Per-build probabilities that a model refresh raises mid-build
+        or silently produces a corrupted engine (non-finite
+        parameters); a failed build must leave the serving generation
+        untouched, a corrupted one must be rejected by validation.
+    worker_crash_rate / worker_crash_attempts:
+        Per-(dispatch round, task) crash probability and the number
+        of consecutive attempts that crash
+        (:attr:`ParallelConfig.max_retries` bounds the recovery).
+    """
+
+    enabled: bool = False
+    seed: int = 0
+    horizon_chunks: int = 256
+    device_fail_rate: float = 0.0
+    device_fail_chunks: int = 8
+    link_degrade_rate: float = 0.0
+    link_degrade_chunks: int = 8
+    link_degrade_factor: float = 4.0
+    shard_stall_rate: float = 0.0
+    shard_stall_attempts: int = 1
+    refresh_fail_rate: float = 0.0
+    refresh_corrupt_rate: float = 0.0
+    worker_crash_rate: float = 0.0
+    worker_crash_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.horizon_chunks < 1:
+            raise ValueError("horizon_chunks must be >= 1")
+        for name in (
+            "device_fail_rate",
+            "link_degrade_rate",
+            "shard_stall_rate",
+            "refresh_fail_rate",
+            "refresh_corrupt_rate",
+            "worker_crash_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        for name in (
+            "device_fail_chunks",
+            "link_degrade_chunks",
+            "shard_stall_attempts",
+            "worker_crash_attempts",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.link_degrade_factor < 1.0:
+            raise ValueError("link_degrade_factor must be >= 1")
+
+    @classmethod
+    def demo(cls, seed: int = 0, **overrides) -> "ChaosConfig":
+        """A moderately hostile profile for CLI/demo runs.
+
+        Every fault channel is active at a rate that produces a
+        handful of events over the default horizon -- enough to watch
+        failover, retry, and refresh backoff actually fire without
+        drowning the run.
+        """
+        defaults = dict(
+            enabled=True,
+            seed=seed,
+            device_fail_rate=0.01,
+            link_degrade_rate=0.01,
+            shard_stall_rate=0.02,
+            refresh_fail_rate=0.25,
+            worker_crash_rate=0.005,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
 
 
 #: Scale factor of the default simulation profile: cache capacity and
@@ -314,6 +446,15 @@ class FabricTopology:
         Per-fabric override of the multicore replay knobs; ``None``
         (default) inherits :attr:`IcgmmConfig.parallel` from the
         system profile the fabric runs under.
+    failover:
+        Whether a failed device's traffic is re-placed onto healthy
+        devices (score-aware when page marginals are available) and
+        served in degraded mode instead of erroring out.  Only
+        consulted when a :class:`repro.chaos.FaultInjector` is
+        attached; with ``False`` a device failure raises.
+    degraded_link_factor:
+        Link-latency multiplier priced onto failover-served traffic
+        (the re-route crosses an extra switch hop).
     """
 
     n_devices: int = 4
@@ -322,10 +463,14 @@ class FabricTopology:
     link_overhead_ns: tuple[int, ...] | None = None
     link_bandwidth_gb_s: tuple[float, ...] | None = None
     parallel: ParallelConfig | None = None
+    failover: bool = True
+    degraded_link_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if self.n_devices < 1:
             raise ValueError("n_devices must be >= 1")
+        if self.degraded_link_factor < 1.0:
+            raise ValueError("degraded_link_factor must be >= 1")
         if self.placement not in PLACEMENTS:
             raise ValueError(
                 f"placement must be one of {PLACEMENTS}, got"
@@ -426,6 +571,25 @@ class ServingConfig:
         resumable simulate call is independent, so the service
         dispatches them concurrently and merges in shard order --
         bit-identical to ``workers=1``).
+    shard_retry_limit:
+        Bounded retry of a stalled shard replay within one chunk
+        (total attempts = 1 + limit).  A stall that outlasts the
+        budget degrades the chunk: that shard's accesses are served
+        SSD-direct (counted as bypassed misses), the cache plane and
+        its resumable cursor stay untouched, and the degradation is
+        recorded in the rolling metrics.
+    refresh_backoff_chunks:
+        Base of the exponential refresh backoff: after ``f``
+        consecutive failed/rejected refresh builds the next build is
+        deferred ``base * 2**(f-1)`` chunks (the engine keeps serving
+        on the current generation throughout).
+    refresh_breaker_threshold:
+        Consecutive refresh failures that trip the circuit breaker.
+    quarantine_chunks:
+        Chunks the tripped breaker quarantines the drift detector
+        for: no observations, no refresh attempts.  On expiry the
+        detector is rebased (fresh baseline under the still-serving
+        engine) and the failure count resets.
     """
 
     chunk_requests: int = 8192
@@ -447,6 +611,10 @@ class ServingConfig:
     refresh_cooldown_chunks: int = 4
     metrics_window_chunks: int = 8
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    shard_retry_limit: int = 2
+    refresh_backoff_chunks: int = 2
+    refresh_breaker_threshold: int = 3
+    quarantine_chunks: int = 16
 
     def __post_init__(self) -> None:
         if self.chunk_requests < 1:
@@ -498,3 +666,11 @@ class ServingConfig:
             raise ValueError("refresh_cooldown_chunks must be >= 0")
         if self.metrics_window_chunks < 1:
             raise ValueError("metrics_window_chunks must be >= 1")
+        if self.shard_retry_limit < 0:
+            raise ValueError("shard_retry_limit must be >= 0")
+        if self.refresh_backoff_chunks < 1:
+            raise ValueError("refresh_backoff_chunks must be >= 1")
+        if self.refresh_breaker_threshold < 1:
+            raise ValueError("refresh_breaker_threshold must be >= 1")
+        if self.quarantine_chunks < 1:
+            raise ValueError("quarantine_chunks must be >= 1")

@@ -40,6 +40,7 @@ interpreter+import cost per worker, amortised over a pool's lifetime.
 from __future__ import annotations
 
 import os
+import time
 import weakref
 from concurrent.futures import (
     Future,
@@ -61,6 +62,17 @@ from repro.cache.setassoc import (
 from repro.cache.simulate_fast import simulate_fast
 from repro.cache.stats import CacheStats
 from repro.core.config import ParallelConfig
+
+
+class WorkerCrashError(RuntimeError):
+    """A task's retry budget was exhausted by (injected) crashes.
+
+    Raised parent-side when the chaos fault hook reports more
+    consecutive crashed attempts for a task than
+    :attr:`ParallelExecutor.max_retries` allows.  The pool itself is
+    shut down first (and re-created lazily on the next fan-out), so
+    the executor stays usable after propagation.
+    """
 
 
 def resolve_workers(workers: int) -> int:
@@ -358,14 +370,30 @@ class ParallelExecutor:
     streaming caller pays pool start-up once, not per chunk.
     """
 
-    def __init__(self, workers: int = 1, backend: str = "thread") -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        backend: str = "thread",
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.0,
+    ) -> None:
         if backend not in ("thread", "process"):
             raise ValueError(
                 f"backend must be 'thread' or 'process', got {backend!r}"
             )
         self.workers = resolve_workers(workers)
         self.backend = backend
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        #: Optional chaos hook ``(dispatch_round, task_index) -> int``
+        #: returning the number of consecutive attempts that crash for
+        #: that task.  Consulted parent-side *before* any submission,
+        #: so an injected crash never mutates task state and a retried
+        #: attempt is bit-identical to an uninterrupted one.
+        self.fault_hook = None
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+        self._dispatch_round = 0
+        self._retries_performed = 0
 
     @classmethod
     def from_config(
@@ -374,7 +402,22 @@ class ParallelExecutor:
         """Executor matching a :class:`ParallelConfig` (None = inline)."""
         if config is None:
             return cls()
-        return cls(workers=config.workers, backend=config.backend)
+        return cls(
+            workers=config.workers,
+            backend=config.backend,
+            max_retries=config.max_retries,
+            retry_backoff_s=config.retry_backoff_s,
+        )
+
+    @property
+    def retries_performed(self) -> int:
+        """Attempts recovered so far (injected crashes + real retries)."""
+        return self._retries_performed
+
+    @property
+    def dispatch_rounds(self) -> int:
+        """Fan-out calls issued so far (the executor's logical clock)."""
+        return self._dispatch_round
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -423,6 +466,41 @@ class ParallelExecutor:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
+    # -- retry plumbing -------------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        if self.retry_backoff_s > 0.0:
+            time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+
+    def _consume_injected_crashes(
+        self, dispatch_round: int, n_tasks: int
+    ) -> None:
+        """Absorb chaos-injected crashes before submitting anything.
+
+        Crashes are simulated parent-side and pre-execution: a task
+        whose crashes fit inside the retry budget simply runs once,
+        normally, afterwards -- bit-identical to a fault-free run.  A
+        task whose crash count exceeds :attr:`max_retries` exhausts
+        the budget and raises :class:`WorkerCrashError` (pool shut
+        down first so it cannot wedge).
+        """
+        hook = self.fault_hook
+        if hook is None:
+            return
+        for task_index in range(n_tasks):
+            crashes = hook(dispatch_round, task_index)
+            if crashes <= 0:
+                continue
+            if crashes > self.max_retries:
+                self.shutdown()
+                raise WorkerCrashError(
+                    f"task {task_index} of dispatch round"
+                    f" {dispatch_round} crashed {crashes} time(s);"
+                    f" retry budget is {self.max_retries}"
+                )
+            for attempt in range(1, crashes + 1):
+                self._retries_performed += 1
+                self._backoff(attempt)
+
     # -- generic ordered fan-out ---------------------------------------
     def map(self, fn, items, star: bool = False) -> list:
         """``[fn(item) for item in items]``, possibly concurrent.
@@ -433,8 +511,30 @@ class ParallelExecutor:
         contract.  With ``star=True`` each item is an argument tuple.
         The process backend requires ``fn`` (and items) to be
         picklable, i.e. a module-level function.
+
+        Real exceptions are retried up to :attr:`max_retries` times
+        (``map`` tasks are pure functions, so a wholesale re-run is
+        safe) with exponential backoff; on final failure the pool is
+        shut down before the error propagates, and the next fan-out
+        re-pools lazily.
         """
+        dispatch_round = self._dispatch_round
+        self._dispatch_round += 1
         items = list(items)
+        self._consume_injected_crashes(dispatch_round, len(items))
+        attempt = 0
+        while True:
+            try:
+                return self._map_once(fn, items, star)
+            except Exception:
+                self.shutdown()
+                if attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                self._retries_performed += 1
+                self._backoff(attempt)
+
+    def _map_once(self, fn, items: list, star: bool) -> list:
         if self.workers <= 1 or len(items) <= 1:
             return [fn(*item) if star else fn(item) for item in items]
         pool = self._ensure_pool()
@@ -460,7 +560,26 @@ class ParallelExecutor:
         backend every task must carry a :attr:`ReplayTask.shared`
         handle, and the caller must adopt each returned
         :attr:`ReplayResult.policy`.
+
+        Unlike :meth:`map`, a *real* exception is never retried here:
+        replay tasks mutate resumable cache/policy state, so a re-run
+        after a partial mutation would not be bit-exact.  Injected
+        (pre-execution) crashes still draw from the retry budget, and
+        the pool is shut down before any error propagates so the
+        executor stays usable.
         """
+        dispatch_round = self._dispatch_round
+        self._dispatch_round += 1
+        self._consume_injected_crashes(dispatch_round, len(tasks))
+        try:
+            return self._replay_once(tasks, simulator)
+        except Exception:
+            self.shutdown()
+            raise
+
+    def _replay_once(
+        self, tasks: list[ReplayTask], simulator: str
+    ) -> list[ReplayResult]:
         if self.workers <= 1 or len(tasks) <= 1:
             return [_run_replay(task, simulator) for task in tasks]
         pool = self._ensure_pool()
@@ -527,5 +646,6 @@ __all__ = [
     "ReplayResult",
     "ReplayTask",
     "SharedCache",
+    "WorkerCrashError",
     "resolve_workers",
 ]

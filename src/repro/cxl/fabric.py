@@ -38,8 +38,18 @@ from functools import cached_property
 
 import numpy as np
 
-from repro.cache.stats import CacheStats
-from repro.core.config import FabricTopology, IcgmmConfig, ParallelConfig
+from repro.cache.stats import (
+    OUTCOME_BYPASS,
+    CacheStats,
+    stats_from_outcomes,
+)
+from repro.chaos import FaultInjector
+from repro.core.config import (
+    ChaosConfig,
+    FabricTopology,
+    IcgmmConfig,
+    ParallelConfig,
+)
 from repro.core.parallel import ParallelExecutor, ReplayTask
 from repro.core.pipeline import PreparedWorkload, StagedPipeline
 from repro.core.policy import CombinedIcgmmPolicy, build_policy
@@ -47,7 +57,17 @@ from repro.cxl.device import DEVICE_DRAM_HIT_NS
 from repro.cxl.link import CxlLinkSpec
 from repro.hardware.latency import DevicePathLatencyModel
 from repro.hardware.ssd import SSD_CATALOG, SsdSpec
+from repro.serving.metrics import RollingMetrics
 from repro.traces.record import CACHE_LINE_SIZE
+
+#: Tag-space offset of failover traffic.  A failed device's accesses
+#: are re-placed onto healthy devices under ``global_page + OFFSET``
+#: local tags: far above any home tag (interleaved local pages and
+#: global pages alike stay below 2^56 for realistic traces), unique
+#: per global page, and identical across chunks -- so a page that
+#: fails over twice during one outage hits the copy its first
+#: failover filled.
+FAILOVER_TAG_OFFSET = np.int64(1) << 56
 
 
 @dataclass(frozen=True)
@@ -69,6 +89,17 @@ class DeviceReplayResult:
         kept only when the replay was asked for them
         (``keep_outcomes=True``); ``None`` otherwise, so a large
         fleet replay never holds one outcome array per device alive.
+    failover_stats:
+        Counters of *this device's home traffic served elsewhere*
+        while it was failed over (chaos runs only; ``None`` without
+        an injector).  The accesses themselves are counted in the
+        serving device's :attr:`stats` -- this lens exists so zero
+        access loss and degraded-mode quality are checkable per
+        failed device.
+    degraded_time_ns:
+        Extra service time accrued in degraded mode (link-latency
+        windows, failover-path premium); already included in
+        :attr:`time_ns`.
     """
 
     device_id: int
@@ -76,6 +107,8 @@ class DeviceReplayResult:
     stats: CacheStats
     time_ns: int
     outcomes: np.ndarray | None = None
+    failover_stats: CacheStats | None = None
+    degraded_time_ns: int = 0
 
     @property
     def accesses(self) -> int:
@@ -139,6 +172,19 @@ class FabricRunResult:
                     "link_request_ns": d.link.request_latency_ns(
                         CACHE_LINE_SIZE
                     ),
+                    # Degraded lens only on chaos runs, so the
+                    # fault-free payload stays byte-identical to the
+                    # pre-chaos format.
+                    **(
+                        {
+                            "failover_accesses": (
+                                d.failover_stats.accesses
+                            ),
+                            "degraded_time_ns": d.degraded_time_ns,
+                        }
+                        if d.failover_stats is not None
+                        else {}
+                    ),
                 }
                 for d in self.devices
             ],
@@ -181,6 +227,7 @@ class CxlFabric:
         ssd: SsdSpec | None = None,
         hit_latency_ns: int = DEVICE_DRAM_HIT_NS,
         parallel: ParallelConfig | None = None,
+        chaos: ChaosConfig | None = None,
     ) -> None:
         self.topology = (
             topology if topology is not None else FabricTopology()
@@ -195,6 +242,19 @@ class CxlFabric:
             )
         self.parallel = parallel
         self._executor = ParallelExecutor.from_config(parallel)
+        # Chaos wiring: None when disabled so every hot-path gate is
+        # an ``is not None`` check and a fault-free run executes the
+        # exact pre-chaos code path (tests/chaos parity).
+        self.injector = FaultInjector.from_config(
+            chaos,
+            n_devices=self.topology.n_devices,
+            task_lanes=self.topology.n_devices,
+        )
+        if self.injector is not None:
+            self._executor.fault_hook = (
+                self.injector.worker_crash_attempts
+            )
+        self.metrics = RollingMetrics()
         self._shared: list = []
         ssd = ssd if ssd is not None else SSD_CATALOG["tlc"]
         n = self.topology.n_devices
@@ -255,6 +315,12 @@ class CxlFabric:
         self._device_stats = [CacheStats() for _ in range(n)]
         self._device_outcomes: list = [None] * n
         self._policies: list | None = None
+        # Chaos bookkeeping (all zero / empty on fault-free runs).
+        self._chunk_index = 0
+        self._down: dict[int, int] = {}
+        self._failover_stats = [CacheStats() for _ in range(n)]
+        self._degraded_stats = [CacheStats() for _ in range(n)]
+        self._extra_time_ns = [0] * n
 
     def close(self) -> None:
         """Release the worker pool and any shared-memory planes."""
@@ -448,6 +514,16 @@ class CxlFabric:
         to a one-shot :meth:`run_prepared` with no warm-up cut.  For
         the combined strategy, ``page_marginals`` extends the
         per-device eviction metadata with newly-seen pages.
+
+        Under chaos (an injector is wired), each chunk first consults
+        the fault timeline at this chunk's logical index: a failed
+        device's accesses fail over to healthy devices (score-aware
+        when marginals are present, priced at the topology's degraded
+        link factor) or -- with ``failover=False`` or no healthy
+        device left -- are served SSD-direct on the failed device's
+        path; degraded link windows inflate the affected device's
+        link component.  All of it is deterministic in the chunk
+        index, so any worker count observes the identical timeline.
         """
         if self._policies is None:
             raise ValueError("bind() a strategy before ingesting")
@@ -465,8 +541,35 @@ class CxlFabric:
                 np.asarray(page_marginals, dtype=np.float64)[first],
             )
         device_ids, local_pages = self.place(pages, page_marginals)
+        chunk_index = self._chunk_index
+        self._chunk_index += 1
+        chunk = CacheStats()
+        home_ids = device_ids
+        failover_mask = None
+        link_factors: dict[int, float] = {}
+        if self.injector is not None:
+            failed = self._outage_transitions(chunk_index)
+            link_factors = {
+                d: self.injector.link_factor(d, chunk_index)
+                for d in range(self.topology.n_devices)
+            }
+            if failed:
+                device_ids, local_pages, failover_mask, chunk = (
+                    self._apply_failover(
+                        failed,
+                        pages,
+                        is_write,
+                        device_ids,
+                        local_pages,
+                        page_marginals,
+                        chunk,
+                    )
+                )
         if scores is not None:
             scores = np.asarray(scores, dtype=np.float64)
+        need_outcome = (
+            failover_mask is not None and bool(failover_mask.any())
+        )
         devices: list[int] = []
         tasks: list[ReplayTask] = []
         for device in range(self.topology.n_devices):
@@ -486,10 +589,10 @@ class CxlFabric:
                         else None
                     ),
                     index_offset=self._cursors[device],
+                    record_outcome=need_outcome,
                     shared=self._shared[device],
                 )
             )
-        chunk = CacheStats()
         for device, task, result in zip(
             devices, tasks, self._dispatch(devices, tasks), strict=True
         ):
@@ -498,10 +601,222 @@ class CxlFabric:
                 device
             ].merge(result.stats)
             chunk = chunk.merge(result.stats)
+            factor = link_factors.get(device, 1.0)
+            if factor > 1.0:
+                # Only the link component of the path scales during a
+                # degradation window; cache behaviour is unaffected.
+                self._extra_time_ns[device] += int(
+                    round(
+                        result.stats.accesses
+                        * self.pricing[device].link_request_ns
+                        * (factor - 1.0)
+                    )
+                )
+                self._degraded_stats[device] = self._degraded_stats[
+                    device
+                ].merge(result.stats)
+                self.metrics.record(
+                    f"device:{device}", result.stats, degraded=True
+                )
+            if need_outcome:
+                positions = np.nonzero(device_ids == device)[0]
+                self._account_failover(
+                    device,
+                    result.outcome,
+                    positions,
+                    failover_mask,
+                    home_ids,
+                    is_write,
+                )
         return chunk
+
+    # ------------------------------------------------------------------
+    # Chaos: failover, degradation, reinstatement
+    # ------------------------------------------------------------------
+    def _outage_transitions(self, chunk_index: int) -> list[int]:
+        """Devices down this chunk, recording down/restore events.
+
+        Reinstatement is automatic: the moment a device's outage
+        window ends, :meth:`place` routes its home traffic back (the
+        home cache kept its pre-outage contents, so warm pages hit
+        again immediately).
+        """
+        failed: list[int] = []
+        for device in range(self.topology.n_devices):
+            if self.injector.device_down(device, chunk_index):
+                failed.append(device)
+                if device not in self._down:
+                    self._down[device] = chunk_index
+                    self.metrics.record_event(
+                        f"device:{device}",
+                        "device-down",
+                        chunk_index,
+                    )
+            elif device in self._down:
+                del self._down[device]
+                self.metrics.record_event(
+                    f"device:{device}",
+                    "device-restored",
+                    chunk_index,
+                )
+        return failed
+
+    def _failover_targets(
+        self,
+        pages: np.ndarray,
+        marginals: np.ndarray | None,
+        healthy: np.ndarray,
+    ) -> np.ndarray:
+        """Healthy device per failed-over access (deterministic).
+
+        Score-aware when per-access marginals are available: the
+        chunk's failed-over traffic is bucketed into
+        ``len(healthy)`` equal-population score bands and the hottest
+        band lands on the fastest healthy link -- the same policy the
+        ``score`` placement applies fleet-wide.  Without marginals it
+        falls back to page-modulo spreading.
+        """
+        k = int(healthy.size)
+        if k == 1 or marginals is None:
+            return healthy[pages % k]
+        marginals = np.asarray(marginals, dtype=np.float64)
+        cuts = np.quantile(
+            np.unique(marginals), np.arange(1, k) / k
+        )
+        buckets = np.searchsorted(cuts, marginals, side="right")
+        healthy_set = set(healthy.tolist())
+        rank = np.asarray(
+            [
+                d
+                for d in self._device_rank.tolist()
+                if d in healthy_set
+            ],
+            dtype=np.int64,
+        )
+        return rank[k - 1 - buckets]
+
+    def _apply_failover(
+        self,
+        failed: list[int],
+        pages: np.ndarray,
+        is_write: np.ndarray,
+        device_ids: np.ndarray,
+        local_pages: np.ndarray,
+        page_marginals: np.ndarray | None,
+        chunk: CacheStats,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, CacheStats]:
+        """Re-target failed devices' accesses for one chunk.
+
+        With failover enabled and at least one healthy device, the
+        failed homes' accesses move onto healthy devices under the
+        collision-free :data:`FAILOVER_TAG_OFFSET` tag space (the
+        combined strategy's backup score maps are extended with the
+        same tags).  Otherwise the accesses are served SSD-direct and
+        accounted as bypasses on their home device -- degraded, but
+        never lost.
+        """
+        n = self.topology.n_devices
+        device_ids = device_ids.copy()
+        local_pages = local_pages.copy()
+        failed_arr = np.asarray(failed, dtype=np.int64)
+        mask = np.isin(device_ids, failed_arr)
+        if not mask.any():
+            return device_ids, local_pages, None, chunk
+        healthy = np.asarray(
+            [d for d in range(n) if d not in set(failed)],
+            dtype=np.int64,
+        )
+        if healthy.size == 0 or not self.topology.failover:
+            # SSD-direct: every affected access bypasses the caches
+            # entirely, charged to its home device's path.
+            for device in failed:
+                sub = device_ids == device
+                count = int(np.count_nonzero(sub))
+                if count == 0:
+                    continue
+                stats = stats_from_outcomes(
+                    np.full(count, OUTCOME_BYPASS, dtype=np.uint8),
+                    is_write[sub],
+                )
+                self._device_stats[device] = self._device_stats[
+                    device
+                ].merge(stats)
+                self._failover_stats[device] = self._failover_stats[
+                    device
+                ].merge(stats)
+                chunk = chunk.merge(stats)
+                self.metrics.record(
+                    f"device:{device}", stats, degraded=True
+                )
+            device_ids[mask] = -1
+            return device_ids, local_pages, None, chunk
+        marginals = (
+            np.asarray(page_marginals, dtype=np.float64)[mask]
+            if page_marginals is not None
+            else None
+        )
+        targets = self._failover_targets(
+            pages[mask], marginals, healthy
+        )
+        failover_tags = pages[mask] + FAILOVER_TAG_OFFSET
+        device_ids[mask] = targets
+        local_pages[mask] = failover_tags
+        if self._strategy == "gmm-caching-eviction":
+            for device in np.unique(targets).tolist():
+                sub = targets == device
+                self._device_page_maps[device].update(
+                    zip(
+                        failover_tags[sub].tolist(),
+                        marginals[sub].tolist(),
+                        strict=True,
+                    )
+                )
+        return device_ids, local_pages, mask, chunk
+
+    def _account_failover(
+        self,
+        device: int,
+        outcome: np.ndarray,
+        positions: np.ndarray,
+        failover_mask: np.ndarray,
+        home_ids: np.ndarray,
+        is_write: np.ndarray,
+    ) -> None:
+        """Split one serving device's chunk outcome by failed home.
+
+        Charges the failover-path premium (degraded link factor on
+        the serving device's link) and credits the counters to each
+        failed home device's failover lens.
+        """
+        task_mask = failover_mask[positions]
+        count = int(np.count_nonzero(task_mask))
+        if count == 0:
+            return
+        self._extra_time_ns[device] += int(
+            round(
+                count
+                * self.pricing[device].link_request_ns
+                * (self.topology.degraded_link_factor - 1.0)
+            )
+        )
+        failover_positions = positions[task_mask]
+        homes = home_ids[failover_positions]
+        for home in np.unique(homes).tolist():
+            sub = homes == home
+            stats = stats_from_outcomes(
+                outcome[task_mask][sub],
+                is_write[failover_positions][sub],
+            )
+            self._failover_stats[home] = self._failover_stats[
+                home
+            ].merge(stats)
+            self.metrics.record(
+                f"device:{home}", stats, degraded=True
+            )
 
     def results(self) -> FabricRunResult:
         """Price the accumulated per-device counters."""
+        chaos = self.injector is not None
         devices = tuple(
             DeviceReplayResult(
                 device_id=d,
@@ -509,8 +824,15 @@ class CxlFabric:
                 stats=self._device_stats[d],
                 time_ns=self.pricing[d].total_time_ns(
                     self._device_stats[d]
-                ),
+                )
+                + self._extra_time_ns[d],
                 outcomes=self._device_outcomes[d],
+                failover_stats=(
+                    self._failover_stats[d] if chaos else None
+                ),
+                degraded_time_ns=(
+                    self._extra_time_ns[d] if chaos else 0
+                ),
             )
             for d in range(self.topology.n_devices)
         )
@@ -612,6 +934,63 @@ class CxlFabric:
             self._device_stats[device] = result.stats
             if keep_outcomes:
                 self._device_outcomes[device] = result.outcome
+        with self.pipeline.profile_stage("price"):
+            return self.results()
+
+    def run_streamed(
+        self,
+        prepared: PreparedWorkload,
+        strategy: str,
+        chunk_requests: int = 8192,
+    ) -> FabricRunResult:
+        """Replay a prepared workload through the chunked ingest path.
+
+        Binds exactly like :meth:`run_prepared`, then streams the
+        stream chunk by chunk through :meth:`ingest` -- the path the
+        chaos harness hooks (outage failover, link degradation).
+        Streamed replay measures every access (no warm-up cut): it
+        models steady-state serving, not the offline Fig. 6 protocol.
+        """
+        with self.pipeline.profile_stage("score"):
+            page_score_map = (
+                prepared.page_score_map()
+                if strategy == "gmm-caching-eviction"
+                or self.topology.placement == "score"
+                else None
+            )
+            score_cuts = None
+            if self.topology.placement == "score":
+                score_cuts = self._cuts_from_marginals(
+                    np.fromiter(
+                        page_score_map.values(),
+                        dtype=np.float64,
+                        count=len(page_score_map),
+                    )
+                )
+            self.bind(
+                strategy,
+                prepared.engine.admission_threshold,
+                page_score_map=(
+                    page_score_map
+                    if strategy == "gmm-caching-eviction"
+                    else None
+                ),
+                score_cuts=score_cuts,
+            )
+            scores = self.pipeline.strategy_scores(prepared, strategy)
+        pages = prepared.page_indices
+        marginals = prepared.page_frequency_scores
+        with self.pipeline.profile_stage("simulate"):
+            for start in range(0, pages.shape[0], chunk_requests):
+                sl = slice(start, start + chunk_requests)
+                self.ingest(
+                    pages[sl],
+                    prepared.is_write[sl],
+                    scores=scores[sl] if scores is not None else None,
+                    page_marginals=(
+                        marginals[sl] if marginals is not None else None
+                    ),
+                )
         with self.pipeline.profile_stage("price"):
             return self.results()
 

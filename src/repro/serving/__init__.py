@@ -5,12 +5,18 @@ package runs the same loop continuously against live multi-tenant
 traffic -- chunked scoring, sharded resumable simulation, score-drift
 detection, and stepwise-EM model refresh with atomic engine swaps
 (the software analogue of the FPGA weight-buffer reload).  See
-``docs/serving.md`` for the architecture.
+``docs/serving.md`` for the architecture and ``docs/robustness.md``
+for how the loop degrades and recovers under injected faults.
 """
 
 from repro.serving.drift import DriftDetector, DriftReport, ks_statistic
-from repro.serving.metrics import RollingMetrics
-from repro.serving.refresh import EngineSlot, ModelRefresher
+from repro.serving.metrics import FailureEvent, RollingMetrics
+from repro.serving.refresh import (
+    EngineSlot,
+    ModelRefresher,
+    StaleSwapError,
+    validate_engine,
+)
 from repro.serving.service import (
     ChunkReport,
     IcgmmCacheService,
@@ -23,10 +29,13 @@ __all__ = [
     "DriftDetector",
     "DriftReport",
     "EngineSlot",
+    "FailureEvent",
     "IcgmmCacheService",
     "ModelRefresher",
     "RollingMetrics",
     "ShardedCachePlanes",
+    "StaleSwapError",
     "SwapEvent",
     "ks_statistic",
+    "validate_engine",
 ]

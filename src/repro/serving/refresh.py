@@ -25,6 +25,7 @@ makes scores comparable across generations for the drift detector.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 
 import numpy as np
@@ -42,34 +43,101 @@ from repro.gmm.online import OnlineGmm
 DEFAULT_MAX_FIT_SAMPLES = 8192
 
 
+class StaleSwapError(RuntimeError):
+    """A swap was attempted against an outdated generation.
+
+    Raised when :meth:`EngineSlot.swap` is given an
+    ``expected_generation`` that no longer matches -- i.e. another
+    refresh committed between this builder's read and its swap.  The
+    slot keeps the newer engine; the stale builder must re-read and
+    rebuild.
+    """
+
+
 class EngineSlot:
-    """Atomic holder of the serving engine (weight-buffer analogue)."""
+    """Atomic holder of the serving engine (weight-buffer analogue).
+
+    Reads and swaps are serialised by a lock, so a background refresh
+    thread can never hand a reader a torn (engine, generation) pair,
+    and the generation counter is strictly monotonic: a swap may pass
+    the generation it built against (``expected_generation``) and the
+    slot refuses the install -- :class:`StaleSwapError` -- if a newer
+    engine landed in between, instead of silently rolling the
+    service back onto an older mixture.
+    """
 
     def __init__(self, engine: GmmPolicyEngine) -> None:
         self._engine = engine
         self._generation = 0
+        self._lock = threading.Lock()
 
     @property
     def engine(self) -> GmmPolicyEngine:
         """The currently-loaded engine."""
-        return self._engine
+        with self._lock:
+            return self._engine
 
     @property
     def generation(self) -> int:
         """Number of swaps since service start."""
-        return self._generation
+        with self._lock:
+            return self._generation
 
-    def swap(self, engine: GmmPolicyEngine) -> int:
-        """Install a new engine; returns the new generation."""
-        self._engine = engine
-        self._generation += 1
-        return self._generation
+    def read(self) -> tuple[GmmPolicyEngine, int]:
+        """One consistent (engine, generation) pair."""
+        with self._lock:
+            return self._engine, self._generation
+
+    def swap(
+        self,
+        engine: GmmPolicyEngine,
+        expected_generation: int | None = None,
+    ) -> int:
+        """Install a new engine; returns the new generation.
+
+        ``expected_generation`` is the generation the refresh was
+        built against; passing it turns the swap into a
+        compare-and-swap that fails (:class:`StaleSwapError`) rather
+        than regress past an engine someone else installed first.
+        """
+        with self._lock:
+            if (
+                expected_generation is not None
+                and expected_generation != self._generation
+            ):
+                raise StaleSwapError(
+                    f"swap built against generation"
+                    f" {expected_generation} but the slot is at"
+                    f" {self._generation}"
+                )
+            self._engine = engine
+            self._generation += 1
+            return self._generation
 
     def __repr__(self) -> str:
         return (
             f"EngineSlot(generation={self._generation},"
             f" engine={self._engine!r})"
         )
+
+
+def validate_engine(engine: GmmPolicyEngine) -> None:
+    """Reject an engine with non-finite parameters.
+
+    A corrupted refresh (chaos-injected or a genuinely diverged EM
+    fold) must never reach the slot: every admission decision would
+    compare against NaN and silently admit nothing (or everything).
+    Raises :class:`ValueError` naming the first bad field.
+    """
+    if not np.isfinite(engine.admission_threshold):
+        raise ValueError(
+            "corrupted engine: non-finite admission_threshold"
+        )
+    model = engine.model
+    for name in ("weights", "means", "covariances"):
+        values = getattr(model, name, None)
+        if values is not None and not np.all(np.isfinite(values)):
+            raise ValueError(f"corrupted engine: non-finite {name}")
 
 
 class ModelRefresher:

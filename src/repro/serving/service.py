@@ -40,8 +40,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cache.stats import CacheStats, stats_from_outcomes
-from repro.core.config import IcgmmConfig, ServingConfig
+from repro.cache.stats import (
+    OUTCOME_BYPASS,
+    CacheStats,
+    stats_from_outcomes,
+)
+from repro.chaos import FaultInjector, InjectedFaultError
+from repro.core.config import ChaosConfig, IcgmmConfig, ServingConfig
 from repro.core.engine import GmmPolicyEngine
 from repro.core.parallel import ParallelExecutor, ReplayTask
 from repro.core.pipeline import StagedPipeline
@@ -53,7 +58,11 @@ from repro.core.policy import (
 from repro.hardware.latency import LatencyModel
 from repro.serving.drift import DriftDetector, DriftReport
 from repro.serving.metrics import RollingMetrics
-from repro.serving.refresh import EngineSlot, ModelRefresher
+from repro.serving.refresh import (
+    EngineSlot,
+    ModelRefresher,
+    validate_engine,
+)
 from repro.serving.sharding import ShardedCachePlanes
 
 
@@ -153,6 +162,7 @@ class IcgmmCacheService:
         serving: ServingConfig | None = None,
         latency_model: LatencyModel | None = None,
         measure_from: int = 0,
+        chaos: ChaosConfig | None = None,
     ) -> None:
         if measure_from < 0:
             raise ValueError("measure_from must be >= 0")
@@ -164,6 +174,18 @@ class IcgmmCacheService:
         self._executor = ParallelExecutor.from_config(
             self.serving.parallel
         )
+        # Chaos wiring: None when disabled, so every hot-path gate is
+        # an ``is not None`` check and the fault-free run executes the
+        # exact pre-chaos code path (asserted by tests/chaos parity).
+        self.injector = FaultInjector.from_config(
+            chaos,
+            n_shards=self.serving.n_shards,
+            task_lanes=self.serving.n_shards,
+        )
+        if self.injector is not None:
+            self._executor.fault_hook = (
+                self.injector.worker_crash_attempts
+            )
         self.planes = ShardedCachePlanes(
             self.config.geometry,
             self.serving.n_shards,
@@ -209,6 +231,15 @@ class IcgmmCacheService:
         self._chunk_index = 0
         self._shard_cursors = [0] * self.serving.n_shards
         self._last_swap_chunk = -(10**9)
+        # Refresh-resilience state: consecutive failed builds drive
+        # exponential backoff; the breaker quarantines the drift
+        # detector after repeated refusals.
+        self._refresh_attempts = 0
+        self._refresh_failures = 0
+        self._refresh_block_until = -(10**9)
+        self._quarantine_until = -(10**9)
+        self._quarantined = False
+        self._stall_retries = 0
         self._load_generation()
 
     # ------------------------------------------------------------------
@@ -283,7 +314,7 @@ class IcgmmCacheService:
         self, pages: np.ndarray, is_write: np.ndarray
     ) -> ChunkReport:
         n = pages.shape[0]
-        engine = self.slot.engine
+        engine, generation = self.slot.read()
         abs_idx = np.arange(self._cursor, self._cursor + n)
         features = self.pipeline.chunk_features(pages, self._cursor)
 
@@ -316,25 +347,58 @@ class IcgmmCacheService:
         else:
             sim_scores = None
 
-        # --- drift watch ------------------------------------------------
-        drift: DriftReport | None = None
-        if self.serving.refresh_enabled:
-            drift = self.detector.observe(scores)
-            self.refresher.ingest(features)
-
         # --- sharded simulation (resumable, exact, parallel) ------------
         # Each shard's slice goes through the shared pipeline's
         # Simulate stage, resuming at that shard's cursor; shards are
         # independent, so the round fans out through the executor and
         # merges in shard order (bit-identical to sequential).
+        #
+        # Drift observation and refresh buffering used to sit before
+        # this block; they consume only (scores, features) computed
+        # above, so they now run after simulation + accounting.  That
+        # keeps every mutation of service state *behind* the fallible
+        # stages: an exception up to this point leaves cursors,
+        # detector and refresher untouched, and a retried ingest of
+        # the same chunk is bit-identical to an uninterrupted run.
         shard_ids, local_pages = self.planes.route(pages)
         outcome = np.empty(n, dtype=np.uint8)
         shard_positions = self.planes.partition(shard_ids)
         shards: list[int] = []
         tasks: list[ReplayTask] = []
+        degraded_shards: set[int] = set()
         for shard, positions in enumerate(shard_positions):
             if positions.size == 0:
                 continue
+            if self.injector is not None:
+                attempts = self.injector.shard_stall_attempts(
+                    self._chunk_index, shard
+                )
+                if attempts > self.serving.shard_retry_limit:
+                    # Retry budget exhausted: degrade this shard's
+                    # slice to SSD-direct service for the chunk.  No
+                    # task is dispatched and the shard cursor does
+                    # not advance -- the cache simply never saw these
+                    # accesses, which is exactly what a stalled plane
+                    # looks like from the data's point of view.
+                    outcome[positions] = OUTCOME_BYPASS
+                    degraded_shards.add(shard)
+                    self.shard_metrics.record_event(
+                        f"shard:{shard}",
+                        "stall-degraded",
+                        self._chunk_index,
+                        attempts=attempts,
+                    )
+                    continue
+                if attempts:
+                    # Stall cleared within the retry budget: dispatch
+                    # normally (bit-identical to no stall at all).
+                    self._stall_retries += attempts
+                    self.shard_metrics.record_event(
+                        f"shard:{shard}",
+                        "stall-recovered",
+                        self._chunk_index,
+                        attempts=attempts,
+                    )
             shards.append(shard)
             tasks.append(
                 ReplayTask(
@@ -381,6 +445,7 @@ class IcgmmCacheService:
                     is_write[positions],
                     measured[positions],
                 ),
+                degraded=shard in degraded_shards,
             )
         tenants = pages // self.serving.partition_pages
         for tenant in np.unique(tenants).tolist():
@@ -392,7 +457,35 @@ class IcgmmCacheService:
                 ),
             )
 
-        # --- refresh / swap ---------------------------------------------
+        # --- drift watch ------------------------------------------------
+        drift: DriftReport | None = None
+        if self.serving.refresh_enabled:
+            self.refresher.ingest(features)
+            if self._chunk_index < self._quarantine_until:
+                # Circuit breaker open: the detector's drift verdicts
+                # keep triggering builds that keep failing, so its
+                # observations are suspended (the refresher still
+                # buffers traffic for the eventual rebuild).
+                pass
+            else:
+                if self._quarantined:
+                    # Breaker half-opens: re-arm the detector against
+                    # the engine actually serving and forgive the
+                    # failure streak.
+                    self._quarantined = False
+                    self._refresh_failures = 0
+                    self.detector.rebase(
+                        engine.admission_threshold,
+                        self.threshold_quantile,
+                    )
+                    self.shard_metrics.record_event(
+                        "engine",
+                        "breaker-close",
+                        self._chunk_index,
+                    )
+                drift = self.detector.observe(scores)
+
+        # --- refresh / swap (graceful on failure) -----------------------
         swapped = False
         if (
             self.serving.refresh_enabled
@@ -400,24 +493,91 @@ class IcgmmCacheService:
             and drift.drifted
             and self._chunk_index - self._last_swap_chunk
             >= self.serving.refresh_cooldown_chunks
+            and self._chunk_index >= self._refresh_block_until
         ):
-            refreshed = self.refresher.build(engine)
-            self.slot.swap(refreshed)
-            self._load_generation()
-            self.detector.rebase(
-                refreshed.admission_threshold,
-                self.threshold_quantile,
+            build_index = self._refresh_attempts
+            self._refresh_attempts += 1
+            fault = (
+                self.injector.refresh_fault(build_index)
+                if self.injector is not None
+                else None
             )
-            self._last_swap_chunk = self._chunk_index
-            self.swaps.append(
-                SwapEvent(
-                    chunk_index=self._chunk_index,
-                    generation=self.slot.generation,
-                    access_cursor=self._cursor + n,
-                    threshold=refreshed.admission_threshold,
+            try:
+                if fault == "fail":
+                    raise InjectedFaultError(
+                        f"injected refresh failure at build"
+                        f" {build_index}"
+                    )
+                refreshed = self.refresher.build(engine)
+                if fault == "corrupt":
+                    # The build "succeeds" but hands back garbage;
+                    # validation below must catch it.
+                    refreshed = GmmPolicyEngine(
+                        model=refreshed.model,
+                        scaler=refreshed.scaler,
+                        admission_threshold=float("nan"),
+                    )
+                validate_engine(refreshed)
+            except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                # Failed or corrupted build: the current generation
+                # keeps serving, and further attempts back off
+                # exponentially.  After enough consecutive refusals
+                # the breaker opens and quarantines the detector.
+                self._refresh_failures += 1
+                backoff = self.serving.refresh_backoff_chunks * (
+                    2 ** (self._refresh_failures - 1)
                 )
-            )
-            swapped = True
+                self._refresh_block_until = self._chunk_index + backoff
+                self.shard_metrics.record_event(
+                    "engine",
+                    "refresh-failed",
+                    self._chunk_index,
+                    build=build_index,
+                    backoff_chunks=backoff,
+                    reason=str(exc),
+                )
+                if (
+                    self._refresh_failures
+                    >= self.serving.refresh_breaker_threshold
+                ):
+                    self._quarantine_until = (
+                        self._chunk_index
+                        + self.serving.quarantine_chunks
+                    )
+                    self._quarantined = True
+                    self.shard_metrics.record_event(
+                        "engine",
+                        "breaker-open",
+                        self._chunk_index,
+                        until=self._quarantine_until,
+                    )
+            else:
+                self.slot.swap(
+                    refreshed, expected_generation=generation
+                )
+                self._load_generation()
+                self.detector.rebase(
+                    refreshed.admission_threshold,
+                    self.threshold_quantile,
+                )
+                self._last_swap_chunk = self._chunk_index
+                self._refresh_failures = 0
+                self.swaps.append(
+                    SwapEvent(
+                        chunk_index=self._chunk_index,
+                        generation=self.slot.generation,
+                        access_cursor=self._cursor + n,
+                        threshold=refreshed.admission_threshold,
+                    )
+                )
+                if self.injector is not None:
+                    self.shard_metrics.record_event(
+                        "engine",
+                        "refresh-swap",
+                        self._chunk_index,
+                        generation=self.slot.generation,
+                    )
+                swapped = True
 
         self._cursor += n
         report = ChunkReport(
@@ -453,8 +613,15 @@ class IcgmmCacheService:
     # Introspection
     # ------------------------------------------------------------------
     def summary(self) -> dict:
-        """Operator view: totals, rolling metrics, swap history."""
-        return {
+        """Operator view: totals, rolling metrics, swap history.
+
+        Under chaos (an injector is wired) a ``"chaos"`` section is
+        appended: the observed fault timeline and its digest, the
+        failure/recovery event log, and the retry/degradation
+        counters.  Without chaos the summary is byte-identical to the
+        pre-chaos format.
+        """
+        out = {
             "accesses": self.totals.accesses,
             "miss_rate": self.totals.miss_rate,
             "generation": self.slot.generation,
@@ -470,6 +637,25 @@ class IcgmmCacheService:
             "shards": self.shard_metrics.snapshot(),
             "tenants": self.tenant_metrics.snapshot(),
         }
+        if self.injector is not None:
+            out["chaos"] = {
+                "timeline": self.injector.timeline(),
+                "timeline_digest": self.injector.timeline_digest(),
+                "events": [
+                    event.as_dict()
+                    for event in self.shard_metrics.events()
+                ],
+                "stall_retries": self._stall_retries,
+                "worker_retries": self._executor.retries_performed,
+                "refresh_attempts": self._refresh_attempts,
+                "refresh_failures": self._refresh_failures,
+                "recovery_latency_chunks": (
+                    self.shard_metrics.recovery_latencies(
+                        "breaker-open", "breaker-close"
+                    )
+                ),
+            }
+        return out
 
     def __repr__(self) -> str:
         return (

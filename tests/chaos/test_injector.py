@@ -1,0 +1,137 @@
+"""Injector queries: pure lookups, deduped observed timeline."""
+
+from repro.chaos import (
+    KIND_DEVICE_FAIL,
+    KIND_LINK_DEGRADE,
+    KIND_REFRESH_CORRUPT,
+    KIND_REFRESH_FAIL,
+    KIND_SHARD_STALL,
+    KIND_WORKER_CRASH,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.core.config import ChaosConfig
+
+
+def _injector(events):
+    config = ChaosConfig(enabled=True, seed=0)
+    return FaultInjector(FaultPlan(config, events))
+
+
+class TestFromConfig:
+    def test_none_when_disabled(self):
+        assert FaultInjector.from_config(None) is None
+        assert (
+            FaultInjector.from_config(ChaosConfig(enabled=False))
+            is None
+        )
+
+    def test_injector_when_enabled(self):
+        injector = FaultInjector.from_config(
+            ChaosConfig(enabled=True, seed=1, device_fail_rate=0.5),
+            n_devices=2,
+        )
+        assert injector is not None
+        assert len(injector.plan) > 0
+
+
+class TestQueries:
+    def test_device_windows(self):
+        injector = _injector(
+            [
+                FaultEvent(
+                    start=3, kind=KIND_DEVICE_FAIL, target=1,
+                    duration=2,
+                )
+            ]
+        )
+        assert not injector.device_down(1, 2)
+        assert injector.device_down(1, 3)
+        assert injector.device_down(1, 4)
+        assert not injector.device_down(1, 5)
+        assert not injector.device_down(0, 3)
+        assert injector.outage_end(1, 3) == 5
+        assert injector.outage_end(1, 5) is None
+
+    def test_link_factor(self):
+        injector = _injector(
+            [
+                FaultEvent(
+                    start=1, kind=KIND_LINK_DEGRADE, target=0,
+                    duration=2, magnitude=4.0,
+                )
+            ]
+        )
+        assert injector.link_factor(0, 0) == 1.0
+        assert injector.link_factor(0, 1) == 4.0
+        assert injector.link_factor(1, 1) == 1.0
+
+    def test_stall_refresh_crash(self):
+        injector = _injector(
+            [
+                FaultEvent(
+                    start=2, kind=KIND_SHARD_STALL, target=3,
+                    duration=2,
+                ),
+                FaultEvent(start=0, kind=KIND_REFRESH_FAIL, target=-1),
+                FaultEvent(
+                    start=1, kind=KIND_REFRESH_CORRUPT, target=-1
+                ),
+                FaultEvent(
+                    start=4, kind=KIND_WORKER_CRASH, target=1,
+                    duration=1,
+                ),
+            ]
+        )
+        assert injector.shard_stall_attempts(2, 3) == 2
+        assert injector.shard_stall_attempts(2, 0) == 0
+        assert injector.refresh_fault(0) == "fail"
+        assert injector.refresh_fault(1) == "corrupt"
+        assert injector.refresh_fault(2) is None
+        assert injector.worker_crash_attempts(4, 1) == 1
+        assert injector.worker_crash_attempts(4, 0) == 0
+
+
+class TestObservedTimeline:
+    def test_queries_are_pure_and_records_dedupe(self):
+        injector = _injector(
+            [
+                FaultEvent(
+                    start=3, kind=KIND_DEVICE_FAIL, target=1,
+                    duration=2,
+                )
+            ]
+        )
+        # A retried chunk re-queries the same tick: same answer,
+        # recorded once.
+        for _ in range(3):
+            assert injector.device_down(1, 3)
+        assert injector.device_down(1, 4)  # same window, later tick
+        assert len(injector.records) == 1
+        record = injector.records[0]
+        assert record.start == 3 and record.duration == 2
+
+    def test_timeline_only_holds_fired_faults(self):
+        injector = _injector(
+            [
+                FaultEvent(start=0, kind=KIND_REFRESH_FAIL, target=-1),
+                FaultEvent(start=9, kind=KIND_REFRESH_FAIL, target=-1),
+            ]
+        )
+        injector.refresh_fault(0)
+        # Build 9 never happens: it must not appear in the record.
+        timeline = injector.timeline()
+        assert len(timeline) == 1
+        assert timeline[0]["start"] == 0
+
+    def test_digest_tracks_observations(self):
+        events = [
+            FaultEvent(start=0, kind=KIND_REFRESH_FAIL, target=-1)
+        ]
+        one, two = _injector(events), _injector(events)
+        assert one.timeline_digest() == two.timeline_digest()
+        one.refresh_fault(0)
+        assert one.timeline_digest() != two.timeline_digest()
+        two.refresh_fault(0)
+        assert one.timeline_digest() == two.timeline_digest()

@@ -1,0 +1,128 @@
+"""Fault-plan generation: deterministic, canonical, independent."""
+
+import pytest
+
+from repro.chaos import (
+    FAULT_KINDS,
+    KIND_DEVICE_FAIL,
+    KIND_LINK_DEGRADE,
+    KIND_REFRESH_CORRUPT,
+    KIND_REFRESH_FAIL,
+    KIND_SHARD_STALL,
+    KIND_WORKER_CRASH,
+    FaultEvent,
+    FaultPlan,
+    SCENARIO_NAMES,
+    scenario_chaos,
+)
+from repro.core.config import ChaosConfig
+
+
+def _config(**overrides):
+    base = dict(
+        enabled=True,
+        seed=3,
+        horizon_chunks=64,
+        device_fail_rate=0.05,
+        device_fail_chunks=4,
+        link_degrade_rate=0.05,
+        link_degrade_chunks=4,
+        link_degrade_factor=3.0,
+        shard_stall_rate=0.05,
+        shard_stall_attempts=2,
+        refresh_fail_rate=0.2,
+        refresh_corrupt_rate=0.1,
+        worker_crash_rate=0.02,
+        worker_crash_attempts=1,
+    )
+    base.update(overrides)
+    return ChaosConfig(**base)
+
+
+def _generate(config):
+    return FaultPlan.generate(
+        config, n_devices=4, n_shards=4, task_lanes=4
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_timeline(self):
+        one = _generate(_config())
+        two = _generate(_config())
+        assert one.events == two.events
+        assert one.digest() == two.digest()
+
+    def test_different_seed_different_timeline(self):
+        one = _generate(_config(seed=3))
+        two = _generate(_config(seed=4))
+        assert one.digest() != two.digest()
+
+    def test_channels_are_independent(self):
+        """Silencing one channel must not move another's events."""
+        full = _generate(_config())
+        no_link = _generate(_config(link_degrade_rate=0.0))
+        assert full.by_kind(KIND_DEVICE_FAIL) == no_link.by_kind(
+            KIND_DEVICE_FAIL
+        )
+        assert full.by_kind(KIND_WORKER_CRASH) == no_link.by_kind(
+            KIND_WORKER_CRASH
+        )
+        assert not no_link.by_kind(KIND_LINK_DEGRADE)
+
+
+class TestShape:
+    def test_events_sorted_and_within_horizon(self):
+        plan = _generate(_config())
+        assert list(plan.events) == sorted(plan.events)
+        for event in plan.events:
+            assert event.kind in FAULT_KINDS
+            assert 0 <= event.start < 64
+            if event.kind in (KIND_DEVICE_FAIL, KIND_LINK_DEGRADE):
+                # Windows clamp to the horizon.
+                assert event.start + event.duration <= 64
+
+    def test_targets_match_topology(self):
+        plan = _generate(_config())
+        for event in plan.events:
+            if event.kind in (KIND_REFRESH_FAIL, KIND_REFRESH_CORRUPT):
+                assert event.target == -1
+            else:
+                assert 0 <= event.target < 4
+
+    def test_zero_rates_empty_plan(self):
+        plan = _generate(
+            ChaosConfig(enabled=True, seed=3, horizon_chunks=64)
+        )
+        assert len(plan) == 0
+
+    def test_direct_construction_is_canonical(self):
+        config = ChaosConfig(enabled=True, seed=0)
+        events = [
+            FaultEvent(start=5, kind=KIND_SHARD_STALL, target=1),
+            FaultEvent(start=2, kind=KIND_DEVICE_FAIL, target=0),
+        ]
+        plan = FaultPlan(config, events)
+        assert [e.start for e in plan.events] == [2, 5]
+        assert plan.as_dicts()[0]["kind"] == KIND_DEVICE_FAIL
+
+
+class TestScenarioFactory:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_scenarios_build_single_channel_configs(self, name):
+        config = scenario_chaos(name, seed=5)
+        assert config.enabled
+        assert config.seed == 5
+        plan = _generate(config)
+        kinds = {event.kind for event in plan.events}
+        assert kinds, f"scenario {name} scheduled nothing"
+
+    def test_horizon_override(self):
+        config = scenario_chaos("device_failure", 0, horizon_chunks=10)
+        assert config.horizon_chunks == 10
+        plan = _generate(config)
+        for event in plan.events:
+            assert event.start + event.duration <= 10
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            scenario_chaos("power-loss")

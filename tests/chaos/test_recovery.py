@@ -1,0 +1,396 @@
+"""Graceful degradation + recovery of every victim layer.
+
+Targeted, hand-written fault plans (not sampled ones) drive each
+degradation path deterministically: fabric failover and degraded-link
+pricing, serving stall retry/degrade, refresh backoff + circuit
+breaker, executor crash retries -- plus the cross-cutting guarantee
+that a chaotic run is bit-identical at every worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    KIND_DEVICE_FAIL,
+    KIND_LINK_DEGRADE,
+    KIND_REFRESH_CORRUPT,
+    KIND_REFRESH_FAIL,
+    KIND_SHARD_STALL,
+    KIND_WORKER_CRASH,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.core.config import (
+    ChaosConfig,
+    FabricTopology,
+    ParallelConfig,
+    ServingConfig,
+)
+from repro.core.parallel import ParallelExecutor, WorkerCrashError
+from repro.cxl.fabric import CxlFabric
+from repro.serving import IcgmmCacheService
+
+
+def _inject(victim, events):
+    """Swap a hand-written plan into an already-wired victim."""
+    injector = FaultInjector(
+        FaultPlan(ChaosConfig(enabled=True, seed=0), events)
+    )
+    victim.injector = injector
+    victim._executor.fault_hook = injector.worker_crash_attempts
+    return injector
+
+
+#: Zero-rate but enabled: the victims build an (empty) injector and
+#: activate every chaos gate, then tests swap in a targeted plan.
+ARMED = ChaosConfig(enabled=True, seed=0)
+
+
+def _fabric(config, chaos=ARMED, failover=True):
+    return CxlFabric(
+        FabricTopology(n_devices=4, failover=failover),
+        config=config,
+        chaos=chaos,
+    )
+
+
+def _stream(fabric, pages, writes, chunk=2_000):
+    for start in range(0, pages.shape[0], chunk):
+        fabric.ingest(
+            pages[start : start + chunk],
+            writes[start : start + chunk],
+        )
+    return fabric.results()
+
+
+class TestFabricFailover:
+    def test_outage_loses_zero_accesses(self, chaos_workload):
+        config, _, pages, writes = chaos_workload
+        fabric = _fabric(config)
+        _inject(
+            fabric,
+            [
+                FaultEvent(
+                    start=1, kind=KIND_DEVICE_FAIL, target=2,
+                    duration=3,
+                )
+            ],
+        )
+        try:
+            fabric.bind("lru", 0.0)
+            result = _stream(fabric, pages, writes)
+        finally:
+            fabric.close()
+        assert result.accesses == pages.shape[0]
+        # The outage traffic was re-homed onto healthy devices and
+        # billed the failover link premium.
+        failover = sum(
+            d.failover_stats.accesses
+            for d in result.devices
+            if d.failover_stats is not None
+        )
+        assert failover > 0
+        assert sum(d.degraded_time_ns for d in result.devices) > 0
+        kinds = [e.kind for e in fabric.metrics.events()]
+        assert kinds.count("device-down") == 1
+        assert kinds.count("device-restored") == 1
+        assert fabric.metrics.recovery_latencies(
+            "device-down", "device-restored"
+        ) == [3]
+
+    def test_failover_disabled_bypasses_but_keeps_accounting(
+        self, chaos_workload
+    ):
+        config, _, pages, writes = chaos_workload
+        fabric = _fabric(config, failover=False)
+        _inject(
+            fabric,
+            [
+                FaultEvent(
+                    start=0, kind=KIND_DEVICE_FAIL, target=1,
+                    duration=2,
+                )
+            ],
+        )
+        try:
+            fabric.bind("lru", 0.0)
+            result = _stream(fabric, pages, writes)
+        finally:
+            fabric.close()
+        # Bypass-priced, not dropped: the totals still cover the
+        # whole stream and the failed device's slice shows up in its
+        # own failover (degraded) counters.
+        assert result.accesses == pages.shape[0]
+        device = result.devices[1]
+        assert device.failover_stats is not None
+        assert device.failover_stats.accesses > 0
+        assert device.failover_stats.misses == (
+            device.failover_stats.accesses
+        )
+
+    def test_whole_fleet_down_degrades_to_bypass(self, chaos_workload):
+        config, _, pages, writes = chaos_workload
+        fabric = _fabric(config)
+        _inject(
+            fabric,
+            [
+                FaultEvent(
+                    start=0, kind=KIND_DEVICE_FAIL, target=d,
+                    duration=1,
+                )
+                for d in range(4)
+            ],
+        )
+        try:
+            fabric.bind("lru", 0.0)
+            result = _stream(fabric, pages, writes)
+        finally:
+            fabric.close()
+        assert result.accesses == pages.shape[0]
+
+    def test_link_degradation_prices_only_the_window(
+        self, chaos_workload
+    ):
+        config, _, pages, writes = chaos_workload
+
+        def run(events):
+            fabric = _fabric(config)
+            _inject(fabric, events)
+            try:
+                fabric.bind("lru", 0.0)
+                return _stream(fabric, pages, writes)
+            finally:
+                fabric.close()
+
+        clean = run([])
+        degraded = run(
+            [
+                FaultEvent(
+                    start=0, kind=KIND_LINK_DEGRADE, target=0,
+                    duration=2, magnitude=4.0,
+                )
+            ]
+        )
+        # Same bits, higher bill -- and only on the degraded device.
+        assert degraded.totals == clean.totals
+        assert degraded.devices[0].degraded_time_ns > 0
+        assert degraded.devices[0].time_ns > clean.devices[0].time_ns
+        for d in range(1, 4):
+            assert degraded.devices[d].time_ns == clean.devices[d].time_ns
+
+
+def _service(config, engine, serving, chaos=ARMED):
+    return IcgmmCacheService(
+        engine, config=config, serving=serving, chaos=chaos
+    )
+
+
+def _serving_config(**overrides):
+    base = dict(
+        chunk_requests=2_000,
+        n_shards=4,
+        sharding="hash",
+        strategy="gmm-caching-eviction",
+        refresh_enabled=True,
+        drift_baseline_chunks=2,
+        drift_patience=2,
+        refresh_cooldown_chunks=2,
+    )
+    base.update(overrides)
+    return ServingConfig(**base)
+
+
+class TestServingStalls:
+    def test_stall_within_budget_is_transparent(self, chaos_workload):
+        config, engine, pages, writes = chaos_workload
+        serving = _serving_config()
+        clean = _service(config, engine, serving, chaos=None)
+        clean.ingest(pages, writes)
+
+        stalled = _service(config, engine, serving)
+        _inject(
+            stalled,
+            [
+                FaultEvent(
+                    start=1, kind=KIND_SHARD_STALL, target=2,
+                    duration=serving.shard_retry_limit,
+                )
+            ],
+        )
+        stalled.ingest(pages, writes)
+        assert stalled.totals == clean.totals
+        assert stalled._stall_retries == serving.shard_retry_limit
+        events = stalled.shard_metrics.events("shard:2")
+        assert [e.kind for e in events] == ["stall-recovered"]
+
+    def test_stall_beyond_budget_degrades_shard_chunk(
+        self, chaos_workload
+    ):
+        config, engine, pages, writes = chaos_workload
+        serving = _serving_config()
+        clean = _service(config, engine, serving, chaos=None)
+        clean.ingest(pages, writes)
+
+        stalled = _service(config, engine, serving)
+        _inject(
+            stalled,
+            [
+                FaultEvent(
+                    start=1, kind=KIND_SHARD_STALL, target=2,
+                    duration=serving.shard_retry_limit + 1,
+                )
+            ],
+        )
+        stalled.ingest(pages, writes)
+        # Degraded to SSD-direct for one shard-chunk: every access
+        # still accounted, misses strictly higher.
+        assert stalled.totals.accesses == clean.totals.accesses
+        assert stalled.totals.misses > clean.totals.misses
+        events = stalled.shard_metrics.events("shard:2")
+        assert [e.kind for e in events] == ["stall-degraded"]
+        assert stalled.shard_metrics.degraded_total(
+            "shard:2"
+        ).accesses > 0
+
+
+class TestRefreshFaults:
+    def test_failed_build_backs_off_and_keeps_serving(
+        self, chaos_workload
+    ):
+        config, engine, pages, writes = chaos_workload
+        service = _service(config, engine, _serving_config())
+        _inject(
+            service,
+            [FaultEvent(start=0, kind=KIND_REFRESH_FAIL, target=-1)],
+        )
+        service.ingest(pages, writes)
+        assert service.totals.accesses == pages.shape[0]
+        assert service._refresh_attempts >= 2
+        engine_events = [
+            e.kind for e in service.shard_metrics.events("engine")
+        ]
+        assert "refresh-failed" in engine_events
+        # Build 1 was clean: the service recovered with a swap.
+        assert "refresh-swap" in engine_events
+        assert service.generation >= 1
+
+    def test_corrupt_build_is_rejected_by_validation(
+        self, chaos_workload
+    ):
+        config, engine, pages, writes = chaos_workload
+        service = _service(config, engine, _serving_config())
+        _inject(
+            service,
+            [
+                FaultEvent(
+                    start=0, kind=KIND_REFRESH_CORRUPT, target=-1
+                )
+            ],
+        )
+        service.ingest(pages, writes)
+        failed = [
+            e
+            for e in service.shard_metrics.events("engine")
+            if e.kind == "refresh-failed"
+        ]
+        assert failed and "finite" in failed[0].info["reason"]
+        assert service.generation >= 1  # later clean build landed
+
+    def test_breaker_opens_then_half_opens(self, chaos_workload):
+        config, engine, pages, writes = chaos_workload
+        serving = _serving_config(
+            refresh_backoff_chunks=1,
+            refresh_breaker_threshold=2,
+            quarantine_chunks=2,
+        )
+        service = _service(config, engine, serving)
+        _inject(
+            service,
+            [
+                FaultEvent(
+                    start=build, kind=KIND_REFRESH_FAIL, target=-1
+                )
+                for build in range(2)
+            ],
+        )
+        service.ingest(pages, writes)
+        kinds = [
+            e.kind for e in service.shard_metrics.events("engine")
+        ]
+        assert kinds.count("refresh-failed") == 2
+        assert "breaker-open" in kinds
+        assert "breaker-close" in kinds
+        assert kinds.index("breaker-open") < kinds.index(
+            "breaker-close"
+        )
+        latencies = service.shard_metrics.recovery_latencies(
+            "breaker-open", "breaker-close"
+        )
+        assert latencies and latencies[0] >= serving.quarantine_chunks
+        # The breaker never took generation 0 out of service.
+        assert service.totals.accesses == pages.shape[0]
+
+
+class TestExecutorCrashes:
+    def test_crashes_within_budget_are_transparent(self):
+        def hook(dispatch_round, task):
+            return 1 if (dispatch_round, task) == (0, 1) else 0
+
+        executor = ParallelExecutor(workers=2, max_retries=2)
+        executor.fault_hook = hook
+        try:
+            assert executor.map(lambda v: v * v, [1, 2, 3]) == [1, 4, 9]
+            assert executor.retries_performed == 1
+        finally:
+            executor.shutdown()
+
+    def test_budget_exhaustion_raises_worker_crash_error(self):
+        executor = ParallelExecutor(workers=2, max_retries=1)
+        executor.fault_hook = lambda r, t: 2
+        try:
+            with pytest.raises(WorkerCrashError, match="retry budget"):
+                executor.map(lambda v: v, [1])
+        finally:
+            executor.shutdown()
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_chaotic_run_is_bit_identical_across_workers(
+        self, chaos_workload, workers
+    ):
+        config, engine, pages, writes = chaos_workload
+        chaos = ChaosConfig(
+            enabled=True,
+            seed=13,
+            horizon_chunks=8,
+            shard_stall_rate=0.2,
+            shard_stall_attempts=3,
+            refresh_fail_rate=0.5,
+            worker_crash_rate=0.1,
+            worker_crash_attempts=1,
+        )
+
+        def run(n_workers):
+            serving = _serving_config(
+                parallel=ParallelConfig(
+                    workers=n_workers, backend="thread", max_retries=2
+                )
+            )
+            service = _service(config, engine, serving, chaos=chaos)
+            try:
+                service.ingest(pages, writes)
+                return (
+                    service.totals,
+                    service.generation,
+                    service.injector.timeline_digest(),
+                    [
+                        e.as_dict()
+                        for e in service.shard_metrics.events()
+                    ],
+                )
+            finally:
+                service.close()
+
+        assert run(1) == run(workers)

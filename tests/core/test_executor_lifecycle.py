@@ -62,6 +62,37 @@ class TestExecutorShutdown:
         executor.shutdown()
         assert _live_pool_threads() == 0
 
+    def test_crash_then_reuse_leaks_nothing(self):
+        """Budget exhaustion must tear the pool down, not wedge it."""
+        from repro.core.parallel import WorkerCrashError
+
+        baseline = _live_pool_threads()
+        executor = ParallelExecutor(workers=2, max_retries=1)
+        executor.fault_hook = lambda round_, task: 5  # always fatal
+        try:
+            with pytest.raises(WorkerCrashError):
+                executor.map(_square, [1, 2, 3])
+            # The failed fan-out shut its own pool down.
+            assert _live_pool_threads() == baseline
+            # Clearing the hook makes the same executor usable again
+            # via lazy re-pooling.
+            executor.fault_hook = None
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        finally:
+            executor.shutdown()
+        assert _live_pool_threads() == baseline
+
+    def test_real_exception_closes_pool_before_raising(self):
+        baseline = _live_pool_threads()
+        executor = ParallelExecutor(workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                executor.map(_boom, [1, 2])
+            assert _live_pool_threads() == baseline
+        finally:
+            executor.shutdown()
+        assert _live_pool_threads() == baseline
+
 
 class TestRunGridLifecycle:
     def test_closes_pool_after_success(self):

@@ -50,3 +50,64 @@ class TestRollingMetrics:
     def test_validation(self):
         with pytest.raises(ValueError):
             RollingMetrics(window_chunks=0)
+
+    def test_fresh_key_snapshot_is_all_zeros(self):
+        """A key seen only through empty deltas must read 0.0, not NaN."""
+        metrics = RollingMetrics()
+        metrics.record("cold", _stats(0, 0))
+        assert metrics.miss_rate("cold") == 0.0
+        assert metrics.latency_us("cold") == 0.0
+        snapshot = metrics.snapshot()
+        assert snapshot["cold"]["miss_rate"] == 0.0
+        assert snapshot["cold"]["latency_us"] == 0.0
+        assert snapshot["cold"]["traffic_share"] == 0.0
+
+
+class TestDegradedLens:
+    def test_degraded_deltas_aggregate_separately(self):
+        metrics = RollingMetrics()
+        metrics.record("shard:0", _stats(80, 20))
+        metrics.record("shard:0", _stats(0, 10), degraded=True)
+        # Degraded traffic still lands in the ordinary views...
+        assert metrics.total("shard:0").accesses == 110
+        # ...and additionally under the degraded lens.
+        assert metrics.degraded_total("shard:0").accesses == 10
+        assert metrics.degraded_miss_rate("shard:0") == pytest.approx(
+            1.0
+        )
+        snapshot = metrics.snapshot()
+        assert snapshot["shard:0"]["degraded_accesses"] == 10.0
+
+    def test_clean_key_has_no_degraded_fields(self):
+        metrics = RollingMetrics()
+        metrics.record("shard:0", _stats(10, 0))
+        assert metrics.degraded_total("shard:0").accesses == 0
+        assert metrics.degraded_miss_rate("shard:0") == 0.0
+        # The snapshot format stays pre-chaos byte-identical.
+        assert "degraded_accesses" not in metrics.snapshot()["shard:0"]
+
+
+class TestFailureEvents:
+    def test_events_filter_by_key(self):
+        metrics = RollingMetrics()
+        metrics.record_event("device:0", "device-down", 3, duration=2)
+        metrics.record_event("shard:1", "stall-degraded", 4)
+        assert len(metrics.events()) == 2
+        only = metrics.events("device:0")
+        assert [e.kind for e in only] == ["device-down"]
+        assert only[0].as_dict() == {
+            "key": "device:0",
+            "kind": "device-down",
+            "chunk_index": 3,
+            "duration": 2,
+        }
+
+    def test_recovery_latencies_pair_per_key(self):
+        metrics = RollingMetrics()
+        metrics.record_event("device:0", "device-down", 2)
+        metrics.record_event("device:1", "device-down", 3)
+        metrics.record_event("device:0", "device-restored", 6)
+        # device:1's outage is still open: it contributes nothing.
+        assert metrics.recovery_latencies(
+            "device-down", "device-restored"
+        ) == [4]

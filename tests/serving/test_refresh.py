@@ -1,11 +1,18 @@
 """Tests for the engine slot and the stepwise-EM model refresher."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core.config import GmmEngineConfig
 from repro.core.engine import GmmPolicyEngine
-from repro.serving.refresh import EngineSlot, ModelRefresher
+from repro.serving.refresh import (
+    EngineSlot,
+    ModelRefresher,
+    StaleSwapError,
+    validate_engine,
+)
 from repro.traces.preprocess import transform_timestamps
 from repro.traces.synthetic import ZipfSampler
 
@@ -40,6 +47,75 @@ class TestEngineSlot:
         assert slot.swap(other) == 1
         assert slot.engine is other
         assert slot.generation == 1
+
+    def test_stale_swap_is_refused(self):
+        rng = np.random.default_rng(5)
+        slot = EngineSlot(_engine(_features(0, 4000, rng)))
+        engine, generation = slot.read()
+        newer = _engine(_features(0, 4000, rng), seed=1)
+        slot.swap(newer, expected_generation=generation)
+        # A second builder that also read generation 0 must not roll
+        # the slot back past `newer`.
+        stale = _engine(_features(0, 4000, rng), seed=2)
+        with pytest.raises(StaleSwapError, match="generation 0"):
+            slot.swap(stale, expected_generation=generation)
+        assert slot.engine is newer
+        assert slot.generation == 1
+
+    def test_concurrent_cas_admits_exactly_one(self):
+        rng = np.random.default_rng(6)
+        slot = EngineSlot(_engine(_features(0, 4000, rng)))
+        candidates = [
+            _engine(_features(0, 4000, rng), seed=s) for s in range(8)
+        ]
+        _, generation = slot.read()
+        outcomes = []
+        barrier = threading.Barrier(len(candidates))
+
+        def contend(engine):
+            barrier.wait()
+            try:
+                slot.swap(engine, expected_generation=generation)
+                outcomes.append("won")
+            except StaleSwapError:
+                outcomes.append("stale")
+
+        threads = [
+            threading.Thread(target=contend, args=(c,))
+            for c in candidates
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count("won") == 1
+        assert outcomes.count("stale") == len(candidates) - 1
+        assert slot.generation == 1
+        assert slot.engine in candidates
+
+
+class TestValidateEngine:
+    def test_accepts_healthy_engine(self):
+        rng = np.random.default_rng(7)
+        validate_engine(_engine(_features(0, 4000, rng)))
+
+    def test_rejects_non_finite_threshold(self):
+        rng = np.random.default_rng(8)
+        engine = _engine(_features(0, 4000, rng))
+        corrupt = GmmPolicyEngine(
+            model=engine.model,
+            scaler=engine.scaler,
+            admission_threshold=float("nan"),
+        )
+        with pytest.raises(ValueError, match="admission_threshold"):
+            validate_engine(corrupt)
+
+    def test_rejects_non_finite_model_parameters(self):
+        rng = np.random.default_rng(9)
+        engine = _engine(_features(0, 4000, rng))
+        engine.model._weights[0] = np.nan  # accessor returns a copy
+        with pytest.raises(ValueError, match="weights"):
+            validate_engine(engine)
 
 
 class TestModelRefresher:

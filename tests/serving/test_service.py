@@ -218,6 +218,62 @@ class TestThresholdQuantileWiring:
         assert service.detector.quantile == 0.1
 
 
+class TestResumableReplay:
+    def test_mid_chunk_exception_leaves_state_resumable(
+        self, prepared_system
+    ):
+        """A chunk that dies inside the replay call must leave no
+        trace: every cursor/counter mutation sits *after* the fallible
+        fan-out, so re-ingesting from the failed access produces the
+        uninterrupted bit stream."""
+        config, _, prepared = prepared_system
+        serving = ServingConfig(
+            chunk_requests=3_000,
+            n_shards=4,
+            sharding="hash",
+            strategy="gmm-caching-eviction",
+            refresh_enabled=False,
+        )
+
+        def build():
+            return IcgmmCacheService(
+                prepared.engine, config=config, serving=serving
+            )
+
+        reference = build()
+        reference.ingest(prepared.page_indices, prepared.is_write)
+
+        service = build()
+        original_replay = service._executor.replay
+        crash_at = {"chunk": 2, "armed": True}
+
+        def flaky_replay(tasks, simulator=None):
+            if (
+                crash_at["armed"]
+                and service._chunk_index == crash_at["chunk"]
+            ):
+                crash_at["armed"] = False
+                raise RuntimeError("transient replay failure")
+            return original_replay(tasks, simulator=simulator)
+
+        service._executor.replay = flaky_replay
+        with pytest.raises(RuntimeError, match="transient"):
+            service.ingest(prepared.page_indices, prepared.is_write)
+        # The failed chunk committed nothing.
+        failed_from = crash_at["chunk"] * serving.chunk_requests
+        assert service.access_cursor == failed_from
+        assert service.totals.accesses == failed_from
+        assert service.generation == 0
+        # Resume from the exact failed access: bit-identical to the
+        # uninterrupted run.
+        service.ingest(
+            prepared.page_indices[failed_from:],
+            prepared.is_write[failed_from:],
+        )
+        assert service.access_cursor == reference.access_cursor
+        assert service.totals == reference.totals
+
+
 class TestValidation:
     def test_rejects_bad_inputs(self, prepared_system):
         config, _, prepared = prepared_system

@@ -11,7 +11,8 @@ export PYTHONPATH := src
 .PHONY: test verify bench-throughput bench-smoke bench-serving \
 	bench-serving-smoke bench-fabric bench-fabric-smoke \
 	bench-parallel bench-parallel-smoke bench-train \
-	bench-train-smoke bench-chaos bench-chaos-smoke
+	bench-train-smoke bench-chaos bench-chaos-smoke \
+	bench-obs bench-obs-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,7 +20,8 @@ test:
 # Tier-1 tests plus every bench smoke validator (schema + acceptance
 # checks on fresh smoke artifacts) -- the one-command CI gate.
 verify: test bench-smoke bench-serving-smoke bench-fabric-smoke \
-	bench-parallel-smoke bench-train-smoke bench-chaos-smoke
+	bench-parallel-smoke bench-train-smoke bench-chaos-smoke \
+	bench-obs-smoke
 
 # Full simulator-throughput matrix; writes BENCH_sim_throughput.json.
 bench-throughput:
@@ -97,3 +99,17 @@ bench-chaos-smoke:
 		--output BENCH_chaos_recovery.smoke.json
 	$(PYTHON) benchmarks/bench_chaos_recovery.py \
 		--validate BENCH_chaos_recovery.smoke.json
+
+# Full telemetry-overhead scorecard (enabled vs disabled replay per
+# layer; acceptance: <= 5% hot-path overhead, byte-identical results
+# with telemetry attached, bit-reproducible snapshot digests); writes
+# BENCH_obs_overhead.json.
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs_overhead.py
+
+# Short telemetry-overhead run, then schema-validate the emitted JSON.
+bench-obs-smoke:
+	$(PYTHON) benchmarks/bench_obs_overhead.py --smoke \
+		--output BENCH_obs_overhead.smoke.json
+	$(PYTHON) benchmarks/bench_obs_overhead.py \
+		--validate BENCH_obs_overhead.smoke.json

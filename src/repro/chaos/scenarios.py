@@ -177,6 +177,7 @@ def run_fabric_scenario(
     page_score_map: dict[int, float] | None = None,
     chunk_requests: int = 4096,
     parallel: ParallelConfig | None = None,
+    telemetry=None,
 ) -> dict:
     """Stream a workload through a (possibly faulty) fabric.
 
@@ -191,6 +192,7 @@ def run_fabric_scenario(
         config=config,
         parallel=parallel,
         chaos=chaos,
+        telemetry=telemetry,
     )
     try:
         fabric.bind(
@@ -252,6 +254,7 @@ def run_serving_scenario(
     config: IcgmmConfig | None = None,
     serving: ServingConfig | None = None,
     measure_from: int = 0,
+    telemetry=None,
 ) -> dict:
     """Stream a workload through a (possibly faulty) serving loop.
 
@@ -267,6 +270,7 @@ def run_serving_scenario(
         serving=serving,
         measure_from=measure_from,
         chaos=chaos,
+        telemetry=telemetry,
     )
     try:
         reports = service.ingest(pages, is_write)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the common entry points without writing any
+Nine subcommands cover the common entry points without writing any
 Python::
 
     python -m repro.cli generate-trace dlrm -n 100000 -o dlrm.npz
@@ -9,16 +9,23 @@ Python::
     python -m repro.cli serve --workloads memtier stream --drift
     python -m repro.cli fabric memtier --devices 4 --placement score
     python -m repro.cli chaos --scenarios device_failure worker_crash
+    python -m repro.cli metrics telemetry.json --format prom
+    python -m repro.cli top telemetry.json
     python -m repro.cli hardware-report
 
 ``serve`` and ``fabric`` additionally accept ``--chaos-seed N`` to
 run under the deterministic fault-injection demo plan (see
-``docs/robustness.md``).
+``docs/robustness.md``), and ``run``/``serve``/``fabric``/``chaos``
+accept ``--telemetry-out PATH`` to capture the run's unified
+telemetry (``docs/observability.md``) -- the export format follows
+the suffix.  ``serve``/``fabric``/``chaos`` also accept ``--json`` to
+emit the canonical telemetry snapshot on stdout instead of tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -43,12 +50,14 @@ from repro.core.config import (
     IcgmmConfig,
     ParallelConfig,
     ServingConfig,
+    TelemetryConfig,
 )
 from repro.core.engine import GmmPolicyEngine
 from repro.core.experiment import run_suite
 from repro.core.pipeline import StageProfiler
 from repro.core.system import IcgmmSystem
 from repro.cxl.fabric import CxlFabric
+from repro.obs import SNAPSHOT_SCHEMA, Telemetry
 from repro.hardware import (
     FpgaSpec,
     GmmEngineTiming,
@@ -92,6 +101,7 @@ def _add_run(subparsers) -> None:
     parser.add_argument("--trace-length", type=int, default=None)
     parser.add_argument("--components", type=int, default=None)
     _add_profile_argument(parser)
+    _add_telemetry_arguments(parser, json_flag=False)
     parser.add_argument("--seed", type=int, default=42)
 
 
@@ -160,6 +170,7 @@ def _add_serve(subparsers) -> None:
     )
     _add_parallel_arguments(parser, "shard replays")
     _add_chaos_seed_argument(parser)
+    _add_telemetry_arguments(parser)
     parser.add_argument("--seed", type=int, default=42)
 
 
@@ -180,6 +191,79 @@ def _chaos_from_args(args) -> ChaosConfig | None:
     if args.chaos_seed is None:
         return None
     return ChaosConfig.demo(args.chaos_seed)
+
+
+def _add_telemetry_arguments(parser, json_flag: bool = True) -> None:
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "capture the run's unified telemetry and write it here;"
+            " format follows the suffix (.prom Prometheus text,"
+            " .trace.json/.perfetto.json Chrome trace-event JSON,"
+            " anything else the canonical JSON snapshot)"
+        ),
+    )
+    if json_flag:
+        parser.add_argument(
+            "--json",
+            action="store_true",
+            help=(
+                "emit the canonical telemetry JSON snapshot (schema"
+                f" {SNAPSHOT_SCHEMA}) on stdout instead of tables"
+            ),
+        )
+
+
+def _telemetry_from_args(args) -> Telemetry | None:
+    """A bundle when ``--telemetry-out``/``--json`` asked for one.
+
+    ``None`` otherwise -- the instrumented layers then run their
+    exact pre-telemetry code paths.
+    """
+    if args.telemetry_out is None and not getattr(
+        args, "json", False
+    ):
+        return None
+    return Telemetry.from_config(
+        TelemetryConfig(enabled=True, seed=args.seed)
+    )
+
+
+def _finish_telemetry(args, telemetry, extra=None) -> None:
+    """Write/print the requested exports at command end."""
+    if telemetry is None:
+        return
+    if args.telemetry_out is not None:
+        kind = telemetry.write(args.telemetry_out, extra=extra)
+        print(
+            f"wrote {kind} telemetry to {args.telemetry_out}",
+            file=sys.stderr,
+        )
+    if getattr(args, "json", False):
+        sys.stdout.write(telemetry.snapshot_json(extra=extra))
+
+
+def _load_snapshot(path: str) -> dict | None:
+    """Read and validate a canonical snapshot file (None on error)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    if (
+        not isinstance(snapshot, dict)
+        or snapshot.get("schema") != SNAPSHOT_SCHEMA
+    ):
+        print(
+            f"error: {path} is not a {SNAPSHOT_SCHEMA} snapshot"
+            " (capture one with --telemetry-out or --json)",
+            file=sys.stderr,
+        )
+        return None
+    return snapshot
 
 
 def _add_profile_argument(parser) -> None:
@@ -287,6 +371,7 @@ def _add_fabric(subparsers) -> None:
     _add_parallel_arguments(parser, "per-device replays")
     _add_chaos_seed_argument(parser)
     _add_profile_argument(parser)
+    _add_telemetry_arguments(parser)
     parser.add_argument("--seed", type=int, default=42)
 
 
@@ -320,7 +405,49 @@ def _add_chaos(subparsers) -> None:
         help="seed of the deterministic fault plans",
     )
     _add_parallel_arguments(parser, "scenario replays")
+    _add_telemetry_arguments(parser)
     parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_metrics(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "metrics",
+        help=(
+            "re-render a captured telemetry snapshot (Prometheus"
+            " text, canonical JSON, Chrome trace-event JSON)"
+        ),
+    )
+    parser.add_argument(
+        "snapshot",
+        help=(
+            "canonical JSON snapshot file captured with"
+            " --telemetry-out or --json"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("prom", "json", "trace"),
+        default="prom",
+        help="output format (default: Prometheus text exposition)",
+    )
+
+
+def _add_top(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "top",
+        help=(
+            "one-shot text dashboard over a captured telemetry"
+            " snapshot (headline counters, rolling table, stages,"
+            " recent failure events)"
+        ),
+    )
+    parser.add_argument(
+        "snapshot",
+        help=(
+            "canonical JSON snapshot file captured with"
+            " --telemetry-out or --json"
+        ),
+    )
 
 
 def _add_hardware_report(subparsers) -> None:
@@ -362,6 +489,16 @@ def _cmd_run(args) -> int:
     system = IcgmmSystem(_config_from_args(args))
     if args.profile:
         system.pipeline.profiler = StageProfiler()
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None:
+        from repro.obs import bridge
+
+        if system.pipeline.profiler is None:
+            system.pipeline.profiler = StageProfiler()
+        system.pipeline.telemetry = telemetry
+        bridge.register_stage_profiler(
+            telemetry.registry, system.pipeline.profiler
+        )
     result = system.run_benchmark(args.workload)
     rows = [
         [
@@ -381,7 +518,23 @@ def _cmd_run(args) -> int:
         f" (-{result.miss_reduction_points:.2f} pts,"
         f" -{result.time_reduction_percent:.1f}% time)"
     )
-    _print_profile(system.pipeline)
+    if args.profile:
+        _print_profile(system.pipeline)
+    _finish_telemetry(
+        args,
+        telemetry,
+        extra={
+            "command": "run",
+            "workload": args.workload,
+            "best_strategy": result.best_gmm.strategy,
+            "miss_reduction_points": float(
+                result.miss_reduction_points
+            ),
+            "time_reduction_percent": float(
+                result.time_reduction_percent
+            ),
+        },
+    )
     return 0
 
 
@@ -400,6 +553,10 @@ def _cmd_serve(args) -> int:
     rng = np.random.default_rng(args.seed)
     config = _config_from_args(args)
     chaos = _chaos_from_args(args)
+    telemetry = _telemetry_from_args(args)
+    # --json owns stdout: informational output is suppressed so the
+    # emitted snapshot is the whole (machine-parseable) stream.
+    emit = (lambda *a, **k: None) if args.json else print
     generators = [
         get_workload(name, scale=config.workload_scale)
         for name in args.workloads
@@ -474,7 +631,7 @@ def _cmd_serve(args) -> int:
             timestamps.astype(np.float64),
         ]
     )
-    print(
+    emit(
         f"training offline engine on {n_train:,} requests"
         f" ({len(args.workloads)} tenants)..."
     )
@@ -486,6 +643,7 @@ def _cmd_serve(args) -> int:
             serving=serving,
             measure_from=n_train,
             chaos=chaos,
+            telemetry=telemetry,
         )
     except ValueError as exc:  # e.g. --shards not dividing the sets
         print(f"error: {exc}", file=sys.stderr)
@@ -506,7 +664,7 @@ def _cmd_serve(args) -> int:
                 else 0.0
             )
             swapped = any(r.swapped for r in reports)
-            print(
+            emit(
                 f"  cursor {service.access_cursor:>9,d}"
                 f"  window miss {window_miss:6.2f}%"
                 f"  generation {service.generation}"
@@ -518,8 +676,8 @@ def _cmd_serve(args) -> int:
         # Deterministic teardown even on a failed ingest: the shard
         # executor pool (and any shared planes) must not leak.
         service.close()
-    print()
-    print(
+    emit()
+    emit(
         render_table(
             ["shard", "miss rate %", "latency us", "traffic %"],
             [
@@ -533,8 +691,8 @@ def _cmd_serve(args) -> int:
             ],
         )
     )
-    print()
-    print(
+    emit()
+    emit(
         render_table(
             ["tenant", "miss rate %", "latency us", "traffic %"],
             [
@@ -548,7 +706,7 @@ def _cmd_serve(args) -> int:
             ],
         )
     )
-    print(
+    emit(
         f"\ntotal: {summary['accesses']:,} measured accesses,"
         f" miss rate {100 * summary['miss_rate']:.2f}%,"
         f" {len(summary['swaps'])} engine swap(s),"
@@ -556,7 +714,7 @@ def _cmd_serve(args) -> int:
     )
     if "chaos" in summary:
         chaos = summary["chaos"]
-        print(
+        emit(
             f"chaos: {len(chaos['timeline'])} fault(s)"
             f" [{chaos['timeline_digest'][:12]}],"
             f" {len(chaos['events'])} event(s),"
@@ -566,10 +724,15 @@ def _cmd_serve(args) -> int:
             " refresh failures"
         )
         for event in chaos["events"]:
-            print(
+            emit(
                 f"  chunk {event['chunk_index']:>5d}"
                 f"  {event['key']:<10s} {event['kind']}"
             )
+    _finish_telemetry(
+        args,
+        telemetry,
+        extra={"command": "serve", "summary": summary},
+    )
     return 0
 
 
@@ -589,15 +752,20 @@ def _cmd_fabric(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     chaos = _chaos_from_args(args)
+    telemetry = _telemetry_from_args(args)
+    emit = (lambda *a, **k: None) if args.json else print
     fabric = CxlFabric(
         topology,
         config=config,
         parallel=_parallel_from_args(args, chaos),
         chaos=chaos,
+        telemetry=telemetry,
     )
-    if args.profile:
+    # Telemetry already hangs a profiler on the pipeline; replacing
+    # it would orphan the registered collector.
+    if args.profile and fabric.pipeline.profiler is None:
         fabric.pipeline.profiler = StageProfiler()
-    print(
+    emit(
         f"preparing {args.workload} through the staged pipeline"
         f" ({args.devices} devices, {args.placement} placement,"
         f" {fabric.parallel.workers} worker(s)"
@@ -618,8 +786,8 @@ def _cmd_fabric(args) -> int:
         # shared-memory planes must not outlive the command, even
         # when preparation or replay raises.
         fabric.close()
-    print()
-    print(
+    emit()
+    emit(
         render_table(
             [
                 "device",
@@ -641,7 +809,7 @@ def _cmd_fabric(args) -> int:
         )
     )
     totals = result.totals
-    print(
+    emit(
         f"\nfleet: {totals.accesses:,} measured accesses,"
         f" miss rate {100 * totals.miss_rate:.2f}%,"
         f" avg latency {result.average_latency_us:.1f} us"
@@ -654,24 +822,52 @@ def _cmd_fabric(args) -> int:
             if d.failover_stats is not None
         )
         degraded_ns = sum(d.degraded_time_ns for d in result.devices)
-        print(
+        emit(
             f"chaos: {len(fabric.injector.timeline())} fault(s)"
             f" [{fabric.injector.timeline_digest()[:12]}],"
             f" {failover:,} failover accesses,"
             f" {degraded_ns:,} ns degraded-link premium"
         )
         for event in fabric.metrics.events():
-            print(
+            emit(
                 f"  chunk {event.chunk_index:>5d}"
                 f"  {event.key:<10s} {event.kind}"
             )
-    _print_profile(fabric.pipeline)
+    # Telemetry also attaches a profiler; the stage table stays an
+    # explicit --profile opt-in (and --json owns stdout).
+    if args.profile and not args.json:
+        _print_profile(fabric.pipeline)
+    _finish_telemetry(
+        args,
+        telemetry,
+        extra={
+            "command": "fabric",
+            "workload": args.workload,
+            "strategy": args.strategy,
+            "accesses": int(totals.accesses),
+            "miss_rate": float(totals.miss_rate),
+            "average_latency_us": float(result.average_latency_us),
+            "devices": [
+                {
+                    "device": int(device.device_id),
+                    "accesses": int(device.accesses),
+                    "miss_rate": float(device.stats.miss_rate),
+                    "average_latency_us": float(
+                        device.average_latency_us
+                    ),
+                }
+                for device in result.devices
+            ],
+        },
+    )
     return 0
 
 
 def _cmd_chaos(args) -> int:
     rng = np.random.default_rng(args.seed)
     config = _config_from_args(args)
+    telemetry = _telemetry_from_args(args)
+    emit = (lambda *a, **k: None) if args.json else print
     # Phase-shifted stream (as ``serve --drift``): the hot region
     # moves at the midpoint so the refresh loop actually runs --
     # otherwise the refresh-fault channel has nothing to hit.
@@ -734,23 +930,26 @@ def _cmd_chaos(args) -> int:
                 timestamps.astype(np.float64),
             ]
         )
-        print(f"training engine on {n_train:,} requests...")
+        emit(f"training engine on {n_train:,} requests...")
         engine = GmmPolicyEngine.train(features, config.gmm, rng)
 
-    def run(name, chaos):
+    def run(name, chaos, telemetry=None):
         if name in SERVING_SCENARIOS:
             return run_serving_scenario(
                 chaos, engine, pages, is_write,
                 config=config, serving=serving,
+                telemetry=telemetry,
             )
         return run_fabric_scenario(
             chaos, pages, is_write,
             topology=topology, config=config,
             chunk_requests=args.chunk, parallel=retrying,
+            telemetry=telemetry,
         )
 
     baselines = {}
     rows = []
+    scorecard = []
     for name in args.scenarios:
         layer = "serving" if name in SERVING_SCENARIOS else "fabric"
         if layer not in baselines:
@@ -765,8 +964,13 @@ def _cmd_chaos(args) -> int:
             scenario_chaos(
                 name, args.chaos_seed, horizon_chunks=horizon
             ),
+            telemetry=telemetry,
         )
         recover_at = recovery_chunk(out["timeline"], out["events"])
+        tail = tail_miss_rate(out["chunk_counters"], recover_at)
+        base_tail = tail_miss_rate(
+            base["chunk_counters"], recover_at
+        )
         rows.append(
             [
                 name,
@@ -775,14 +979,27 @@ def _cmd_chaos(args) -> int:
                 out["accesses"],
                 100 * out["miss_rate"],
                 100 * base["miss_rate"],
-                100 * tail_miss_rate(out["chunk_counters"], recover_at),
-                100
-                * tail_miss_rate(base["chunk_counters"], recover_at),
+                100 * tail,
+                100 * base_tail,
                 out["worker_retries"],
             ]
         )
-    print()
-    print(
+        scorecard.append(
+            {
+                "scenario": name,
+                "layer": layer,
+                "faults": len(out["timeline"]),
+                "timeline_digest": out["timeline_digest"],
+                "accesses": int(out["accesses"]),
+                "miss_rate": float(out["miss_rate"]),
+                "baseline_miss_rate": float(base["miss_rate"]),
+                "tail_miss_rate": float(tail),
+                "baseline_tail_miss_rate": float(base_tail),
+                "worker_retries": int(out["worker_retries"]),
+            }
+        )
+    emit()
+    emit(
         render_table(
             [
                 "scenario",
@@ -798,6 +1015,47 @@ def _cmd_chaos(args) -> int:
             rows,
         )
     )
+    _finish_telemetry(
+        args,
+        telemetry,
+        extra={"command": "chaos", "scenarios": scorecard},
+    )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs.export import (
+        chrome_trace_json,
+        prometheus_text,
+        snapshot_json,
+    )
+
+    snapshot = _load_snapshot(args.snapshot)
+    if snapshot is None:
+        return 2
+    if args.format == "prom":
+        sys.stdout.write(
+            prometheus_text(snapshot.get("metrics", []))
+        )
+    elif args.format == "trace":
+        sys.stdout.write(
+            chrome_trace_json(
+                snapshot.get("spans", []),
+                snapshot.get("events", []),
+            )
+        )
+    else:
+        sys.stdout.write(snapshot_json(snapshot))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.dashboard import render_top
+
+    snapshot = _load_snapshot(args.snapshot)
+    if snapshot is None:
+        return 2
+    sys.stdout.write(render_top(snapshot))
     return 0
 
 
@@ -836,6 +1094,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "fabric": _cmd_fabric,
     "chaos": _cmd_chaos,
+    "metrics": _cmd_metrics,
+    "top": _cmd_top,
     "hardware-report": _cmd_hardware_report,
 }
 
@@ -853,6 +1113,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve(subparsers)
     _add_fabric(subparsers)
     _add_chaos(subparsers)
+    _add_metrics(subparsers)
+    _add_top(subparsers)
     _add_hardware_report(subparsers)
     return parser
 

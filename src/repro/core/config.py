@@ -296,6 +296,39 @@ class ChaosConfig:
         return cls(**defaults)
 
 
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Telemetry knobs (:class:`repro.obs.Telemetry`).
+
+    Mirrors :class:`ChaosConfig`'s enable contract: with
+    ``enabled=False`` (default) no telemetry object is constructed at
+    all and every instrumented layer runs its exact pre-telemetry
+    code path (the parity suite in ``tests/obs`` asserts
+    byte-identical outputs).  When enabled, all metric values and
+    span timestamps derive from logical clocks -- chunk indices,
+    dispatch rounds, build indices -- so the exported snapshot digest
+    is a pure function of (seed, workload, config).
+
+    Attributes
+    ----------
+    seed:
+        Root seed of span-ID derivation (span IDs hash
+        ``(seed, component, name, logical clock)``).
+    max_spans:
+        Span-count cap of the tracer; spans past it are counted as
+        dropped (``tracer_dropped_spans_total``) rather than
+        recorded, bounding memory on long runs.
+    """
+
+    enabled: bool = False
+    seed: int = 0
+    max_spans: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+
+
 #: Scale factor of the default simulation profile: cache capacity and
 #: workload footprints are both divided by 32 relative to the paper's
 #: 64 MB case study, preserving every footprint-to-cache ratio while

@@ -286,11 +286,18 @@ class ReplayResult:
         pickle round-trip that carries any scalar-side policy state
         (CLOCK hands, RNG cursors) back to the caller, which must
         adopt it for the next round to stay bit-exact.
+    elapsed_s:
+        Wall-clock seconds the task's simulate call took inside its
+        worker.  Merged (in task order) into a caller-supplied
+        :class:`~repro.core.pipeline.StageProfiler`, so profile
+        *structure* stays deterministic across worker counts even
+        though the seconds themselves are measurements.
     """
 
     stats: CacheStats
     outcome: np.ndarray | None
     policy: ReplacementPolicy
+    elapsed_s: float = 0.0
 
 
 def _run_replay(task: ReplayTask, simulator: str) -> ReplayResult:
@@ -301,6 +308,7 @@ def _run_replay(task: ReplayTask, simulator: str) -> ReplayResult:
         if task.record_outcome
         else None
     )
+    started = time.perf_counter()
     stats = run(
         task.cache,
         task.policy,
@@ -311,7 +319,12 @@ def _run_replay(task: ReplayTask, simulator: str) -> ReplayResult:
         index_offset=task.index_offset,
         outcome=outcome,
     )
-    return ReplayResult(stats=stats, outcome=outcome, policy=task.policy)
+    return ReplayResult(
+        stats=stats,
+        outcome=outcome,
+        policy=task.policy,
+        elapsed_s=time.perf_counter() - started,
+    )
 
 
 def _run_replay_in_worker(
@@ -325,7 +338,7 @@ def _run_replay_in_worker(
     index_offset: int,
     record_outcome: bool,
     simulator: str,
-) -> tuple[CacheStats, np.ndarray | None, ReplacementPolicy]:
+) -> tuple[CacheStats, np.ndarray | None, ReplacementPolicy, float]:
     """Process-backend task body: attach shared planes and replay."""
     cache = _attached_cache(name, geometry)
     result = _run_replay(
@@ -341,7 +354,7 @@ def _run_replay_in_worker(
         ),
         simulator,
     )
-    return result.stats, result.outcome, result.policy
+    return result.stats, result.outcome, result.policy, result.elapsed_s
 
 
 def _call_star(fn, args: tuple):
@@ -394,6 +407,7 @@ class ParallelExecutor:
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
         self._dispatch_round = 0
         self._retries_performed = 0
+        self._tasks_dispatched = 0
 
     @classmethod
     def from_config(
@@ -418,6 +432,11 @@ class ParallelExecutor:
     def dispatch_rounds(self) -> int:
         """Fan-out calls issued so far (the executor's logical clock)."""
         return self._dispatch_round
+
+    @property
+    def tasks_dispatched(self) -> int:
+        """Tasks/items submitted across all fan-out calls."""
+        return self._tasks_dispatched
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -521,6 +540,7 @@ class ParallelExecutor:
         dispatch_round = self._dispatch_round
         self._dispatch_round += 1
         items = list(items)
+        self._tasks_dispatched += len(items)
         self._consume_injected_crashes(dispatch_round, len(items))
         attempt = 0
         while True:
@@ -550,7 +570,10 @@ class ParallelExecutor:
 
     # -- simulate fan-out ----------------------------------------------
     def replay(
-        self, tasks: list[ReplayTask], simulator: str = "fast"
+        self,
+        tasks: list[ReplayTask],
+        simulator: str = "fast",
+        profiler=None,
     ) -> list[ReplayResult]:
         """Run independent Simulate-stage tasks; results in task order.
 
@@ -561,6 +584,13 @@ class ParallelExecutor:
         handle, and the caller must adopt each returned
         :attr:`ReplayResult.policy`.
 
+        ``profiler`` (a :class:`~repro.core.pipeline.StageProfiler`)
+        receives each task's in-worker simulate time under the
+        ``"simulate.task"`` section, merged in *task order* after the
+        deterministic gather -- never completion order -- so the
+        profile's section names and call counts are identical at
+        workers=1 and workers=N.
+
         Unlike :meth:`map`, a *real* exception is never retried here:
         replay tasks mutate resumable cache/policy state, so a re-run
         after a partial mutation would not be bit-exact.  Injected
@@ -570,12 +600,17 @@ class ParallelExecutor:
         """
         dispatch_round = self._dispatch_round
         self._dispatch_round += 1
+        self._tasks_dispatched += len(tasks)
         self._consume_injected_crashes(dispatch_round, len(tasks))
         try:
-            return self._replay_once(tasks, simulator)
+            results = self._replay_once(tasks, simulator)
         except Exception:
             self.shutdown()
             raise
+        if profiler is not None:
+            for result in results:
+                profiler.add("simulate.task", result.elapsed_s)
+        return results
 
     def _replay_once(
         self, tasks: list[ReplayTask], simulator: str
@@ -614,8 +649,13 @@ class ParallelExecutor:
         ]
         raw = _gather(futures)
         return [
-            ReplayResult(stats=stats, outcome=outcome, policy=policy)
-            for stats, outcome, policy in raw
+            ReplayResult(
+                stats=stats,
+                outcome=outcome,
+                policy=policy,
+                elapsed_s=elapsed_s,
+            )
+            for stats, outcome, policy, elapsed_s in raw
         ]
 
     def __repr__(self) -> str:

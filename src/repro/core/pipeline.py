@@ -134,6 +134,21 @@ class StageProfiler:
             self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
             self.calls[name] = self.calls.get(name, 0) + 1
 
+    def add(
+        self, name: str, seconds: float, calls: int = 1
+    ) -> None:
+        """Fold an externally-timed section into the accumulator.
+
+        Used by :meth:`repro.core.parallel.ParallelExecutor.replay`
+        to merge per-task worker timings in dispatch order, so the
+        section *structure* (names and call counts) is identical at
+        every worker count even though the seconds are wall-clock.
+        """
+        self.seconds[name] = self.seconds.get(name, 0.0) + float(
+            seconds
+        )
+        self.calls[name] = self.calls.get(name, 0) + int(calls)
+
     def rows(self) -> list[tuple[str, int, float, float]]:
         """(stage, calls, seconds, share) rows in canonical order."""
         total = sum(self.seconds.values()) or 1.0
@@ -202,6 +217,11 @@ class StagedPipeline:
         #: entry point (and the fabric's fan-out sections) records
         #: its wall-clock here.
         self.profiler: StageProfiler | None = None
+        #: Optional :class:`repro.obs.Telemetry`; when set, every
+        #: stage section additionally opens a logical-clock span and
+        #: counts into ``pipeline_stage_calls_total``.  ``None``
+        #: (default) keeps the exact pre-telemetry code path.
+        self.telemetry = None
 
     def profile_stage(self, name: str):
         """Context manager timing one stage section (no-op when no
@@ -209,6 +229,33 @@ class StagedPipeline:
         if self.profiler is None:
             return nullcontext()
         return self.profiler.stage(name)
+
+    def stage_scope(self, name: str):
+        """Profiling + telemetry wrapper of one stage section.
+
+        Identical to :meth:`profile_stage` when no telemetry is
+        attached (the byte-parity contract); with telemetry it also
+        records a ``pipeline.<name>`` span on the logical clock and
+        bumps the per-stage call counter.
+        """
+        if self.telemetry is None:
+            return self.profile_stage(name)
+        return self._traced_stage(name)
+
+    @contextmanager
+    def _traced_stage(self, name: str):
+        telemetry = self.telemetry
+        telemetry.registry.counter(
+            "pipeline_stage_calls_total",
+            help="Entries into each pipeline stage section.",
+            labels=("stage",),
+        ).labels(stage=name).inc()
+        span = telemetry.tracer.begin("pipeline", name)
+        try:
+            with self.profile_stage(name):
+                yield
+        finally:
+            telemetry.tracer.end(span)
 
     # ------------------------------------------------------------------
     # Stage 1: Prepare
@@ -238,7 +285,7 @@ class StagedPipeline:
         :class:`~repro.core.parallel.ParallelExecutor` whose pool is
         torn down before returning (identical models either way).
         """
-        with self.profile_stage("prepare"):
+        with self.stage_scope("prepare"):
             if rng is None:
                 rng = np.random.default_rng(self.config.seed)
             if trace is None:
@@ -305,7 +352,7 @@ class StagedPipeline:
         self, prepared: PreparedWorkload, strategy: str
     ) -> StrategyPlan:
         """Build a strategy's policy and score stream (Score stage)."""
-        with self.profile_stage("score"):
+        with self.stage_scope("score"):
             page_scores = (
                 prepared.page_score_map()
                 if strategy == "gmm-caching-eviction"
@@ -373,7 +420,7 @@ class StagedPipeline:
             if self.config.simulator == "fast"
             else simulate
         )
-        with self.profile_stage("simulate"):
+        with self.stage_scope("simulate"):
             return run(
                 cache,
                 policy,
@@ -390,7 +437,7 @@ class StagedPipeline:
     # ------------------------------------------------------------------
     def price(self, strategy: str, stats: CacheStats) -> StrategyOutcome:
         """Table 1 pricing of one simulation's counters."""
-        with self.profile_stage("price"):
+        with self.stage_scope("price"):
             return StrategyOutcome(
                 strategy=strategy,
                 stats=stats,

@@ -51,7 +51,11 @@ from repro.core.config import (
     ParallelConfig,
 )
 from repro.core.parallel import ParallelExecutor, ReplayTask
-from repro.core.pipeline import PreparedWorkload, StagedPipeline
+from repro.core.pipeline import (
+    PreparedWorkload,
+    StagedPipeline,
+    StageProfiler,
+)
 from repro.core.policy import CombinedIcgmmPolicy, build_policy
 from repro.cxl.device import DEVICE_DRAM_HIT_NS
 from repro.cxl.link import CxlLinkSpec
@@ -228,6 +232,7 @@ class CxlFabric:
         hit_latency_ns: int = DEVICE_DRAM_HIT_NS,
         parallel: ParallelConfig | None = None,
         chaos: ChaosConfig | None = None,
+        telemetry=None,
     ) -> None:
         self.topology = (
             topology if topology is not None else FabricTopology()
@@ -292,7 +297,95 @@ class CxlFabric:
         ).astype(np.int64)
         self._strategy: str | None = None
         self._score_cuts: np.ndarray | None = None
+        # Telemetry wiring follows the chaos contract: None when
+        # disabled, so every hot-path gate is an ``is not None`` check
+        # and a telemetry-free run executes the exact pre-telemetry
+        # code path (tests/obs parity).
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.pipeline.telemetry = telemetry
+            self._bind_telemetry()
         self.reset()
+
+    def _bind_telemetry(self) -> None:
+        """Register the fabric's instruments and collectors."""
+        from repro.obs import bridge
+        from repro.obs.registry import RATIO_EDGES
+
+        registry = self.telemetry.registry
+        self._m_chunks = registry.counter(
+            "fabric_chunks_total",
+            help="Chunks streamed through the fleet.",
+        )
+        self._m_accesses = registry.counter(
+            "fabric_accesses_total",
+            help="Requests replayed across all devices.",
+        )
+        self._m_chunk_miss = registry.histogram(
+            "fabric_chunk_miss_ratio",
+            edges=RATIO_EDGES,
+            help="Per-chunk fleet-wide miss ratio.",
+        )
+        device_accesses = registry.counter(
+            "device_accesses_total",
+            help="Requests routed to each device.",
+            labels=("device",),
+        )
+        device_miss = registry.gauge(
+            "device_miss_ratio",
+            help="Cumulative miss ratio per device.",
+            labels=("device",),
+        )
+        device_time = registry.counter(
+            "device_time_ns_total",
+            help="Priced service time per device (link included).",
+            labels=("device",),
+        )
+        failover = registry.counter(
+            "fabric_failover_accesses_total",
+            help="Home-device accesses served elsewhere during"
+            " outages.",
+        )
+        degraded_time = registry.counter(
+            "fabric_degraded_time_ns_total",
+            help="Extra service time accrued in degraded mode.",
+        )
+
+        def collect() -> None:
+            for device in range(self.topology.n_devices):
+                stats = self._device_stats[device]
+                device_accesses.labels(device=device).set(
+                    stats.accesses
+                )
+                device_miss.labels(device=device).set(
+                    stats.miss_rate if stats.accesses else 0.0
+                )
+                device_time.labels(device=device).set(
+                    self.pricing[device].total_time_ns(stats)
+                    + self._extra_time_ns[device]
+                )
+            failover.set(
+                sum(s.accesses for s in self._failover_stats)
+            )
+            degraded_time.set(sum(self._extra_time_ns))
+
+        registry.register_collector(collect)
+        # Telemetry implies stage accounting: attach a profiler when
+        # --profile did not already hang one on the pipeline.
+        if self.pipeline.profiler is None:
+            self.pipeline.profiler = StageProfiler()
+        bridge.register_stage_profiler(
+            registry, self.pipeline.profiler
+        )
+        bridge.register_rolling(registry, self.metrics, scope="fabric")
+        bridge.register_executor(
+            registry, self._executor, component="fabric"
+        )
+        if self.injector is not None:
+            bridge.register_injector(registry, self.injector)
+        self.telemetry.add_event_source(
+            bridge.rolling_event_source(self.metrics, scope="fabric")
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -491,7 +584,9 @@ class CxlFabric:
         per-device score maps are re-aliased to the adopted policies.
         """
         results = self._executor.replay(
-            tasks, simulator=self.config.simulator
+            tasks,
+            simulator=self.config.simulator,
+            profiler=self.pipeline.profiler,
         )
         for device, result in zip(devices, results, strict=True):
             policy = result.policy
@@ -543,6 +638,13 @@ class CxlFabric:
         device_ids, local_pages = self.place(pages, page_marginals)
         chunk_index = self._chunk_index
         self._chunk_index += 1
+        span = (
+            self.telemetry.tracer.begin(
+                "fabric", "chunk", index=chunk_index
+            )
+            if self.telemetry is not None
+            else None
+        )
         chunk = CacheStats()
         home_ids = device_ids
         failover_mask = None
@@ -601,6 +703,13 @@ class CxlFabric:
                 device
             ].merge(result.stats)
             chunk = chunk.merge(result.stats)
+            if self.telemetry is not None:
+                self.telemetry.tracer.instant(
+                    "fabric",
+                    "device_round",
+                    device=device,
+                    accesses=result.stats.accesses,
+                )
             factor = link_factors.get(device, 1.0)
             if factor > 1.0:
                 # Only the link component of the path scales during a
@@ -628,6 +737,13 @@ class CxlFabric:
                     home_ids,
                     is_write,
                 )
+        if self.telemetry is not None:
+            self._m_chunks.inc()
+            self._m_accesses.inc(chunk.accesses)
+            self._m_chunk_miss.observe(
+                chunk.miss_rate if chunk.accesses else 0.0
+            )
+            self.telemetry.tracer.end(span, accesses=chunk.accesses)
         return chunk
 
     # ------------------------------------------------------------------
@@ -870,7 +986,7 @@ class CxlFabric:
         """
         if warmup_fraction is None:
             warmup_fraction = self.config.warmup_fraction
-        with self.pipeline.profile_stage("score"):
+        with self.pipeline.stage_scope("score"):
             page_score_map = (
                 prepared.page_score_map()
                 if strategy == "gmm-caching-eviction"
@@ -925,7 +1041,7 @@ class CxlFabric:
             )
         # The whole fan-out is timed as one Simulate section (the
         # profiler accounts stages, not workers).
-        with self.pipeline.profile_stage("simulate"):
+        with self.pipeline.stage_scope("simulate"):
             results = self._dispatch(devices, tasks)
         for device, task, result in zip(
             devices, tasks, results, strict=True
@@ -934,7 +1050,7 @@ class CxlFabric:
             self._device_stats[device] = result.stats
             if keep_outcomes:
                 self._device_outcomes[device] = result.outcome
-        with self.pipeline.profile_stage("price"):
+        with self.pipeline.stage_scope("price"):
             return self.results()
 
     def run_streamed(
@@ -951,7 +1067,7 @@ class CxlFabric:
         Streamed replay measures every access (no warm-up cut): it
         models steady-state serving, not the offline Fig. 6 protocol.
         """
-        with self.pipeline.profile_stage("score"):
+        with self.pipeline.stage_scope("score"):
             page_score_map = (
                 prepared.page_score_map()
                 if strategy == "gmm-caching-eviction"
@@ -980,7 +1096,7 @@ class CxlFabric:
             scores = self.pipeline.strategy_scores(prepared, strategy)
         pages = prepared.page_indices
         marginals = prepared.page_frequency_scores
-        with self.pipeline.profile_stage("simulate"):
+        with self.pipeline.stage_scope("simulate"):
             for start in range(0, pages.shape[0], chunk_requests):
                 sl = slice(start, start + chunk_requests)
                 self.ingest(
@@ -991,7 +1107,7 @@ class CxlFabric:
                         marginals[sl] if marginals is not None else None
                     ),
                 )
-        with self.pipeline.profile_stage("price"):
+        with self.pipeline.stage_scope("price"):
             return self.results()
 
     def __repr__(self) -> str:

@@ -218,6 +218,7 @@ class ModelRefresher:
         self.reg_covar = float(reg_covar)
         self._buffer: deque[np.ndarray] = deque(maxlen=buffer_chunks)
         self.refreshes_built = 0
+        self.builds_attempted = 0
 
     def ingest(self, features: np.ndarray) -> None:
         """Retain one chunk of raw ``(N, 2)`` features."""
@@ -239,6 +240,7 @@ class ModelRefresher:
         :attr:`mode`) and a threshold re-cut at the configured
         quantile of the buffered traffic's new scores.
         """
+        self.builds_attempted += 1
         if not self._buffer:
             raise ValueError("no buffered features to refresh from")
         scaled = current.scaler.transform(

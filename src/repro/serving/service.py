@@ -49,7 +49,7 @@ from repro.chaos import FaultInjector, InjectedFaultError
 from repro.core.config import ChaosConfig, IcgmmConfig, ServingConfig
 from repro.core.engine import GmmPolicyEngine
 from repro.core.parallel import ParallelExecutor, ReplayTask
-from repro.core.pipeline import StagedPipeline
+from repro.core.pipeline import StagedPipeline, StageProfiler
 from repro.core.policy import (
     CombinedIcgmmPolicy,
     build_policy,
@@ -163,6 +163,7 @@ class IcgmmCacheService:
         latency_model: LatencyModel | None = None,
         measure_from: int = 0,
         chaos: ChaosConfig | None = None,
+        telemetry=None,
     ) -> None:
         if measure_from < 0:
             raise ValueError("measure_from must be >= 0")
@@ -240,7 +241,96 @@ class IcgmmCacheService:
         self._quarantine_until = -(10**9)
         self._quarantined = False
         self._stall_retries = 0
+        # Telemetry wiring mirrors chaos: None when disabled, so every
+        # hot-path gate is an ``is not None`` check and the untraced
+        # run executes the exact pre-telemetry code path.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.pipeline.telemetry = telemetry
+            self._bind_telemetry()
         self._load_generation()
+
+    def _bind_telemetry(self) -> None:
+        """Install push instruments and pull collectors (ctor-only).
+
+        Per-chunk pushes are the only hot-path cost; everything else
+        is read from existing accumulators at collection time by the
+        :mod:`repro.obs.bridge` adapters.
+        """
+        from repro.obs import bridge
+        from repro.obs.registry import RATIO_EDGES
+
+        telemetry = self.telemetry
+        registry = telemetry.registry
+        self._m_chunks = registry.counter(
+            "serving_chunks_total",
+            help="Chunks processed by the service.",
+        )
+        self._m_accesses = registry.counter(
+            "serving_accesses_total",
+            help="Accesses ingested (measured or not).",
+        )
+        self._m_hits = registry.counter(
+            "serving_hits_total",
+            help="Measured DRAM-cache hits.",
+        )
+        self._m_misses = registry.counter(
+            "serving_misses_total",
+            help="Measured misses (includes bypasses).",
+        )
+        self._m_swaps = registry.counter(
+            "serving_engine_swaps_total",
+            help="Refreshed engines atomically swapped in.",
+        )
+        self._m_builds = registry.counter(
+            "serving_refresh_builds_total",
+            help="Refresh build attempts by outcome.",
+            labels=("outcome",),
+        )
+        self._m_chunk_miss = registry.histogram(
+            "serving_chunk_miss_ratio",
+            help="Per-chunk measured miss ratio.",
+            edges=RATIO_EDGES,
+        )
+
+        stalls = registry.counter(
+            "serving_stall_retries_total",
+            help="Shard-stall attempts absorbed by the retry budget.",
+        )
+        generation = registry.gauge(
+            "serving_engine_generation_count",
+            help="Engine generation currently serving.",
+        )
+
+        def collect() -> None:
+            stalls.set(self._stall_retries)
+            generation.set(self.slot.generation)
+
+        registry.register_collector(collect)
+        # Telemetry implies stage accounting: attach a profiler when
+        # --profile did not already hang one on the pipeline.
+        if self.pipeline.profiler is None:
+            self.pipeline.profiler = StageProfiler()
+        bridge.register_stage_profiler(
+            registry, self.pipeline.profiler
+        )
+        bridge.register_rolling(
+            registry, self.shard_metrics, scope="shard"
+        )
+        bridge.register_rolling(
+            registry, self.tenant_metrics, scope="tenant"
+        )
+        bridge.register_executor(
+            registry, self._executor, component="serving"
+        )
+        bridge.register_refresher(registry, self.refresher)
+        if self.injector is not None:
+            bridge.register_injector(registry, self.injector)
+        telemetry.add_event_source(
+            bridge.rolling_event_source(
+                self.shard_metrics, scope="shard"
+            )
+        )
 
     # ------------------------------------------------------------------
     # Engine (re)load
@@ -315,6 +405,11 @@ class IcgmmCacheService:
     ) -> ChunkReport:
         n = pages.shape[0]
         engine, generation = self.slot.read()
+        span = None
+        if self.telemetry is not None:
+            span = self.telemetry.tracer.begin(
+                "serving", "chunk", index=self._chunk_index
+            )
         abs_idx = np.arange(self._cursor, self._cursor + n)
         features = self.pipeline.chunk_features(pages, self._cursor)
 
@@ -417,12 +512,21 @@ class IcgmmCacheService:
                 )
             )
         results = self._executor.replay(
-            tasks, simulator=self.config.simulator
+            tasks,
+            simulator=self.config.simulator,
+            profiler=self.pipeline.profiler,
         )
         for shard, result in zip(shards, results, strict=True):
             positions = shard_positions[shard]
             outcome[positions] = result.outcome
             self._shard_cursors[shard] += int(positions.size)
+            if self.telemetry is not None:
+                self.telemetry.tracer.instant(
+                    "serving",
+                    "shard_round",
+                    shard=shard,
+                    accesses=int(positions.size),
+                )
             # Adopt the post-run policy (a pickle round-trip under
             # the process backend) and re-alias the combined
             # strategy's shard-local score map to it.
@@ -536,6 +640,14 @@ class IcgmmCacheService:
                     backoff_chunks=backoff,
                     reason=str(exc),
                 )
+                if self.telemetry is not None:
+                    self._m_builds.labels(outcome="failed").inc()
+                    self.telemetry.tracer.instant(
+                        "serving",
+                        "refresh_build",
+                        build=build_index,
+                        outcome="failed",
+                    )
                 if (
                     self._refresh_failures
                     >= self.serving.refresh_breaker_threshold
@@ -577,9 +689,25 @@ class IcgmmCacheService:
                         self._chunk_index,
                         generation=self.slot.generation,
                     )
+                if self.telemetry is not None:
+                    self._m_swaps.inc()
+                    self._m_builds.labels(outcome="swapped").inc()
+                    self.telemetry.tracer.instant(
+                        "serving",
+                        "refresh_build",
+                        build=build_index,
+                        outcome="swapped",
+                    )
                 swapped = True
 
         self._cursor += n
+        if self.telemetry is not None:
+            self._m_chunks.inc()
+            self._m_accesses.inc(n)
+            self._m_hits.inc(chunk_stats.hits)
+            self._m_misses.inc(chunk_stats.misses)
+            self._m_chunk_miss.observe(chunk_stats.miss_rate)
+            self.telemetry.tracer.end(span, accesses=n)
         report = ChunkReport(
             chunk_index=self._chunk_index,
             accesses=n,

@@ -1,0 +1,60 @@
+"""Shared fixtures for the telemetry suite.
+
+A small phase-shifted stream plus an engine trained on its leading
+slice -- the same shape as the chaos suite's workload so refresh and
+fault channels have something to do, but sized for speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.setassoc import CacheGeometry
+from repro.core.config import GmmEngineConfig, IcgmmConfig
+from repro.core.engine import GmmPolicyEngine
+from repro.traces.preprocess import transform_timestamps
+from repro.traces.synthetic import ZipfSampler
+
+
+def build_drift_stream(n_phase: int, seed: int = 7):
+    """Two-phase stream whose hot set moves at the midpoint."""
+    rng = np.random.default_rng(seed)
+    hot = 700
+    stable = ZipfSampler(
+        base_page=0, n_pages=hot, alpha=1.2, write_fraction=0.3
+    )
+    moved = ZipfSampler(
+        base_page=4 * hot, n_pages=hot, alpha=1.2, write_fraction=0.3
+    )
+    pages_a, writes_a = stable.sample(n_phase, rng)
+    pages_b, writes_b = moved.sample(n_phase, rng)
+    return (
+        np.concatenate([pages_a, pages_b]),
+        np.concatenate([writes_a, writes_b]),
+    )
+
+
+@pytest.fixture(scope="package")
+def obs_workload():
+    """(config, engine, pages, is_write) shared by the obs suite."""
+    pages, writes = build_drift_stream(5_000)
+    geometry = CacheGeometry(
+        capacity_bytes=32 * 8 * 4096,
+        block_bytes=4096,
+        associativity=8,
+    )
+    gmm = GmmEngineConfig(
+        n_components=5, max_iter=10, max_train_samples=4_000
+    )
+    config = IcgmmConfig(geometry=geometry, gmm=gmm)
+    n_train = 4_000
+    timestamps = transform_timestamps(n_train, mode="prose")
+    features = np.column_stack(
+        [
+            pages[:n_train].astype(np.float64),
+            timestamps.astype(np.float64),
+        ]
+    )
+    engine = GmmPolicyEngine.train(
+        features, gmm, np.random.default_rng(7)
+    )
+    return config, engine, pages, writes

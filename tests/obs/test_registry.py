@@ -1,0 +1,173 @@
+"""Unit tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.obs.registry import (
+    LATENCY_EDGES_US,
+    RATIO_EDGES,
+    MetricsRegistry,
+    exponential_edges,
+    validate_metric_name,
+)
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "serving_chunks_total",
+            "rolling_miss_ratio",
+            "stage_wall_seconds",
+            "rolling_latency_us",
+            "device_time_ns_total",
+            "build_info",
+        ],
+    )
+    def test_accepts_convention(self, name):
+        validate_metric_name(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "ServingChunks",  # not snake_case
+            "serving__chunks_total",  # double underscore
+            "serving_misses",  # no unit suffix
+            "serving_latency_ms",  # unlisted unit
+            "_chunks_total",  # leading underscore
+            "chunks_total_",  # trailing underscore
+        ],
+    )
+    def test_rejects_violations(self, name):
+        with pytest.raises(ValueError):
+            validate_metric_name(name)
+
+    def test_registration_enforces_convention(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("BadName")
+        with pytest.raises(ValueError):
+            registry.gauge("missing_suffix")
+
+
+class TestEdges:
+    def test_exponential_edges_are_pure(self):
+        assert exponential_edges(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+        assert exponential_edges(1.0, 2.0, 4) == exponential_edges(
+            1.0, 2.0, 4
+        )
+
+    def test_shared_edge_sets_cover_their_domains(self):
+        assert RATIO_EDGES[-1] == 1.0
+        assert LATENCY_EDGES_US[-1] == 2048.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": 0.0, "factor": 2.0, "count": 4},
+            {"start": 1.0, "factor": 1.0, "count": 4},
+            {"start": 1.0, "factor": 2.0, "count": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            exponential_edges(**kwargs)
+
+
+class TestInstruments:
+    def test_counter_is_monotonic(self):
+        registry = MetricsRegistry()
+        chunks = registry.counter("chunks_total")
+        chunks.inc()
+        chunks.inc(3)
+        with pytest.raises(ValueError):
+            chunks.inc(-1)
+        assert registry.as_dicts()[0]["samples"][0]["value"] == 4.0
+
+    def test_labeled_children_are_created_once(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("shard_miss_ratio", labels=("shard",))
+        child = family.labels(shard=0)
+        child.set(0.25)
+        assert family.labels(shard=0) is child
+        assert family.labels(shard=1) is not child
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("shard_miss_ratio", labels=("shard",))
+        with pytest.raises(ValueError):
+            family.labels(device=0)
+        with pytest.raises(ValueError):
+            family.inc()  # labeled family has no implicit child
+
+    def test_histogram_buckets_and_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "latency_us", edges=(1.0, 2.0, 4.0)
+        )
+        for value in (0.5, 1.0, 3.0, 100.0):
+            hist.observe(value)
+        sample = registry.as_dicts()[0]["samples"][0]
+        # 0.5 and 1.0 land in the first (<=1.0) bucket, 3.0 in the
+        # <=4.0 bucket, 100.0 in the overflow bucket.
+        assert sample["counts"] == [2, 0, 1, 1]
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(104.5)
+
+    def test_samples_sorted_by_label_values(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "rolling_accesses_total", labels=("scope", "key")
+        )
+        family.labels(scope="shard", key="b").inc()
+        family.labels(scope="shard", key="a").inc()
+        samples = registry.as_dicts()[0]["samples"]
+        assert [s["labels"]["key"] for s in samples] == ["a", "b"]
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("chunks_total", labels=("scope",))
+        again = registry.counter("chunks_total", labels=("scope",))
+        assert first is again
+        assert len(registry) == 1
+
+    def test_conflicting_registration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("chunks_total")
+        with pytest.raises(ValueError):
+            registry.gauge("chunks_total")
+        with pytest.raises(ValueError):
+            registry.counter("chunks_total", labels=("scope",))
+
+    def test_histogram_edge_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency_us", edges=(1.0, 2.0))
+        registry.histogram("latency_us", edges=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("latency_us", edges=(1.0, 4.0))
+
+    def test_collectors_run_at_export_and_are_idempotent(self):
+        registry = MetricsRegistry()
+        state = {"chunks": 5}
+        gauge = registry.gauge("pending_chunks")
+        registry.register_collector(
+            lambda: gauge.set(state["chunks"])
+        )
+        assert registry.as_dicts()[0]["samples"][0]["value"] == 5.0
+        state["chunks"] = 7
+        assert registry.as_dicts()[0]["samples"][0]["value"] == 7.0
+        assert registry.as_dicts()[0]["samples"][0]["value"] == 7.0
+
+    def test_families_are_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta_total")
+        registry.counter("alpha_total")
+        names = [f["name"] for f in registry.as_dicts()]
+        assert names == sorted(names)
+
+    def test_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("chunks_total")
+        assert "chunks_total" in registry
+        assert "other_total" not in registry

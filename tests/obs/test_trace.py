@@ -1,0 +1,91 @@
+"""Unit tests for the logical-clock tracer."""
+
+from repro.obs.trace import Span, Tracer, span_id
+
+
+class TestSpanIds:
+    def test_ids_are_pure_functions_of_inputs(self):
+        assert span_id(7, "fabric", "chunk", 3) == span_id(
+            7, "fabric", "chunk", 3
+        )
+        assert span_id(7, "fabric", "chunk", 3) != span_id(
+            8, "fabric", "chunk", 3
+        )
+        assert span_id(7, "fabric", "chunk", 3) != span_id(
+            7, "fabric", "chunk", 4
+        )
+        assert len(span_id(0, "a", "b", 1)) == 16
+
+    def test_two_tracers_same_seed_agree(self):
+        def record(tracer):
+            with tracer.span("serving", "chunk", index=0):
+                tracer.instant("serving", "shard_round", shard=1)
+            return tracer.as_dicts()
+
+        assert record(Tracer(seed=5)) == record(Tracer(seed=5))
+        assert record(Tracer(seed=5)) != record(Tracer(seed=6))
+
+
+class TestClockAndNesting:
+    def test_clock_ticks_on_begin_and_end(self):
+        tracer = Tracer()
+        span = tracer.begin("pipeline", "prepare")
+        assert span.start == 1
+        tracer.end(span)
+        assert span.end == 2
+        assert tracer.clock == 2
+
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("fabric", "chunk") as parent:
+            child = tracer.instant("fabric", "device_round", device=0)
+        assert child.parent_id == parent.id
+        assert parent.parent_id is None
+        assert child.start > parent.start
+        assert parent.end > child.end
+
+    def test_out_of_order_end_unwinds_stack(self):
+        tracer = Tracer()
+        outer = tracer.begin("a", "outer")
+        inner = tracer.begin("a", "inner")
+        tracer.end(outer)  # closes outer while inner is still open
+        follow = tracer.begin("a", "next")
+        # outer was removed from the stack, so the next span parents
+        # under the still-open inner span.
+        assert follow.parent_id == inner.id
+
+    def test_end_attrs_merge(self):
+        tracer = Tracer()
+        span = tracer.begin("serving", "chunk", index=4)
+        tracer.end(span, accesses=100)
+        assert span.attrs == {"index": 4, "accesses": 100}
+
+    def test_as_dict_sorts_attrs(self):
+        span = Span(
+            id="x", parent_id=None, component="c", name="n",
+            start=1, end=2, attrs={"z": 1, "a": 2},
+        )
+        assert list(span.as_dict()["attrs"]) == ["a", "z"]
+
+
+class TestCap:
+    def test_cap_drops_and_counts(self):
+        tracer = Tracer(max_spans=2)
+        kept_a = tracer.begin("c", "one")
+        kept_b = tracer.begin("c", "two")
+        dropped = tracer.begin("c", "three")
+        assert dropped is None
+        assert tracer.dropped == 1
+        tracer.end(dropped)  # no-op, must not raise
+        tracer.end(kept_b)
+        tracer.end(kept_a)
+        assert len(tracer) == 2
+
+    def test_capped_trace_is_still_deterministic(self):
+        def record():
+            tracer = Tracer(seed=3, max_spans=3)
+            for index in range(6):
+                tracer.instant("c", "tick", index=index)
+            return tracer.as_dicts(), tracer.dropped
+
+        assert record() == record()

@@ -247,14 +247,16 @@ class TestResumableReplay:
         original_replay = service._executor.replay
         crash_at = {"chunk": 2, "armed": True}
 
-        def flaky_replay(tasks, simulator=None):
+        def flaky_replay(tasks, simulator=None, profiler=None):
             if (
                 crash_at["armed"]
                 and service._chunk_index == crash_at["chunk"]
             ):
                 crash_at["armed"] = False
                 raise RuntimeError("transient replay failure")
-            return original_replay(tasks, simulator=simulator)
+            return original_replay(
+                tasks, simulator=simulator, profiler=profiler
+            )
 
         service._executor.replay = flaky_replay
         with pytest.raises(RuntimeError, match="transient"):

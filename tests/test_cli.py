@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -195,3 +197,162 @@ class TestHardwareReport:
         assert "LSTM" in out
         assert "339" in out
         assert "15,4" in out  # the ~15,433x speedup
+
+
+class TestTelemetryCapture:
+    """--telemetry-out / --json plumbing plus the metrics and top
+    subcommands that re-render a captured snapshot."""
+
+    @pytest.fixture(scope="class")
+    def snapshot_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "serve.json"
+        code = main(
+            [
+                "serve",
+                "--workloads",
+                "memtier",
+                "--length",
+                "16384",
+                "--chunk",
+                "2048",
+                "--components",
+                "6",
+                "--no-refresh",
+                "--telemetry-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_snapshot_file_is_canonical_json(self, snapshot_path):
+        payload = json.loads(snapshot_path.read_text())
+        assert payload["schema"] == "repro.telemetry/v1"
+        assert len(payload["digest"]) == 64
+        assert payload["extra"]["command"] == "serve"
+        names = {f["name"] for f in payload["metrics"]}
+        assert "serving_chunks_total" in names
+
+    def test_serve_json_owns_stdout(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--workloads",
+                "memtier",
+                "--length",
+                "8192",
+                "--chunk",
+                "2048",
+                "--components",
+                "6",
+                "--no-refresh",
+                "--json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # pure JSON, no tables mixed in
+        assert payload["extra"]["command"] == "serve"
+        assert "summary" in payload["extra"]
+
+    def test_fabric_writes_prometheus_and_trace(self, tmp_path, capsys):
+        prom = tmp_path / "fabric.prom"
+        trace = tmp_path / "fabric.trace.json"
+        for target in (prom, trace):
+            code = main(
+                [
+                    "fabric",
+                    "stream",
+                    "--trace-length",
+                    "20000",
+                    "--devices",
+                    "2",
+                    "--telemetry-out",
+                    str(target),
+                ]
+            )
+            assert code == 0
+        capsys.readouterr()
+        text = prom.read_text()
+        assert "# HELP fabric_chunks_total" in text
+        assert "# TYPE fabric_chunks_total counter" in text
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_metrics_renders_prometheus(self, snapshot_path, capsys):
+        assert main(["metrics", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE serving_chunks_total counter" in out
+
+    def test_metrics_renders_trace(self, snapshot_path, capsys):
+        assert (
+            main(
+                ["metrics", str(snapshot_path), "--format", "trace"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in payload
+
+    def test_metrics_json_round_trips_digest(
+        self, snapshot_path, capsys
+    ):
+        assert (
+            main(["metrics", str(snapshot_path), "--format", "json"])
+            == 0
+        )
+        rendered = json.loads(capsys.readouterr().out)
+        original = json.loads(snapshot_path.read_text())
+        assert rendered["digest"] == original["digest"]
+
+    def test_metrics_rejects_non_snapshot(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "other/v9"}')
+        assert main(["metrics", str(bogus)]) == 2
+        assert "snapshot" in capsys.readouterr().err
+
+    def test_top_renders_dashboard(self, snapshot_path, capsys):
+        assert main(["top", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serving_chunks_total" in out
+        assert "spans" in out
+
+    def test_chaos_json_carries_scorecard(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--scenarios",
+                "device_failure",
+                "--length",
+                "8192",
+                "--chunk",
+                "2048",
+                "--devices",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["extra"]["scenarios"]
+        assert rows and rows[0]["scenario"] == "device_failure"
+        assert "timeline_digest" in rows[0]
+
+    def test_run_accepts_telemetry_out(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        code = main(
+            [
+                "run",
+                "stream",
+                "--trace-length",
+                "40000",
+                "--telemetry-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["extra"]["command"] == "run"
+        names = {f["name"] for f in payload["metrics"]}
+        assert "pipeline_stage_calls_total" in names

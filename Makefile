@@ -12,7 +12,7 @@ export PYTHONPATH := src
 	bench-serving-smoke bench-fabric bench-fabric-smoke \
 	bench-parallel bench-parallel-smoke bench-train \
 	bench-train-smoke bench-chaos bench-chaos-smoke \
-	bench-obs bench-obs-smoke
+	bench-obs bench-obs-smoke bench-ingest bench-ingest-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,7 +21,7 @@ test:
 # checks on fresh smoke artifacts) -- the one-command CI gate.
 verify: test bench-smoke bench-serving-smoke bench-fabric-smoke \
 	bench-parallel-smoke bench-train-smoke bench-chaos-smoke \
-	bench-obs-smoke
+	bench-obs-smoke bench-ingest-smoke
 
 # Full simulator-throughput matrix; writes BENCH_sim_throughput.json.
 bench-throughput:
@@ -99,6 +99,21 @@ bench-chaos-smoke:
 		--output BENCH_chaos_recovery.smoke.json
 	$(PYTHON) benchmarks/bench_chaos_recovery.py \
 		--validate BENCH_chaos_recovery.smoke.json
+
+# Full streaming-vs-materializing trace-ingest scorecard (per-mode
+# subprocess peak-RSS deltas + checksum parity; acceptance: chunked
+# CSV streaming stays within 25% of the materializing load's memory
+# delta on the largest trace); writes BENCH_ingest_throughput.json.
+bench-ingest:
+	$(PYTHON) benchmarks/bench_ingest_throughput.py
+
+# Small trace, then schema-validate the emitted JSON (the RSS gate is
+# recorded but only enforced on full runs).
+bench-ingest-smoke:
+	$(PYTHON) benchmarks/bench_ingest_throughput.py --smoke \
+		--output BENCH_ingest_throughput.smoke.json
+	$(PYTHON) benchmarks/bench_ingest_throughput.py \
+		--validate BENCH_ingest_throughput.smoke.json
 
 # Full telemetry-overhead scorecard (enabled vs disabled replay per
 # layer; acceptance: <= 5% hot-path overhead, byte-identical results

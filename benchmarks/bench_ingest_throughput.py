@@ -1,0 +1,387 @@
+"""Trace-ingest benchmark: streaming vs materializing loads.
+
+Writes one synthetic trace per size to a scratch directory in both
+on-disk formats (``.csv`` text and uncompressed ``.npz``) and times
+every load mode against it:
+
+* ``csv/materialize``  -- ``load_trace_csv`` (whole trace in memory).
+* ``csv/stream``       -- ``iter_trace_csv`` consumed chunk by chunk
+  (at most one ``DEFAULT_CSV_CHUNK`` window resident at a time).
+* ``npz/materialize``  -- ``load_trace_npz`` (eager array copies).
+* ``npz/stream``       -- ``load_trace(mmap=True)`` (zero-copy
+  ``np.memmap`` columns) consumed chunk by chunk.
+
+Peak memory is measured for real, not modelled: each mode runs in a
+fresh subprocess that reports ``getrusage(RUSAGE_SELF).ru_maxrss``,
+and a no-op baseline child (same imports, no load) is subtracted so
+the recorded ``delta_rss_kb`` is the load's own footprint.  Every
+mode also folds the trace into a (sum-of-addresses, write-count,
+sum-of-times) checksum; the validator requires all four modes of a
+trace to agree, so the streaming paths are checked to read exactly
+the bytes the materializing paths do.
+
+Acceptance gate (full runs): on the largest trace the chunked CSV
+stream's memory delta must stay within ``MAX_STREAM_RSS_FRACTION``
+(25%) of the materializing CSV load's delta.  The ``.npz`` rows are
+recorded ungated: a memory-mapped full scan necessarily faults the
+whole file into page cache (resident but reclaimable), so its
+``ru_maxrss`` is an honest ~1x of the file -- the win it shows
+instead is the eager loader's extra copy and the near-zero open
+cost::
+
+    PYTHONPATH=src python benchmarks/bench_ingest_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_ingest_throughput.py --smoke    # quick
+    PYTHONPATH=src python benchmarks/bench_ingest_throughput.py --validate out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.io import (
+    DEFAULT_CSV_CHUNK,
+    iter_trace_csv,
+    load_trace,
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+from repro.traces.record import MemoryTrace
+
+#: JSON schema (field -> type) of every entry in ``results``.
+RESULT_SCHEMA = {
+    "trace": str,
+    "rows": int,
+    "format": str,  # "csv" | "npz"
+    "mode": str,  # "materialize" | "stream"
+    "file_bytes": int,
+    "seconds": float,
+    "rows_per_s": float,
+    "peak_rss_kb": int,
+    "baseline_rss_kb": int,
+    "delta_rss_kb": int,
+    "checksum_match": bool,
+}
+
+#: JSON schema (field -> type) of the structured ``gate`` marker.
+GATE_SCHEMA = {
+    "metric": str,
+    "max_fraction": float,
+    "trace": (str, type(None)),
+    "fraction": (int, float, type(None)),
+    "status": str,  # "enforced" | "skipped"
+    "reason": (str, type(None)),  # None iff enforced
+}
+
+#: Full-run acceptance: on the largest trace, the streaming CSV
+#: load's memory delta over baseline must be at most this fraction of
+#: the materializing CSV load's delta.
+MAX_STREAM_RSS_FRACTION = 0.25
+
+WRITE_FRACTION = 0.3
+
+
+def make_trace(n: int, seed: int = 1) -> MemoryTrace:
+    """Synthetic trace: random pages, bursty timestamps."""
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 40, n, dtype=np.int64) & ~0xFFF
+    is_write = rng.random(n) < WRITE_FRACTION
+    times = np.cumsum(rng.integers(0, 4, n, dtype=np.int64))
+    return MemoryTrace(addresses, is_write, times)
+
+
+def _checksum_chunk(state, addresses, is_write, times):
+    state[0] += int(np.asarray(addresses, dtype=np.uint64).sum())
+    state[1] += int(np.count_nonzero(is_write))
+    state[2] += int(np.asarray(times, dtype=np.uint64).sum())
+
+
+def _worker(mode: str, path: str, chunk: int) -> dict:
+    """Load ``path`` with ``mode``, report time/RSS/checksum."""
+    state = [0, 0, 0]
+    rows = 0
+    t0 = time.perf_counter()
+    if mode == "baseline":
+        pass
+    elif mode == "generate":
+        # Trace generation runs in a child too: on Linux ru_maxrss
+        # survives fork+exec, so a parent that ever materialized the
+        # trace would put a floor under every later worker's reading.
+        trace = make_trace(chunk)
+        rows = len(trace)
+        _checksum_chunk(state, trace.addresses, trace.is_write, trace.times)
+        save_trace_csv(trace, path + ".csv")
+        save_trace_npz(trace, path + ".npz", compressed=False)
+    elif mode == "csv-materialize":
+        trace = load_trace_csv(path)
+        rows = len(trace)
+        _checksum_chunk(state, trace.addresses, trace.is_write, trace.times)
+    elif mode == "csv-stream":
+        for part in iter_trace_csv(path, chunk):
+            rows += len(part)
+            _checksum_chunk(state, part.addresses, part.is_write, part.times)
+    elif mode == "npz-materialize":
+        trace = load_trace_npz(path)
+        rows = len(trace)
+        _checksum_chunk(state, trace.addresses, trace.is_write, trace.times)
+    elif mode == "npz-stream":
+        trace = load_trace(path, mmap=True)
+        rows = len(trace)
+        for start in range(0, rows, chunk):
+            part = trace[start : start + chunk]
+            _checksum_chunk(state, part.addresses, part.is_write, part.times)
+    else:
+        raise SystemExit(f"unknown worker mode: {mode!r}")
+    seconds = time.perf_counter() - t0
+    return {
+        "seconds": seconds,
+        "rows": rows,
+        "checksum": state,
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def _spawn(mode: str, path: str, chunk: int) -> dict:
+    """Run one load mode in a fresh subprocess; parse its report."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, __file__, "--worker", mode, path, str(chunk)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def run(sizes, chunk: int, scratch: Path):
+    """Benchmark every (trace, format, mode) cell; returns rows."""
+    results = []
+    baseline = _spawn("baseline", str(scratch), chunk)
+    base_rss = int(baseline["ru_maxrss_kb"])
+    for label, n in sizes:
+        csv_path = scratch / f"{label}.csv"
+        npz_path = scratch / f"{label}.npz"
+        generated = _spawn("generate", str(scratch / label), n)
+        reference = generated["checksum"]
+        for fmt, path, mode in (
+            ("csv", csv_path, "materialize"),
+            ("csv", csv_path, "stream"),
+            ("npz", npz_path, "materialize"),
+            ("npz", npz_path, "stream"),
+        ):
+            report = _spawn(f"{fmt}-{mode}", str(path), chunk)
+            rss = int(report["ru_maxrss_kb"])
+            row = {
+                "trace": label,
+                "rows": int(report["rows"]),
+                "format": fmt,
+                "mode": mode,
+                "file_bytes": path.stat().st_size,
+                "seconds": round(report["seconds"], 4),
+                "rows_per_s": round(
+                    report["rows"] / max(report["seconds"], 1e-9), 1
+                ),
+                "peak_rss_kb": rss,
+                "baseline_rss_kb": base_rss,
+                "delta_rss_kb": rss - base_rss,
+                "checksum_match": report["checksum"] == reference
+                and int(report["rows"]) == n,
+            }
+            results.append(row)
+            print(
+                f"{label:8s} {fmt}/{mode:11s} rows={n:>10,d}"
+                f"  {row['rows_per_s']:>12,.0f} rows/s"
+                f"  delta-rss {row['delta_rss_kb']:>9,d} KB"
+                f"  identical={row['checksum_match']}"
+            )
+    return results
+
+
+def _stream_fraction(payload: dict):
+    """(trace, stream/materialize CSV delta-RSS ratio) on the
+    largest trace, or (None, None) when the rows are missing."""
+    rows = [
+        row
+        for row in payload.get("results", [])
+        if isinstance(row, dict) and row.get("format") == "csv"
+    ]
+    if not rows:
+        return None, None
+    largest = max(rows, key=lambda row: row.get("rows", 0))["trace"]
+    deltas = {
+        row["mode"]: row.get("delta_rss_kb", 0)
+        for row in rows
+        if row.get("trace") == largest
+    }
+    if "stream" not in deltas or "materialize" not in deltas:
+        return largest, None
+    return largest, deltas["stream"] / max(deltas["materialize"], 1)
+
+
+def validate(payload: dict) -> list[str]:
+    """Schema + acceptance check of an emitted payload."""
+    problems = []
+    for key in ("results", "mode", "chunk_requests", "gate"):
+        if key not in payload:
+            return [f"missing top-level {key!r}"]
+    if not isinstance(payload["results"], list) or not payload["results"]:
+        return ["'results' must be a non-empty list"]
+    for i, row in enumerate(payload["results"]):
+        for field, kind in RESULT_SCHEMA.items():
+            if field not in row:
+                problems.append(f"results[{i}]: missing {field!r}")
+            elif kind is float:
+                if not isinstance(row[field], (int, float)):
+                    problems.append(f"results[{i}].{field}: not numeric")
+            elif not isinstance(row[field], kind):
+                problems.append(
+                    f"results[{i}].{field}: expected {kind.__name__}"
+                )
+        if not row.get("checksum_match", False):
+            problems.append(
+                f"results[{i}]: streamed/materialized content diverged"
+            )
+    gate = payload["gate"]
+    if not isinstance(gate, dict):
+        problems.append("'gate' must be a structured object")
+        gate = {}
+    for field, kind in GATE_SCHEMA.items():
+        if field not in gate:
+            problems.append(f"gate: missing {field!r}")
+        elif not isinstance(gate[field], kind):
+            problems.append(f"gate.{field}: wrong type")
+    if gate.get("status") not in ("enforced", "skipped"):
+        problems.append(
+            f"gate.status: {gate.get('status')!r} is not"
+            " 'enforced'/'skipped'"
+        )
+    if gate.get("status") == "skipped" and not gate.get("reason"):
+        problems.append("gate.status skipped without a reason")
+    if payload["mode"] == "full":
+        if gate.get("status") != "enforced":
+            problems.append("full run must enforce the RSS gate")
+        _, fraction = _stream_fraction(payload)
+        if fraction is None:
+            problems.append("full run is missing the gated CSV rows")
+        elif fraction > MAX_STREAM_RSS_FRACTION:
+            problems.append(
+                f"streaming CSV load uses {fraction:.2f} of the"
+                f" materializing load's memory delta on the largest"
+                f" trace (> {MAX_STREAM_RSS_FRACTION})"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small trace (CI smoke run; RSS gate reported, not enforced)",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="JSON",
+        help="validate an existing output file and exit",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=(
+            "output JSON path (default: BENCH_ingest_throughput.json,"
+            " or BENCH_ingest_throughput.smoke.json with --smoke so a"
+            " smoke run never clobbers the full results)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk", type=int, default=DEFAULT_CSV_CHUNK,
+        help="streaming chunk size in requests",
+    )
+    parser.add_argument(
+        "--worker",
+        nargs=3,
+        metavar=("MODE", "PATH", "CHUNK"),
+        help=argparse.SUPPRESS,  # internal: single-load subprocess
+    )
+    args = parser.parse_args(argv)
+
+    if args.worker:
+        mode, path, chunk = args.worker
+        print(json.dumps(_worker(mode, path, int(chunk))))
+        return 0
+
+    if args.validate:
+        path = Path(args.validate)
+        if not path.is_file():
+            print(f"INVALID: no such file: {path}", file=sys.stderr)
+            return 1
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"INVALID: not JSON: {exc}", file=sys.stderr)
+            return 1
+        problems = validate(payload)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.validate}: valid"
+            f" ({len(payload['results'])} result rows)"
+        )
+        return 0
+
+    if args.smoke:
+        sizes = [("small", 50_000)]
+        output = args.output or "BENCH_ingest_throughput.smoke.json"
+        mode = "smoke"
+    else:
+        sizes = [("small", 200_000), ("large", 3_000_000)]
+        output = args.output or "BENCH_ingest_throughput.json"
+        mode = "full"
+
+    with tempfile.TemporaryDirectory(prefix="bench_ingest_") as scratch:
+        results = run(sizes, args.chunk, Path(scratch))
+    payload = {
+        "bench": "ingest_throughput",
+        "mode": mode,
+        "chunk_requests": int(args.chunk),
+        "results": results,
+    }
+    trace, fraction = _stream_fraction(payload)
+    payload["gate"] = {
+        "metric": "csv stream delta_rss / materialize delta_rss",
+        "max_fraction": MAX_STREAM_RSS_FRACTION,
+        "trace": trace,
+        "fraction": round(fraction, 4) if fraction is not None else None,
+        "status": "enforced" if mode == "full" else "skipped",
+        "reason": None if mode == "full" else "smoke mode",
+    }
+    problems = validate(payload)
+    Path(output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

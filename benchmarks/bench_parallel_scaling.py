@@ -37,6 +37,22 @@ from repro.core.config import (
 )
 from repro.cxl.fabric import CxlFabric
 
+#: JSON schema (field -> type) of the structured ``gate`` marker:
+#: whether the speedup acceptance gate was enforced for this payload
+#: and, when skipped, exactly why.  Making the skip explicit and
+#: machine-checked means a rerun on a wider host flips ``status`` to
+#: ``enforced`` -- a detectable regression-gate upgrade, never a
+#: silent change.
+GATE_SCHEMA = {
+    "metric": str,
+    "workers": int,
+    "min_speedup": float,
+    "min_cpus": int,
+    "cpu_count": int,
+    "status": str,  # "enforced" | "skipped"
+    "reason": (str, type(None)),  # None iff enforced
+}
+
 #: JSON schema (field -> type) of every entry in ``results``.
 RESULT_SCHEMA = {
     "strategy": str,
@@ -177,11 +193,48 @@ def run(trace_lengths, strategies, device_counts, workers_list,
 def validate(payload: dict) -> list[str]:
     """Schema + acceptance check of an emitted payload."""
     problems = []
-    for key in ("geometry", "results", "mode", "cpu_count"):
+    for key in ("geometry", "results", "mode", "cpu_count", "gate"):
         if key not in payload:
             return [f"missing top-level {key!r}"]
     if not isinstance(payload["results"], list) or not payload["results"]:
         return ["'results' must be a non-empty list"]
+    gate = payload["gate"]
+    if not isinstance(gate, dict):
+        problems.append("'gate' must be a structured object")
+        gate = {}
+    for field, kind in GATE_SCHEMA.items():
+        if field not in gate:
+            problems.append(f"gate: missing {field!r}")
+        elif kind is float:
+            if not isinstance(gate[field], (int, float)):
+                problems.append(f"gate.{field}: not numeric")
+        elif not isinstance(gate[field], kind):
+            problems.append(f"gate.{field}: wrong type")
+    if gate.get("status") not in ("enforced", "skipped"):
+        problems.append(
+            f"gate.status: {gate.get('status')!r} is not"
+            " 'enforced'/'skipped'"
+        )
+    if gate.get("status") == "skipped" and not gate.get("reason"):
+        problems.append("gate.status skipped without a reason")
+    if gate.get("status") == "enforced" and gate.get("reason"):
+        problems.append("gate.status enforced must carry reason=None")
+    if "cpu_count" in gate and gate["cpu_count"] != payload["cpu_count"]:
+        problems.append(
+            "gate.cpu_count disagrees with top-level cpu_count"
+        )
+    expected_status = (
+        "enforced"
+        if payload["mode"] == "full"
+        and payload["cpu_count"] >= MIN_CPUS_FOR_GATE
+        else "skipped"
+    )
+    if gate.get("status") not in (None, expected_status):
+        problems.append(
+            f"gate.status {gate.get('status')!r} inconsistent with"
+            f" mode={payload['mode']!r}"
+            f" cpu_count={payload['cpu_count']}"
+        )
     for i, row in enumerate(payload["results"]):
         for field, kind in RESULT_SCHEMA.items():
             if field not in row:
@@ -315,6 +368,23 @@ def main(argv=None) -> int:
         "bench": "parallel_scaling",
         "mode": mode,
         "cpu_count": cpu_count,
+        "gate": {
+            "metric": "speedup_vs_1_worker",
+            "workers": WORKERS_GATE,
+            "min_speedup": MIN_FULL_SPEEDUP,
+            "min_cpus": MIN_CPUS_FOR_GATE,
+            "cpu_count": cpu_count,
+            "status": "enforced" if gate_active else "skipped",
+            "reason": (
+                None
+                if gate_active
+                else (
+                    "smoke mode"
+                    if mode == "smoke"
+                    else f"{cpu_count}-core host"
+                )
+            ),
+        },
         "speedup_gate": (
             "enforced"
             if gate_active

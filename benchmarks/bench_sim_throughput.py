@@ -23,6 +23,15 @@ Trace shapes:
   ``set_run_speedup`` is the collapse's own contribution, and the
   validator requires >= 2x on this shape for every
   ``supports_set_runs`` policy (full runs only).
+* ``set-pingpong`` -- short same-set spans (12 runs of consecutive
+  distinct tags, 3 accesses per run -- well under the
+  ``SET_RUN_MIN_SPAN_REPS`` collapse threshold) rotating across 16
+  sets: the *interrupted-span* shape that defeats both the long-span
+  collapse and per-element rounds.  Each row also times the fast
+  engine with ``short_span_batching=False``; the recorded
+  ``short_span_speedup`` is the cross-set short-span batcher's own
+  contribution, and the validator requires >= 2x on this shape for
+  every ``supports_set_runs`` policy (full runs only).
 
 Unlike the pytest-benchmark ablation benches this is a standalone
 script (no fixtures, no GMM training) so it can run in seconds and in
@@ -70,10 +79,12 @@ RESULT_SCHEMA = {
     "reference_s": float,
     "fast_s": float,
     "fast_no_collapse_s": float,
+    "fast_no_short_span_s": float,
     "reference_accesses_per_s": float,
     "fast_accesses_per_s": float,
     "speedup": float,
     "set_run_speedup": float,
+    "short_span_speedup": float,
     "stats_identical": bool,
     "miss_rate": float,
 }
@@ -89,6 +100,10 @@ SET_RUN_POLICIES = ("lru", "fifo", "lfu", "clock", "2q", "gmm",
 
 #: Acceptance gate on ``hammer-set`` rows of full runs.
 MIN_SET_RUN_SPEEDUP = 2.0
+
+#: Acceptance gate on ``set-pingpong`` rows of full runs: the
+#: cross-set short-span batcher against the pre-batcher fast path.
+MIN_SHORT_SPAN_SPEEDUP = 2.0
 
 
 def make_trace(
@@ -107,6 +122,22 @@ def make_trace(
         # 6 distinct pages, all in set 0: one scorching set whose
         # working set fits the 8 ways.
         pages = rng.integers(0, 6, n) * geometry.n_sets
+    elif kind == "set-pingpong":
+        # Interrupted spans: each span is 12 runs of *consecutive
+        # distinct* tags within one set (3 accesses per run, so run
+        # batching engages), and spans rotate across 16 sets.  Every
+        # span is far under the collapse threshold, so the stream
+        # defeats both the long-span collapse and per-element
+        # rounds -- the shape mechanism 6 exists for.
+        reps, tags, run_len, sets_used = 12, 6, 3, 16
+        n_spans = n // (reps * run_len) + 2
+        set_of = np.arange(n_spans) % sets_used
+        tag = rng.integers(0, tags, (n_spans, reps))
+        for k in range(1, reps):
+            same = tag[:, k] == tag[:, k - 1]
+            tag[same, k] = (tag[same, k] + 1) % tags
+        span_pages = tag * geometry.n_sets + set_of[:, None]
+        pages = np.repeat(span_pages.reshape(-1), run_len)[:n]
     else:
         raise ValueError(f"unknown trace kind: {kind!r}")
     is_write = rng.random(n) < WRITE_FRACTION
@@ -131,11 +162,13 @@ def policy_factories(pages: np.ndarray, threshold: float):
 
 
 def bench_one(geometry, make_policy, pages, is_write, scores, warmup):
-    """Time all three paths once.
+    """Time all four paths once.
 
-    Returns ``(ref_s, fast_s, fast_plain_s, identical, miss_rate)``
-    where ``fast_plain_s`` is the fast engine with set-run collapse
-    disabled -- identity is asserted across all three.
+    Returns ``(ref_s, fast_s, fast_plain_s, fast_long_only_s,
+    identical, miss_rate)`` where ``fast_plain_s`` is the fast engine
+    with set-run collapse disabled and ``fast_long_only_s`` keeps the
+    collapse but disables cross-set short-span batching (the pre-PR
+    fast path) -- identity is asserted across all four.
     """
     ref_cache = SetAssociativeCache(geometry)
     ref_policy = make_policy()
@@ -165,9 +198,20 @@ def bench_one(geometry, make_policy, pages, is_write, scores, warmup):
     )
     plain_s = time.perf_counter() - t0
 
+    long_cache = SetAssociativeCache(geometry)
+    long_policy = make_policy()
+    t0 = time.perf_counter()
+    long_stats = simulate_fast(
+        long_cache, long_policy, pages, is_write,
+        scores=scores, warmup_fraction=warmup,
+        short_span_batching=False,
+    )
+    long_s = time.perf_counter() - t0
+
     identical = bool(
         ref_stats == fast_stats
         and ref_stats == plain_stats
+        and ref_stats == long_stats
         and np.array_equal(ref_cache.tags, fast_cache.tags)
         and np.array_equal(ref_cache.dirty, fast_cache.dirty)
         and np.array_equal(ref_cache.meta, fast_cache.meta)
@@ -176,8 +220,15 @@ def bench_one(geometry, make_policy, pages, is_write, scores, warmup):
         and np.array_equal(ref_cache.dirty, plain_cache.dirty)
         and np.array_equal(ref_cache.meta, plain_cache.meta)
         and np.array_equal(ref_cache.stamp, plain_cache.stamp)
+        and np.array_equal(ref_cache.tags, long_cache.tags)
+        and np.array_equal(ref_cache.dirty, long_cache.dirty)
+        and np.array_equal(ref_cache.meta, long_cache.meta)
+        and np.array_equal(ref_cache.stamp, long_cache.stamp)
     )
-    return ref_s, fast_s, plain_s, identical, ref_stats.miss_rate
+    return (
+        ref_s, fast_s, plain_s, long_s, identical,
+        ref_stats.miss_rate,
+    )
 
 
 def run(matrix, policies, geometry, warmup=0.0):
@@ -188,7 +239,9 @@ def run(matrix, policies, geometry, warmup=0.0):
         threshold = float(np.quantile(scores, 0.1))
         factories = policy_factories(pages, threshold)
         for name in policies:
-            ref_s, fast_s, plain_s, identical, miss_rate = bench_one(
+            (
+                ref_s, fast_s, plain_s, long_s, identical, miss_rate,
+            ) = bench_one(
                 geometry, factories[name], pages, is_write,
                 scores, warmup,
             )
@@ -199,10 +252,12 @@ def run(matrix, policies, geometry, warmup=0.0):
                 "reference_s": round(ref_s, 4),
                 "fast_s": round(fast_s, 4),
                 "fast_no_collapse_s": round(plain_s, 4),
+                "fast_no_short_span_s": round(long_s, 4),
                 "reference_accesses_per_s": round(n / ref_s, 1),
                 "fast_accesses_per_s": round(n / fast_s, 1),
                 "speedup": round(ref_s / fast_s, 2),
                 "set_run_speedup": round(plain_s / fast_s, 2),
+                "short_span_speedup": round(long_s / fast_s, 2),
                 "stats_identical": identical,
                 "miss_rate": round(miss_rate, 4),
             }
@@ -213,6 +268,7 @@ def run(matrix, policies, geometry, warmup=0.0):
                 f"  fast {row['fast_accesses_per_s']:>12,.0f}/s"
                 f"  speedup {row['speedup']:6.1f}x"
                 f"  set-run {row['set_run_speedup']:5.1f}x"
+                f"  short-span {row['short_span_speedup']:5.1f}x"
                 f"  identical={identical}"
             )
     return results
@@ -248,6 +304,18 @@ def validate(payload: dict) -> list[str]:
                 f"results[{i}]: set-run collapse speedup"
                 f" {row.get('set_run_speedup')} <"
                 f" {MIN_SET_RUN_SPEEDUP}x on hammer-set"
+            )
+        if (
+            not payload.get("smoke")
+            and row.get("trace") == "set-pingpong"
+            and row.get("policy") in SET_RUN_POLICIES
+            and row.get("short_span_speedup", 0.0)
+            < MIN_SHORT_SPAN_SPEEDUP
+        ):
+            problems.append(
+                f"results[{i}]: short-span batching speedup"
+                f" {row.get('short_span_speedup')} <"
+                f" {MIN_SHORT_SPAN_SPEEDUP}x on set-pingpong"
             )
     return problems
 
@@ -308,7 +376,10 @@ def main(argv=None) -> int:
     if args.smoke:
         lengths = args.lengths or [20_000]
         matrix = [("skew", n) for n in lengths]
-        matrix += [("hammer-set", lengths[0])]
+        matrix += [
+            ("hammer-set", lengths[0]),
+            ("set-pingpong", lengths[0]),
+        ]
         policies = ("lru", "gmm", "clock")
         output = args.output or "BENCH_sim_throughput.smoke.json"
     else:
@@ -317,6 +388,7 @@ def main(argv=None) -> int:
         matrix += [
             ("hammer-page", lengths[-1]),
             ("hammer-set", lengths[-1]),
+            ("set-pingpong", lengths[-1]),
         ]
         policies = (
             "lru", "fifo", "lfu", "clock", "slru", "2q",

@@ -80,6 +80,23 @@ registered policy, on every trace.  The mechanism:
     handoff).  Single-set and few-set hammer traces thus run at
     vector speed instead of scalar speed.
 
+6.  **Cross-set short-span batching.**  Spans below
+    ``SET_RUN_MIN_SPAN_REPS`` runs are too short to amortise a
+    per-span resolver, but a round usually holds *many* such spans
+    (interrupted hammering: ping-pong between sets, phased scans
+    with breaks).  All short spans of a round advance together:
+    one tag gather finds every span's leading resident segment,
+    those segments batch into a single cross-set ``on_hit_runs``
+    composite (rows carry distinct ``(set, way)`` pairs, and
+    set-run kernels' composites are pure per-row scatters, so
+    cross-set rows commute exactly like cross-way rows), each
+    span's first missing run resolves through the normal
+    distinct-set round machinery, and the span cursors advance --
+    one vectorized iteration per miss layer instead of one round
+    per representative.  ``short_span_batching=False`` restores
+    the per-rep expansion schedule (identical results, for
+    differential timing).
+
 Policies without a registered kernel (notably ``RandomPolicy``,
 whose RNG draw order cannot survive reordering, and user subclasses
 that override scalar hooks) fall back to the reference
@@ -138,6 +155,18 @@ SET_RUN_BAIL_MIN_MISSES = 8
 #: machinery is cheaper, so short spans are expanded back into
 #: singleton elements (identical results, just a different schedule).
 SET_RUN_MIN_SPAN_REPS = 48
+
+#: Round-wide short-span batching (mechanism 6) engages for a chunk
+#: only when its short spans carry at least this many runs per unit
+#: of per-set span depth (the deepest stack of short spans in any
+#: one set, which bounds how many rounds the shorts spread across).
+#: The batched resolver costs a fixed handful of numpy calls per
+#: miss layer per round; narrow rounds -- few concurrent short
+#: spans -- repay that overhead more slowly than the plain
+#: expansion schedule does, so below this density the chunk keeps
+#: the pre-batching expansion (identical results, just a different
+#: schedule).
+SHORT_SPAN_MIN_ROUND_REPS = 64
 
 
 def _count(mask: np.ndarray) -> int:
@@ -780,6 +809,74 @@ def _apply_span_hits(
         outcome[flat + chunk_start] = OUTCOME_HIT
 
 
+def _apply_span_hits_multi(
+    cache: SetAssociativeCache,
+    kernel: PolicyKernel,
+    stats: CacheStats,
+    runs: _ChunkRuns,
+    ids: np.ndarray,
+    ways: np.ndarray,
+    sets: np.ndarray,
+    outcome: np.ndarray | None,
+    chunk_start: int,
+) -> None:
+    """Collapsed update for resident-run segments across many sets.
+
+    The cross-set generalisation of :func:`_apply_span_hits`:
+    ``ids[i]`` is a run resident on way ``ways[i]`` of set
+    ``sets[i]``, with each set's runs appearing in access order.
+    Runs group by ``(set, way)`` and each group receives one
+    ``on_hit_runs`` composite -- sound because set-run kernels'
+    composites are pure per-row scatters over distinct
+    ``(set, way)`` rows, so cross-set rows commute exactly like the
+    cross-way rows of the single-set path.
+    """
+    n_ways = cache.geometry.associativity
+    key = sets * np.int64(n_ways) + ways
+    order = np.argsort(key, kind="stable")
+    ids_sorted = ids[order]
+    key_sorted = key[order]
+    m = ids_sorted.shape[0]
+    boundary = np.empty(m, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = key_sorted[1:] != key_sorted[:-1]
+    group_starts = np.nonzero(boundary)[0]
+    group_sizes = np.diff(np.append(group_starts, m))
+    lo = runs.rep_pos[ids_sorted]
+    hi = runs.run_end[ids_sorted]
+    counts = np.add.reduceat(hi - lo, group_starts)
+    measured = np.add.reduceat(
+        runs.measured_in(lo, hi), group_starts
+    )
+    measured_writes = np.add.reduceat(
+        runs.measured_writes_in(lo, hi), group_starts
+    )
+    writes = np.add.reduceat(runs.writes_in(lo, hi), group_starts)
+    stats.hits += int(measured.sum())
+    stats.write_hits += int(measured_writes.sum())
+    group_sets = sets[order][group_starts]
+    group_ways = ways[order][group_starts]
+    wet = writes > 0
+    if wet.any():
+        cache.dirty[group_sets[wet], group_ways[wet]] = True
+    first_member = ids_sorted[group_starts]
+    last_member = ids_sorted[group_starts + group_sizes - 1]
+    first_pos = runs.rep_pos[first_member]
+    last_pos = runs.run_end[last_member] - 1
+    kernel.on_hit_runs(
+        group_sets,
+        group_ways,
+        first_pos + runs.base,
+        last_pos + runs.base,
+        counts,
+        runs.scores[first_pos],
+        runs.scores[last_pos],
+    )
+    if outcome is not None:
+        flat = _ranges(runs.rep_pos[ids], runs.run_len[ids])
+        outcome[flat + chunk_start] = OUTCOME_HIT
+
+
 def _resolve_miss_run(
     cache: SetAssociativeCache,
     kernel: PolicyKernel,
@@ -991,6 +1088,115 @@ def _resolve_set_span(
             return
 
 
+def _resolve_short_spans(
+    cache: SetAssociativeCache,
+    kernel: PolicyKernel,
+    stats: CacheStats,
+    runs: _ChunkRuns,
+    rep_first: np.ndarray,
+    rep_counts: np.ndarray,
+    scratch: _RoundScratch,
+    chunk_measured,
+    measure_from: int,
+    outcome: np.ndarray | None,
+    chunk_start: int,
+    outcome_base: int,
+) -> None:
+    """Batched resolution of one round's short same-set spans.
+
+    ``rep_first[j] .. rep_first[j] + rep_counts[j]`` are the run ids
+    of span ``j``; spans belong to one round, so their sets are all
+    distinct.  Per iteration: one gather matches every span's
+    unresolved runs against its set's tags, the leading resident
+    segments of *all* spans batch into one cross-set
+    :func:`_apply_span_hits_multi` composite, each span's first
+    missing run resolves through the ordinary distinct-set round
+    machinery (:func:`_process_round` + :func:`_resolve_runs`), and
+    the cursors advance past the miss.  Per-set order is exact: a
+    span's resident prefix strictly precedes its miss in access
+    order and is applied first, and composites never touch the tag
+    plane, so the miss round sees precisely the tags it would have
+    seen scalar.  Iteration count is bounded by the deepest span's
+    miss count (< ``SET_RUN_MIN_SPAN_REPS``), every step vectorized
+    across spans.
+    """
+    cur = rep_first.astype(np.int64, copy=True)
+    end = rep_first + rep_counts
+    while True:
+        active = cur < end
+        if not active.any():
+            return
+        a_cur = cur[active]
+        counts = end[active] - a_cur
+        flat_ids = _ranges(a_cur, counts)
+        f_pos = runs.rep_pos[flat_ids]
+        f_pages = runs.pages[f_pos]
+        f_sets = runs.sets[f_pos]
+        match = cache.tags[f_sets] == f_pages[:, None]
+        found = _row_any(match)
+        way_of = match.argmax(axis=1)
+        # First missing run of every span (flat offsets; the
+        # sentinel ``flat_ids.size`` marks an all-resident span).
+        seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        seg_of = np.repeat(np.arange(a_cur.shape[0]), counts)
+        pif = np.arange(flat_ids.size, dtype=np.int64)
+        keyed = np.where(found, flat_ids.size, pif)
+        first_miss = np.minimum.reduceat(keyed, seg_starts)
+        in_prefix = pif < first_miss[seg_of]
+        if in_prefix.any():
+            _apply_span_hits_multi(
+                cache,
+                kernel,
+                stats,
+                runs,
+                flat_ids[in_prefix],
+                way_of[in_prefix],
+                f_sets[in_prefix],
+                outcome,
+                chunk_start,
+            )
+        has_miss = first_miss < flat_ids.size
+        if has_miss.any():
+            miss_ids = flat_ids[first_miss[has_miss]]
+            pos = runs.rep_pos[miss_ids]
+            idxs = pos + runs.base
+            resident = np.ones(pos.shape[0], dtype=bool)
+            _process_round(
+                cache,
+                kernel,
+                stats,
+                runs.pages[pos],
+                runs.sets[pos],
+                runs.is_write[pos],
+                runs.scores[pos],
+                idxs,
+                chunk_measured
+                if isinstance(chunk_measured, bool)
+                else idxs >= measure_from,
+                scratch,
+                outcome=outcome,
+                outcome_base=outcome_base,
+                resident=resident,
+            )
+            _resolve_runs(
+                cache,
+                kernel,
+                stats,
+                runs,
+                miss_ids,
+                runs.sets[pos],
+                runs.pages[pos],
+                resident,
+                outcome,
+                chunk_start,
+            )
+        cur[active] = np.where(
+            has_miss,
+            flat_ids[np.minimum(first_miss, flat_ids.size - 1)] + 1,
+            end[active],
+        )
+
+
 def simulate_fast(
     cache: SetAssociativeCache,
     policy: ReplacementPolicy,
@@ -1004,6 +1210,7 @@ def simulate_fast(
     outcome: np.ndarray | None = None,
     run_batching: bool = True,
     set_run_collapse: bool = True,
+    short_span_batching: bool = True,
 ) -> CacheStats:
     """Vectorized drop-in replacement for
     :func:`repro.cache.setassoc.simulate`.
@@ -1040,6 +1247,13 @@ def simulate_fast(
         On by default (kernels without ``supports_set_runs`` refuse
         it regardless); the switch exists for differential testing
         and for timing the uncollapsed engine.
+    short_span_batching:
+        Resolve each round's sub-``SET_RUN_MIN_SPAN_REPS`` spans
+        together in cross-set batched iterations (mechanism 6
+        above) instead of expanding them back into per-run round
+        elements.  On by default; only meaningful when
+        ``set_run_collapse`` is engaged.  The switch exists for
+        differential testing and for timing the expansion schedule.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
@@ -1140,24 +1354,50 @@ def simulate_fast(
             )
             span_first = np.nonzero(new_span)[0]
             span_count = np.diff(np.append(span_first, n_reps))
-            collapse = span_count >= SET_RUN_MIN_SPAN_REPS
-            if collapse.any():
-                # Sub-threshold spans cost more to resolve than the
-                # per-element round machinery saves; expand them back
-                # into singleton elements (one per run, consecutive
-                # ranks -- same schedule the plain path would give
-                # them).
-                per_span = np.where(collapse, 1, span_count)
-                offsets = np.repeat(
-                    np.cumsum(per_span) - per_span, per_span
+            short = (span_count > 1) & (
+                span_count < SET_RUN_MIN_SPAN_REPS
+            )
+            batch_shorts = False
+            if short_span_batching and short.any():
+                # The batched short-span resolver amortises over the
+                # runs each round carries.  Rounds stack one span
+                # per set, so the shorts spread across roughly as
+                # many rounds as the deepest per-set short-span
+                # stack; their run count over that depth estimates
+                # runs-per-round.
+                depth = int(
+                    np.bincount(rep_sets[span_first[short]]).max()
                 )
-                within = np.arange(int(per_span.sum())) - offsets
-                spans = (
-                    np.repeat(span_first, per_span) + within,
-                    np.repeat(
-                        np.where(collapse, span_count, 1), per_span
-                    ),
+                batch_shorts = (
+                    int(span_count[short].sum())
+                    >= SHORT_SPAN_MIN_ROUND_REPS * depth
                 )
+            if batch_shorts:
+                # Every multi-run span is a round element: long
+                # spans get the per-span resolver, short ones the
+                # round-wide batched resolver (mechanism 6).
+                spans = (span_first, span_count)
+            else:
+                collapse = span_count >= SET_RUN_MIN_SPAN_REPS
+                if collapse.any():
+                    # Sub-threshold spans cost more to resolve in a
+                    # per-span resolver than the per-element round
+                    # machinery saves; expand them back into
+                    # singleton elements (one per run, consecutive
+                    # ranks -- same schedule the plain path would
+                    # give them).
+                    per_span = np.where(collapse, 1, span_count)
+                    offsets = np.repeat(
+                        np.cumsum(per_span) - per_span, per_span
+                    )
+                    within = np.arange(int(per_span.sum())) - offsets
+                    spans = (
+                        np.repeat(span_first, per_span) + within,
+                        np.repeat(
+                            np.where(collapse, span_count, 1),
+                            per_span,
+                        ),
+                    )
 
         if spans is not None:
             span_first, span_count = spans
@@ -1215,20 +1455,41 @@ def simulate_fast(
                         outcome,
                         start,
                     )
-                for span_id in round_spans[~single]:
-                    _resolve_set_span(
-                        cache,
-                        kernel,
-                        policy,
-                        stats,
-                        runs,
-                        int(span_first[span_id]),
-                        int(span_count[span_id]),
-                        outcome,
-                        start,
-                        index_offset,
-                        measure_from,
+                multi = round_spans[~single]
+                if multi.size:
+                    long_span = (
+                        span_count[multi] >= SET_RUN_MIN_SPAN_REPS
                     )
+                    shorts = multi[~long_span]
+                    if shorts.size:
+                        _resolve_short_spans(
+                            cache,
+                            kernel,
+                            stats,
+                            runs,
+                            span_first[shorts],
+                            span_count[shorts],
+                            scratch,
+                            chunk_measured,
+                            measure_from,
+                            outcome,
+                            start,
+                            index_offset,
+                        )
+                    for span_id in multi[long_span]:
+                        _resolve_set_span(
+                            cache,
+                            kernel,
+                            policy,
+                            stats,
+                            runs,
+                            int(span_first[span_id]),
+                            int(span_count[span_id]),
+                            outcome,
+                            start,
+                            index_offset,
+                            measure_from,
+                        )
                 rank += 1
             if rank < max_rank:
                 remaining = seq[bounds[rank] :]

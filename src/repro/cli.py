@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import zipfile
 
 import numpy as np
 
@@ -68,7 +69,12 @@ from repro.hardware import (
     estimate_lstm_engine,
 )
 from repro.serving import IcgmmCacheService
-from repro.traces.io import save_trace_csv, save_trace_npz
+from repro.traces.io import (
+    load_trace,
+    save_trace_csv,
+    save_trace_npz,
+    stream_trace_chunks,
+)
 from repro.traces.mixing import multi_tenant_trace, relocate
 from repro.traces.preprocess import transform_timestamps
 from repro.traces.record import CACHE_LINE_SIZE, PAGE_SHIFT
@@ -90,7 +96,29 @@ def _add_generate_trace(subparsers) -> None:
         help="output path (.csv or .npz)",
     )
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--uncompressed",
+        action="store_true",
+        help=(
+            "store .npz members raw so streaming consumers"
+            " (serve/fabric --trace) can memory-map them zero-copy"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_trace_argument(parser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "replay a recorded trace file instead of generating"
+            " synthetic traffic (.npz archives stored uncompressed"
+            " stream through zero-copy memory-mapped slices; .csv"
+            " through the chunked vectorized reader)"
+        ),
+    )
 
 
 def _add_run(subparsers) -> None:
@@ -134,6 +162,7 @@ def _add_serve(subparsers) -> None:
         default=["memtier", "stream"],
         help="one tenant per workload",
     )
+    _add_trace_argument(parser)
     parser.add_argument("--length", type=int, default=200_000)
     parser.add_argument("--chunk", type=int, default=8192)
     parser.add_argument("--shards", type=int, default=4)
@@ -170,6 +199,7 @@ def _add_serve(subparsers) -> None:
     )
     _add_parallel_arguments(parser, "shard replays")
     _add_chaos_seed_argument(parser)
+    _add_profile_argument(parser)
     _add_telemetry_arguments(parser)
     parser.add_argument("--seed", type=int, default=42)
 
@@ -337,6 +367,7 @@ def _add_fabric(subparsers) -> None:
         ),
     )
     parser.add_argument("workload", choices=WORKLOAD_NAMES)
+    _add_trace_argument(parser)
     parser.add_argument("--trace-length", type=int, default=None)
     parser.add_argument("--components", type=int, default=None)
     parser.add_argument("--devices", type=int, default=4)
@@ -464,7 +495,9 @@ def _cmd_generate_trace(args) -> int:
     if args.output.endswith(".csv"):
         save_trace_csv(trace, args.output)
     elif args.output.endswith(".npz"):
-        save_trace_npz(trace, args.output)
+        save_trace_npz(
+            trace, args.output, compressed=not args.uncompressed
+        )
     else:
         print("error: output must end in .csv or .npz", file=sys.stderr)
         return 2
@@ -575,7 +608,28 @@ def _cmd_serve(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.drift:
+    step = serving.chunk_requests * max(1, args.report_every)
+    pages = is_write = chunk_iter = None
+    if args.trace:
+        if args.drift:
+            print(
+                "error: --drift shapes synthetic traffic and cannot"
+                " be combined with --trace",
+                file=sys.stderr,
+            )
+            return 2
+        # Streaming ingest: the trace is consumed in report-window
+        # chunks (memory-mapped slices for stored .npz archives,
+        # vectorized parses for .csv) and never fully materializes;
+        # only the training prefix is held transiently.
+        try:
+            length, chunk_iter = stream_trace_chunks(
+                args.trace, step
+            )
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.drift:
         half = args.length // 2
         head = multi_tenant_trace(
             generators, weights, half, rng,
@@ -596,6 +650,7 @@ def _cmd_serve(args) -> int:
             [head.addresses >> PAGE_SHIFT, tail.addresses >> PAGE_SHIFT]
         )
         is_write = np.concatenate([head.is_write, tail.is_write])
+        length = len(pages)
     else:
         trace = multi_tenant_trace(
             generators, weights, args.length, rng,
@@ -603,22 +658,45 @@ def _cmd_serve(args) -> int:
         )
         pages = trace.addresses >> PAGE_SHIFT
         is_write = trace.is_write
+        length = len(pages)
 
     n_train = min(
-        len(pages),
+        length,
         max(
             config.gmm.n_components + 1,
-            int(len(pages) * args.train_fraction),
+            int(length * args.train_fraction),
         ),
     )
     if n_train <= config.gmm.n_components:
+        source = (
+            f"--trace {args.trace}"
+            if args.trace
+            else f"--length {args.length}"
+        )
         print(
-            f"error: --length {args.length} leaves only {n_train}"
+            f"error: {source} leaves only {n_train}"
             f" training requests for K={config.gmm.n_components};"
-            " raise --length or lower --components",
+            " raise the stream length or lower --components",
             file=sys.stderr,
         )
         return 2
+    buffered: list = []
+    if args.trace:
+        got = 0
+        for trace_chunk in chunk_iter:
+            buffered.append(trace_chunk)
+            got += len(trace_chunk)
+            if got >= n_train:
+                break
+        train_pages = (
+            np.concatenate(
+                [c.page_indices() for c in buffered]
+            )[:n_train]
+            if buffered
+            else np.empty(0, dtype=np.int64)
+        )
+    else:
+        train_pages = pages[:n_train]
     timestamps = transform_timestamps(
         n_train,
         config.len_window,
@@ -627,13 +705,17 @@ def _cmd_serve(args) -> int:
     )
     features = np.column_stack(
         [
-            pages[:n_train].astype(np.float64),
+            train_pages.astype(np.float64),
             timestamps.astype(np.float64),
         ]
     )
     emit(
         f"training offline engine on {n_train:,} requests"
-        f" ({len(args.workloads)} tenants)..."
+        + (
+            f" from {args.trace}..."
+            if args.trace
+            else f" ({len(args.workloads)} tenants)..."
+        )
     )
     engine = GmmPolicyEngine.train(features, config.gmm, rng)
     try:
@@ -648,14 +730,37 @@ def _cmd_serve(args) -> int:
     except ValueError as exc:  # e.g. --shards not dividing the sets
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # Telemetry already hangs a profiler on the pipeline; replacing
+    # it would orphan the registered collector.
+    if args.profile and service.pipeline.profiler is None:
+        service.pipeline.profiler = StageProfiler()
+
+    def _windows():
+        if args.trace:
+            # Buffered training-prefix chunks replay first (popped as
+            # they go so parsed CSV prefixes free immediately), then
+            # the rest of the stream straight off the iterator.
+            while buffered:
+                trace_chunk = buffered.pop(0)
+                yield (
+                    trace_chunk.page_indices(),
+                    np.asarray(trace_chunk.is_write),
+                )
+            for trace_chunk in chunk_iter:
+                yield (
+                    trace_chunk.page_indices(),
+                    np.asarray(trace_chunk.is_write),
+                )
+        else:
+            for start in range(0, length, step):
+                yield (
+                    pages[start : start + step],
+                    is_write[start : start + step],
+                )
 
     try:
-        step = serving.chunk_requests * max(1, args.report_every)
-        for start in range(0, len(pages), step):
-            reports = service.ingest(
-                pages[start : start + step],
-                is_write[start : start + step],
-            )
+        for window_pages, window_writes in _windows():
+            reports = service.ingest(window_pages, window_writes)
             window_hits = sum(r.stats.hits for r in reports)
             window_total = sum(r.stats.accesses for r in reports)
             window_miss = (
@@ -728,6 +833,10 @@ def _cmd_serve(args) -> int:
                 f"  chunk {event['chunk_index']:>5d}"
                 f"  {event['key']:<10s} {event['kind']}"
             )
+    # The stage table stays an explicit --profile opt-in (and --json
+    # owns stdout).
+    if args.profile and not args.json:
+        _print_profile(service.pipeline)
     _finish_telemetry(
         args,
         telemetry,
@@ -754,6 +863,15 @@ def _cmd_fabric(args) -> int:
     chaos = _chaos_from_args(args)
     telemetry = _telemetry_from_args(args)
     emit = (lambda *a, **k: None) if args.json else print
+    trace = None
+    if args.trace:
+        # A stored .npz opens memory-mapped: the raw columns stay on
+        # disk and only the spans preprocessing touches fault in.
+        try:
+            trace = load_trace(args.trace)
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     fabric = CxlFabric(
         topology,
         config=config,
@@ -769,10 +887,13 @@ def _cmd_fabric(args) -> int:
         f"preparing {args.workload} through the staged pipeline"
         f" ({args.devices} devices, {args.placement} placement,"
         f" {fabric.parallel.workers} worker(s)"
+        f"{f', trace {args.trace}' if args.trace else ''}"
         f"{', chaos on' if chaos is not None else ''})..."
     )
     try:
-        prepared = fabric.pipeline.prepare(args.workload)
+        prepared = fabric.pipeline.prepare(
+            args.workload, trace=trace
+        )
         if chaos is not None:
             # Faults hook the streaming path: replay chunk by chunk
             # through ingest instead of the one-shot replay.

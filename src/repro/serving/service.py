@@ -411,36 +411,49 @@ class IcgmmCacheService:
                 "serving", "chunk", index=self._chunk_index
             )
         abs_idx = np.arange(self._cursor, self._cursor + n)
-        features = self.pipeline.chunk_features(pages, self._cursor)
 
         # --- scoring (Sec. 3.3 inference) -------------------------------
         # The 2-D request scores feed admission ("request" view) and
         # the drift detector; a frozen page-view or LRU deployment
-        # needs neither, so it skips the dominant per-access cost.
+        # needs neither, so it skips the dominant per-access cost --
+        # including the Algorithm-1 feature stamping, whose only
+        # consumers are the engine and the refresh buffer.  The whole
+        # block is one Score-stage section, so ``--profile`` shows
+        # the serving loop's real Score/Simulate split.
         need_scores = (
             self._score_view == "request"
             or self.serving.refresh_enabled
         )
-        scores = engine.score(features) if need_scores else None
-        if self._needs_page_cache:
-            new_pages, new_marginals = self._page_cache.ensure(pages)
-            if self._combined and new_pages.size:
-                new_shards, new_local = self.planes.route(new_pages)
-                for shard in np.unique(new_shards).tolist():
-                    mask = new_shards == shard
-                    self._shard_page_maps[shard].update(
-                        zip(
-                            new_local[mask].tolist(),
-                            new_marginals[mask].tolist(),
-                            strict=True,
-                        )
+        with self.pipeline.stage_scope("score"):
+            features = (
+                self.pipeline.chunk_features(pages, self._cursor)
+                if need_scores
+                else None
+            )
+            scores = engine.score(features) if need_scores else None
+            if self._needs_page_cache:
+                new_pages, new_marginals = self._page_cache.ensure(
+                    pages
+                )
+                if self._combined and new_pages.size:
+                    new_shards, new_local = self.planes.route(
+                        new_pages
                     )
-        if self._score_view == "request":
-            sim_scores = scores
-        elif self._score_view == "page":
-            sim_scores = self._page_cache.lookup(pages)
-        else:
-            sim_scores = None
+                    for shard in np.unique(new_shards).tolist():
+                        mask = new_shards == shard
+                        self._shard_page_maps[shard].update(
+                            zip(
+                                new_local[mask].tolist(),
+                                new_marginals[mask].tolist(),
+                                strict=True,
+                            )
+                        )
+            if self._score_view == "request":
+                sim_scores = scores
+            elif self._score_view == "page":
+                sim_scores = self._page_cache.lookup(pages)
+            else:
+                sim_scores = None
 
         # --- sharded simulation (resumable, exact, parallel) ------------
         # Each shard's slice goes through the shared pipeline's

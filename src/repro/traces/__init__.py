@@ -8,10 +8,14 @@ and the Fig. 2 statistics (:mod:`repro.traces.stats`).
 """
 
 from repro.traces.io import (
+    DEFAULT_CSV_CHUNK,
+    iter_trace_csv,
+    load_trace,
     load_trace_csv,
     load_trace_npz,
     save_trace_csv,
     save_trace_npz,
+    stream_trace_chunks,
 )
 from repro.traces.mixing import (
     interleave,
@@ -46,6 +50,7 @@ from repro.traces.workloads import WORKLOAD_NAMES, WORKLOADS, get_workload
 
 __all__ = [
     "CACHE_LINE_SIZE",
+    "DEFAULT_CSV_CHUNK",
     "MemoryTrace",
     "PAGE_SHIFT",
     "PAGE_SIZE",
@@ -60,6 +65,8 @@ __all__ = [
     "get_workload",
     "hot_page_concentration",
     "interleave",
+    "iter_trace_csv",
+    "load_trace",
     "load_trace_csv",
     "load_trace_npz",
     "multi_tenant_trace",
@@ -69,6 +76,7 @@ __all__ = [
     "save_trace_csv",
     "save_trace_npz",
     "spatial_histogram",
+    "stream_trace_chunks",
     "temporal_histogram",
     "transform_timestamps",
     "transform_timestamps_at",

@@ -67,6 +67,13 @@ class MemoryTrace:
     times:
         Monotonically non-decreasing access ticks, shape ``(N,)``.
         Defaults to ``arange(N)`` -- one tick per request.
+    validate:
+        When ``False``, skip the O(N) value scans (address sign and
+        time monotonicity) while keeping the O(1) shape checks.  For
+        columns from a trusted source only -- the memory-mapped trace
+        loader uses it so that opening a multi-GB archive does not
+        fault every page in; slices taken off such a trace still
+        validate their spans on construction.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class MemoryTrace:
         addresses: np.ndarray,
         is_write: np.ndarray,
         times: np.ndarray | None = None,
+        validate: bool = True,
     ) -> None:
         addresses = np.asarray(addresses, dtype=np.int64)
         is_write = np.asarray(is_write, dtype=bool)
@@ -86,7 +94,7 @@ class MemoryTrace:
                 "is_write and addresses must have the same shape:"
                 f" {is_write.shape} vs {addresses.shape}"
             )
-        if np.any(addresses < 0):
+        if validate and np.any(addresses < 0):
             raise ValueError("addresses must be non-negative")
         if times is None:
             times = np.arange(addresses.shape[0], dtype=np.int64)
@@ -97,7 +105,11 @@ class MemoryTrace:
                     "times and addresses must have the same shape:"
                     f" {times.shape} vs {addresses.shape}"
                 )
-            if times.size > 1 and np.any(np.diff(times) < 0):
+            if (
+                validate
+                and times.size > 1
+                and np.any(np.diff(times) < 0)
+            ):
                 raise ValueError("times must be non-decreasing")
         self._addresses = addresses
         self._is_write = is_write

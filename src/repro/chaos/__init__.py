@@ -7,7 +7,9 @@ semantics of each victim layer, and the recovery metrics.
 from repro.chaos.injector import FaultInjector, InjectedFaultError
 from repro.chaos.plan import (
     FAULT_KINDS,
+    KIND_DEVICE_CORRELATED,
     KIND_DEVICE_FAIL,
+    KIND_DEVICE_FAILSLOW,
     KIND_LINK_DEGRADE,
     KIND_REFRESH_CORRUPT,
     KIND_REFRESH_FAIL,
@@ -18,13 +20,16 @@ from repro.chaos.plan import (
 )
 from repro.chaos.scenarios import (
     FABRIC_SCENARIOS,
+    PREPARED_SCENARIOS,
     SCENARIO_NAMES,
     SERVING_SCENARIOS,
     last_fault_end,
     recovery_chunk,
     run_fabric_scenario,
+    run_prepared_scenario,
     run_serving_scenario,
     scenario_chaos,
+    tail_latency_us,
     tail_miss_rate,
 )
 
@@ -35,18 +40,23 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "InjectedFaultError",
+    "KIND_DEVICE_CORRELATED",
     "KIND_DEVICE_FAIL",
+    "KIND_DEVICE_FAILSLOW",
     "KIND_LINK_DEGRADE",
     "KIND_REFRESH_CORRUPT",
     "KIND_REFRESH_FAIL",
     "KIND_SHARD_STALL",
     "KIND_WORKER_CRASH",
+    "PREPARED_SCENARIOS",
     "SCENARIO_NAMES",
     "SERVING_SCENARIOS",
     "last_fault_end",
     "recovery_chunk",
     "run_fabric_scenario",
+    "run_prepared_scenario",
     "run_serving_scenario",
     "scenario_chaos",
+    "tail_latency_us",
     "tail_miss_rate",
 ]

@@ -17,7 +17,9 @@ from typing import Optional
 
 from repro.core.config import ChaosConfig
 from repro.chaos.plan import (
+    KIND_DEVICE_CORRELATED,
     KIND_DEVICE_FAIL,
+    KIND_DEVICE_FAILSLOW,
     KIND_LINK_DEGRADE,
     KIND_REFRESH_CORRUPT,
     KIND_REFRESH_FAIL,
@@ -27,6 +29,30 @@ from repro.chaos.plan import (
     FaultPlan,
     _digest,
 )
+
+
+def _merge_windows(
+    windows: list[tuple[int, int]],
+) -> list[tuple[int, int]]:
+    """Coalesce overlapping/adjacent ``[start, end)`` windows.
+
+    Overlapping events on the same ``(kind, target)`` -- legal in
+    hand-written plans, and possible when durations are clamped --
+    used to record as *distinct* timeline entries covering one
+    continuous outage, which skewed ``recovery_chunk`` and the
+    recovery-latency pairing.  Coalescing at construction makes the
+    observed timeline describe each contiguous outage exactly once.
+    """
+    merged: list[tuple[int, int]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (
+                merged[-1][0],
+                max(merged[-1][1], end),
+            )
+        else:
+            merged.append((start, end))
+    return merged
 
 
 class InjectedFaultError(RuntimeError):
@@ -48,8 +74,19 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
-        self._device_windows: dict[int, list[tuple[int, int]]] = {}
+        # Outage windows per (kind, device): ``device-fail`` and
+        # ``device-correlated`` share the same query surface
+        # (``device_down``) but keep their own kind on the observed
+        # timeline.  Windows are coalesced per key at construction
+        # (see :func:`_merge_windows`) so an overlap never records a
+        # single contiguous outage twice.
+        self._device_windows: dict[
+            tuple[str, int], list[tuple[int, int]]
+        ] = {}
         self._link_windows: dict[
+            int, list[tuple[int, int, float]]
+        ] = {}
+        self._failslow_windows: dict[
             int, list[tuple[int, int, float]]
         ] = {}
         self._stalls: dict[tuple[int, int], int] = {}
@@ -57,12 +94,19 @@ class FaultInjector:
         self._crashes: dict[tuple[int, int], int] = {}
         for event in plan.events:
             end = event.start + event.duration
-            if event.kind == KIND_DEVICE_FAIL:
+            if event.kind in (
+                KIND_DEVICE_FAIL,
+                KIND_DEVICE_CORRELATED,
+            ):
                 self._device_windows.setdefault(
-                    event.target, []
+                    (event.kind, event.target), []
                 ).append((event.start, end))
             elif event.kind == KIND_LINK_DEGRADE:
                 self._link_windows.setdefault(
+                    event.target, []
+                ).append((event.start, end, event.magnitude))
+            elif event.kind == KIND_DEVICE_FAILSLOW:
+                self._failslow_windows.setdefault(
                     event.target, []
                 ).append((event.start, end, event.magnitude))
             elif event.kind == KIND_SHARD_STALL:
@@ -77,6 +121,21 @@ class FaultInjector:
                 self._crashes[(event.start, event.target)] = (
                     event.duration
                 )
+        for key, windows in self._device_windows.items():
+            self._device_windows[key] = _merge_windows(windows)
+        # Magnitude-carrying windows (link degradation, fail-slow
+        # ramps) cannot be meaningfully merged across different
+        # magnitudes; the ordering contract is *earliest window
+        # wins*: windows are sorted by start and a query returns the
+        # first one covering the chunk.
+        for target in self._link_windows:
+            self._link_windows[target] = sorted(
+                set(self._link_windows[target])
+            )
+        for target in self._failslow_windows:
+            self._failslow_windows[target] = sorted(
+                set(self._failslow_windows[target])
+            )
         self._records: list[FaultEvent] = []
         self._seen: set[tuple[str, int, int]] = set()
 
@@ -108,17 +167,37 @@ class FaultInjector:
     # Fabric queries (logical clock: fabric chunk index)
     # ------------------------------------------------------------------
     def device_down(self, device: int, chunk: int) -> bool:
-        for start, end in self._device_windows.get(device, ()):
-            if start <= chunk < end:
-                self._record(
-                    KIND_DEVICE_FAIL, start, device, end - start
-                )
-                return True
-        return False
+        """Is ``device`` inside any outage window at ``chunk``?
+
+        Covers both the independent ``device-fail`` channel and the
+        correlated blast channel; the observed timeline records the
+        kind the outage came from.
+        """
+        down = False
+        for kind in (KIND_DEVICE_FAIL, KIND_DEVICE_CORRELATED):
+            for start, end in self._device_windows.get(
+                (kind, device), ()
+            ):
+                if start <= chunk < end:
+                    self._record(kind, start, device, end - start)
+                    down = True
+        return down
 
     def outage_end(self, device: int, chunk: int) -> Optional[int]:
-        """First chunk at which ``device`` is healthy again."""
-        for start, end in self._device_windows.get(device, ()):
+        """First chunk at which ``device`` is healthy again.
+
+        Windows of *both* outage kinds are coalesced for the answer:
+        an independent outage running into a correlated blast on the
+        same device is one contiguous outage, and its end is the end
+        of the combined window, not of whichever event covers
+        ``chunk``.
+        """
+        windows: list[tuple[int, int]] = []
+        for kind in (KIND_DEVICE_FAIL, KIND_DEVICE_CORRELATED):
+            windows.extend(
+                self._device_windows.get((kind, device), ())
+            )
+        for start, end in _merge_windows(windows):
             if start <= chunk < end:
                 return end
         return None
@@ -135,6 +214,30 @@ class FaultInjector:
                     factor,
                 )
                 return factor
+        return 1.0
+
+    def failslow_factor(self, device: int, chunk: int) -> float:
+        """Whole-path latency multiplier of a fail-slow ramp.
+
+        Unlike :meth:`link_factor`'s binary windows, the multiplier
+        *grows per chunk*: it ramps linearly from near-healthy at the
+        window's first chunk up to the event's peak ``magnitude`` at
+        its last chunk, then clears.  Earliest window wins when
+        hand-written windows overlap.  Returns 1.0 when healthy.
+        """
+        for start, end, magnitude in self._failslow_windows.get(
+            device, ()
+        ):
+            if start <= chunk < end:
+                self._record(
+                    KIND_DEVICE_FAILSLOW,
+                    start,
+                    device,
+                    end - start,
+                    magnitude,
+                )
+                progress = (chunk - start + 1) / (end - start)
+                return 1.0 + (magnitude - 1.0) * progress
         return 1.0
 
     # ------------------------------------------------------------------

@@ -24,13 +24,16 @@ import numpy as np
 from repro.core.config import ChaosConfig
 
 #: Fault kinds, one per channel.  ``target`` semantics per kind:
-#: device id, device id, shard id, -1, -1, task lane.
+#: device id, device id, shard id, -1, -1, task lane, device id,
+#: device id.
 KIND_DEVICE_FAIL = "device-fail"
 KIND_LINK_DEGRADE = "link-degrade"
 KIND_SHARD_STALL = "shard-stall"
 KIND_REFRESH_FAIL = "refresh-fail"
 KIND_REFRESH_CORRUPT = "refresh-corrupt"
 KIND_WORKER_CRASH = "worker-crash"
+KIND_DEVICE_CORRELATED = "device-correlated"
+KIND_DEVICE_FAILSLOW = "device-failslow"
 
 FAULT_KINDS = (
     KIND_DEVICE_FAIL,
@@ -39,6 +42,8 @@ FAULT_KINDS = (
     KIND_REFRESH_FAIL,
     KIND_REFRESH_CORRUPT,
     KIND_WORKER_CRASH,
+    KIND_DEVICE_CORRELATED,
+    KIND_DEVICE_FAILSLOW,
 )
 
 
@@ -102,6 +107,44 @@ def _window_starts(
     return starts
 
 
+def _failslow_resets(
+    config: ChaosConfig, device: int, start: int, duration: int
+) -> list[FaultEvent]:
+    """Watchdog-reset blips of one fail-slow ramp window.
+
+    A fleet-scale fail-slow device does not just get slower: past
+    some degradation level its controller starts tripping the
+    watchdog, so the latency ramp is punctuated by transient
+    one-chunk outages.  The blips are a pure function of the window
+    geometry (no extra randomness): the first lands on the chunk
+    where the interpolated multiplier reaches
+    ``failslow_reset_factor``, then one every
+    ``failslow_reset_period`` chunks to the window's end.  They are
+    scheduled as ordinary ``device-fail`` events, so the existing
+    outage/failover machinery serves them with zero access loss.
+    """
+    reset = config.failslow_reset_factor
+    peak = config.failslow_max_factor
+    if reset == 0.0 or peak <= 1.0 or reset > peak:
+        return []
+    # factor(c) = 1 + (peak - 1) * (c - start + 1) / duration
+    offset = int(
+        np.ceil(duration * (reset - 1.0) / (peak - 1.0))
+    )
+    first = start + max(offset, 1) - 1
+    return [
+        FaultEvent(
+            start=chunk,
+            kind=KIND_DEVICE_FAIL,
+            target=device,
+            duration=1,
+        )
+        for chunk in range(
+            first, start + duration, config.failslow_reset_period
+        )
+    ]
+
+
 class FaultPlan:
     """An immutable, sorted fault timeline.
 
@@ -132,12 +175,30 @@ class FaultPlan:
         ``max(n_devices, n_shards, 1)`` which matches how the fabric
         and serving loops fan tasks out.  Each channel (and each
         target within a channel) draws from its own ``SeedSequence``
-        child, so enabling one channel never perturbs another.
+        child, so enabling one channel never perturbs another
+        (appending children preserves the earlier channels' streams,
+        so pre-existing plans keep their exact timelines at equal
+        seeds).
+
+        Raises a :class:`ValueError` up front -- before any sampling
+        -- when ``correlated_fail_k`` exceeds the fleet size, rather
+        than failing inside the victim-sampling draw.
         """
         horizon = config.horizon_chunks
         if task_lanes <= 0:
             task_lanes = max(n_devices, n_shards, 1)
-        channels = np.random.SeedSequence(config.seed).spawn(6)
+        if (
+            config.correlated_fail_rate > 0.0
+            and n_devices > 0
+            and config.correlated_fail_k > n_devices
+        ):
+            raise ValueError(
+                f"correlated_fail_k ({config.correlated_fail_k})"
+                f" exceeds the fleet size ({n_devices} devices);"
+                " a correlated blast cannot take down more devices"
+                " than the fabric has"
+            )
+        channels = np.random.SeedSequence(config.seed).spawn(8)
         events: list[FaultEvent] = []
 
         if config.device_fail_rate > 0.0 and n_devices > 0:
@@ -229,6 +290,67 @@ class FaultPlan:
                         duration=config.worker_crash_attempts,
                     )
                 )
+
+        if config.correlated_fail_rate > 0.0 and n_devices > 0:
+            # One shared blast-radius stream (not per-device): the
+            # window starts *and* every blast's victim set come from
+            # the same child, so the correlation structure -- which
+            # devices go down together -- is a pure function of the
+            # seed, stable under fleet-size-preserving config edits.
+            rng = np.random.default_rng(channels[6])
+            k = min(config.correlated_fail_k, n_devices)
+            for start in _window_starts(
+                rng,
+                horizon,
+                config.correlated_fail_rate,
+                config.correlated_fail_chunks,
+            ):
+                victims = np.sort(
+                    rng.choice(n_devices, size=k, replace=False)
+                )
+                duration = min(
+                    config.correlated_fail_chunks, horizon - start
+                )
+                for device in victims.tolist():
+                    events.append(
+                        FaultEvent(
+                            start=start,
+                            kind=KIND_DEVICE_CORRELATED,
+                            target=int(device),
+                            duration=duration,
+                        )
+                    )
+
+        if config.failslow_rate > 0.0 and n_devices > 0:
+            # Fail-slow ramps: ``magnitude`` is the *peak* multiplier,
+            # reached at the end of the window; the injector
+            # interpolates the per-chunk factor from the window
+            # geometry (see ``FaultInjector.failslow_factor``).
+            for device, seq in enumerate(channels[7].spawn(n_devices)):
+                rng = np.random.default_rng(seq)
+                for start in _window_starts(
+                    rng,
+                    horizon,
+                    config.failslow_rate,
+                    config.failslow_chunks,
+                ):
+                    duration = min(
+                        config.failslow_chunks, horizon - start
+                    )
+                    events.append(
+                        FaultEvent(
+                            start=start,
+                            kind=KIND_DEVICE_FAILSLOW,
+                            target=device,
+                            duration=duration,
+                            magnitude=config.failslow_max_factor,
+                        )
+                    )
+                    events.extend(
+                        _failslow_resets(
+                            config, device, start, duration
+                        )
+                    )
 
         return cls(config, events)
 

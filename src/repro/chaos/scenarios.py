@@ -17,7 +17,9 @@ import numpy as np
 
 from repro.chaos.injector import FaultInjector
 from repro.chaos.plan import (
+    KIND_DEVICE_CORRELATED,
     KIND_DEVICE_FAIL,
+    KIND_DEVICE_FAILSLOW,
     KIND_LINK_DEGRADE,
     KIND_SHARD_STALL,
     KIND_WORKER_CRASH,
@@ -25,6 +27,7 @@ from repro.chaos.plan import (
 from repro.core.config import (
     ChaosConfig,
     FabricTopology,
+    FleetHealthConfig,
     IcgmmConfig,
     ParallelConfig,
     ServingConfig,
@@ -35,14 +38,25 @@ from repro.cxl.fabric import CxlFabric
 SCENARIO_NAMES = (
     "device_failure",
     "link_degrade",
+    "device_correlated",
+    "device_failslow",
+    "prepared_failure",
     "shard_stall",
     "refresh_failure",
     "worker_crash",
 )
 
 #: Which layer each scenario drives.
-FABRIC_SCENARIOS = ("device_failure", "link_degrade")
+FABRIC_SCENARIOS = (
+    "device_failure",
+    "link_degrade",
+    "device_correlated",
+    "device_failslow",
+)
 SERVING_SCENARIOS = ("shard_stall", "refresh_failure", "worker_crash")
+#: Scenarios that drive the offline one-shot entry point
+#: (``CxlFabric.run_prepared``) rather than hand-chunked ingest.
+PREPARED_SCENARIOS = ("prepared_failure",)
 
 _SCENARIO_OVERRIDES: dict[str, dict] = {
     # Outages of a few chunks; failover must serve every access.
@@ -74,6 +88,35 @@ _SCENARIO_OVERRIDES: dict[str, dict] = {
     "worker_crash": {
         "worker_crash_rate": 0.05,
         "worker_crash_attempts": 1,
+    },
+    # Correlated blasts: k devices drop together (shared enclosure /
+    # switch), so failover re-homes a multi-device traffic share at
+    # once and must still serve every access.
+    "device_correlated": {
+        "correlated_fail_rate": 0.12,
+        "correlated_fail_chunks": 4,
+        "correlated_fail_k": 2,
+    },
+    # Fail-slow: the window length clamps to the horizon end, so a
+    # sick device keeps ramping (up to the max factor) until the run
+    # ends -- the regime where health-driven quarantine pays and
+    # recovery-by-waiting does not.  The rate is per device per
+    # chunk; it is tuned low so a typical run sickens a strict
+    # minority of the fleet and the median stays a healthy
+    # reference.
+    "device_failslow": {
+        "failslow_rate": 0.02,
+        "failslow_chunks": 4096,
+        "failslow_max_factor": 8.0,
+        "failslow_reset_factor": 4.0,
+        "failslow_reset_period": 2,
+    },
+    # The device_failure channel driven through the offline one-shot
+    # entry point: run_prepared must degrade to chunked ingest and
+    # lose nothing.
+    "prepared_failure": {
+        "device_fail_rate": 0.08,
+        "device_fail_chunks": 4,
     },
 }
 
@@ -112,6 +155,8 @@ def last_fault_end(timeline: list[dict]) -> int:
 #: chunk-stamped failure events instead.
 _CHUNK_CLOCKED = (
     KIND_DEVICE_FAIL,
+    KIND_DEVICE_CORRELATED,
+    KIND_DEVICE_FAILSLOW,
     KIND_LINK_DEGRADE,
     KIND_SHARD_STALL,
     KIND_WORKER_CRASH,
@@ -154,6 +199,31 @@ def tail_miss_rate(
     return sum(row[1] for row in tail) / accesses
 
 
+def tail_latency_us(
+    chunk_counters: list[tuple[int, int]],
+    chunk_times_ns: list[int],
+    from_chunk: int,
+) -> float:
+    """Per-access priced latency at chunk ``from_chunk`` and later.
+
+    ``chunk_times_ns`` is the runner's per-chunk priced service-time
+    record (premiums included), aligned with ``chunk_counters``.
+    Falls back to the whole run when the tail is empty -- which is
+    the interesting case for fail-slow: a ramp clamped to the horizon
+    never clears, so the scorecard prices the entire degraded run.
+    """
+    tail_counters = chunk_counters[from_chunk:]
+    tail_times = chunk_times_ns[from_chunk:]
+    accesses = sum(row[0] for row in tail_counters)
+    if accesses == 0:
+        tail_counters = chunk_counters
+        tail_times = chunk_times_ns
+        accesses = sum(row[0] for row in tail_counters)
+    if accesses == 0:
+        return 0.0
+    return sum(tail_times) / accesses / 1_000.0
+
+
 def _injector_report(injector: FaultInjector | None) -> dict:
     if injector is None:
         return {"timeline": [], "timeline_digest": ""}
@@ -177,13 +247,17 @@ def run_fabric_scenario(
     page_score_map: dict[int, float] | None = None,
     chunk_requests: int = 4096,
     parallel: ParallelConfig | None = None,
+    health: FleetHealthConfig | None = None,
     telemetry=None,
 ) -> dict:
     """Stream a workload through a (possibly faulty) fabric.
 
     Pass ``chaos=None`` for the no-fault baseline: the identical
     ingest path runs with the injector absent, which the parity suite
-    asserts is bit-identical to the pre-chaos fabric.
+    asserts is bit-identical to the pre-chaos fabric.  ``health``
+    arms the :class:`~repro.serving.health.FleetHealthMonitor`; the
+    scorecard crosses every fault scenario with monitor on/off, so
+    both arms flow through this one runner.
     """
     pages = np.asarray(pages, dtype=np.int64)
     is_write = np.asarray(is_write, dtype=bool)
@@ -192,6 +266,7 @@ def run_fabric_scenario(
         config=config,
         parallel=parallel,
         chaos=chaos,
+        health=health,
         telemetry=telemetry,
     )
     try:
@@ -201,6 +276,8 @@ def run_fabric_scenario(
             page_score_map=page_score_map,
         )
         chunk_counters: list[tuple[int, int]] = []
+        chunk_times_ns: list[int] = []
+        previous_time_ns = 0
         for start in range(0, pages.shape[0], chunk_requests):
             sl = slice(start, start + chunk_requests)
             stats = fabric.ingest(
@@ -214,6 +291,9 @@ def run_fabric_scenario(
                 ),
             )
             chunk_counters.append((stats.accesses, stats.misses))
+            total_time_ns = fabric.results().total_time_ns
+            chunk_times_ns.append(total_time_ns - previous_time_ns)
+            previous_time_ns = total_time_ns
         result = fabric.results()
         report = _injector_report(fabric.injector)
         out = {
@@ -230,6 +310,7 @@ def run_fabric_scenario(
             ),
             "worker_retries": fabric._executor.retries_performed,
             "chunk_counters": chunk_counters,
+            "chunk_times_ns": chunk_times_ns,
             "events": [
                 event.as_dict() for event in fabric.metrics.events()
             ],
@@ -238,11 +319,121 @@ def run_fabric_scenario(
                     "device-down", "device-restored"
                 )
             ),
+            "quarantine_recovery_chunks": (
+                fabric.metrics.recovery_latencies(
+                    "device-quarantined", "device-reinstated"
+                )
+            ),
+            "monitor": (
+                fabric.monitor.summary()
+                if fabric.monitor is not None
+                else None
+            ),
             **report,
         }
     finally:
         fabric.close()
     return out
+
+
+def run_prepared_scenario(
+    chaos: ChaosConfig | None,
+    pages: np.ndarray,
+    is_write: np.ndarray,
+    *,
+    topology: FabricTopology | None = None,
+    config: IcgmmConfig | None = None,
+    strategy: str = "lru",
+    admission_threshold: float = 0.0,
+    chunk_requests: int = 4096,
+    parallel: ParallelConfig | None = None,
+    health: FleetHealthConfig | None = None,
+    telemetry=None,
+) -> dict:
+    """Drive ``CxlFabric.run_prepared`` under a (possibly faulty) plan.
+
+    The one-shot offline entry point must survive chaos too: with an
+    injector (or monitor) wired it degrades to the chunked ingest
+    path, so every fault channel fires and zero accesses are lost.
+    ``chaos=None`` with ``health=None`` exercises the untouched
+    one-shot path -- the scorecard's prepared-parity row asserts that
+    a disabled-chaos prepared run is byte-identical to the pre-chaos
+    fabric's (warm-up cut disabled so counters match the streamed
+    baseline access for access).
+    """
+    from repro.core.pipeline import PreparedWorkload
+
+    pages = np.asarray(pages, dtype=np.int64)
+    is_write = np.asarray(is_write, dtype=bool)
+    prepared = PreparedWorkload(
+        name="chaos-prepared",
+        page_indices=pages,
+        is_write=is_write,
+        scores=np.zeros(pages.shape[0], dtype=np.float64),
+        page_frequency_scores=np.zeros(
+            pages.shape[0], dtype=np.float64
+        ),
+        engine=_PreparedStubEngine(admission_threshold),
+    )
+    fabric = CxlFabric(
+        topology=topology,
+        config=config,
+        parallel=parallel,
+        chaos=chaos,
+        health=health,
+        telemetry=telemetry,
+    )
+    try:
+        result = fabric.run_prepared(
+            prepared,
+            strategy,
+            warmup_fraction=0.0,
+            chunk_requests=chunk_requests,
+        )
+        report = _injector_report(fabric.injector)
+        out = {
+            "accesses": result.accesses,
+            "miss_rate": result.totals.miss_rate,
+            "total_time_ns": result.total_time_ns,
+            "failover_accesses": sum(
+                d.failover_stats.accesses
+                for d in result.devices
+                if d.failover_stats is not None
+            ),
+            "degraded_time_ns": sum(
+                d.degraded_time_ns for d in result.devices
+            ),
+            "worker_retries": fabric._executor.retries_performed,
+            "events": [
+                event.as_dict() for event in fabric.metrics.events()
+            ],
+            "device_recovery_chunks": (
+                fabric.metrics.recovery_latencies(
+                    "device-down", "device-restored"
+                )
+            ),
+            "monitor": (
+                fabric.monitor.summary()
+                if fabric.monitor is not None
+                else None
+            ),
+            **report,
+        }
+    finally:
+        fabric.close()
+    return out
+
+
+class _PreparedStubEngine:
+    """Minimal engine stand-in for strategy-less prepared replays.
+
+    ``run_prepared`` only reads ``engine.admission_threshold`` when
+    binding; the chaos prepared scenario replays under ``lru`` (no
+    score stream), so a full GMM engine would be dead weight.
+    """
+
+    def __init__(self, admission_threshold: float = 0.0) -> None:
+        self.admission_threshold = float(admission_threshold)
 
 
 def run_serving_scenario(

@@ -33,10 +33,12 @@ import numpy as np
 
 from repro.analysis import render_dict_table, render_table
 from repro.chaos import (
+    PREPARED_SCENARIOS,
     SCENARIO_NAMES,
     SERVING_SCENARIOS,
     recovery_chunk,
     run_fabric_scenario,
+    run_prepared_scenario,
     run_serving_scenario,
     scenario_chaos,
     tail_miss_rate,
@@ -47,6 +49,7 @@ from repro.core.config import (
     STRATEGIES,
     ChaosConfig,
     FabricTopology,
+    FleetHealthConfig,
     GmmEngineConfig,
     IcgmmConfig,
     ParallelConfig,
@@ -434,6 +437,18 @@ def _add_chaos(subparsers) -> None:
     parser.add_argument(
         "--chaos-seed", type=int, default=0,
         help="seed of the deterministic fault plans",
+    )
+    parser.add_argument(
+        "--monitor",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "arm the fleet health monitor on fabric-layer scenarios:"
+            " sick devices (fail-slow ramps, broken caches) are"
+            " quarantined off the placement and reinstated after"
+            " clean probation probes (--no-monitor: rely on failover"
+            " alone)"
+        ),
     )
     _add_parallel_arguments(parser, "scenario replays")
     _add_telemetry_arguments(parser)
@@ -1054,6 +1069,10 @@ def _cmd_chaos(args) -> int:
         emit(f"training engine on {n_train:,} requests...")
         engine = GmmPolicyEngine.train(features, config.gmm, rng)
 
+    health = (
+        FleetHealthConfig(enabled=True) if args.monitor else None
+    )
+
     def run(name, chaos, telemetry=None):
         if name in SERVING_SCENARIOS:
             return run_serving_scenario(
@@ -1061,25 +1080,42 @@ def _cmd_chaos(args) -> int:
                 config=config, serving=serving,
                 telemetry=telemetry,
             )
+        if name in PREPARED_SCENARIOS:
+            return run_prepared_scenario(
+                chaos, pages, is_write,
+                topology=topology, config=config,
+                chunk_requests=args.chunk, parallel=retrying,
+                health=health, telemetry=telemetry,
+            )
         return run_fabric_scenario(
             chaos, pages, is_write,
             topology=topology, config=config,
             chunk_requests=args.chunk, parallel=retrying,
-            telemetry=telemetry,
+            health=health, telemetry=telemetry,
         )
 
     baselines = {}
     rows = []
     scorecard = []
     for name in args.scenarios:
-        layer = "serving" if name in SERVING_SCENARIOS else "fabric"
+        if name in SERVING_SCENARIOS:
+            layer = "serving"
+        elif name in PREPARED_SCENARIOS:
+            layer = "prepared"
+        else:
+            layer = "fabric"
         if layer not in baselines:
             baselines[layer] = run(name, None)
         base = baselines[layer]
         # Faults are planned over the leading 70% of the stream so
-        # the trailing chunks form a clean post-recovery window.
+        # the trailing chunks form a clean post-recovery window --
+        # except fail-slow ramps, which clamp to the stream's end: a
+        # sick device never recovers by waiting, so the whole run is
+        # its tail and only quarantine (--monitor) improves it.
         n_chunks = -(-len(pages) // args.chunk)
         horizon = max(1, (7 * n_chunks) // 10)
+        if name == "device_failslow":
+            horizon = n_chunks
         out = run(
             name,
             scenario_chaos(
@@ -1088,10 +1124,16 @@ def _cmd_chaos(args) -> int:
             telemetry=telemetry,
         )
         recover_at = recovery_chunk(out["timeline"], out["events"])
-        tail = tail_miss_rate(out["chunk_counters"], recover_at)
-        base_tail = tail_miss_rate(
-            base["chunk_counters"], recover_at
-        )
+        if "chunk_counters" in out:
+            tail = tail_miss_rate(out["chunk_counters"], recover_at)
+            base_tail = tail_miss_rate(
+                base["chunk_counters"], recover_at
+            )
+        else:
+            # The prepared runner aggregates counters only.
+            tail = out["miss_rate"]
+            base_tail = base["miss_rate"]
+        monitor = out.get("monitor") or {}
         rows.append(
             [
                 name,
@@ -1103,6 +1145,7 @@ def _cmd_chaos(args) -> int:
                 100 * tail,
                 100 * base_tail,
                 out["worker_retries"],
+                monitor.get("quarantines", 0),
             ]
         )
         scorecard.append(
@@ -1117,6 +1160,13 @@ def _cmd_chaos(args) -> int:
                 "tail_miss_rate": float(tail),
                 "baseline_tail_miss_rate": float(base_tail),
                 "worker_retries": int(out["worker_retries"]),
+                "quarantines": int(monitor.get("quarantines", 0)),
+                "reinstatements": int(
+                    monitor.get("reinstatements", 0)
+                ),
+                "monitor_digest": monitor.get(
+                    "decision_digest", ""
+                ),
             }
         )
     emit()
@@ -1132,6 +1182,7 @@ def _cmd_chaos(args) -> int:
                 "tail %",
                 "base tail %",
                 "retries",
+                "quarantines",
             ],
             rows,
         )

@@ -232,6 +232,34 @@ class ChaosConfig:
         Per-(dispatch round, task) crash probability and the number
         of consecutive attempts that crash
         (:attr:`ParallelConfig.max_retries` bounds the recovery).
+    correlated_fail_rate / correlated_fail_chunks / correlated_fail_k:
+        Fleet-level correlated-outage windows: one per-chunk Bernoulli
+        stream (a shared ``SeedSequence`` child, not per-device) picks
+        blast starts, and each blast takes ``correlated_fail_k``
+        devices down together for ``correlated_fail_chunks`` chunks --
+        the shared-rack / shared-switch failure mode the per-device
+        channel cannot express.  ``correlated_fail_k`` is validated
+        against the fleet size when the plan is generated.
+    failslow_rate / failslow_chunks / failslow_max_factor:
+        Per-device *fail-slow* ramps: instead of a binary outage, the
+        whole device path is priced at a latency multiplier that
+        grows linearly per chunk from healthy (1.0) up to
+        ``failslow_max_factor`` at the end of the
+        ``failslow_chunks``-long window.  The device keeps serving
+        (cache bits are unaffected) -- only detection layers such as
+        :class:`repro.serving.health.FleetHealthMonitor` can respond,
+        because ``device_down`` never fires.
+    failslow_reset_factor / failslow_reset_period:
+        Watchdog resets of a fail-slow device: once a ramp's
+        multiplier reaches ``failslow_reset_factor``, the sick
+        controller starts tripping its watchdog and the plan emits a
+        one-chunk outage blip every ``failslow_reset_period`` chunks
+        for the rest of the window (the fleet-scale fail-slow
+        signature: gradually degrading latency punctuated by
+        transient unavailability).  Without a health monitor the
+        fabric bounces traffic off and back onto the sick device at
+        every blip; with one, quarantine re-homes it once.  ``0.0``
+        (the default) disables resets -- pure pricing ramps.
     """
 
     enabled: bool = False
@@ -248,6 +276,14 @@ class ChaosConfig:
     refresh_corrupt_rate: float = 0.0
     worker_crash_rate: float = 0.0
     worker_crash_attempts: int = 1
+    correlated_fail_rate: float = 0.0
+    correlated_fail_chunks: int = 6
+    correlated_fail_k: int = 2
+    failslow_rate: float = 0.0
+    failslow_chunks: int = 16
+    failslow_max_factor: float = 8.0
+    failslow_reset_factor: float = 0.0
+    failslow_reset_period: int = 2
 
     def __post_init__(self) -> None:
         if self.horizon_chunks < 1:
@@ -259,20 +295,51 @@ class ChaosConfig:
             "refresh_fail_rate",
             "refresh_corrupt_rate",
             "worker_crash_rate",
+            "correlated_fail_rate",
+            "failslow_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1]")
+                raise ValueError(
+                    f"{name} must be in [0, 1], got {value!r}"
+                )
         for name in (
             "device_fail_chunks",
             "link_degrade_chunks",
             "shard_stall_attempts",
             "worker_crash_attempts",
+            "correlated_fail_chunks",
+            "failslow_chunks",
         ):
-            if getattr(self, name) < 1:
-                raise ValueError(f"{name} must be >= 1")
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(
+                    f"{name} must be >= 1, got {value!r}"
+                )
         if self.link_degrade_factor < 1.0:
             raise ValueError("link_degrade_factor must be >= 1")
+        if self.correlated_fail_k < 1:
+            raise ValueError(
+                "correlated_fail_k must be >= 1, got"
+                f" {self.correlated_fail_k!r}"
+            )
+        if self.failslow_max_factor < 1.0:
+            raise ValueError(
+                "failslow_max_factor must be >= 1, got"
+                f" {self.failslow_max_factor!r}"
+            )
+        if self.failslow_reset_factor != 0.0 and (
+            self.failslow_reset_factor < 1.0
+        ):
+            raise ValueError(
+                "failslow_reset_factor must be 0 (resets disabled)"
+                f" or >= 1, got {self.failslow_reset_factor!r}"
+            )
+        if self.failslow_reset_period < 1:
+            raise ValueError(
+                "failslow_reset_period must be >= 1, got"
+                f" {self.failslow_reset_period!r}"
+            )
 
     @classmethod
     def demo(cls, seed: int = 0, **overrides) -> "ChaosConfig":
@@ -294,6 +361,83 @@ class ChaosConfig:
         )
         defaults.update(overrides)
         return cls(**defaults)
+
+
+@dataclass(frozen=True)
+class FleetHealthConfig:
+    """Fleet health monitoring knobs
+    (:class:`repro.serving.health.FleetHealthMonitor`).
+
+    Mirrors :class:`ChaosConfig`'s enable contract: with
+    ``enabled=False`` (default) no monitor is constructed at all and
+    the fabric runs its exact pre-monitor code path (the parity suite
+    in ``tests/chaos`` asserts byte-identical behaviour).
+
+    The monitor watches per-device latency/miss EWMAs (maintained by
+    :class:`repro.serving.metrics.RollingMetrics`) against the fleet
+    median and walks each device through
+    ``healthy -> suspect -> quarantined -> probation -> healthy``:
+    a device whose EWMA breaches a *relative* threshold for
+    ``breach_chunks`` consecutive chunks is quarantined (its traffic
+    re-homed onto healthy devices, exactly like outage failover), held
+    out for ``quarantine_chunks``, then probed live for
+    ``probation_chunks`` clean chunks before reinstatement.  All
+    decisions are pure functions of per-chunk counters and the chunk
+    index, so they are bit-identical across worker counts.
+
+    Attributes
+    ----------
+    latency_threshold:
+        Relative breach bar: a device is suspect when its latency
+        EWMA exceeds ``latency_threshold`` times the fleet median.
+    miss_threshold / miss_floor:
+        Relative miss-EWMA bar, plus an absolute floor so near-zero
+        medians do not flag noise.
+    breach_chunks:
+        Consecutive breaching chunks before quarantine.
+    quarantine_chunks:
+        Chunks a quarantined device is held out of placement.
+    probation_chunks:
+        Consecutive clean probe chunks before reinstatement.
+    ewma_alpha:
+        Smoothing factor of the per-device EWMAs.
+    min_chunk_accesses:
+        Chunks serving fewer accesses than this are not judged
+        (too little traffic to trust the latency estimate).
+    min_active_devices:
+        The monitor never quarantines below this many serving
+        devices, whatever the breach counters say.
+    """
+
+    enabled: bool = False
+    latency_threshold: float = 2.0
+    miss_threshold: float = 2.0
+    miss_floor: float = 0.05
+    breach_chunks: int = 3
+    quarantine_chunks: int = 4
+    probation_chunks: int = 3
+    ewma_alpha: float = 0.3
+    min_chunk_accesses: int = 64
+    min_active_devices: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("latency_threshold", "miss_threshold"):
+            if getattr(self, name) < 1.0:
+                raise ValueError(f"{name} must be >= 1")
+        if self.miss_floor < 0.0:
+            raise ValueError("miss_floor must be >= 0")
+        for name in (
+            "breach_chunks",
+            "quarantine_chunks",
+            "probation_chunks",
+            "min_active_devices",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.min_chunk_accesses < 1:
+            raise ValueError("min_chunk_accesses must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -47,6 +47,7 @@ from repro.chaos import FaultInjector
 from repro.core.config import (
     ChaosConfig,
     FabricTopology,
+    FleetHealthConfig,
     IcgmmConfig,
     ParallelConfig,
 )
@@ -61,6 +62,7 @@ from repro.cxl.device import DEVICE_DRAM_HIT_NS
 from repro.cxl.link import CxlLinkSpec
 from repro.hardware.latency import DevicePathLatencyModel
 from repro.hardware.ssd import SSD_CATALOG, SsdSpec
+from repro.serving.health import FleetHealthMonitor
 from repro.serving.metrics import RollingMetrics
 from repro.traces.record import CACHE_LINE_SIZE
 
@@ -72,6 +74,18 @@ from repro.traces.record import CACHE_LINE_SIZE
 #: fails over twice during one outage hits the copy its first
 #: failover filled.
 FAILOVER_TAG_OFFSET = np.int64(1) << 56
+
+
+def _stats_minus(total: CacheStats, part: CacheStats) -> CacheStats:
+    """Counter-wise ``total - part`` (splitting off a traffic lens)."""
+    from dataclasses import fields
+
+    return CacheStats(
+        **{
+            f.name: getattr(total, f.name) - getattr(part, f.name)
+            for f in fields(CacheStats)
+        }
+    )
 
 
 @dataclass(frozen=True)
@@ -232,6 +246,7 @@ class CxlFabric:
         hit_latency_ns: int = DEVICE_DRAM_HIT_NS,
         parallel: ParallelConfig | None = None,
         chaos: ChaosConfig | None = None,
+        health: FleetHealthConfig | None = None,
         telemetry=None,
     ) -> None:
         self.topology = (
@@ -259,6 +274,16 @@ class CxlFabric:
             self._executor.fault_hook = (
                 self.injector.worker_crash_attempts
             )
+        # Fleet health monitoring follows the same contract: None
+        # when disabled, so a monitor-free run executes the exact
+        # pre-monitor code path.  The monitor owns its own
+        # RollingMetrics (keyed per device) so its per-chunk timed
+        # records never double-count into this fabric's degraded
+        # lens; its quarantine/reinstate transitions land on
+        # ``self.metrics``'s event timeline.
+        self.monitor = FleetHealthMonitor.from_config(
+            health, n_devices=self.topology.n_devices
+        )
         self.metrics = RollingMetrics()
         self._shared: list = []
         ssd = ssd if ssd is not None else SSD_CATALOG["tlc"]
@@ -383,6 +408,8 @@ class CxlFabric:
         )
         if self.injector is not None:
             bridge.register_injector(registry, self.injector)
+        if self.monitor is not None:
+            bridge.register_health_monitor(registry, self.monitor)
         self.telemetry.add_event_source(
             bridge.rolling_event_source(self.metrics, scope="fabric")
         )
@@ -411,9 +438,12 @@ class CxlFabric:
         # Chaos bookkeeping (all zero / empty on fault-free runs).
         self._chunk_index = 0
         self._down: dict[int, int] = {}
+        self._slow: dict[int, int] = {}
         self._failover_stats = [CacheStats() for _ in range(n)]
         self._degraded_stats = [CacheStats() for _ in range(n)]
         self._extra_time_ns = [0] * n
+        self._chunk_premium = [0] * n
+        self._chunk_foreign = [CacheStats() for _ in range(n)]
 
     def close(self) -> None:
         """Release the worker pool and any shared-memory planes."""
@@ -649,24 +679,43 @@ class CxlFabric:
         home_ids = device_ids
         failover_mask = None
         link_factors: dict[int, float] = {}
+        slow_factors: dict[int, float] = {}
+        failed: list[int] = []
         if self.injector is not None:
             failed = self._outage_transitions(chunk_index)
             link_factors = {
                 d: self.injector.link_factor(d, chunk_index)
                 for d in range(self.topology.n_devices)
             }
-            if failed:
-                device_ids, local_pages, failover_mask, chunk = (
-                    self._apply_failover(
-                        failed,
-                        pages,
-                        is_write,
-                        device_ids,
-                        local_pages,
-                        page_marginals,
-                        chunk,
-                    )
+            slow_factors = {
+                d: self.injector.failslow_factor(d, chunk_index)
+                for d in range(self.topology.n_devices)
+            }
+            self._failslow_transitions(slow_factors, chunk_index)
+        if self.monitor is not None:
+            # Quarantined devices leave placement exactly like failed
+            # ones: their home traffic re-homes score-aware onto the
+            # remaining fleet (decisions from the previous chunk's
+            # ``step``, so the cut is causal and worker-invariant).
+            self._chunk_premium = [0] * self.topology.n_devices
+            self._chunk_foreign = [
+                CacheStats() for _ in range(self.topology.n_devices)
+            ]
+            blocked = self.monitor.blocked_devices()
+            if blocked:
+                failed = sorted(set(failed).union(blocked))
+        if failed:
+            device_ids, local_pages, failover_mask, chunk = (
+                self._apply_failover(
+                    failed,
+                    pages,
+                    is_write,
+                    device_ids,
+                    local_pages,
+                    page_marginals,
+                    chunk,
                 )
+            )
         if scores is not None:
             scores = np.asarray(scores, dtype=np.float64)
         need_outcome = (
@@ -695,6 +744,7 @@ class CxlFabric:
                     shared=self._shared[device],
                 )
             )
+        served: dict[int, CacheStats] = {}
         for device, task, result in zip(
             devices, tasks, self._dispatch(devices, tasks), strict=True
         ):
@@ -703,6 +753,8 @@ class CxlFabric:
                 device
             ].merge(result.stats)
             chunk = chunk.merge(result.stats)
+            if self.monitor is not None:
+                served[device] = result.stats
             if self.telemetry is not None:
                 self.telemetry.tracer.instant(
                     "fabric",
@@ -711,16 +763,27 @@ class CxlFabric:
                     accesses=result.stats.accesses,
                 )
             factor = link_factors.get(device, 1.0)
+            slow = slow_factors.get(device, 1.0)
+            premium = 0
             if factor > 1.0:
                 # Only the link component of the path scales during a
                 # degradation window; cache behaviour is unaffected.
-                self._extra_time_ns[device] += int(
+                premium += int(
                     round(
                         result.stats.accesses
                         * self.pricing[device].link_request_ns
                         * (factor - 1.0)
                     )
                 )
+            if slow > 1.0:
+                # A fail-slow ramp scales the whole device path; the
+                # multiplier grows per chunk (see
+                # ``FaultInjector.failslow_factor``).
+                premium += self.pricing[device].failslow_premium_ns(
+                    result.stats, slow
+                )
+            if premium:
+                self._add_premium(device, premium)
                 self._degraded_stats[device] = self._degraded_stats[
                     device
                 ].merge(result.stats)
@@ -737,6 +800,32 @@ class CxlFabric:
                     home_ids,
                     is_write,
                 )
+        if self.monitor is not None:
+            # Feed the monitor every serving device's chunk counters
+            # with the *priced* service time (premiums included --
+            # fail-slow is invisible in the counters themselves),
+            # then advance the state machine; transitions land on
+            # this fabric's event timeline and take effect at the
+            # next chunk's placement.  Only *intrinsic* traffic is
+            # observed: failover accesses a device absorbs for a
+            # downed peer (and their degraded-link premium) are
+            # borrowed load, not device sickness -- counting them
+            # would make the monitor quarantine the healthy devices
+            # covering an outage.
+            for device, stats in served.items():
+                intrinsic = _stats_minus(
+                    stats, self._chunk_foreign[device]
+                )
+                self.monitor.observe(
+                    device,
+                    intrinsic,
+                    self.pricing[device].total_time_ns(intrinsic)
+                    + self._chunk_premium[device],
+                )
+            for kind, device, info in self.monitor.step(chunk_index):
+                self.metrics.record_event(
+                    f"device:{device}", kind, chunk_index, **info
+                )
         if self.telemetry is not None:
             self._m_chunks.inc()
             self._m_accesses.inc(chunk.accesses)
@@ -749,13 +838,59 @@ class CxlFabric:
     # ------------------------------------------------------------------
     # Chaos: failover, degradation, reinstatement
     # ------------------------------------------------------------------
+    def _add_premium(
+        self, device: int, time_ns: int, observe: bool = True
+    ) -> None:
+        """Accrue a degraded-mode pricing premium for one device.
+
+        The per-chunk share is tracked separately so the health
+        monitor sees each chunk's true priced latency, premiums
+        included.  ``observe=False`` keeps the premium out of the
+        monitor's lens (failover-path overhead charged to a healthy
+        device covering a downed peer) while still pricing it.
+        """
+        self._extra_time_ns[device] += time_ns
+        if observe and self.monitor is not None:
+            self._chunk_premium[device] += time_ns
+
+    def _failslow_transitions(
+        self, slow_factors: dict[int, float], chunk_index: int
+    ) -> None:
+        """Record fail-slow onset/clear events on the metrics timeline.
+
+        A ramp has no binary down/up edge in the injector's queries,
+        so the fabric stamps the transition the first chunk a
+        device's factor leaves 1.0 and the first chunk it returns.
+        """
+        for device, factor in slow_factors.items():
+            if factor > 1.0 and device not in self._slow:
+                self._slow[device] = chunk_index
+                self.metrics.record_event(
+                    f"device:{device}",
+                    "failslow-onset",
+                    chunk_index,
+                )
+            elif factor <= 1.0 and device in self._slow:
+                del self._slow[device]
+                self.metrics.record_event(
+                    f"device:{device}",
+                    "failslow-cleared",
+                    chunk_index,
+                )
+
     def _outage_transitions(self, chunk_index: int) -> list[int]:
         """Devices down this chunk, recording down/restore events.
 
         Reinstatement is automatic: the moment a device's outage
         window ends, :meth:`place` routes its home traffic back (the
         home cache kept its pre-outage contents, so warm pages hit
-        again immediately).
+        again immediately).  The exception is an outage that begins
+        *while the device is fail-slow*: that is a watchdog reset of
+        a sick controller, and a controller reset loses the volatile
+        DRAM cache state -- the device comes back cold and must
+        re-fault its working set.  (This is what makes recovery-by-
+        waiting so expensive under fail-slow, and health-driven
+        quarantine cheap by comparison.)
         """
         failed: list[int] = []
         for device in range(self.topology.n_devices):
@@ -768,6 +903,13 @@ class CxlFabric:
                         "device-down",
                         chunk_index,
                     )
+                    if (
+                        self.injector.failslow_factor(
+                            device, chunk_index
+                        )
+                        > 1.0
+                    ):
+                        self._wipe_cache(device)
             elif device in self._down:
                 del self._down[device]
                 self.metrics.record_event(
@@ -776,6 +918,23 @@ class CxlFabric:
                     chunk_index,
                 )
         return failed
+
+    def _wipe_cache(self, device: int) -> None:
+        """Cold-restart one device's cache planes (watchdog reset).
+
+        In-place fills, so process-backend shared-memory planes see
+        the wipe too.  Dirty blocks are simply lost -- a crashed
+        controller never got to write them back -- which only
+        forfeits the write-back the pricing model would have charged
+        on their eviction.
+        """
+        from repro.cache.setassoc import INVALID
+
+        cache = self.caches[device]
+        cache.tags.fill(INVALID)
+        cache.dirty.fill(False)
+        cache.meta.fill(0.0)
+        cache.stamp.fill(0.0)
 
     def _failover_targets(
         self,
@@ -908,12 +1067,16 @@ class CxlFabric:
         count = int(np.count_nonzero(task_mask))
         if count == 0:
             return
-        self._extra_time_ns[device] += int(
-            round(
-                count
-                * self.pricing[device].link_request_ns
-                * (self.topology.degraded_link_factor - 1.0)
-            )
+        self._add_premium(
+            device,
+            int(
+                round(
+                    count
+                    * self.pricing[device].link_request_ns
+                    * (self.topology.degraded_link_factor - 1.0)
+                )
+            ),
+            observe=False,
         )
         failover_positions = positions[task_mask]
         homes = home_ids[failover_positions]
@@ -923,6 +1086,10 @@ class CxlFabric:
                 outcome[task_mask][sub],
                 is_write[failover_positions][sub],
             )
+            if self.monitor is not None:
+                self._chunk_foreign[device] = self._chunk_foreign[
+                    device
+                ].merge(stats)
             self._failover_stats[home] = self._failover_stats[
                 home
             ].merge(stats)
@@ -932,7 +1099,7 @@ class CxlFabric:
 
     def results(self) -> FabricRunResult:
         """Price the accumulated per-device counters."""
-        chaos = self.injector is not None
+        chaos = self.injector is not None or self.monitor is not None
         devices = tuple(
             DeviceReplayResult(
                 device_id=d,
@@ -963,6 +1130,7 @@ class CxlFabric:
         strategy: str,
         warmup_fraction: float | None = None,
         keep_outcomes: bool = False,
+        chunk_requests: int = 8192,
     ) -> FabricRunResult:
         """Replay a prepared workload over the fleet in one shot.
 
@@ -975,6 +1143,20 @@ class CxlFabric:
         strategy).  Device replays run concurrently per
         :attr:`parallel` and merge in device order.
 
+        **Chaos-capable.**  When a fault injector or health monitor
+        is wired, the one-shot fan-out cannot consult the fault
+        timeline (faults tick on chunk indices), so the replay
+        degrades to the chunked ingest path in ``chunk_requests``
+        slices: every fault channel (outages, correlated blasts,
+        link windows, fail-slow ramps, worker crashes) and the fleet
+        monitor fire exactly as on a streamed run, with zero access
+        loss.  Like :meth:`run_streamed`, the chaos path measures
+        every access (steady-state serving; ``warmup_fraction`` is
+        not applied) and does not support ``keep_outcomes``.  With
+        chaos and monitoring disabled this method executes the exact
+        pre-chaos one-shot path, byte for byte -- the parity suite
+        asserts it.
+
         With ``keep_outcomes=False`` (the default) only the
         per-device :class:`~repro.cache.stats.CacheStats` are
         aggregated -- no per-access outcome array is ever allocated,
@@ -984,6 +1166,16 @@ class CxlFabric:
         :attr:`DeviceReplayResult.outcomes` for downstream per-access
         accounting.
         """
+        if self.injector is not None or self.monitor is not None:
+            if keep_outcomes:
+                raise ValueError(
+                    "keep_outcomes is not supported on a chaos or"
+                    " monitored run_prepared: the chunked replay"
+                    " aggregates counters only"
+                )
+            return self.run_streamed(
+                prepared, strategy, chunk_requests=chunk_requests
+            )
         if warmup_fraction is None:
             warmup_fraction = self.config.warmup_fraction
         with self.pipeline.stage_scope("score"):

@@ -155,6 +155,23 @@ class DevicePathLatencyModel:
             return 0.0
         return self.total_time_ns(stats) / stats.accesses / 1_000.0
 
+    def failslow_premium_ns(
+        self, stats: CacheStats, factor: float
+    ) -> int:
+        """Extra service time of a fail-slow device at ``factor``.
+
+        A fail-slow device (media wear, thermal throttling, a sick
+        controller) slows the *whole* device path -- link, DRAM hit,
+        and backing-store service alike -- unlike a link-degradation
+        window, which scales only the link component.  The premium is
+        the difference between the path priced at ``factor`` and
+        healthy pricing; cache behaviour (the counters themselves) is
+        unaffected.
+        """
+        if factor <= 1.0:
+            return 0
+        return int(round(self.total_time_ns(stats) * (factor - 1.0)))
+
 
 def reduction_percent(baseline_us: float, improved_us: float) -> float:
     """Relative reduction in percent, as Table 1 reports it."""

@@ -212,6 +212,48 @@ def register_injector(registry: MetricsRegistry, injector) -> None:
     registry.register_collector(collect)
 
 
+def register_health_monitor(
+    registry: MetricsRegistry, monitor
+) -> None:
+    """Export a ``FleetHealthMonitor``'s counters and fleet states.
+
+    Quarantine/reinstatement/suspect counts are logical decisions
+    (bit-identical across worker counts, which the recovery bench
+    asserts via the monitor's own decision digest); the per-state
+    device counts give an operator the live fleet shape.
+    """
+    quarantines = registry.counter(
+        "health_quarantines_total",
+        help="Devices pulled from placement by the monitor.",
+    )
+    reinstatements = registry.counter(
+        "health_reinstatements_total",
+        help="Devices returned to service after clean probation.",
+    )
+    suspects = registry.counter(
+        "health_suspects_total",
+        help="Breach streaks opened (first breach observations).",
+    )
+    devices = registry.gauge(
+        "health_devices_count",
+        help="Devices currently in each monitor state.",
+        labels=("state",),
+    )
+
+    def collect() -> None:
+        quarantines.set(monitor.quarantines)
+        reinstatements.set(monitor.reinstatements)
+        suspects.set(monitor.suspects)
+        counts: dict[str, int] = {}
+        for device in range(monitor.n_devices):
+            state = monitor.state(device)
+            counts[state] = counts.get(state, 0) + 1
+        for state in sorted(counts):
+            devices.labels(state=state).set(counts[state])
+
+    registry.register_collector(collect)
+
+
 def register_refresher(registry: MetricsRegistry, refresher) -> None:
     """Export a ``ModelRefresher``'s build/buffer state."""
     built = registry.counter(

@@ -24,6 +24,8 @@ EVENT_PAIRS = {
     "device-down": "device-restored",
     "breaker-open": "breaker-close",
     "stall-degraded": "stall-recovered",
+    "device-quarantined": "device-reinstated",
+    "failslow-onset": "failslow-cleared",
 }
 
 

@@ -10,6 +10,7 @@ for how the loop degrades and recovers under injected faults.
 """
 
 from repro.serving.drift import DriftDetector, DriftReport, ks_statistic
+from repro.serving.health import FleetHealthMonitor
 from repro.serving.metrics import FailureEvent, RollingMetrics
 from repro.serving.refresh import (
     EngineSlot,
@@ -30,6 +31,7 @@ __all__ = [
     "DriftReport",
     "EngineSlot",
     "FailureEvent",
+    "FleetHealthMonitor",
     "IcgmmCacheService",
     "ModelRefresher",
     "RollingMetrics",

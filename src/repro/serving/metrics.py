@@ -63,17 +63,23 @@ class RollingMetrics:
         self,
         latency_model: LatencyModel | None = None,
         window_chunks: int = 8,
+        ewma_alpha: float = 0.25,
     ) -> None:
         if window_chunks < 1:
             raise ValueError("window_chunks must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
         self.latency_model = (
             latency_model if latency_model is not None else LatencyModel()
         )
         self.window_chunks = int(window_chunks)
+        self.ewma_alpha = float(ewma_alpha)
         self._windows: dict[str, deque[CacheStats]] = {}
         self._totals: dict[str, CacheStats] = {}
         self._degraded: dict[str, CacheStats] = {}
         self._events: list[FailureEvent] = []
+        self._ewma_latency_ns: dict[str, float] = {}
+        self._ewma_miss: dict[str, float] = {}
 
     def record(
         self, key: str, stats: CacheStats, degraded: bool = False
@@ -96,6 +102,65 @@ class RollingMetrics:
             self._degraded[key] = self._degraded.get(
                 key, CacheStats()
             ).merge(stats)
+
+    def record_timed(
+        self,
+        key: str,
+        stats: CacheStats,
+        time_ns: int,
+        degraded: bool = False,
+    ) -> None:
+        """Record a chunk delta with its *priced* service time.
+
+        On top of :meth:`record`, maintains exponentially-weighted
+        moving averages of per-access latency and miss rate for
+        ``key`` -- the signals
+        :class:`repro.serving.health.FleetHealthMonitor` compares
+        against the fleet median.  ``time_ns`` is the chunk's total
+        service time under the caller's pricing model *including* any
+        degraded-mode premiums (fail-slow ramps, link windows), so a
+        slowly sickening device is visible here even though its cache
+        counters look healthy.  Chunks with zero accesses leave the
+        EWMAs untouched.
+        """
+        self.record(key, stats, degraded=degraded)
+        if stats.accesses == 0:
+            return
+        latency = time_ns / stats.accesses
+        miss = stats.miss_rate
+        alpha = self.ewma_alpha
+        prev_latency = self._ewma_latency_ns.get(key)
+        if prev_latency is None:
+            self._ewma_latency_ns[key] = latency
+            self._ewma_miss[key] = miss
+        else:
+            self._ewma_latency_ns[key] = (
+                alpha * latency + (1.0 - alpha) * prev_latency
+            )
+            self._ewma_miss[key] = (
+                alpha * miss
+                + (1.0 - alpha) * self._ewma_miss[key]
+            )
+
+    def ewma_latency_ns(self, key: str) -> float | None:
+        """EWMA per-access latency of ``key`` (None before any
+        timed observation)."""
+        return self._ewma_latency_ns.get(key)
+
+    def ewma_miss_rate(self, key: str) -> float | None:
+        """EWMA miss rate of ``key`` (None before any timed
+        observation)."""
+        return self._ewma_miss.get(key)
+
+    def reset_ewma(self, key: str) -> None:
+        """Drop ``key``'s EWMAs so the next observation starts fresh.
+
+        The health monitor rebases a device's estimate when it enters
+        probation: the quarantine froze the sick EWMA, and probe
+        chunks must be judged on current behaviour, not history.
+        """
+        self._ewma_latency_ns.pop(key, None)
+        self._ewma_miss.pop(key, None)
 
     def keys(self) -> list[str]:
         """All keys seen so far, in first-seen order."""
@@ -273,4 +338,26 @@ class RollingMetrics:
                 merged[key]["degraded_miss_rate"] = (
                     w["degraded_miss"] / served if served else 0.0
                 )
+        return merged
+
+    @staticmethod
+    def merge_event_timelines(
+        *timelines: list[FailureEvent],
+    ) -> list[FailureEvent]:
+        """Interleave several instances' failure/recovery timelines.
+
+        Events from all inputs are ordered by
+        ``(chunk_index, key, kind)`` -- the logical clock first, so a
+        cross-instance view (e.g. two service replicas watching the
+        same fleet) pairs downs with ups in causal order and
+        :meth:`recovery_latencies` computed over the merged list is
+        meaningful.  The sort is stable, so same-tick events keep a
+        deterministic order regardless of input order.
+        """
+        merged = [
+            event for timeline in timelines for event in timeline
+        ]
+        merged.sort(
+            key=lambda e: (e.chunk_index, e.key, e.kind)
+        )
         return merged

@@ -1,7 +1,11 @@
 """Injector queries: pure lookups, deduped observed timeline."""
 
+import pytest
+
 from repro.chaos import (
+    KIND_DEVICE_CORRELATED,
     KIND_DEVICE_FAIL,
+    KIND_DEVICE_FAILSLOW,
     KIND_LINK_DEGRADE,
     KIND_REFRESH_CORRUPT,
     KIND_REFRESH_FAIL,
@@ -91,6 +95,108 @@ class TestQueries:
         assert injector.refresh_fault(2) is None
         assert injector.worker_crash_attempts(4, 1) == 1
         assert injector.worker_crash_attempts(4, 0) == 0
+
+
+class TestOverlappingWindows:
+    def test_same_target_windows_merge(self):
+        """Regression: two overlapping outage windows on the same
+        (kind, target) must behave -- and be recorded -- as one
+        continuous outage, not double-recorded or truncated at the
+        first window's end."""
+        injector = _injector(
+            [
+                FaultEvent(
+                    start=2, kind=KIND_DEVICE_FAIL, target=1,
+                    duration=3,
+                ),
+                FaultEvent(
+                    start=4, kind=KIND_DEVICE_FAIL, target=1,
+                    duration=3,
+                ),
+            ]
+        )
+        assert not injector.device_down(1, 1)
+        for chunk in range(2, 7):
+            assert injector.device_down(1, chunk)
+        assert not injector.device_down(1, 7)
+        # The merged window reports one outage ending at 7...
+        assert injector.outage_end(1, 2) == 7
+        assert injector.outage_end(1, 6) == 7
+        # ...and the observed timeline holds exactly one record.
+        assert len(injector.records) == 1
+        record = injector.records[0]
+        assert record.start == 2 and record.duration == 5
+
+    def test_correlated_counts_as_outage(self):
+        injector = _injector(
+            [
+                FaultEvent(
+                    start=3, kind=KIND_DEVICE_CORRELATED, target=0,
+                    duration=2,
+                ),
+                FaultEvent(
+                    start=3, kind=KIND_DEVICE_CORRELATED, target=2,
+                    duration=2,
+                ),
+            ]
+        )
+        assert injector.device_down(0, 3)
+        assert injector.device_down(2, 4)
+        assert not injector.device_down(1, 3)
+        assert not injector.device_down(0, 5)
+
+    def test_correlated_and_plain_windows_merge(self):
+        """A correlated blast overlapping a plain outage on the same
+        device is one continuous down window."""
+        injector = _injector(
+            [
+                FaultEvent(
+                    start=2, kind=KIND_DEVICE_FAIL, target=1,
+                    duration=2,
+                ),
+                FaultEvent(
+                    start=3, kind=KIND_DEVICE_CORRELATED, target=1,
+                    duration=3,
+                ),
+            ]
+        )
+        for chunk in range(2, 6):
+            assert injector.device_down(1, chunk)
+        assert injector.outage_end(1, 2) == 6
+
+
+class TestFailslowFactor:
+    def test_ramp_interpolates_to_peak(self):
+        injector = _injector(
+            [
+                FaultEvent(
+                    start=4, kind=KIND_DEVICE_FAILSLOW, target=2,
+                    duration=4, magnitude=5.0,
+                )
+            ]
+        )
+        assert injector.failslow_factor(2, 3) == 1.0
+        assert injector.failslow_factor(2, 4) == pytest.approx(2.0)
+        assert injector.failslow_factor(2, 5) == pytest.approx(3.0)
+        assert injector.failslow_factor(2, 6) == pytest.approx(4.0)
+        assert injector.failslow_factor(2, 7) == pytest.approx(5.0)
+        assert injector.failslow_factor(2, 8) == 1.0
+        assert injector.failslow_factor(0, 5) == 1.0
+
+    def test_repeated_queries_record_once(self):
+        injector = _injector(
+            [
+                FaultEvent(
+                    start=0, kind=KIND_DEVICE_FAILSLOW, target=1,
+                    duration=8, magnitude=3.0,
+                )
+            ]
+        )
+        for chunk in range(8):
+            injector.failslow_factor(1, chunk)
+            injector.failslow_factor(1, chunk)
+        assert len(injector.records) == 1
+        assert injector.records[0].kind == KIND_DEVICE_FAILSLOW
 
 
 class TestObservedTimeline:

@@ -14,6 +14,7 @@ import pytest
 from repro.core.config import (
     ChaosConfig,
     FabricTopology,
+    FleetHealthConfig,
     ServingConfig,
 )
 from repro.cxl.fabric import CxlFabric
@@ -110,3 +111,98 @@ class TestFabricParity:
         for device in result["devices"]:
             assert "failover_accesses" not in device
             assert "degraded_time_ns" not in device
+
+
+def _prepared_workload(pages, writes):
+    import numpy as np
+
+    from repro.core.pipeline import PreparedWorkload
+
+    class _StubEngine:
+        admission_threshold = 0.0
+
+    return PreparedWorkload(
+        name="parity-prepared",
+        page_indices=np.asarray(pages, dtype=np.int64),
+        is_write=np.asarray(writes, dtype=bool),
+        scores=np.zeros(pages.shape[0], dtype=np.float64),
+        page_frequency_scores=np.zeros(
+            pages.shape[0], dtype=np.float64
+        ),
+        engine=_StubEngine(),
+    )
+
+
+def _run_prepared(config, pages, writes, chaos="omitted", health="omitted"):
+    kwargs = {}
+    if chaos != "omitted":
+        kwargs["chaos"] = chaos
+    if health != "omitted":
+        kwargs["health"] = health
+    fabric = CxlFabric(
+        FabricTopology(n_devices=4), config=config, **kwargs
+    )
+    try:
+        return fabric.run_prepared(
+            _prepared_workload(pages, writes), "lru"
+        ).as_dict()
+    finally:
+        fabric.close()
+
+
+class TestPreparedParity:
+    """``run_prepared`` keeps the disabled-chaos contract too: with
+    no injector and no monitor it executes the exact pre-chaos
+    one-shot path, byte for byte."""
+
+    @pytest.mark.parametrize("spelling", list(DISABLED))
+    def test_prepared_results_are_byte_identical(
+        self, chaos_workload, spelling
+    ):
+        config, _, pages, writes = chaos_workload
+        reference = _run_prepared(config, pages, writes)
+        candidate = _run_prepared(
+            config, pages, writes, chaos=DISABLED[spelling]
+        )
+        assert json.dumps(candidate, sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )
+
+    @pytest.mark.parametrize(
+        "health",
+        [
+            None,
+            FleetHealthConfig(enabled=False),
+        ],
+        ids=["none", "disabled-config"],
+    )
+    def test_disabled_monitor_is_byte_identical(
+        self, chaos_workload, health
+    ):
+        config, _, pages, writes = chaos_workload
+        reference = _run_prepared(config, pages, writes)
+        candidate = _run_prepared(
+            config, pages, writes, health=health
+        )
+        assert json.dumps(candidate, sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )
+
+    def test_single_device_fleet_gets_no_monitor(self, chaos_workload):
+        """No fleet median to compare against and nowhere to re-home:
+        a 1-device fabric silently drops the monitor and keeps the
+        pre-monitor path."""
+        config, _, pages, writes = chaos_workload
+        fabric = CxlFabric(
+            FabricTopology(n_devices=1),
+            config=config,
+            health=FleetHealthConfig(enabled=True),
+        )
+        try:
+            assert fabric.monitor is None
+            result = fabric.run_prepared(
+                _prepared_workload(pages, writes), "lru"
+            )
+            assert result.accesses > 0
+        finally:
+            fabric.close()

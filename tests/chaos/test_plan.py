@@ -4,7 +4,9 @@ import pytest
 
 from repro.chaos import (
     FAULT_KINDS,
+    KIND_DEVICE_CORRELATED,
     KIND_DEVICE_FAIL,
+    KIND_DEVICE_FAILSLOW,
     KIND_LINK_DEGRADE,
     KIND_REFRESH_CORRUPT,
     KIND_REFRESH_FAIL,
@@ -104,6 +106,120 @@ class TestShape:
         plan = FaultPlan(config, events)
         assert [e.start for e in plan.events] == [2, 5]
         assert plan.as_dicts()[0]["kind"] == KIND_DEVICE_FAIL
+
+
+class TestCorrelatedChannel:
+    def test_blasts_hit_k_devices_together(self):
+        plan = _generate(
+            _config(
+                correlated_fail_rate=0.1,
+                correlated_fail_chunks=4,
+                correlated_fail_k=2,
+            )
+        )
+        blasts = plan.by_kind(KIND_DEVICE_CORRELATED)
+        assert blasts
+        by_start: dict[int, list] = {}
+        for event in blasts:
+            by_start.setdefault(event.start, []).append(event)
+        for start, group in by_start.items():
+            targets = [e.target for e in group]
+            assert len(targets) == 2
+            assert len(set(targets)) == 2
+            assert targets == sorted(targets)
+            assert len({e.duration for e in group}) == 1
+
+    def test_k_exceeding_fleet_rejected_up_front(self):
+        with pytest.raises(ValueError, match="exceeds the fleet"):
+            _generate(
+                _config(
+                    correlated_fail_rate=0.1, correlated_fail_k=5
+                )
+            )
+
+    def test_enabling_new_channels_preserves_old_streams(self):
+        """The new channels append SeedSequence children; the first
+        six channels' streams -- and therefore every pre-existing
+        plan -- must be byte-identical at equal seeds."""
+        old = _generate(_config())
+        extended = _generate(
+            _config(
+                correlated_fail_rate=0.1,
+                correlated_fail_k=2,
+                failslow_rate=0.05,
+                failslow_chunks=16,
+                failslow_max_factor=4.0,
+            )
+        )
+        for kind in (
+            KIND_DEVICE_FAIL,
+            KIND_LINK_DEGRADE,
+            KIND_SHARD_STALL,
+            KIND_REFRESH_FAIL,
+            KIND_REFRESH_CORRUPT,
+            KIND_WORKER_CRASH,
+        ):
+            assert old.by_kind(kind) == extended.by_kind(kind)
+
+
+class TestFailslowChannel:
+    @staticmethod
+    def _failslow_only(**overrides):
+        base = dict(
+            enabled=True,
+            seed=3,
+            horizon_chunks=64,
+            failslow_rate=0.05,
+            failslow_chunks=4096,
+            failslow_max_factor=6.0,
+        )
+        base.update(overrides)
+        return ChaosConfig(**base)
+
+    def test_ramps_carry_peak_magnitude_and_clamp(self):
+        plan = _generate(self._failslow_only())
+        ramps = plan.by_kind(KIND_DEVICE_FAILSLOW)
+        assert ramps
+        for event in ramps:
+            assert event.magnitude == 6.0
+            # Windows clamp to the horizon end: a fail-slow device
+            # stays sick until the run ends.
+            assert event.start + event.duration == 64
+
+    def test_reset_blips_disabled_by_default(self):
+        plan = _generate(self._failslow_only())
+        assert not plan.by_kind(KIND_DEVICE_FAIL)
+
+    def test_reset_blips_follow_window_geometry(self):
+        plan = _generate(
+            self._failslow_only(
+                failslow_max_factor=8.0,
+                failslow_reset_factor=4.0,
+                failslow_reset_period=3,
+            )
+        )
+        ramps = plan.by_kind(KIND_DEVICE_FAILSLOW)
+        blips = plan.by_kind(KIND_DEVICE_FAIL)
+        assert ramps and blips
+        for ramp in ramps:
+            mine = sorted(
+                e.start for e in blips if e.target == ramp.target
+            )
+            assert mine, "every ramp past the reset factor blips"
+            # factor(c) = 1 + 7 * (c - start + 1) / duration: the
+            # first blip lands where the interpolation crosses 4.0.
+            first = mine[0]
+            duration = ramp.duration
+            reached = 1.0 + 7.0 * (first - ramp.start + 1) / duration
+            assert reached >= 4.0
+            before = 1.0 + 7.0 * (first - ramp.start) / duration
+            assert before < 4.0 or first == ramp.start
+            for a, b in zip(mine, mine[1:]):
+                assert b - a == 3
+            for blip in mine:
+                assert ramp.start <= blip < ramp.start + duration
+        for event in blips:
+            assert event.duration == 1
 
 
 class TestScenarioFactory:

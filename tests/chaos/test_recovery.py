@@ -11,7 +11,9 @@ import numpy as np
 import pytest
 
 from repro.chaos import (
+    KIND_DEVICE_CORRELATED,
     KIND_DEVICE_FAIL,
+    KIND_DEVICE_FAILSLOW,
     KIND_LINK_DEGRADE,
     KIND_REFRESH_CORRUPT,
     KIND_REFRESH_FAIL,
@@ -24,6 +26,7 @@ from repro.chaos import (
 from repro.core.config import (
     ChaosConfig,
     FabricTopology,
+    FleetHealthConfig,
     ParallelConfig,
     ServingConfig,
 )
@@ -47,11 +50,12 @@ def _inject(victim, events):
 ARMED = ChaosConfig(enabled=True, seed=0)
 
 
-def _fabric(config, chaos=ARMED, failover=True):
+def _fabric(config, chaos=ARMED, failover=True, health=None):
     return CxlFabric(
         FabricTopology(n_devices=4, failover=failover),
         config=config,
         chaos=chaos,
+        health=health,
     )
 
 
@@ -178,6 +182,279 @@ class TestFabricFailover:
         assert degraded.devices[0].time_ns > clean.devices[0].time_ns
         for d in range(1, 4):
             assert degraded.devices[d].time_ns == clean.devices[d].time_ns
+
+
+class TestFailslowDegradation:
+    def _run(self, config, pages, writes, events):
+        fabric = _fabric(config)
+        _inject(fabric, events)
+        try:
+            fabric.bind("lru", 0.0)
+            result = _stream(fabric, pages, writes)
+            events_out = [
+                (e.key, e.kind, e.chunk_index)
+                for e in fabric.metrics.events()
+            ]
+            return result, events_out
+        finally:
+            fabric.close()
+
+    def test_ramp_prices_only_the_target(self, chaos_workload):
+        config, _, pages, writes = chaos_workload
+        clean, _ = self._run(config, pages, writes, [])
+        slow, events = self._run(
+            config,
+            pages,
+            writes,
+            [
+                FaultEvent(
+                    start=0, kind=KIND_DEVICE_FAILSLOW, target=3,
+                    duration=4, magnitude=3.0,
+                )
+            ],
+        )
+        # Same bits, higher bill -- a fail-slow device still answers
+        # correctly, it just answers slowly, and only it pays.
+        assert slow.totals == clean.totals
+        assert slow.devices[3].degraded_time_ns > 0
+        assert slow.devices[3].time_ns > clean.devices[3].time_ns
+        for d in range(3):
+            assert slow.devices[d].time_ns == clean.devices[d].time_ns
+        # The fabric stamps the ramp's edges on the timeline.
+        assert ("device:3", "failslow-onset", 0) in events
+        assert ("device:3", "failslow-cleared", 4) in events
+
+    def test_watchdog_reset_restarts_cold(self, chaos_workload):
+        """An outage beginning mid-ramp is a controller reset: the
+        device must come back with wiped (cold) cache planes, unlike
+        a plain outage whose cache survives."""
+        config, _, pages, writes = chaos_workload
+        # Mid-phase blip: the hot set is unchanged across it, so a
+        # surviving cache re-hits immediately while a wiped one
+        # re-faults the very pages it just held.
+        blip = [
+            FaultEvent(
+                start=2, kind=KIND_DEVICE_FAIL, target=0, duration=1
+            )
+        ]
+        warm, _ = self._run(config, pages, writes, blip)
+        cold, _ = self._run(
+            config,
+            pages,
+            writes,
+            blip
+            + [
+                FaultEvent(
+                    start=1, kind=KIND_DEVICE_FAILSLOW, target=0,
+                    duration=6, magnitude=2.0,
+                )
+            ],
+        )
+        assert warm.accesses == cold.accesses == pages.shape[0]
+        # Cold restart re-faults the working set the warm restart
+        # still holds.
+        assert cold.devices[0].stats.misses > warm.devices[0].stats.misses
+
+
+class TestCorrelatedBlast:
+    def test_blast_loses_zero_accesses(self, chaos_workload):
+        config, _, pages, writes = chaos_workload
+        fabric = _fabric(config)
+        _inject(
+            fabric,
+            [
+                FaultEvent(
+                    start=2, kind=KIND_DEVICE_CORRELATED, target=d,
+                    duration=2,
+                )
+                for d in (1, 2)
+            ],
+        )
+        try:
+            fabric.bind("lru", 0.0)
+            result = _stream(fabric, pages, writes)
+            kinds = [e.kind for e in fabric.metrics.events()]
+            recovery = fabric.metrics.recovery_latencies(
+                "device-down", "device-restored"
+            )
+        finally:
+            fabric.close()
+        # Half the fleet down together: everything still served, the
+        # blast traffic re-homed onto the two survivors.
+        assert result.accesses == pages.shape[0]
+        for victim in (1, 2):
+            assert result.devices[victim].failover_stats.accesses > 0
+        assert kinds.count("device-down") == 2
+        assert kinds.count("device-restored") == 2
+        assert recovery == [2, 2]
+
+
+class TestHealthMonitorRecovery:
+    def test_quarantine_rehomes_then_reinstates(self, chaos_workload):
+        """End-to-end monitor walk on a live fabric: a fail-slow ramp
+        breaches the fleet median, the device is quarantined (its
+        traffic re-homed score-aware like an outage), then probed and
+        reinstated once the ramp clears -- with zero access loss."""
+        config, _, pages, writes = chaos_workload
+        health = FleetHealthConfig(
+            enabled=True,
+            latency_threshold=2.5,
+            breach_chunks=2,
+            quarantine_chunks=3,
+            probation_chunks=2,
+        )
+        fabric = _fabric(config, health=health)
+        _inject(
+            fabric,
+            [
+                FaultEvent(
+                    start=2, kind=KIND_DEVICE_FAILSLOW, target=1,
+                    duration=8, magnitude=8.0,
+                )
+            ],
+        )
+        try:
+            fabric.bind("lru", 0.0)
+            result = _stream(fabric, pages, writes, chunk=1_000)
+            monitor = fabric.monitor
+            kinds = [
+                e.kind
+                for e in fabric.metrics.events("device:1")
+            ]
+            failover = sum(
+                d.failover_stats.accesses
+                for d in result.devices
+                if d.failover_stats is not None
+            )
+        finally:
+            fabric.close()
+        assert result.accesses == pages.shape[0]
+        assert monitor.quarantines == 1
+        assert monitor.reinstatements == 1
+        # The sick device walked the full state machine, in order.
+        walk = [
+            "device-suspect",
+            "device-quarantined",
+            "device-probation",
+            "device-reinstated",
+        ]
+        positions = [kinds.index(k) for k in walk]
+        assert positions == sorted(positions)
+        # Quarantined traffic was re-homed, not dropped.
+        assert failover > 0
+        # Nobody else was touched: one quarantine, one reinstatement.
+        assert monitor.state(1) == "healthy"
+        assert all(
+            monitor.state(d) == "healthy" for d in range(4)
+        )
+
+    def test_monitor_idle_on_healthy_fleet(self, chaos_workload):
+        """No faults: the monitor must not fire -- results match the
+        monitor-free fabric bit for bit (modulo the chaos lens)."""
+        config, _, pages, writes = chaos_workload
+        health = FleetHealthConfig(
+            enabled=True,
+            latency_threshold=2.5,
+            breach_chunks=2,
+        )
+        plain = _fabric(config, chaos=None)
+        watched = _fabric(config, chaos=None, health=health)
+        try:
+            plain.bind("lru", 0.0)
+            watched.bind("lru", 0.0)
+            reference = _stream(plain, pages, writes)
+            candidate = _stream(watched, pages, writes)
+            monitor = watched.monitor
+        finally:
+            plain.close()
+            watched.close()
+        assert monitor.quarantines == 0
+        assert candidate.totals == reference.totals
+        for ours, theirs in zip(
+            candidate.devices, reference.devices, strict=True
+        ):
+            assert ours.stats == theirs.stats
+            assert ours.time_ns == theirs.time_ns
+
+
+def _prepared(pages, writes):
+    from repro.core.pipeline import PreparedWorkload
+
+    class _StubEngine:
+        admission_threshold = 0.0
+
+    return PreparedWorkload(
+        name="recovery-prepared",
+        page_indices=np.asarray(pages, dtype=np.int64),
+        is_write=np.asarray(writes, dtype=bool),
+        scores=np.zeros(pages.shape[0], dtype=np.float64),
+        page_frequency_scores=np.zeros(
+            pages.shape[0], dtype=np.float64
+        ),
+        engine=_StubEngine(),
+    )
+
+
+class TestPreparedChaos:
+    def test_prepared_outage_loses_zero_accesses(self, chaos_workload):
+        """The one-shot entry point survives faults by degrading to
+        the chunked ingest path: outages fire and fail over exactly
+        as on a streamed run."""
+        config, _, pages, writes = chaos_workload
+        fabric = _fabric(config)
+        _inject(
+            fabric,
+            [
+                FaultEvent(
+                    start=1, kind=KIND_DEVICE_FAIL, target=2,
+                    duration=3,
+                )
+            ],
+        )
+        try:
+            result = fabric.run_prepared(
+                _prepared(pages, writes), "lru", chunk_requests=2_000
+            )
+            kinds = [e.kind for e in fabric.metrics.events()]
+        finally:
+            fabric.close()
+        assert result.accesses == pages.shape[0]
+        assert result.devices[2].failover_stats.accesses > 0
+        assert kinds.count("device-down") == 1
+        assert kinds.count("device-restored") == 1
+
+    def test_keep_outcomes_rejected_under_chaos(self, chaos_workload):
+        config, _, pages, writes = chaos_workload
+        fabric = _fabric(config)
+        try:
+            with pytest.raises(ValueError, match="keep_outcomes"):
+                fabric.run_prepared(
+                    _prepared(pages, writes),
+                    "lru",
+                    keep_outcomes=True,
+                )
+        finally:
+            fabric.close()
+
+    def test_monitored_prepared_matches_streamed(self, chaos_workload):
+        """A monitor (no injector) also routes run_prepared through
+        the chunked path; counters must match a streamed run with the
+        same chunking bit for bit."""
+        config, _, pages, writes = chaos_workload
+        health = FleetHealthConfig(enabled=True, latency_threshold=2.5)
+        streamed = _fabric(config, chaos=None, health=health)
+        prepared = _fabric(config, chaos=None, health=health)
+        try:
+            streamed.bind("lru", 0.0)
+            reference = _stream(streamed, pages, writes)
+            candidate = prepared.run_prepared(
+                _prepared(pages, writes), "lru", chunk_requests=2_000
+            )
+        finally:
+            streamed.close()
+            prepared.close()
+        assert candidate.totals == reference.totals
+        assert candidate.total_time_ns == reference.total_time_ns
 
 
 def _service(config, engine, serving, chaos=ARMED):

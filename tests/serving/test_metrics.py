@@ -188,3 +188,98 @@ class TestMergeSnapshots:
         for key, row in snapshot.items():
             for field, value in row.items():
                 assert merged[key][field] == pytest.approx(value)
+
+
+class TestRecoveryLatencyEdgeCases:
+    def test_overlapping_downs_pair_with_first(self):
+        """A second down before the restore must not reset the clock:
+        the pair measures the full outage, from its first down."""
+        metrics = RollingMetrics()
+        metrics.record_event("device:0", "device-down", 2)
+        metrics.record_event("device:0", "device-down", 4)
+        metrics.record_event("device:0", "device-restored", 7)
+        assert metrics.recovery_latencies(
+            "device-down", "device-restored"
+        ) == [5]
+
+    def test_recovery_without_failure_contributes_nothing(self):
+        metrics = RollingMetrics()
+        metrics.record_event("device:0", "device-restored", 3)
+        assert (
+            metrics.recovery_latencies(
+                "device-down", "device-restored"
+            )
+            == []
+        )
+
+    def test_sequential_outages_pair_independently(self):
+        metrics = RollingMetrics()
+        metrics.record_event("device:0", "device-down", 1)
+        metrics.record_event("device:0", "device-restored", 3)
+        metrics.record_event("device:0", "device-down", 5)
+        metrics.record_event("device:0", "device-restored", 6)
+        assert metrics.recovery_latencies(
+            "device-down", "device-restored"
+        ) == [2, 1]
+
+    def test_merged_timelines_pair_in_causal_order(self):
+        """Two replicas each saw half of an outage; the merged view
+        pairs the down with the restore across instances."""
+        a = RollingMetrics()
+        a.record_event("device:0", "device-down", 2)
+        b = RollingMetrics()
+        b.record_event("device:0", "device-restored", 5)
+        merged = RollingMetrics.merge_event_timelines(
+            a.events(), b.events()
+        )
+        assert [e.chunk_index for e in merged] == [2, 5]
+        replay = RollingMetrics()
+        replay._events = merged
+        assert replay.recovery_latencies(
+            "device-down", "device-restored"
+        ) == [3]
+
+    def test_same_tick_merge_is_input_order_independent(self):
+        a = RollingMetrics()
+        a.record_event("device:1", "device-down", 4)
+        b = RollingMetrics()
+        b.record_event("device:0", "device-down", 4)
+        one = RollingMetrics.merge_event_timelines(
+            a.events(), b.events()
+        )
+        two = RollingMetrics.merge_event_timelines(
+            b.events(), a.events()
+        )
+        assert one == two
+        assert [e.key for e in one] == ["device:0", "device:1"]
+
+
+class TestEwmaSignals:
+    def test_record_timed_maintains_ewmas(self):
+        metrics = RollingMetrics(ewma_alpha=0.5)
+        assert metrics.ewma_latency_ns("d") is None
+        assert metrics.ewma_miss_rate("d") is None
+        metrics.record_timed("d", _stats(90, 10), 100_000)
+        # First observation seeds the estimate directly.
+        assert metrics.ewma_latency_ns("d") == pytest.approx(1_000.0)
+        assert metrics.ewma_miss_rate("d") == pytest.approx(0.1)
+        metrics.record_timed("d", _stats(50, 50), 300_000)
+        assert metrics.ewma_latency_ns("d") == pytest.approx(2_000.0)
+        assert metrics.ewma_miss_rate("d") == pytest.approx(0.3)
+
+    def test_zero_access_chunk_leaves_ewmas_untouched(self):
+        metrics = RollingMetrics(ewma_alpha=0.5)
+        metrics.record_timed("d", _stats(100, 0), 100_000)
+        before = metrics.ewma_latency_ns("d")
+        metrics.record_timed("d", _stats(0, 0), 0)
+        assert metrics.ewma_latency_ns("d") == before
+
+    def test_reset_ewma_rebases_the_estimate(self):
+        metrics = RollingMetrics(ewma_alpha=0.5)
+        metrics.record_timed("d", _stats(0, 100), 1_000_000)
+        metrics.reset_ewma("d")
+        assert metrics.ewma_latency_ns("d") is None
+        # The next observation seeds fresh, with no sick history.
+        metrics.record_timed("d", _stats(100, 0), 100_000)
+        assert metrics.ewma_latency_ns("d") == pytest.approx(1_000.0)
+        assert metrics.ewma_miss_rate("d") == pytest.approx(0.0)

@@ -11,6 +11,13 @@ every load mode against it:
 * ``npz/stream``       -- ``load_trace(mmap=True)`` (zero-copy
   ``np.memmap`` columns) consumed chunk by chunk.
 
+The write side gets the same contrast: ``npz/rewrite`` materializes
+the trace and re-saves it through ``np.savez`` (a full second copy in
+RAM), while ``npz/rewrite-mmap`` streams mapped chunks through
+``TraceNpzWriter`` -- column appends land in memory-mapped
+temporaries, so the writer's RSS delta is bounded by the chunk, not
+the trace.
+
 Peak memory is measured for real, not modelled: each mode runs in a
 fresh subprocess that reports ``getrusage(RUSAGE_SELF).ru_maxrss``,
 and a no-op baseline child (same imports, no load) is subtracted so
@@ -50,6 +57,7 @@ import numpy as np
 
 from repro.traces.io import (
     DEFAULT_CSV_CHUNK,
+    TraceNpzWriter,
     iter_trace_csv,
     load_trace,
     load_trace_csv,
@@ -64,7 +72,7 @@ RESULT_SCHEMA = {
     "trace": str,
     "rows": int,
     "format": str,  # "csv" | "npz"
-    "mode": str,  # "materialize" | "stream"
+    "mode": str,  # "materialize" | "stream" | "rewrite" | "rewrite-mmap"
     "file_bytes": int,
     "seconds": float,
     "rows_per_s": float,
@@ -141,6 +149,21 @@ def _worker(mode: str, path: str, chunk: int) -> dict:
         for start in range(0, rows, chunk):
             part = trace[start : start + chunk]
             _checksum_chunk(state, part.addresses, part.is_write, part.times)
+    elif mode == "npz-rewrite":
+        trace = load_trace_npz(path)
+        rows = len(trace)
+        _checksum_chunk(state, trace.addresses, trace.is_write, trace.times)
+        save_trace_npz(trace, path + ".rewrite.npz", compressed=False)
+    elif mode == "npz-rewrite-mmap":
+        trace = load_trace(path, mmap=True)
+        rows = len(trace)
+        with TraceNpzWriter(path + ".rewrite.npz", rows) as writer:
+            for start in range(0, rows, chunk):
+                part = trace[start : start + chunk]
+                _checksum_chunk(
+                    state, part.addresses, part.is_write, part.times
+                )
+                writer.append(part.addresses, part.is_write, part.times)
     else:
         raise SystemExit(f"unknown worker mode: {mode!r}")
     seconds = time.perf_counter() - t0
@@ -184,6 +207,8 @@ def run(sizes, chunk: int, scratch: Path):
             ("csv", csv_path, "stream"),
             ("npz", npz_path, "materialize"),
             ("npz", npz_path, "stream"),
+            ("npz", npz_path, "rewrite"),
+            ("npz", npz_path, "rewrite-mmap"),
         ):
             report = _spawn(f"{fmt}-{mode}", str(path), chunk)
             rss = int(report["ru_maxrss_kb"])

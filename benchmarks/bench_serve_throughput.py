@@ -1,0 +1,619 @@
+"""Serving front-end benchmark: pipelined vs synchronous ingest.
+
+Replays one streaming-CSV drift scenario (two tenants, hot regions
+relocated at the stream midpoint, consumed through
+``stream_trace_chunks`` so the trace never fully materializes) four
+ways against freshly trained but bit-identical engines:
+
+* ``sync``            -- the plain ``IcgmmCacheService.ingest`` loop.
+* ``deterministic/1`` -- ``ServingFrontend`` in deterministic mode,
+  one worker.
+* ``deterministic/4`` -- the same fixed logical-clock interleave at
+  four workers.
+* ``throughput``      -- the overlapped pipeline: producer thread,
+  blocking bounded queue, model refresh built off the critical path.
+
+Every run records wall time, served totals, swap history, and its
+telemetry snapshot digest.  Four structured gates come out:
+
+* ``parity``    -- both deterministic runs must match the sync loop
+  exactly: totals, swap chunks, generation, *and* telemetry digest
+  (always enforced; this is the front-end's correctness contract).
+* ``zero_loss`` -- every run must serve exactly the requests the
+  stream holds, in order (always enforced).
+* ``refresh_stall`` -- the throughput run's on-path refresh cost
+  (harvest time) must be at most ``MAX_ONPATH_FRACTION`` of the sync
+  loop's inline refresh build time (enforced whenever the sync run
+  actually refreshed).
+* ``speedup``   -- pipelined wall time must beat sync by
+  ``MIN_PIPELINE_SPEEDUP`` (enforced on full runs on hosts with at
+  least ``MIN_CPUS_FOR_GATE`` CPUs; producer/consumer overlap cannot
+  exist on one core, so smaller hosts record the ratio ungated)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --smoke    # quick
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --validate out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import (
+    GmmEngineConfig,
+    IcgmmConfig,
+    ParallelConfig,
+    ServingConfig,
+)
+from repro.core.engine import GmmPolicyEngine
+from repro.obs import Telemetry
+from repro.serving import IcgmmCacheService, ServingFrontend
+from repro.traces.io import save_trace_csv, stream_trace_chunks
+from repro.traces.mixing import multi_tenant_trace, relocate
+from repro.traces.preprocess import transform_timestamps
+from repro.traces.record import MemoryTrace
+from repro.traces.workloads import get_workload
+
+#: JSON schema (field -> type) of every entry in ``results``.
+RESULT_SCHEMA = {
+    "run": str,
+    "pipeline": str,  # "off" | "deterministic" | "throughput"
+    "workers": int,
+    "seconds": float,
+    "requests_in": int,
+    "requests_served": int,
+    "chunks": int,
+    "hits": int,
+    "misses": int,
+    "accesses": int,
+    "swaps": int,
+    "generation": int,
+    "digest": str,
+    "in_order": bool,
+    "backpressure_stalls": int,
+    "refresh_overlap_chunks": int,
+    "refresh_inline_s": float,
+    "refresh_onpath_s": float,
+}
+
+#: JSON schema (field -> type) of each structured gate marker.
+GATE_SCHEMA = {
+    "metric": str,
+    "threshold": float,
+    "value": (int, float, type(None)),
+    "status": str,  # "enforced" | "skipped"
+    "reason": (str, type(None)),  # None iff enforced
+}
+
+GATE_NAMES = ("parity", "zero_loss", "refresh_stall", "speedup")
+
+#: Full-run acceptance: pipelined wall time must beat the sync loop by
+#: at least this factor on the drift scenario.
+MIN_PIPELINE_SPEEDUP = 1.5
+
+#: The throughput run's on-path refresh time (future harvest + swap)
+#: as a fraction of the sync loop's inline refresh build time.
+MAX_ONPATH_FRACTION = 0.10
+
+#: The speedup gate needs real producer/consumer overlap, which one
+#: core cannot provide.
+MIN_CPUS_FOR_GATE = 2
+
+TENANTS = ("memtier", "stream")
+
+
+def make_drift_trace(length: int, serving: ServingConfig, seed: int) -> MemoryTrace:
+    """Two-tenant stream whose hot regions shift at the midpoint.
+
+    The same shape ``repro serve --drift`` synthesizes, rebuilt as one
+    :class:`MemoryTrace` with monotonic timestamps so it round-trips
+    through the CSV format.
+    """
+    rng = np.random.default_rng(seed)
+    weights = [1.0] * len(TENANTS)
+    half = length // 2
+    head = multi_tenant_trace(
+        [get_workload(name) for name in TENANTS],
+        weights,
+        half,
+        rng,
+        partition_pages=serving.partition_pages,
+    )
+    tail = relocate(
+        multi_tenant_trace(
+            [get_workload(name) for name in TENANTS],
+            weights,
+            length - half,
+            rng,
+            partition_pages=serving.partition_pages,
+        ),
+        base_page=serving.partition_pages // 8,
+    )
+    addresses = np.concatenate([head.addresses, tail.addresses])
+    is_write = np.concatenate([head.is_write, tail.is_write])
+    return MemoryTrace(addresses, is_write)
+
+
+def _train_engine(
+    csv_path: Path,
+    window: int,
+    n_train: int,
+    config: IcgmmConfig,
+    seed: int,
+) -> GmmPolicyEngine:
+    """A fresh engine off the stream's training prefix.
+
+    Trained per run (same prefix, same seeded rng -> bit-identical
+    engines) so no run ever observes another run's refresh folds.
+    """
+    _, chunk_iter = stream_trace_chunks(csv_path, window)
+    pages: list[np.ndarray] = []
+    got = 0
+    for chunk in chunk_iter:
+        pages.append(chunk.page_indices())
+        got += len(chunk)
+        if got >= n_train:
+            break
+    train_pages = np.concatenate(pages)[:n_train]
+    timestamps = transform_timestamps(
+        n_train,
+        config.len_window,
+        config.len_access_shot,
+        config.timestamp_mode,
+    )
+    features = np.column_stack(
+        [
+            train_pages.astype(np.float64),
+            timestamps.astype(np.float64),
+        ]
+    )
+    return GmmPolicyEngine.train(
+        features, config.gmm, np.random.default_rng(seed)
+    )
+
+
+def run_one(
+    run: str,
+    pipeline: str,
+    workers: int,
+    csv_path: Path,
+    window: int,
+    n_train: int,
+    config: IcgmmConfig,
+    serving_base: ServingConfig,
+    seed: int,
+) -> dict:
+    """One full replay of the streamed scenario; returns a result row."""
+    serving = ServingConfig(
+        chunk_requests=serving_base.chunk_requests,
+        n_shards=serving_base.n_shards,
+        sharding=serving_base.sharding,
+        strategy=serving_base.strategy,
+        parallel=ParallelConfig(workers=workers, backend="thread"),
+        pipeline=pipeline,
+        ingest_queue_chunks=serving_base.ingest_queue_chunks,
+        refresh_async=pipeline == "throughput",
+    )
+    engine = _train_engine(csv_path, window, n_train, config, seed)
+    telemetry = Telemetry()
+    service = IcgmmCacheService(
+        engine,
+        config=config,
+        serving=serving,
+        measure_from=n_train,
+        telemetry=telemetry,
+    )
+    length, chunk_iter = stream_trace_chunks(csv_path, window)
+
+    def windows():
+        for chunk in chunk_iter:
+            yield chunk.page_indices(), np.asarray(chunk.is_write)
+
+    reports = []
+    stalls = 0
+    overlap = 0
+    try:
+        t0 = time.perf_counter()
+        if pipeline == "off":
+            served = 0
+            for pages, is_write in windows():
+                reports.extend(service.ingest(pages, is_write))
+                served += len(pages)
+            chunks = len(reports)
+        else:
+            frontend = ServingFrontend(service)
+            front = frontend.run(windows())
+            reports = front.reports
+            served = front.consumed_requests
+            chunks = front.consumed_chunks
+            stalls = front.backpressure_stalls
+            overlap = front.refresh_overlap_chunks
+        seconds = time.perf_counter() - t0
+        totals = service.totals
+        summary = service.summary()
+        profiler = service.pipeline.profiler
+        sections = dict(profiler.seconds) if profiler else {}
+        digest = telemetry.snapshot().get("digest", "")
+    finally:
+        service.close()
+    indices = [report.chunk_index for report in reports]
+    return {
+        "run": run,
+        "pipeline": pipeline,
+        "workers": workers,
+        "seconds": round(seconds, 4),
+        "requests_in": int(length),
+        "requests_served": int(served),
+        "chunks": int(chunks),
+        "hits": int(totals.hits),
+        "misses": int(totals.misses),
+        "accesses": int(totals.accesses),
+        "swaps": len(summary["swaps"]),
+        "generation": int(summary["generation"]),
+        "digest": digest,
+        "in_order": indices == sorted(indices),
+        "backpressure_stalls": int(stalls),
+        "refresh_overlap_chunks": int(overlap),
+        "refresh_inline_s": round(sections.get("refresh", 0.0), 4),
+        "refresh_onpath_s": round(
+            sections.get("refresh.onpath", 0.0), 4
+        ),
+    }
+
+
+def _rows_by_run(payload: dict) -> dict:
+    return {
+        row.get("run"): row
+        for row in payload.get("results", [])
+        if isinstance(row, dict)
+    }
+
+
+def _parity_mismatches(rows: dict) -> list[str]:
+    """Fields on which a deterministic run diverges from sync."""
+    sync = rows.get("sync")
+    if sync is None:
+        return ["missing sync row"]
+    mismatches = []
+    for run, row in rows.items():
+        if row.get("pipeline") != "deterministic":
+            continue
+        for field in (
+            "hits",
+            "misses",
+            "accesses",
+            "swaps",
+            "generation",
+            "digest",
+        ):
+            if row.get(field) != sync.get(field):
+                mismatches.append(f"{run}.{field}")
+    return mismatches
+
+
+def _lost_or_reordered(rows: dict) -> int:
+    lost = 0
+    for row in rows.values():
+        lost += abs(
+            int(row.get("requests_in", 0))
+            - int(row.get("requests_served", -1))
+        )
+        if not row.get("in_order", False):
+            lost += 1
+    return lost
+
+
+def _stall_fraction(rows: dict):
+    sync = rows.get("sync", {})
+    through = rows.get("throughput", {})
+    inline = float(sync.get("refresh_inline_s", 0.0))
+    if inline <= 0.0:
+        return None
+    return float(through.get("refresh_onpath_s", 0.0)) / inline
+
+
+def _speedup(rows: dict):
+    through = float(rows.get("throughput", {}).get("seconds", 0.0))
+    if through <= 0.0:
+        return None
+    return float(rows.get("sync", {}).get("seconds", 0.0)) / through
+
+
+def build_gates(payload: dict) -> dict:
+    """The four structured gate markers for an emitted payload."""
+    rows = _rows_by_run(payload)
+    mode = payload["mode"]
+    cpu_count = payload["cpu_count"]
+
+    mismatches = _parity_mismatches(rows)
+    parity = {
+        "metric": "deterministic-vs-sync field mismatches",
+        "threshold": 0.0,
+        "value": float(len(mismatches)),
+        "status": "enforced",
+        "reason": None,
+    }
+    zero_loss = {
+        "metric": "requests lost or reordered across all runs",
+        "threshold": 0.0,
+        "value": float(_lost_or_reordered(rows)),
+        "status": "enforced",
+        "reason": None,
+    }
+    fraction = _stall_fraction(rows)
+    refresh_stall = {
+        "metric": "throughput refresh.onpath / sync inline refresh",
+        "threshold": MAX_ONPATH_FRACTION,
+        "value": round(fraction, 4) if fraction is not None else None,
+        "status": "enforced" if fraction is not None else "skipped",
+        "reason": (
+            None
+            if fraction is not None
+            else "sync run recorded no inline refresh time"
+        ),
+    }
+    ratio = _speedup(rows)
+    speedup_enforced = mode == "full" and cpu_count >= MIN_CPUS_FOR_GATE
+    speedup = {
+        "metric": "sync seconds / throughput seconds",
+        "threshold": MIN_PIPELINE_SPEEDUP,
+        "value": round(ratio, 4) if ratio is not None else None,
+        "status": "enforced" if speedup_enforced else "skipped",
+        "reason": (
+            None
+            if speedup_enforced
+            else (
+                "smoke mode"
+                if mode != "full"
+                else (
+                    f"host has {cpu_count} CPU(s);"
+                    f" gate needs >= {MIN_CPUS_FOR_GATE}"
+                )
+            )
+        ),
+    }
+    return {
+        "parity": parity,
+        "zero_loss": zero_loss,
+        "refresh_stall": refresh_stall,
+        "speedup": speedup,
+    }
+
+
+def validate(payload: dict) -> list[str]:
+    """Schema + acceptance check of an emitted payload."""
+    problems = []
+    for key in ("results", "mode", "cpu_count", "scenario", "gates"):
+        if key not in payload:
+            return [f"missing top-level {key!r}"]
+    if not isinstance(payload["results"], list) or not payload["results"]:
+        return ["'results' must be a non-empty list"]
+    for i, row in enumerate(payload["results"]):
+        for field, kind in RESULT_SCHEMA.items():
+            if field not in row:
+                problems.append(f"results[{i}]: missing {field!r}")
+            elif kind is float:
+                if not isinstance(row[field], (int, float)):
+                    problems.append(f"results[{i}].{field}: not numeric")
+            elif kind is int:
+                if not isinstance(row[field], int):
+                    problems.append(f"results[{i}].{field}: not int")
+            elif not isinstance(row[field], kind):
+                problems.append(
+                    f"results[{i}].{field}: wrong type"
+                )
+    gates = payload["gates"]
+    if not isinstance(gates, dict):
+        return problems + ["'gates' must be an object"]
+    for name in GATE_NAMES:
+        gate = gates.get(name)
+        if not isinstance(gate, dict):
+            problems.append(f"gates.{name}: missing or not an object")
+            continue
+        for field, kind in GATE_SCHEMA.items():
+            if field not in gate:
+                problems.append(f"gates.{name}: missing {field!r}")
+            elif not isinstance(gate[field], kind):
+                problems.append(f"gates.{name}.{field}: wrong type")
+        if gate.get("status") not in ("enforced", "skipped"):
+            problems.append(
+                f"gates.{name}.status:"
+                f" {gate.get('status')!r} is not 'enforced'/'skipped'"
+            )
+        if gate.get("status") == "skipped" and not gate.get("reason"):
+            problems.append(f"gates.{name}: skipped without a reason")
+        if gate.get("status") == "enforced" and gate.get("reason"):
+            problems.append(
+                f"gates.{name}: enforced must carry reason=None"
+            )
+    rows = _rows_by_run(payload)
+    # Correctness gates hold in every mode.
+    mismatches = _parity_mismatches(rows)
+    if mismatches:
+        problems.append(
+            "deterministic pipeline diverged from the sync loop on: "
+            + ", ".join(mismatches)
+        )
+    lost = _lost_or_reordered(rows)
+    if lost:
+        problems.append(
+            f"{lost} request(s) lost or reordered across runs"
+        )
+    fraction = _stall_fraction(rows)
+    if (
+        gates.get("refresh_stall", {}).get("status") == "enforced"
+        and fraction is not None
+        and fraction > MAX_ONPATH_FRACTION
+    ):
+        problems.append(
+            f"off-path refresh stalls the consumer for {fraction:.3f}"
+            f" of the sync inline refresh cost"
+            f" (> {MAX_ONPATH_FRACTION})"
+        )
+    # The speedup gate binds only where overlap is physically possible.
+    expected = (
+        "enforced"
+        if payload["mode"] == "full"
+        and payload["cpu_count"] >= MIN_CPUS_FOR_GATE
+        else "skipped"
+    )
+    status = gates.get("speedup", {}).get("status")
+    if status is not None and status != expected:
+        problems.append(
+            f"gates.speedup.status {status!r} inconsistent with"
+            f" mode={payload['mode']}"
+            f" cpu_count={payload['cpu_count']}"
+        )
+    ratio = _speedup(rows)
+    if status == "enforced":
+        if ratio is None:
+            problems.append("speedup gate enforced without both rows")
+        elif ratio < MIN_PIPELINE_SPEEDUP:
+            problems.append(
+                f"pipelined ingest is only {ratio:.2f}x the sync loop"
+                f" (< {MIN_PIPELINE_SPEEDUP}x)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small stream (CI smoke; speedup gate reported, not enforced)",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="JSON",
+        help="validate an existing output file and exit",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=(
+            "output JSON path (default: BENCH_serve_throughput.json,"
+            " or BENCH_serve_throughput.smoke.json with --smoke)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        path = Path(args.validate)
+        if not path.is_file():
+            print(f"INVALID: no such file: {path}", file=sys.stderr)
+            return 1
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"INVALID: not JSON: {exc}", file=sys.stderr)
+            return 1
+        problems = validate(payload)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.validate}: valid"
+            f" ({len(payload['results'])} result rows)"
+        )
+        return 0
+
+    if args.smoke:
+        length, chunk, mode = 24_000, 2_048, "smoke"
+        gmm = GmmEngineConfig(
+            n_components=8, max_iter=15, max_train_samples=8_000
+        )
+        output = args.output or "BENCH_serve_throughput.smoke.json"
+    else:
+        length, chunk, mode = 160_000, 8_192, "full"
+        gmm = GmmEngineConfig(
+            n_components=16, max_iter=30, max_train_samples=20_000
+        )
+        output = args.output or "BENCH_serve_throughput.json"
+
+    config = IcgmmConfig(trace_length=length, gmm=gmm, seed=args.seed)
+    serving_base = ServingConfig(chunk_requests=chunk, n_shards=4)
+    # Report windows are chunk multiples, so the sync loop's per-window
+    # chunking equals the front-end's global chunking (odd windows are
+    # the parity tests' job, not the timing run's).
+    window = chunk * 4
+    n_train = max(config.gmm.n_components + 1, int(length * 0.3))
+
+    results = []
+    with tempfile.TemporaryDirectory(prefix="bench_serve_") as scratch:
+        csv_path = Path(scratch) / "drift.csv"
+        trace = make_drift_trace(length, serving_base, args.seed)
+        save_trace_csv(trace, csv_path)
+        del trace
+        for run, pipeline, workers in (
+            ("sync", "off", 1),
+            ("deterministic/1", "deterministic", 1),
+            ("deterministic/4", "deterministic", 4),
+            ("throughput", "throughput", 4),
+        ):
+            row = run_one(
+                run,
+                pipeline,
+                workers,
+                csv_path,
+                window,
+                n_train,
+                config,
+                serving_base,
+                args.seed,
+            )
+            results.append(row)
+            print(
+                f"{run:16s} {row['seconds']:>8.3f}s"
+                f"  served={row['requests_served']:>9,d}"
+                f"  swaps={row['swaps']}"
+                f"  stalls={row['backpressure_stalls']}"
+                f"  overlap={row['refresh_overlap_chunks']}"
+                f"  digest={row['digest'][:12]}"
+            )
+
+    payload = {
+        "bench": "serve_throughput",
+        "mode": mode,
+        "cpu_count": os.cpu_count() or 1,
+        "scenario": {
+            "tenants": list(TENANTS),
+            "length": length,
+            "chunk_requests": chunk,
+            "window_requests": window,
+            "n_train": n_train,
+            "drift": "midpoint relocate",
+            "format": "streaming-csv",
+        },
+        "results": results,
+    }
+    payload["gates"] = build_gates(payload)
+    problems = validate(payload)
+    Path(output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    for name in GATE_NAMES:
+        gate = payload["gates"][name]
+        print(
+            f"gate {name}: {gate['status']}"
+            f" (value={gate['value']}, threshold={gate['threshold']})"
+            + (f" -- {gate['reason']}" if gate["reason"] else "")
+        )
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

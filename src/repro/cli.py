@@ -45,6 +45,7 @@ from repro.chaos import (
 )
 from repro.core.config import (
     PARALLEL_BACKENDS,
+    PIPELINE_MODES,
     PLACEMENTS,
     STRATEGIES,
     ChaosConfig,
@@ -71,7 +72,7 @@ from repro.hardware import (
     estimate_icgmm_system,
     estimate_lstm_engine,
 )
-from repro.serving import IcgmmCacheService
+from repro.serving import IcgmmCacheService, ServingFrontend
 from repro.traces.io import (
     load_trace,
     save_trace_csv,
@@ -105,6 +106,16 @@ def _add_generate_trace(subparsers) -> None:
         help=(
             "store .npz members raw so streaming consumers"
             " (serve/fabric --trace) can memory-map them zero-copy"
+        ),
+    )
+    parser.add_argument(
+        "--mmap-out",
+        action="store_true",
+        help=(
+            "write the .npz column-by-column through memory-mapped"
+            " temporaries instead of materializing the archive in"
+            " RAM (implies --uncompressed; bounds writer RSS for"
+            " huge traces)"
         ),
     )
     parser.add_argument("--seed", type=int, default=42)
@@ -199,6 +210,23 @@ def _add_serve(subparsers) -> None:
     parser.add_argument(
         "--report-every", type=int, default=8,
         help="chunks between progress lines",
+    )
+    parser.add_argument(
+        "--pipeline",
+        choices=PIPELINE_MODES,
+        default="off",
+        help=(
+            "run the stream through the pipelined front-end:"
+            " 'deterministic' interleaves producer and consumer on a"
+            " fixed logical clock (byte-identical to the plain loop),"
+            " 'throughput' overlaps ingest with replay and moves"
+            " model refresh off the critical path; 'off' keeps the"
+            " synchronous loop (see docs/serving.md)"
+        ),
+    )
+    parser.add_argument(
+        "--queue-chunks", type=int, default=8,
+        help="ingest queue capacity in chunks (pipelined modes)",
     )
     _add_parallel_arguments(parser, "shard replays")
     _add_chaos_seed_argument(parser)
@@ -508,10 +536,19 @@ def _cmd_generate_trace(args) -> int:
     rng = np.random.default_rng(args.seed)
     trace = generator.generate(args.length, rng)
     if args.output.endswith(".csv"):
+        if args.mmap_out:
+            print(
+                "error: --mmap-out requires a .npz output",
+                file=sys.stderr,
+            )
+            return 2
         save_trace_csv(trace, args.output)
     elif args.output.endswith(".npz"):
         save_trace_npz(
-            trace, args.output, compressed=not args.uncompressed
+            trace,
+            args.output,
+            compressed=not args.uncompressed and not args.mmap_out,
+            mmap=args.mmap_out,
         )
     else:
         print("error: output must end in .csv or .npz", file=sys.stderr)
@@ -618,6 +655,9 @@ def _cmd_serve(args) -> int:
             strategy=args.strategy,
             refresh_enabled=not args.no_refresh,
             parallel=_parallel_from_args(args, chaos),
+            pipeline=args.pipeline,
+            ingest_queue_chunks=args.queue_chunks,
+            refresh_async=args.pipeline == "throughput",
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -773,23 +813,30 @@ def _cmd_serve(args) -> int:
                     is_write[start : start + step],
                 )
 
+    front_report = None
     try:
-        for window_pages, window_writes in _windows():
-            reports = service.ingest(window_pages, window_writes)
-            window_hits = sum(r.stats.hits for r in reports)
-            window_total = sum(r.stats.accesses for r in reports)
-            window_miss = (
-                100.0 * (1.0 - window_hits / window_total)
-                if window_total
-                else 0.0
-            )
-            swapped = any(r.swapped for r in reports)
-            emit(
-                f"  cursor {service.access_cursor:>9,d}"
-                f"  window miss {window_miss:6.2f}%"
-                f"  generation {service.generation}"
-                f"{'  [engine swapped]' if swapped else ''}"
-            )
+        if args.pipeline != "off":
+            frontend = ServingFrontend(service)
+            front_report = frontend.run(_windows())
+        else:
+            for window_pages, window_writes in _windows():
+                reports = service.ingest(window_pages, window_writes)
+                window_hits = sum(r.stats.hits for r in reports)
+                window_total = sum(
+                    r.stats.accesses for r in reports
+                )
+                window_miss = (
+                    100.0 * (1.0 - window_hits / window_total)
+                    if window_total
+                    else 0.0
+                )
+                swapped = any(r.swapped for r in reports)
+                emit(
+                    f"  cursor {service.access_cursor:>9,d}"
+                    f"  window miss {window_miss:6.2f}%"
+                    f"  generation {service.generation}"
+                    f"{'  [engine swapped]' if swapped else ''}"
+                )
 
         summary = service.summary()
     finally:
@@ -832,6 +879,24 @@ def _cmd_serve(args) -> int:
         f" {len(summary['swaps'])} engine swap(s),"
         f" generation {summary['generation']}"
     )
+    if front_report is not None:
+        emit(
+            f"pipeline {front_report.mode}:"
+            f" {front_report.consumed_chunks} chunk(s) /"
+            f" {front_report.consumed_requests:,} request(s),"
+            f" queue depth max {front_report.queue['max_depth']}"
+            f"/{front_report.queue['capacity']},"
+            f" {front_report.backpressure_stalls} backpressure"
+            " stall(s),"
+            f" {front_report.refresh_overlap_chunks} chunk(s) under"
+            " off-path refresh"
+        )
+        if front_report.latency_p50_us is not None:
+            emit(
+                "pipeline request latency:"
+                f" p50 {front_report.latency_p50_us:,.1f}us,"
+                f" p99 {front_report.latency_p99_us:,.1f}us"
+            )
     if "chaos" in summary:
         chaos = summary["chaos"]
         emit(

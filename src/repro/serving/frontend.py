@@ -1,0 +1,679 @@
+"""Pipelined serving front-end: producer, bounded queue, consumer.
+
+The paper's deployment story is a cache controller that never stops
+answering: the FPGA pipeline keeps scoring and serving while the host
+retrains the mixture and reloads the weight buffer (ICGMM Sec. 4).
+:class:`~repro.serving.service.IcgmmCacheService` reproduces every
+*stage* of that loop but runs them strictly synchronously -- ingest,
+score, simulate and refresh all serialize on one thread.  This module
+adds the missing pipelining without touching the loop itself:
+
+* a **producer stage** (:class:`ChunkProducer` -- the
+  ``start``/``stop``/``collect`` workload-manager shape) that
+  normalizes arbitrary trace windows into exact
+  :attr:`~repro.core.config.ServingConfig.chunk_requests`-sized
+  chunks and feeds them into
+* a **bounded ingest queue** (:class:`IngestQueue`) with explicit
+  backpressure accounting -- a full queue *blocks the producer*, it
+  never drops or reorders a request -- drained by
+* a **consumer stage** (:class:`ServingFrontend`) that drives the
+  unchanged per-shard ``StagedPipeline`` replay through the service,
+  one queue item per chunk, while
+  :class:`~repro.serving.refresh.ModelRefresher` builds off the
+  critical path (``ServingConfig.refresh_async``) and commits through
+  the CAS :meth:`~repro.serving.refresh.EngineSlot.swap`.
+
+Two modes, one exactness contract:
+
+``deterministic``
+    Producer and consumer interleave on a *logical clock*: the
+    producer fills the queue until it refuses a put (each refusal is
+    one accounted backpressure stall), the consumer drains exactly
+    one chunk, repeat.  Single-threaded, so the chunk sequence the
+    service sees is exactly the global
+    ``chunk_requests``-chunking of the concatenated stream -- and
+    because :meth:`IcgmmCacheService.ingest` cuts its input at the
+    same boundaries, every per-chunk call is *byte-identical* to the
+    plain synchronous loop over the same stream: same stats, same
+    drift decisions, same telemetry snapshot digest, at any worker
+    count, with or without chaos.  The parity suite in
+    ``tests/serving/test_frontend.py`` asserts all of it.
+
+``throughput``
+    The producer runs on its own thread, the queue actually buffers,
+    the consumer blocks only when the queue is empty, and refresh
+    builds overlap serving.  Wall-clock enters the schedule, so this
+    mode trades the digest guarantee for the headline number --
+    gated in ``benchmarks/bench_serve_throughput.py`` (no request
+    lost or reordered, refresh stall off the critical path).
+
+The front-end publishes p50/p99 request-latency histograms and
+queue/backpressure gauges through
+:func:`repro.obs.bridge.register_frontend`; every family it touches
+is flagged non-deterministic, and it records **no** tracer spans, so
+an attached telemetry plane digests identically with and without the
+front-end in deterministic mode.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import PIPELINE_MODES
+from repro.obs.registry import exponential_edges
+from repro.serving.metrics import RollingMetrics
+from repro.serving.service import ChunkReport, IcgmmCacheService
+
+#: Queue sentinel: the producer finished and the queue drained.
+_CLOSED = object()
+
+#: Request-latency bucket edges.  A request's latency is its chunk's
+#: wall time (it waits for the whole batch), which at serving chunk
+#: sizes runs three orders of magnitude past the telemetry layer's
+#: per-access edges -- same exponential family, extended to ~8.4 s.
+FRONTEND_LATENCY_EDGES_US = exponential_edges(0.0625, 2.0, 28)
+
+
+class IngestQueue:
+    """Bounded FIFO between the producer and consumer stages.
+
+    Capacity is counted in *chunks* -- the unit the consumer drains --
+    so the memory bound is ``capacity * chunk_requests`` requests.
+    Two disciplines over one structure:
+
+    * ``try_put``/``try_get`` never block; the deterministic
+      interleave is built from them, so every counter below is a pure
+      function of the stream length and the capacity.
+    * ``put``/``get`` block (backpressure / starvation) and account
+      the wall time they waited; the throughput pipeline uses them.
+
+    A put refused or entered while the queue is full is one
+    **backpressure stall** (:attr:`blocked_puts`); nothing is ever
+    dropped or reordered -- zero-loss is structural, and the bench
+    gate re-asserts it end to end.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._aborted = False
+        self.puts = 0
+        self.gets = 0
+        self.blocked_puts = 0
+        self.max_depth = 0
+        self.producer_wait_s = 0.0
+        self.consumer_wait_s = 0.0
+
+    @property
+    def depth(self) -> int:
+        """Chunks currently buffered."""
+        return len(self._items)
+
+    def _append(self, item) -> None:
+        self._items.append(item)
+        self.puts += 1
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+        self._cond.notify_all()
+
+    def try_put(self, item) -> bool:
+        """Non-blocking put; False (one stall counted) when full."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("put on a closed IngestQueue")
+            if len(self._items) >= self.capacity:
+                self.blocked_puts += 1
+                return False
+            self._append(item)
+            return True
+
+    def put(self, item) -> bool:
+        """Blocking put; False only if the queue was aborted."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("put on a closed IngestQueue")
+            if self._aborted:
+                return False
+            if len(self._items) >= self.capacity:
+                self.blocked_puts += 1
+                started = time.perf_counter()
+                while (
+                    len(self._items) >= self.capacity
+                    and not self._aborted
+                ):
+                    self._cond.wait(0.05)
+                self.producer_wait_s += (
+                    time.perf_counter() - started
+                )
+                if self._aborted:
+                    return False
+            self._append(item)
+            return True
+
+    def try_get(self):
+        """Non-blocking get; ``None`` when nothing is buffered."""
+        with self._cond:
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self.gets += 1
+            self._cond.notify_all()
+            return item
+
+    def get(self):
+        """Blocking get; the :data:`_CLOSED` sentinel once the
+        producer closed the queue and it drained."""
+        with self._cond:
+            if not self._items and not self._closed:
+                started = time.perf_counter()
+                while not self._items and not self._closed:
+                    self._cond.wait(0.05)
+                self.consumer_wait_s += (
+                    time.perf_counter() - started
+                )
+            if self._items:
+                item = self._items.popleft()
+                self.gets += 1
+                self._cond.notify_all()
+                return item
+            return _CLOSED
+
+    def close(self) -> None:
+        """Producer side is done; wakes any blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def abort(self) -> None:
+        """Unblock a stuck producer (consumer bailed out early)."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+    def counters(self) -> dict:
+        """Accounting snapshot (logical counts + wall wait times)."""
+        return {
+            "capacity": self.capacity,
+            "puts": self.puts,
+            "gets": self.gets,
+            "blocked_puts": self.blocked_puts,
+            "max_depth": self.max_depth,
+            "producer_wait_s": self.producer_wait_s,
+            "consumer_wait_s": self.consumer_wait_s,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestQueue(depth={self.depth},"
+            f" capacity={self.capacity},"
+            f" blocked_puts={self.blocked_puts})"
+        )
+
+
+def _chunk_stream(windows, chunk_requests: int):
+    """Re-chunk arbitrary ``(pages, is_write)`` windows exactly.
+
+    Yields chunks of exactly ``chunk_requests`` requests (the last
+    one may be short), carrying a remainder buffer across window
+    boundaries -- so the chunk sequence is the *global* chunking of
+    the concatenated stream, independent of how the trace reader
+    happened to slice it.  That normalization is what makes the
+    front-end byte-identical to one big ``service.ingest`` call.
+    """
+    if chunk_requests < 1:
+        raise ValueError("chunk_requests must be >= 1")
+    buf_pages: deque[np.ndarray] = deque()
+    buf_write: deque[np.ndarray] = deque()
+    buffered = 0
+    for pages, is_write in windows:
+        pages = np.asarray(pages, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        if pages.shape != is_write.shape or pages.ndim != 1:
+            raise ValueError(
+                "windows must yield 1-D (pages, is_write) pairs of"
+                " equal length"
+            )
+        if pages.shape[0] == 0:
+            continue
+        buf_pages.append(pages)
+        buf_write.append(is_write)
+        buffered += pages.shape[0]
+        while buffered >= chunk_requests:
+            yield _take(buf_pages, buf_write, chunk_requests)
+            buffered -= chunk_requests
+    if buffered:
+        yield _take(buf_pages, buf_write, buffered)
+
+
+def _take(
+    buf_pages: deque, buf_write: deque, count: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pop exactly ``count`` requests off the carry buffers."""
+    take_pages: list[np.ndarray] = []
+    take_write: list[np.ndarray] = []
+    need = count
+    while need:
+        pages, is_write = buf_pages[0], buf_write[0]
+        if pages.shape[0] <= need:
+            take_pages.append(pages)
+            take_write.append(is_write)
+            need -= pages.shape[0]
+            buf_pages.popleft()
+            buf_write.popleft()
+        else:
+            take_pages.append(pages[:need])
+            take_write.append(is_write[:need])
+            buf_pages[0] = pages[need:]
+            buf_write[0] = is_write[need:]
+            need = 0
+    if len(take_pages) == 1:
+        return take_pages[0], take_write[0]
+    return np.concatenate(take_pages), np.concatenate(take_write)
+
+
+class ChunkProducer:
+    """Threaded producer stage with a start/stop/collect lifecycle.
+
+    The workload-manager shape (SREGym's generators, hopperkv's
+    replay engines): :meth:`start` launches the feed on its own
+    thread, :meth:`stop` requests an early halt and joins, and
+    :meth:`collect` returns what was produced.  The thread pushes
+    re-chunked trace windows through the bounded queue with blocking
+    puts -- backpressure from a slow consumer stalls *production*,
+    never loses a request -- and closes the queue when the stream (or
+    an early stop) ends, which is the consumer's end-of-stream
+    signal.
+    """
+
+    def __init__(self, chunks, queue: IngestQueue) -> None:
+        self._chunks = iter(chunks)
+        self.queue = queue
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.produced_chunks = 0
+        self.produced_requests = 0
+        self.error: BaseException | None = None
+
+    def start(self) -> None:
+        """Launch the producer thread (once)."""
+        if self._thread is not None:
+            raise RuntimeError("producer already started")
+        self._thread = threading.Thread(
+            target=self._run,
+            name="repro-frontend-producer",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            for pages, is_write in self._chunks:
+                if self._stop.is_set():
+                    break
+                if not self.queue.put((pages, is_write)):
+                    break  # consumer aborted the queue
+                self.produced_chunks += 1
+                self.produced_requests += int(pages.shape[0])
+        except BaseException as exc:  # noqa: BLE001 - reported via collect
+            self.error = exc
+        finally:
+            self.queue.close()
+
+    def stop(self) -> None:
+        """Request an early halt and join the thread (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def collect(self) -> dict:
+        """Production counters (call after the run drains)."""
+        out = {
+            "chunks": self.produced_chunks,
+            "requests": self.produced_requests,
+            "stopped_early": self._stop.is_set(),
+        }
+        if self.error is not None:
+            out["error"] = repr(self.error)
+        return out
+
+
+@dataclass
+class FrontendReport:
+    """What one front-end run did, end to end.
+
+    ``produced_* == consumed_*`` is the zero-loss invariant (gated in
+    the bench); ``reports`` carries the service's own per-chunk
+    reports in consumption order, so downstream comparisons against a
+    synchronous run need no extra bookkeeping.
+    """
+
+    mode: str
+    chunk_requests: int
+    queue: dict
+    producer: dict
+    consumed_chunks: int
+    consumed_requests: int
+    reports: list[ChunkReport] = field(default_factory=list)
+    latency_p50_us: float | None = None
+    latency_p99_us: float | None = None
+    ingest_wait_s: float = 0.0
+    refresh_overlap_chunks: int = 0
+    drained_swap: bool = False
+    monitor: dict | None = None
+
+    @property
+    def produced_chunks(self) -> int:
+        return int(self.producer["chunks"])
+
+    @property
+    def produced_requests(self) -> int:
+        return int(self.producer["requests"])
+
+    @property
+    def backpressure_stalls(self) -> int:
+        return int(self.queue["blocked_puts"])
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (chunk reports summarised, not dumped)."""
+        return {
+            "mode": self.mode,
+            "chunk_requests": self.chunk_requests,
+            "queue": dict(self.queue),
+            "producer": dict(self.producer),
+            "consumed_chunks": self.consumed_chunks,
+            "consumed_requests": self.consumed_requests,
+            "latency_p50_us": self.latency_p50_us,
+            "latency_p99_us": self.latency_p99_us,
+            "ingest_wait_s": self.ingest_wait_s,
+            "refresh_overlap_chunks": self.refresh_overlap_chunks,
+            "drained_swap": self.drained_swap,
+            "monitor": self.monitor,
+        }
+
+
+class ServingFrontend:
+    """Producer/queue/consumer pipeline over an existing service.
+
+    Parameters
+    ----------
+    service:
+        The (already configured) :class:`IcgmmCacheService` the
+        consumer stage drives.  The front-end never reaches into the
+        chunk loop -- it only decides *when* ``ingest`` runs and with
+        which exact-size chunk.
+    mode:
+        ``"deterministic"`` or ``"throughput"``; defaults to
+        :attr:`ServingConfig.pipeline` (``"off"`` is rejected here --
+        it means *don't build a front-end*, the disabled-parity
+        contract the CLI enforces).
+    queue_chunks:
+        Ingest-queue capacity override (defaults to
+        :attr:`ServingConfig.ingest_queue_chunks`).
+    monitor:
+        Optional observe-only
+        :class:`~repro.serving.health.FleetHealthMonitor` over the
+        service's shards (device id = shard id).  It is fed the
+        *priced* deterministic per-shard chunk times -- never
+        wall-clock -- so its decision digest is bit-identical across
+        modes and worker counts, and nothing it decides feeds back
+        into serving (no re-homing; shards are not a fabric).
+    """
+
+    def __init__(
+        self,
+        service: IcgmmCacheService,
+        mode: str | None = None,
+        queue_chunks: int | None = None,
+        monitor=None,
+    ) -> None:
+        resolved = (
+            mode if mode is not None else service.serving.pipeline
+        )
+        if resolved not in PIPELINE_MODES:
+            raise ValueError(
+                f"mode must be one of {PIPELINE_MODES},"
+                f" got {resolved!r}"
+            )
+        if resolved == "off":
+            raise ValueError(
+                "pipeline mode 'off' means calling service.ingest"
+                " directly; build no front-end"
+            )
+        if resolved == "deterministic" and service.serving.refresh_async:
+            raise ValueError(
+                "refresh_async breaks the deterministic pipeline's"
+                " byte-parity contract; use mode='throughput'"
+            )
+        self.service = service
+        self.mode = resolved
+        self.queue_chunks = int(
+            queue_chunks
+            if queue_chunks is not None
+            else service.serving.ingest_queue_chunks
+        )
+        if self.queue_chunks < 1:
+            raise ValueError("queue_chunks must be >= 1")
+        self.monitor = monitor
+        #: Request-latency accounting (fixed telemetry edges, so the
+        #: bridge republished the histogram bucket-for-bucket).
+        self.request_metrics = RollingMetrics(
+            service.shard_metrics.latency_model,
+            window_chunks=service.serving.metrics_window_chunks,
+            latency_edges_us=FRONTEND_LATENCY_EDGES_US,
+        )
+        self.queue: IngestQueue | None = None
+        self.consumed_chunks = 0
+        self.consumed_requests = 0
+        self._reports: list[ChunkReport] = []
+        self._monitor_seen: dict[int, int] = {}
+        if service.telemetry is not None:
+            from repro.obs import bridge
+
+            bridge.register_frontend(
+                service.telemetry.registry, self
+            )
+
+    # ------------------------------------------------------------------
+    # Consumer stage
+    # ------------------------------------------------------------------
+    def _consume(
+        self, pages: np.ndarray, is_write: np.ndarray
+    ) -> list[ChunkReport]:
+        """Drive one exact-size chunk through the unchanged service."""
+        started = time.perf_counter()
+        reports = self.service.ingest(pages, is_write)
+        elapsed_us = (time.perf_counter() - started) * 1e6
+        self.consumed_chunks += len(reports)
+        self._reports.extend(reports)
+        for report in reports:
+            self.consumed_requests += report.accesses
+            if report.accesses:
+                self.request_metrics.observe_latency(
+                    "request", elapsed_us, count=report.accesses
+                )
+            if self.monitor is not None:
+                self._feed_monitor(report)
+        return reports
+
+    def _feed_monitor(self, report: ChunkReport) -> None:
+        """Observe-only monitor feed with deterministic pricing.
+
+        Per-shard chunk deltas come straight off the service's
+        rolling windows (``last``), priced under the Table 1 model --
+        a pure function of the counters, so an attached monitor
+        changes *nothing* about the run (parity-tested) while its
+        decision log stays comparable across modes and worker counts.
+        """
+        metrics = self.service.shard_metrics
+        for shard in range(self.service.serving.n_shards):
+            key = f"shard:{shard}"
+            total = metrics.total(key).accesses
+            if total == self._monitor_seen.get(shard, 0):
+                continue
+            self._monitor_seen[shard] = total
+            delta = metrics.last(key)
+            if delta is None or delta.accesses == 0:
+                continue
+            time_ns = int(
+                round(
+                    metrics.latency_model.average_access_time_us(
+                        delta
+                    )
+                    * delta.accesses
+                    * 1_000.0
+                )
+            )
+            self.monitor.observe(shard, delta, time_ns)
+        self.monitor.step(report.chunk_index)
+
+    # ------------------------------------------------------------------
+    # The two schedules
+    # ------------------------------------------------------------------
+    def _run_deterministic(self, chunks) -> dict:
+        """Fixed logical-clock interleave (single-threaded).
+
+        Producer turn: fill the queue until a put is refused (one
+        accounted stall) or the stream runs dry.  Consumer turn:
+        drain exactly one chunk.  Repeat until both are exhausted.
+        Every queue counter is a pure function of (stream length,
+        capacity) -- asserted by the backpressure-determinism test.
+        """
+        queue = self.queue
+        stream = iter(chunks)
+        pending = None
+        produced_chunks = 0
+        produced_requests = 0
+        exhausted = False
+        while True:
+            while not exhausted:
+                if pending is None:
+                    pending = next(stream, _CLOSED)
+                    if pending is _CLOSED:
+                        pending = None
+                        exhausted = True
+                        break
+                if queue.try_put(pending):
+                    produced_chunks += 1
+                    produced_requests += int(pending[0].shape[0])
+                    pending = None
+                else:
+                    break
+            item = queue.try_get()
+            if item is None:
+                break
+            self._consume(*item)
+        queue.close()
+        return {
+            "chunks": produced_chunks,
+            "requests": produced_requests,
+            "stopped_early": False,
+        }
+
+    def _run_throughput(self, chunks) -> tuple[dict, bool]:
+        """Free-running producer thread + blocking consumer."""
+        queue = self.queue
+        producer = ChunkProducer(chunks, queue)
+        producer.start()
+        try:
+            while True:
+                item = queue.get()
+                if item is _CLOSED:
+                    break
+                self._consume(*item)
+        except BaseException:
+            queue.abort()
+            raise
+        finally:
+            producer.stop()
+        # A refresh still building at end-of-stream gets to land (and
+        # its off-path seconds get accounted) instead of being
+        # silently discarded at close.
+        drained = self.service.drain_refresh()
+        if producer.error is not None:
+            raise producer.error
+        profiler = self.service.pipeline.profiler
+        if profiler is not None and self.consumed_chunks:
+            profiler.add(
+                "ingest.wait",
+                queue.consumer_wait_s,
+                calls=self.consumed_chunks,
+            )
+        return producer.collect(), drained
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, windows) -> FrontendReport:
+        """Pipeline ``windows`` of ``(pages, is_write)`` end to end.
+
+        Windows may be any sizes (streaming-CSV chunks, whole
+        in-memory traces, synthetic generators); the producer
+        re-chunks them to the service's global chunk boundaries.
+        Returns a :class:`FrontendReport`; the per-chunk
+        :class:`ChunkReport` list inside is exactly what the
+        equivalent synchronous ``service.ingest`` calls would have
+        returned.
+        """
+        self.queue = IngestQueue(self.queue_chunks)
+        self.consumed_chunks = 0
+        self.consumed_requests = 0
+        chunks = _chunk_stream(
+            windows, self.service.serving.chunk_requests
+        )
+        reports_before = len(self._reports)
+        drained = False
+        if self.mode == "deterministic":
+            producer = self._run_deterministic(chunks)
+        else:
+            producer, drained = self._run_throughput(chunks)
+        report = FrontendReport(
+            mode=self.mode,
+            chunk_requests=self.service.serving.chunk_requests,
+            queue=self.queue.counters(),
+            producer=producer,
+            consumed_chunks=self.consumed_chunks,
+            consumed_requests=self.consumed_requests,
+            reports=self._reports[reports_before:],
+            latency_p50_us=self.request_metrics.latency_p50(
+                "request"
+            ),
+            latency_p99_us=self.request_metrics.latency_p99(
+                "request"
+            ),
+            ingest_wait_s=self.queue.consumer_wait_s,
+            refresh_overlap_chunks=(
+                self.service.refresh_overlap_chunks
+            ),
+            drained_swap=drained,
+            monitor=(
+                self.monitor.summary()
+                if self.monitor is not None
+                else None
+            ),
+        )
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingFrontend(mode={self.mode!r},"
+            f" queue_chunks={self.queue_chunks},"
+            f" consumed_chunks={self.consumed_chunks})"
+        )
+
+
+__all__ = [
+    "ChunkProducer",
+    "FrontendReport",
+    "IngestQueue",
+    "ServingFrontend",
+]

@@ -1,0 +1,509 @@
+"""Parity and unit tests for the pipelined serving front-end.
+
+The deterministic pipeline's contract is *byte-identity* with the
+plain synchronous loop: same per-chunk stats, same drift decisions,
+same swap history, same telemetry snapshot digest -- at any worker
+count, with or without chaos, with or without an observe-only fleet
+monitor attached.  The throughput pipeline trades the digest for
+overlap but must never lose or reorder a request.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    ChaosConfig,
+    FleetHealthConfig,
+    GmmEngineConfig,
+    IcgmmConfig,
+    ParallelConfig,
+    ServingConfig,
+)
+from repro.core.system import IcgmmSystem
+from repro.obs import Telemetry
+from repro.serving import (
+    FleetHealthMonitor,
+    IcgmmCacheService,
+    ServingFrontend,
+)
+from repro.serving.frontend import (
+    ChunkProducer,
+    IngestQueue,
+    _chunk_stream,
+)
+
+CHUNK = 2_000
+
+
+@pytest.fixture(scope="module")
+def prepared_system():
+    config = IcgmmConfig(
+        trace_length=40_000,
+        gmm=GmmEngineConfig(
+            n_components=8, max_iter=15, max_train_samples=8_000
+        ),
+    )
+    system = IcgmmSystem(config)
+    prepared = system.prepare("memtier")
+    return config, system, prepared
+
+
+def _service(
+    config,
+    prepared,
+    workers=1,
+    chaos=None,
+    telemetry=None,
+    **serving_kwargs,
+):
+    serving = ServingConfig(
+        chunk_requests=CHUNK,
+        n_shards=4,
+        parallel=ParallelConfig(workers=workers, backend="thread"),
+        **serving_kwargs,
+    )
+    return IcgmmCacheService(
+        prepared.engine,
+        config=config,
+        serving=serving,
+        measure_from=int(len(prepared) * config.warmup_fraction),
+        chaos=chaos,
+        telemetry=telemetry,
+    )
+
+
+#: Window cuts deliberately misaligned with CHUNK: the carry buffer
+#: must still reproduce the global chunking.
+def _windows(prepared):
+    pages, is_write = prepared.page_indices, prepared.is_write
+    cuts = [0, 777, 5_777, 9_110, 20_001, len(pages)]
+    for a, b in zip(cuts, cuts[1:]):
+        yield pages[a:b], is_write[a:b]
+
+
+def _key(report):
+    return (
+        report.chunk_index,
+        report.stats.hits,
+        report.stats.misses,
+        report.stats.accesses,
+        report.swapped,
+        report.generation,
+        report.drift.drifted if report.drift is not None else None,
+    )
+
+
+def _run_sync(config, prepared, workers=1, chaos=None, telemetry=None):
+    service = _service(
+        config, prepared, workers=workers, chaos=chaos,
+        telemetry=telemetry,
+    )
+    try:
+        reports = service.ingest(
+            prepared.page_indices, prepared.is_write
+        )
+        summary = service.summary()
+        digest = (
+            telemetry.snapshot().get("digest")
+            if telemetry is not None
+            else None
+        )
+    finally:
+        service.close()
+    return reports, summary, digest
+
+
+def _run_frontend(
+    config,
+    prepared,
+    workers=1,
+    chaos=None,
+    telemetry=None,
+    monitor_config=None,
+    **serving_kwargs,
+):
+    serving_kwargs.setdefault("pipeline", "deterministic")
+    serving_kwargs.setdefault("ingest_queue_chunks", 3)
+    service = _service(
+        config, prepared, workers=workers, chaos=chaos,
+        telemetry=telemetry, **serving_kwargs,
+    )
+    monitor = FleetHealthMonitor.from_config(
+        monitor_config, n_devices=service.serving.n_shards
+    )
+    try:
+        frontend = ServingFrontend(service, monitor=monitor)
+        front = frontend.run(_windows(prepared))
+        summary = service.summary()
+        digest = (
+            telemetry.snapshot().get("digest")
+            if telemetry is not None
+            else None
+        )
+    finally:
+        service.close()
+    return front, summary, digest
+
+
+class TestChunkStream:
+    def test_rechunks_to_global_boundaries(self):
+        rng = np.random.default_rng(0)
+        pages = rng.integers(0, 1 << 20, 10_500)
+        is_write = rng.random(10_500) < 0.5
+        cuts = [0, 13, 999, 3_500, 3_501, 10_500]
+        windows = [
+            (pages[a:b], is_write[a:b])
+            for a, b in zip(cuts, cuts[1:])
+        ]
+        chunks = list(_chunk_stream(iter(windows), 1_000))
+        sizes = [len(p) for p, _ in chunks]
+        assert sizes == [1_000] * 10 + [500]
+        assert np.array_equal(
+            np.concatenate([p for p, _ in chunks]), pages
+        )
+        assert np.array_equal(
+            np.concatenate([w for _, w in chunks]), is_write
+        )
+
+    def test_empty_windows_are_skipped(self):
+        empty = np.empty(0, dtype=np.int64)
+        windows = [
+            (empty, empty.astype(bool)),
+            (np.arange(5), np.zeros(5, dtype=bool)),
+        ]
+        chunks = list(_chunk_stream(iter(windows), 10))
+        assert len(chunks) == 1
+        assert len(chunks[0][0]) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="chunk_requests"):
+            list(_chunk_stream(iter([]), 0))
+        bad = [(np.arange(4), np.zeros(3, dtype=bool))]
+        with pytest.raises(ValueError, match="equal length"):
+            list(_chunk_stream(iter(bad), 10))
+
+
+class TestIngestQueue:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            IngestQueue(0)
+
+    def test_try_put_refusal_counts_one_stall(self):
+        queue = IngestQueue(2)
+        assert queue.try_put("a") and queue.try_put("b")
+        assert not queue.try_put("c")
+        assert not queue.try_put("c")
+        assert queue.blocked_puts == 2
+        assert queue.max_depth == 2
+        assert queue.try_get() == "a"
+        assert queue.try_put("c")
+        assert [queue.try_get(), queue.try_get()] == ["b", "c"]
+        assert queue.try_get() is None
+        counters = queue.counters()
+        assert counters["puts"] == 3 and counters["gets"] == 3
+
+    def test_get_returns_sentinel_after_close(self):
+        from repro.serving.frontend import _CLOSED
+
+        queue = IngestQueue(1)
+        queue.try_put("a")
+        queue.close()
+        assert queue.get() == "a"
+        assert queue.get() is _CLOSED
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.try_put("b")
+
+    def test_abort_unblocks_blocked_put(self):
+        import threading
+
+        queue = IngestQueue(1)
+        queue.try_put("a")
+        results = []
+
+        def producer():
+            results.append(queue.put("b"))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        queue.abort()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results == [False]
+        assert queue.blocked_puts == 1
+
+
+class TestChunkProducer:
+    @staticmethod
+    def _chunks(n):
+        for i in range(n):
+            yield np.full(3, i, dtype=np.int64), np.zeros(3, dtype=bool)
+
+    def test_produces_and_closes(self):
+        queue = IngestQueue(8)
+        producer = ChunkProducer(self._chunks(5), queue)
+        producer.start()
+        got = []
+        while True:
+            item = queue.get()
+            if not isinstance(item, tuple):
+                break
+            got.append(int(item[0][0]))
+        producer.stop()
+        assert got == [0, 1, 2, 3, 4]
+        assert producer.collect()["chunks"] == 5
+        assert producer.collect()["requests"] == 15
+
+    def test_error_is_captured_and_queue_closed(self):
+        def bad():
+            yield np.arange(3), np.zeros(3, dtype=bool)
+            raise RuntimeError("trace reader died")
+
+        queue = IngestQueue(8)
+        producer = ChunkProducer(bad(), queue)
+        producer.start()
+        assert isinstance(queue.get(), tuple)
+        from repro.serving.frontend import _CLOSED
+
+        assert queue.get() is _CLOSED
+        producer.stop()
+        assert "trace reader died" in producer.collect()["error"]
+
+
+class TestDeterministicParity:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_byte_parity_with_sync_loop(
+        self, prepared_system, workers
+    ):
+        config, _, prepared = prepared_system
+        sync_reports, sync_summary, _ = _run_sync(
+            config, prepared, workers=workers
+        )
+        front, summary, _ = _run_frontend(
+            config, prepared, workers=workers
+        )
+        assert [_key(r) for r in front.reports] == [
+            _key(r) for r in sync_reports
+        ]
+        assert summary["accesses"] == sync_summary["accesses"]
+        assert summary["miss_rate"] == sync_summary["miss_rate"]
+        assert summary["generation"] == sync_summary["generation"]
+        assert summary["swaps"] == sync_summary["swaps"]
+        # Zero-loss bookkeeping.
+        assert front.consumed_requests == len(prepared)
+        assert front.produced_requests == len(prepared)
+        assert front.consumed_chunks == front.produced_chunks
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_telemetry_digest_matches_sync(
+        self, prepared_system, workers
+    ):
+        config, _, prepared = prepared_system
+        _, _, sync_digest = _run_sync(
+            config, prepared, workers=1, telemetry=Telemetry()
+        )
+        _, _, front_digest = _run_frontend(
+            config, prepared, workers=workers, telemetry=Telemetry()
+        )
+        assert front_digest == sync_digest
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_parity_under_chaos(self, prepared_system, workers):
+        config, _, prepared = prepared_system
+        sync_reports, sync_summary, sync_digest = _run_sync(
+            config,
+            prepared,
+            workers=workers,
+            chaos=ChaosConfig.demo(7),
+            telemetry=Telemetry(),
+        )
+        front, summary, digest = _run_frontend(
+            config,
+            prepared,
+            workers=workers,
+            chaos=ChaosConfig.demo(7),
+            telemetry=Telemetry(),
+        )
+        assert [_key(r) for r in front.reports] == [
+            _key(r) for r in sync_reports
+        ]
+        assert summary["chaos"]["timeline_digest"] == (
+            sync_summary["chaos"]["timeline_digest"]
+        )
+        assert digest == sync_digest
+
+    def test_monitor_attachment_changes_nothing(
+        self, prepared_system
+    ):
+        config, _, prepared = prepared_system
+        monitor_config = FleetHealthConfig(enabled=True)
+        baseline, base_summary, base_digest = _run_frontend(
+            config, prepared, telemetry=Telemetry()
+        )
+        front, summary, digest = _run_frontend(
+            config,
+            prepared,
+            telemetry=Telemetry(),
+            monitor_config=monitor_config,
+        )
+        assert [_key(r) for r in front.reports] == [
+            _key(r) for r in baseline.reports
+        ]
+        assert digest == base_digest
+        assert front.monitor is not None
+        assert baseline.monitor is None
+        # Monitor decisions are themselves deterministic across
+        # worker counts.
+        again, _, _ = _run_frontend(
+            config,
+            prepared,
+            workers=4,
+            telemetry=Telemetry(),
+            monitor_config=monitor_config,
+        )
+        assert (
+            again.monitor["decision_digest"]
+            == front.monitor["decision_digest"]
+        )
+
+    def test_backpressure_accounting_is_deterministic(
+        self, prepared_system
+    ):
+        config, _, prepared = prepared_system
+        front_a, _, _ = _run_frontend(config, prepared)
+        front_b, _, _ = _run_frontend(config, prepared)
+        assert front_a.queue == front_b.queue
+        assert front_a.queue["producer_wait_s"] == 0.0
+        assert front_a.queue["consumer_wait_s"] == 0.0
+        assert front_a.queue["puts"] == front_a.consumed_chunks
+        assert front_a.queue["gets"] == front_a.consumed_chunks
+        # Capacity 3 against a 20-chunk stream must stall: the queue
+        # fills, one chunk drains, one pending chunk re-offers.
+        assert front_a.backpressure_stalls > 0
+        assert front_a.queue["max_depth"] == 3
+
+    def test_latency_quantiles_populate(self, prepared_system):
+        config, _, prepared = prepared_system
+        front, _, _ = _run_frontend(config, prepared)
+        assert front.latency_p50_us is not None
+        assert front.latency_p99_us is not None
+        assert front.latency_p50_us <= front.latency_p99_us
+
+
+class TestThroughputMode:
+    def test_zero_loss_and_order(self, prepared_system):
+        config, _, prepared = prepared_system
+        front, summary, _ = _run_frontend(
+            config,
+            prepared,
+            pipeline="throughput",
+            refresh_async=True,
+        )
+        assert front.consumed_requests == len(prepared)
+        assert front.produced_requests == len(prepared)
+        indices = [r.chunk_index for r in front.reports]
+        assert indices == sorted(indices)
+        assert len(indices) == len(set(indices))
+        assert summary["refresh_async"]["pending"] is False
+
+    def test_matches_sync_when_refresh_disabled(
+        self, prepared_system
+    ):
+        config, _, prepared = prepared_system
+        baseline = _service(
+            config, prepared, refresh_enabled=False
+        )
+        try:
+            sync_reports = baseline.ingest(
+                prepared.page_indices, prepared.is_write
+            )
+        finally:
+            baseline.close()
+        # Without refresh the schedule cannot influence results: the
+        # consumer still sees the global chunk sequence in order.
+        service = _service(
+            config,
+            prepared,
+            pipeline="throughput",
+            refresh_enabled=False,
+            ingest_queue_chunks=3,
+        )
+        try:
+            front = ServingFrontend(service).run(_windows(prepared))
+        finally:
+            service.close()
+        sync_keys = [
+            (k[0], k[1], k[2], k[3]) for k in map(_key, sync_reports)
+        ]
+        front_keys = [
+            (k[0], k[1], k[2], k[3])
+            for k in map(_key, front.reports)
+        ]
+        assert front_keys == sync_keys
+
+    def test_producer_error_propagates(self, prepared_system):
+        config, _, prepared = prepared_system
+
+        def poisoned():
+            yield prepared.page_indices[:CHUNK], prepared.is_write[
+                :CHUNK
+            ]
+            raise RuntimeError("reader exploded")
+
+        service = _service(
+            config, prepared, pipeline="throughput",
+            refresh_async=True,
+        )
+        try:
+            frontend = ServingFrontend(service)
+            with pytest.raises(RuntimeError, match="reader exploded"):
+                frontend.run(poisoned())
+        finally:
+            service.close()
+
+
+class TestValidation:
+    def test_mode_off_is_rejected(self, prepared_system):
+        config, _, prepared = prepared_system
+        service = _service(config, prepared)
+        try:
+            with pytest.raises(ValueError, match="off"):
+                ServingFrontend(service)  # serving.pipeline == "off"
+            with pytest.raises(ValueError, match="one of"):
+                ServingFrontend(service, mode="warp")
+        finally:
+            service.close()
+
+    def test_deterministic_refresh_async_is_rejected(
+        self, prepared_system
+    ):
+        config, _, prepared = prepared_system
+        with pytest.raises(ValueError, match="byte-parity"):
+            ServingConfig(
+                pipeline="deterministic", refresh_async=True
+            )
+        service = _service(
+            config, prepared, pipeline="throughput",
+            refresh_async=True,
+        )
+        try:
+            with pytest.raises(ValueError, match="byte-parity"):
+                ServingFrontend(service, mode="deterministic")
+        finally:
+            service.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="pipeline"):
+            ServingConfig(pipeline="sideways")
+        with pytest.raises(ValueError, match="ingest_queue_chunks"):
+            ServingConfig(ingest_queue_chunks=0)
+
+    def test_queue_chunks_override(self, prepared_system):
+        config, _, prepared = prepared_system
+        service = _service(config, prepared, pipeline="deterministic")
+        try:
+            frontend = ServingFrontend(service, queue_chunks=1)
+            assert frontend.queue_chunks == 1
+            with pytest.raises(ValueError, match="queue_chunks"):
+                ServingFrontend(service, queue_chunks=0)
+        finally:
+            service.close()
